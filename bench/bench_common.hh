@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ */
+
+#ifndef REX_BENCH_COMMON_HH
+#define REX_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rex/rex.hh"
+
+namespace rex::bench {
+
+/** Print the reproduction block for each named test. */
+inline int
+reproduce(const char *title, const std::vector<std::string> &names,
+          harness::FigureOptions options = {})
+{
+    std::printf("%s\n%s\n\n", title,
+                std::string(std::string(title).size(), '=').c_str());
+    for (const std::string &name : names) {
+        const LitmusTest &test = TestRegistry::instance().get(name);
+        std::fputs(harness::reproduceFigure(test, options).c_str(),
+                   stdout);
+        std::fputs("\n", stdout);
+    }
+    return 0;
+}
+
+} // namespace rex::bench
+
+#endif // REX_BENCH_COMMON_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 4: SB+dmb.sy+eret — reads and writes execute out-of-order
+ * across exception entry+exit. Regenerates the hw-refs column (via the
+ * operational simulator's device profiles) and the param-refs column
+ * (ExS A / SEA_R A / SEA_W F / SEA_R+W F).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return rex::bench::reproduce(
+        "Figure 4: out-of-order execution across exception boundaries",
+        {"SB+dmb.sy+eret"});
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 5: MP+dmb.sy+ctrlsvc — context-synchronising exception entry
+ * is never speculative. Expected: forbidden everywhere except under
+ * FEAT_ExS with EIS=0; 0 observations on every device profile.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return rex::bench::reproduce(
+        "Figure 5: exception entry is not taken speculatively",
+        {"MP+dmb.sy+ctrlsvc"});
+}

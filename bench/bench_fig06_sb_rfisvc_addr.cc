@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 6: SB+dmb.sy+rfisvc-addr — a store forwards to a read inside
+ * the (non-speculative) exception handler. Expected allowed (and
+ * observed on all device profiles); forbidden under SEA_W.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return rex::bench::reproduce(
+        "Figure 6: forwarding into a non-speculative handler",
+        {"SB+dmb.sy+rfisvc-addr"});
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 7: system registers and context synchronisation — a dependent
+ * write to ESR composes with the SVC's context synchronisation
+ * (MP.EL1+dmb.sy+dataesrsvc, forbidden), and a dependent write to the
+ * self-synchronising ELR feeds the ERET (MP+dmb.sy+ctrlelr, forbidden).
+ * Includes the contrast test with an independent ESR write (allowed)
+ * and the TPIDR analogue (§3.2.5).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return rex::bench::reproduce(
+        "Figure 7: system-register dependencies and context sync",
+        {"MP.EL1+dmb.sy+dataesrsvc", "MP+dmb.sy+ctrlelr",
+         "MP+dmb.sy+msresr-nodep", "MP.EL1+dmb.sy+datatpidrsvc"});
+}

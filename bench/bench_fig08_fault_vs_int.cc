@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 8: different exception kinds behave differently — a
+ * translation fault gets the FEAT_ETS2 barrier from program-order-
+ * earlier instances (MP+dmb.sy+fault, forbidden; allowed when ETS2 is
+ * disabled), while an asynchronous interrupt does not (MP+dmb.sy+int,
+ * allowed).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    rex::harness::FigureOptions options;
+    options.variants = {
+        rex::ModelParams::base(),
+        rex::ModelParams::byName("noETS2"),
+    };
+    return rex::bench::reproduce(
+        "Figure 8: translation faults (ETS2) vs asynchronous interrupts",
+        {"MP+dmb.sy+fault", "MP+dmb.sy+fault-addr", "MP+dmb.sy+int"},
+        options);
+}

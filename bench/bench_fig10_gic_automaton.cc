@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 10: the GIC interrupt-handling state machine for one PE and one
+ * INTID, specialised to edge-triggered behaviour. Drives the model
+ * through every transition of the figure and prints the trace, then
+ * contrasts the two EOImodes.
+ */
+
+#include <cstdio>
+
+#include "rex/rex.hh"
+
+namespace {
+
+void
+show(const rex::gic::Redistributor &redist, std::uint32_t intid,
+     const char *action)
+{
+    std::printf("  %-42s -> %-15s (pending bit: %d)\n", action,
+                rex::gic::intStateName(redist.state(intid)),
+                redist.irqPending());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rex::gic;
+
+    std::printf("Figure 10: GIC interrupt handling state machine\n\n");
+
+    {
+        Redistributor redist;
+        const std::uint32_t intid = 1;
+        std::printf("Basic lifecycle (one instance):\n");
+        show(redist, intid, "initial");
+        redist.pend(intid);
+        show(redist, intid, "source asserts interrupt (SGI1R write)");
+        redist.acknowledge();
+        show(redist, intid, "target acks (IAR read)");
+        redist.priorityDrop(intid);
+        show(redist, intid, "priority drop (EOIR write)");
+        redist.deactivate(intid);
+        show(redist, intid, "deactivate (DIR write)");
+    }
+
+    {
+        Redistributor redist;
+        const std::uint32_t intid = 1;
+        std::printf("\nRe-pend while active (one instance buffered):\n");
+        redist.pend(intid);
+        redist.acknowledge();
+        show(redist, intid, "acknowledged");
+        redist.pend(intid);
+        show(redist, intid, "re-pend while active");
+        redist.pend(intid);
+        show(redist, intid, "second re-pend (collapses)");
+        redist.priorityDrop(intid);
+        redist.deactivate(intid);
+        show(redist, intid, "deactivate: buffered instance re-pends");
+    }
+
+    {
+        std::printf("\nEOImode=0: EOIR drops priority and deactivates:\n");
+        Gic gic(1);
+        CpuInterface cif(gic, 0, /*eoi_mode1=*/false);
+        gic.redistributor(0).pend(2);
+        cif.readIar();
+        cif.writeEoir(2);
+        show(gic.redistributor(0), 2, "EOIR write");
+    }
+
+    {
+        std::printf("\nEOImode=1: EOIR only drops; DIR deactivates "
+                    "(Linux's split handling, S7.1):\n");
+        Gic gic(1);
+        CpuInterface cif(gic, 0, /*eoi_mode1=*/true);
+        gic.redistributor(0).pend(2);
+        cif.readIar();
+        cif.writeEoir(2);
+        show(gic.redistributor(0), 2, "EOIR write (still active)");
+        cif.writeDir(2);
+        show(gic.redistributor(0), 2, "DIR write");
+    }
+
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 11: MPviaSGIEIOmode1sequence — synchronisation via SGI with the
+ * full acknowledge / priority-drop / deactivate sequence appropriate for
+ * EOImode=1. Forbidden: the DSB ST orders the data write before
+ * GenerateInterrupt, which the interrupt witness orders before the
+ * delivery, which orders the handler's read.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    rex::harness::FigureOptions options;
+    options.variants = {rex::ModelParams::base()};
+    return rex::bench::reproduce(
+        "Figure 11: SGI with the full EOImode=1 sequence",
+        {"MPviaSGIEIOmode1sequence"}, options);
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 12: MPviaSGI — message passing via an SGI with no further
+ * synchronisation is broken: the SGI's generation and delivery can
+ * outrun the program-order-earlier data write. Adding a DSB ST repairs
+ * it (contrast test).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    rex::harness::FigureOptions options;
+    options.variants = {rex::ModelParams::base()};
+    return rex::bench::reproduce(
+        "Figure 12: message passing via SGI",
+        {"MPviaSGI", "MPviaSGI+dsb.st"}, options);
+}

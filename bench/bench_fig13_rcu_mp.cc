@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 13: RCU-MP — the key RCU test: two writes separated by the
+ * generation of an SGI (the synchronize_rcu system-wide barrier) against
+ * a read-critical-section implemented by interrupt masking. Allowed as
+ * written; forbidden once the DSB ST is placed between the data write
+ * and the SGI. Also reproduces the Verona asymmetric-lock scenario
+ * (§7.3), which relies on interrupt *precision* rather than masking.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    rex::harness::FigureOptions options;
+    options.variants = {rex::ModelParams::base()};
+    return rex::bench::reproduce(
+        "Figure 13: RCU and the Verona asymmetric lock",
+        {"RCU-MP", "RCU-MP+dsb.st", "VERONA-asymlock",
+         "VERONA-asymlock-nodsb"},
+        options);
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Performance microbenchmarks (google-benchmark) for the core engines:
+ * relation closure, candidate enumeration, native model checking, cat
+ * interpretation, and operational simulation. The native-vs-cat pair
+ * quantifies the cost of interpretation (the paper's `repro` note about
+ * the awkwardness of symbolic encodings: explicit enumeration keeps the
+ * oracle fast).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "rex/rex.hh"
+
+namespace {
+
+using namespace rex;
+
+void
+BM_RelationClosure(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    Relation r(n);
+    std::uint64_t s = 12345;
+    for (EventId a = 0; a < n; ++a) {
+        for (EventId b = 0; b < n; ++b) {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if (s % 5 == 0)
+                r.add(a, b);
+        }
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(r.transitiveClosure());
+}
+BENCHMARK(BM_RelationClosure)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_CandidateEnumeration(benchmark::State &state)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("SB+dmb.sy+eret");
+    for (auto _ : state) {
+        CandidateEnumerator enumerator(test);
+        benchmark::DoNotOptimize(enumerator.count());
+    }
+}
+BENCHMARK(BM_CandidateEnumeration);
+
+void
+BM_NativeModelCheck(benchmark::State &state)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("MP.EL1+dmb.sy+dataesrsvc");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            checkTest(test, ModelParams::base(), true).observable);
+}
+BENCHMARK(BM_NativeModelCheck);
+
+void
+BM_CatModelCheck(benchmark::State &state)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("MP.EL1+dmb.sy+dataesrsvc");
+    const cat::CatModel &model = cat::CatModel::shipped();
+    // Pre-enumerate candidates once; measure interpretation only.
+    std::vector<CandidateExecution> candidates;
+    CandidateEnumerator enumerator(test);
+    enumerator.forEach([&](CandidateExecution &cand) {
+        candidates.push_back(cand);
+        return true;
+    });
+    for (auto _ : state) {
+        for (const CandidateExecution &cand : candidates) {
+            benchmark::DoNotOptimize(
+                model.check(cand, ModelParams::base()).consistent);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() *
+                                  candidates.size()));
+}
+BENCHMARK(BM_CatModelCheck);
+
+void
+BM_NativeModelPerCandidate(benchmark::State &state)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("MP.EL1+dmb.sy+dataesrsvc");
+    std::vector<CandidateExecution> candidates;
+    CandidateEnumerator enumerator(test);
+    enumerator.forEach([&](CandidateExecution &cand) {
+        candidates.push_back(cand);
+        return true;
+    });
+    for (auto _ : state) {
+        for (const CandidateExecution &cand : candidates) {
+            benchmark::DoNotOptimize(
+                checkConsistent(cand, ModelParams::base()).consistent);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() *
+                                  candidates.size()));
+}
+BENCHMARK(BM_NativeModelPerCandidate);
+
+void
+BM_OperationalRun(benchmark::State &state)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("SB+dmb.sy+eret");
+    op::Runner runner(op::CoreProfile::cortexA73(), 99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(test, 100).observed);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 100));
+}
+BENCHMARK(BM_OperationalRun);
+
+void
+BM_OperationalExplore(benchmark::State &state)
+{
+    const LitmusTest &test = TestRegistry::instance().get("SB+pos");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            op::explore(test, op::CoreProfile::maxRelaxed())
+                .outcomes.size());
+    }
+}
+BENCHMARK(BM_OperationalExplore);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    const std::string text =
+        "LDR X0,[X1]\nMRS X4,ESR_EL1\nEOR X5,X0,X0\nADD X5,X4,X5\n"
+        "MSR ESR_EL1,X5\nSVC #0\n";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(isa::assemble(text).code.size());
+}
+BENCHMARK(BM_Assembler);
+
+} // namespace
+
+BENCHMARK_MAIN();

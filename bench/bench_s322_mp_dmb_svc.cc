@@ -1,0 +1,18 @@
+/**
+ * @file
+ * §3.2.2: MP+dmb.sy+svc — load-load reordering across a context-
+ * synchronising SVC+ERET pair is architecturally allowed (by analogy
+ * with MP+dmb.sy+isb) but, like the paper's hardware results, is
+ * observed only on the A73-like profile; the RPi-like profiles never
+ * reorder loads.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    return rex::bench::reproduce(
+        "S3.2.2: MP+dmb.sy+svc, observed only on the A73-like profile",
+        {"MP+dmb.sy+svc", "MP+dmb.sy+isb"});
+}

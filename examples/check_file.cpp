@@ -1,0 +1,152 @@
+/**
+ * @file
+ * check_file: a small command-line test oracle in the spirit of the
+ * paper's Isla usage — load a .litmus file, enumerate its candidate
+ * executions, and report the verdict under one or more model variants,
+ * with the witness (or the forbidding explanation) on request.
+ *
+ * Usage:
+ *   ./example_check_file [--dot|--all] FILE.litmus [variant...]
+ *   ./example_check_file [--dot|--all] --builtin TEST-NAME [variant...]
+ *
+ * Variants: base (default), ExS, ExS_EIS0, ExS_EOS0, SEA_R, SEA_W,
+ * SEA_RW, noETS2. With --dot, the witness execution is printed as a
+ * Graphviz graph (pipe into `dot -Tsvg`); with --all, every consistent
+ * final state is listed with the number of consistent candidate
+ * executions reaching it (Isla-style exhaustive output).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rex/rex.hh"
+
+namespace {
+
+/** List every consistent final state under @p params. */
+void
+listAllOutcomes(const rex::LitmusTest &test,
+                const rex::ModelParams &params)
+{
+    using namespace rex;
+    std::map<std::string, std::size_t> outcomes;
+    CandidateEnumerator enumerator(test);
+    enumerator.forEach([&](CandidateExecution &cand) {
+        if (!checkConsistent(cand, params).consistent)
+            return true;
+        std::string key;
+        for (const CondAtom &atom : test.finalCond.atoms) {
+            if (atom.kind != CondAtom::Kind::Register)
+                continue;
+            key += std::to_string(atom.tid) + ":" +
+                isa::regName(atom.reg) + "=" +
+                std::to_string(cand.finalRegs[
+                    static_cast<std::size_t>(atom.tid)][atom.reg]) + " ";
+        }
+        for (LocationId loc = 0; loc < test.locations.size(); ++loc) {
+            key += "*" + test.locations[loc] + "=" +
+                std::to_string(cand.finalMemValue(loc)) + " ";
+        }
+        ++outcomes[key];
+        return true;
+    });
+    for (const auto &[key, count] : outcomes) {
+        std::printf("    %6zu  %s\n", count, key.c_str());
+    }
+    std::printf("    (%zu distinct consistent final states)\n",
+                outcomes.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rex;
+
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s FILE.litmus [variant...]\n"
+                     "       %s --builtin TEST-NAME [variant...]\n",
+                     argv[0], argv[0]);
+        return 2;
+    }
+
+    LitmusTest owned;
+    const LitmusTest *test = nullptr;
+    int arg = 1;
+    bool dot = false;
+    bool all = false;
+    while (arg < argc && (std::strcmp(argv[arg], "--dot") == 0 ||
+                          std::strcmp(argv[arg], "--all") == 0)) {
+        if (std::strcmp(argv[arg], "--dot") == 0)
+            dot = true;
+        else
+            all = true;
+        ++arg;
+    }
+    if (arg >= argc) {
+        std::fprintf(stderr, "missing test argument\n");
+        return 2;
+    }
+    argv += arg - 1;
+    argc -= arg - 1;
+    arg = 1;
+    if (std::strcmp(argv[1], "--builtin") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr, "--builtin needs a test name\n");
+            return 2;
+        }
+        test = &TestRegistry::instance().get(argv[2]);
+        arg = 3;
+    } else {
+        owned = parseLitmusFile(argv[1]);
+        test = &owned;
+        arg = 2;
+    }
+
+    std::vector<std::string> variants;
+    for (; arg < argc; ++arg)
+        variants.push_back(argv[arg]);
+    if (variants.empty())
+        variants.push_back("base");
+
+    std::printf("%s: %s\n", test->name.c_str(),
+                test->description.c_str());
+    bool all_match = true;
+    for (const std::string &variant : variants) {
+        ModelParams params = ModelParams::byName(variant);
+        CheckResult result = checkTest(*test, params);
+        std::printf("  %-9s %-9s  (%zu candidates, %zu consistent, "
+                    "%zu witnesses)\n",
+                    variant.c_str(),
+                    result.observable ? "Allowed" : "Forbidden",
+                    result.candidates, result.consistent,
+                    result.witnesses);
+
+        bool expected = variant == "base"
+            ? test->expectedAllowed
+            : (test->variantAllowed.count(variant)
+                   ? test->variantAllowed.at(variant)
+                   : result.observable);
+        if (result.observable != expected) {
+            std::printf("           MISMATCH: expected %s\n",
+                        expected ? "Allowed" : "Forbidden");
+            all_match = false;
+        }
+        if (all)
+            listAllOutcomes(*test, params);
+        if (result.witness) {
+            if (dot) {
+                std::fputs(result.witness->toDot().c_str(), stdout);
+            } else {
+                std::printf("           witness:\n%s",
+                            result.witness->dump().c_str());
+            }
+        }
+    }
+    return all_match ? 0 : 1;
+}

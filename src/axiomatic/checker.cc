@@ -1,0 +1,66 @@
+#include "axiomatic/checker.hh"
+
+#include "axiomatic/enumerate.hh"
+
+namespace rex {
+
+bool
+condHolds(const CandidateExecution &cand, const Condition &cond)
+{
+    for (const CondAtom &atom : cond.atoms) {
+        switch (atom.kind) {
+          case CondAtom::Kind::Register: {
+            std::size_t tid = static_cast<std::size_t>(atom.tid);
+            if (tid >= cand.finalRegs.size())
+                return false;
+            if (cand.finalRegs[tid][atom.reg] != atom.value)
+                return false;
+            break;
+          }
+          case CondAtom::Kind::Memory:
+            if (cand.finalMemValue(atom.loc) != atom.value)
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
+CheckResult
+checkTest(const LitmusTest &test, const ModelParams &params,
+          bool stop_at_first)
+{
+    CheckResult result;
+    CandidateEnumerator enumerator(test);
+    enumerator.forEach([&](CandidateExecution &cand) {
+        ++result.candidates;
+        if (cand.constrainedUnpredictable)
+            ++result.constrainedUnpredictable;
+        if (cand.unknownSideEffects)
+            ++result.unknownSideEffects;
+        // Evaluate the condition first: it is much cheaper than the
+        // model, and forbidden-checks only care about satisfying
+        // candidates.
+        bool satisfies = condHolds(cand, test.finalCond);
+        if (stop_at_first && !satisfies)
+            return true;
+        ModelResult model = checkConsistent(cand, params);
+        if (!model.consistent)
+            return true;
+        ++result.consistent;
+        if (satisfies) {
+            ++result.witnesses;
+            if (!result.witness) {
+                result.observable = true;
+                result.witness = cand;
+            }
+            if (stop_at_first)
+                return false;
+        }
+        return true;
+    });
+    result.observable = result.witnesses > 0;
+    return result;
+}
+
+} // namespace rex

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The executable-as-test-oracle checker (§5.1): is a litmus test's final
+ * state observable under the model?
+ */
+
+#ifndef REX_AXIOMATIC_CHECKER_HH
+#define REX_AXIOMATIC_CHECKER_HH
+
+#include <cstddef>
+#include <optional>
+
+#include "axiomatic/model.hh"
+#include "axiomatic/params.hh"
+#include "events/candidate.hh"
+#include "litmus/litmus.hh"
+
+namespace rex {
+
+/** Result of checking one litmus test against the model. */
+struct CheckResult {
+    /** True when some consistent candidate satisfies the condition. */
+    bool observable = false;
+
+    /** Total candidate executions enumerated. */
+    std::size_t candidates = 0;
+
+    /** Candidates consistent with the model. */
+    std::size_t consistent = 0;
+
+    /** Consistent candidates satisfying the final condition. */
+    std::size_t witnesses = 0;
+
+    /** Candidates flagged constrained-unpredictable (s1.2): the verdict
+     *  carries no architectural guarantee when this is non-zero. */
+    std::size_t constrainedUnpredictable = 0;
+
+    /** Candidates with UNKNOWN-tinged pair-fault side effects (s6). */
+    std::size_t unknownSideEffects = 0;
+
+    /** A witnessing execution, when observable. */
+    std::optional<CandidateExecution> witness;
+};
+
+/** Does the final condition hold in this candidate? */
+bool condHolds(const CandidateExecution &candidate, const Condition &cond);
+
+/**
+ * Check @p test under @p params, enumerating every candidate.
+ * @param stop_at_first stop as soon as a witness is found (verdict only).
+ */
+CheckResult checkTest(const LitmusTest &test, const ModelParams &params,
+                      bool stop_at_first = false);
+
+/** Convenience: just the Allowed/Forbidden verdict. */
+inline bool
+isAllowed(const LitmusTest &test, const ModelParams &params)
+{
+    return checkTest(test, params, true).observable;
+}
+
+} // namespace rex
+
+#endif // REX_AXIOMATIC_CHECKER_HH

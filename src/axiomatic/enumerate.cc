@@ -1,0 +1,278 @@
+#include "axiomatic/enumerate.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace rex {
+
+CandidateEnumerator::CandidateEnumerator(const LitmusTest &test)
+    : _test(test), _domain(test)
+{
+    computeTraces();
+}
+
+void
+CandidateEnumerator::computeTraces()
+{
+    // Grow the read-value domain to fixpoint: every value any store can
+    // write (under the current domain) becomes readable, which can enable
+    // new store values, and so on. Litmus tests converge in a few rounds.
+    bool changed = true;
+    int rounds = 0;
+    while (changed) {
+        if (++rounds > 16)
+            fatal("value-domain fixpoint did not converge: " + _test.name);
+        changed = false;
+        _traces.assign(_test.threads.size(), {});
+        for (std::size_t t = 0; t < _test.threads.size(); ++t) {
+            sem::ThreadExecutor executor(
+                _test, static_cast<ThreadId>(t), _domain);
+            _traces[t] = executor.enumerate();
+            for (const sem::ThreadTrace &trace : _traces[t]) {
+                for (const Event &e : trace.events) {
+                    if (e.isWrite())
+                        changed |= _domain.addLocValue(e.loc, e.value);
+                    if (e.kind == EventKind::GenerateInterrupt)
+                        changed |= _domain.addIntid(e.intid);
+                }
+            }
+        }
+    }
+}
+
+namespace {
+
+/** Generate all permutations of indices [0, n). */
+std::vector<std::vector<std::size_t>>
+allPermutations(std::size_t n)
+{
+    std::vector<std::size_t> base(n);
+    for (std::size_t i = 0; i < n; ++i)
+        base[i] = i;
+    std::vector<std::vector<std::size_t>> out;
+    do {
+        out.push_back(base);
+    } while (std::next_permutation(base.begin(), base.end()));
+    return out;
+}
+
+} // namespace
+
+void
+CandidateEnumerator::visitCombination(
+    const std::vector<const sem::ThreadTrace *> &combo,
+    const std::function<bool(CandidateExecution &)> &visit,
+    bool &keep_going)
+{
+    // ---- Assemble the skeleton: events, po, deps, final state. ----
+    CandidateExecution base;
+    base.locNames = _test.locations;
+    base.numThreads = _test.threads.size();
+
+    // Initial writes first.
+    for (LocationId loc = 0; loc < _test.locations.size(); ++loc) {
+        Event init;
+        init.id = static_cast<EventId>(base.events.size());
+        init.tid = kInitialThread;
+        init.kind = EventKind::WriteMem;
+        init.loc = loc;
+        init.value = _test.initValues[loc];
+        init.initial = true;
+        base.events.push_back(init);
+    }
+
+    std::vector<std::vector<EventId>> global_ids(combo.size());
+    for (std::size_t t = 0; t < combo.size(); ++t) {
+        for (const Event &local : combo[t]->events) {
+            Event e = local;
+            e.id = static_cast<EventId>(base.events.size());
+            global_ids[t].push_back(e.id);
+            base.events.push_back(e);
+        }
+    }
+
+    const std::size_t n = base.events.size();
+    base.po = Relation(n);
+    base.iio = Relation(n);
+    base.addr = Relation(n);
+    base.data = Relation(n);
+    base.ctrl = Relation(n);
+    base.rmw = Relation(n);
+    base.rf = Relation(n);
+    base.co = Relation(n);
+    base.interruptWitness = Relation(n);
+    base.finalRegs.resize(combo.size());
+
+    for (std::size_t t = 0; t < combo.size(); ++t) {
+        const sem::ThreadTrace &trace = *combo[t];
+        const std::vector<EventId> &ids = global_ids[t];
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            for (std::size_t j = i + 1; j < ids.size(); ++j)
+                base.po.add(ids[i], ids[j]);
+        }
+        for (auto [a, b] : trace.addr)
+            base.addr.add(ids[a], ids[b]);
+        for (auto [a, b] : trace.data)
+            base.data.add(ids[a], ids[b]);
+        for (auto [a, b] : trace.ctrl)
+            base.ctrl.add(ids[a], ids[b]);
+        for (auto [a, b] : trace.rmw)
+            base.rmw.add(ids[a], ids[b]);
+        for (auto [a, b] : trace.iio)
+            base.iio.add(ids[a], ids[b]);
+        base.finalRegs[t] = trace.finalRegs;
+        base.constrainedUnpredictable |= trace.constrainedUnpredictable;
+        base.unknownSideEffects |= trace.unknownSideEffects;
+    }
+
+    // ---- Enumerate rf: per read, every same-location same-value write.
+    std::vector<EventId> read_ids;
+    std::vector<std::vector<EventId>> rf_choices;
+    for (const Event &e : base.events) {
+        if (!e.isRead())
+            continue;
+        std::vector<EventId> sources;
+        for (const Event &w : base.events) {
+            if (w.isWrite() && w.loc == e.loc && w.value == e.value)
+                sources.push_back(w.id);
+        }
+        if (sources.empty())
+            return;  // this read's value is written by no one: impossible
+        read_ids.push_back(e.id);
+        rf_choices.push_back(std::move(sources));
+    }
+
+    // ---- Enumerate co: per-location permutations of non-initial writes.
+    std::vector<std::vector<EventId>> loc_writes(_test.locations.size());
+    for (const Event &e : base.events) {
+        if (e.isWrite() && !e.initial)
+            loc_writes[e.loc].push_back(e.id);
+    }
+    std::vector<std::vector<std::vector<std::size_t>>> loc_perms;
+    for (LocationId loc = 0; loc < _test.locations.size(); ++loc)
+        loc_perms.push_back(allPermutations(loc_writes[loc].size()));
+
+    // ---- Enumerate the interrupt witness: SGI-delivered TakeInterrupts
+    // pick a matching GenerateInterrupt.
+    std::vector<EventId> ti_ids;
+    std::vector<std::vector<EventId>> ti_choices;
+    for (const Event &e : base.events) {
+        if (e.kind != EventKind::TakeInterrupt || !e.sgiDelivered)
+            continue;
+        std::vector<EventId> gens;
+        for (const Event &g : base.events) {
+            if (g.kind == EventKind::GenerateInterrupt &&
+                    g.intid == e.intid &&
+                    ((g.targetMask >> e.tid) & 1)) {
+                gens.push_back(g.id);
+            }
+        }
+        if (gens.empty())
+            return;  // interrupt taken but never generated: impossible
+        ti_ids.push_back(e.id);
+        ti_choices.push_back(std::move(gens));
+    }
+
+    // ---- Odometer over all witness choices. ----
+    std::vector<std::size_t> rf_pick(read_ids.size(), 0);
+    std::vector<std::size_t> co_pick(_test.locations.size(), 0);
+    std::vector<std::size_t> ti_pick(ti_ids.size(), 0);
+
+    auto buildAndVisit = [&]() {
+        CandidateExecution cand = base;
+        for (std::size_t r = 0; r < read_ids.size(); ++r)
+            cand.rf.add(rf_choices[r][rf_pick[r]], read_ids[r]);
+        for (LocationId loc = 0; loc < _test.locations.size(); ++loc) {
+            const auto &perm = loc_perms[loc][co_pick[loc]];
+            const auto &writes = loc_writes[loc];
+            // Initial write co-before everything at this location.
+            for (EventId w : writes)
+                cand.co.add(loc, w);  // initial write id == loc
+            for (std::size_t i = 0; i < perm.size(); ++i) {
+                for (std::size_t j = i + 1; j < perm.size(); ++j)
+                    cand.co.add(writes[perm[i]], writes[perm[j]]);
+            }
+        }
+        for (std::size_t i = 0; i < ti_ids.size(); ++i) {
+            cand.interruptWitness.add(ti_choices[i][ti_pick[i]],
+                                      ti_ids[i]);
+        }
+        keep_going = visit(cand);
+    };
+
+    // Nested odometers: rf x co x interrupt.
+    auto advance = [](std::vector<std::size_t> &pick,
+                      const auto &choices) -> bool {
+        for (std::size_t i = 0; i < pick.size(); ++i) {
+            if (++pick[i] < choices[i].size())
+                return true;
+            pick[i] = 0;
+        }
+        return false;
+    };
+
+    // Wrap loc_perms sizes for the generic advance().
+    while (true) {
+        while (true) {
+            while (true) {
+                buildAndVisit();
+                if (!keep_going)
+                    return;
+                if (!advance(ti_pick, ti_choices))
+                    break;
+            }
+            if (!advance(co_pick, loc_perms))
+                break;
+        }
+        if (!advance(rf_pick, rf_choices))
+            break;
+    }
+}
+
+void
+CandidateEnumerator::forEach(
+    const std::function<bool(CandidateExecution &)> &visit)
+{
+    // Odometer over per-thread trace choices.
+    std::vector<std::size_t> pick(_traces.size(), 0);
+    for (const auto &traces : _traces) {
+        if (traces.empty())
+            return;  // a thread has no trace: no candidates
+    }
+
+    bool keep_going = true;
+    while (keep_going) {
+        std::vector<const sem::ThreadTrace *> combo;
+        combo.reserve(_traces.size());
+        for (std::size_t t = 0; t < _traces.size(); ++t)
+            combo.push_back(&_traces[t][pick[t]]);
+        visitCombination(combo, visit, keep_going);
+        if (!keep_going)
+            break;
+
+        bool more = false;
+        for (std::size_t t = 0; t < _traces.size(); ++t) {
+            if (++pick[t] < _traces[t].size()) {
+                more = true;
+                break;
+            }
+            pick[t] = 0;
+        }
+        if (!more)
+            break;
+    }
+}
+
+std::size_t
+CandidateEnumerator::count()
+{
+    std::size_t n = 0;
+    forEach([&](CandidateExecution &) {
+        ++n;
+        return true;
+    });
+    return n;
+}
+
+} // namespace rex

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Candidate-execution enumeration.
+ *
+ * Plays the role of Isla's symbolic candidate generation (§5.1) by
+ * explicit enumeration: per-thread traces are produced by the thread
+ * semantics under a read-value domain grown to fixpoint, then the
+ * existential witnesses (rf, co, interrupt) are enumerated exhaustively.
+ */
+
+#ifndef REX_AXIOMATIC_ENUMERATE_HH
+#define REX_AXIOMATIC_ENUMERATE_HH
+
+#include <functional>
+
+#include "events/candidate.hh"
+#include "litmus/litmus.hh"
+#include "sem/executor.hh"
+
+namespace rex {
+
+/** Enumerates every candidate execution of a litmus test. */
+class CandidateEnumerator
+{
+  public:
+    explicit CandidateEnumerator(const LitmusTest &test);
+
+    /**
+     * Visit every candidate execution (before any model axiom is
+     * applied). The visitor returns false to stop early.
+     */
+    void forEach(const std::function<bool(CandidateExecution &)> &visit);
+
+    /** Number of candidate executions. */
+    std::size_t count();
+
+    /** The fixpoint read-value domain (for diagnostics/tests). */
+    const sem::ValueDomain &domain() const { return _domain; }
+
+    /** The per-thread trace sets (for diagnostics/tests). */
+    const std::vector<std::vector<sem::ThreadTrace>> &traces() const
+    {
+        return _traces;
+    }
+
+  private:
+    void computeTraces();
+    void visitCombination(
+        const std::vector<const sem::ThreadTrace *> &combo,
+        const std::function<bool(CandidateExecution &)> &visit,
+        bool &keep_going);
+
+    const LitmusTest &_test;
+    sem::ValueDomain _domain;
+    std::vector<std::vector<sem::ThreadTrace>> _traces;
+};
+
+} // namespace rex
+
+#endif // REX_AXIOMATIC_ENUMERATE_HH

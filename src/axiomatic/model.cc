@@ -1,0 +1,147 @@
+#include "axiomatic/model.hh"
+
+namespace rex {
+
+ModelRelations
+computeRelations(const CandidateExecution &cand, const ModelParams &params)
+{
+    const std::size_t n = cand.size();
+    ModelRelations m;
+
+    const EventSet reads = cand.reads();
+    const EventSet writes = cand.writes();
+    const EventSet mem = reads | writes;
+    const Relation id_r = Relation::identity(reads);
+    const Relation id_w = Relation::identity(writes);
+    const Relation id_rw = Relation::identity(mem);
+
+    // (* might-be speculatively executed *)
+    m.speculative = cand.ctrl | cand.addr.seq(cand.po);
+    if (params.seaR)
+        m.speculative |= id_r.seq(cand.po);
+    if (params.seaW)
+        m.speculative |= id_w.seq(cand.po);
+
+    // (* context-sync-events *)
+    m.cse = cand.isb();
+    if (params.entryIsCse())
+        m.cse |= cand.takeExceptions();
+    if (params.returnIsCse())
+        m.cse |= cand.erets();
+    // Asynchronous exception entry is exception entry too: when entry is
+    // context-synchronising, TakeInterrupt events are CSEs as well.
+    if (params.entryIsCse())
+        m.cse |= cand.takeInterrupts();
+
+    const EventSet async_set = cand.takeInterrupts();
+
+    // (* observed by *)
+    m.obs = cand.rfe() | cand.fr() | cand.co;
+
+    // (* dependency-ordered-before *)
+    const Relation id_isb = Relation::identity(cand.isb());
+    m.dob = cand.addr | cand.data |
+        m.speculative.seq(id_w) |
+        m.speculative.seq(id_isb) |
+        (cand.addr | cand.data).seq(cand.rfi());
+
+    // (* atomic-ordered-before *)
+    const EventSet acq = cand.acquires() | cand.acquirePcs();
+    m.aob = cand.rmw |
+        Relation::identity(cand.rmw.range())
+            .seq(cand.rfi()).seq(Relation::identity(acq));
+
+    // (* barrier-ordered-before *)
+    const Relation id_dmbld = Relation::identity(cand.dmbLd());
+    const Relation id_dmbst = Relation::identity(cand.dmbSt());
+    const Relation id_l = Relation::identity(cand.releases());
+    const Relation id_a = Relation::identity(cand.acquires());
+    const Relation id_aq = Relation::identity(acq);
+    const Relation id_dsb = Relation::identity(cand.dsb());
+    m.bob = id_r.seq(cand.po).seq(id_dmbld) |
+        id_w.seq(cand.po).seq(id_dmbst) |
+        id_dmbst.seq(cand.po).seq(id_w) |
+        id_dmbld.seq(cand.po).seq(id_rw) |
+        id_l.seq(cand.po).seq(id_a) |
+        id_aq.seq(cand.po).seq(id_rw) |
+        id_rw.seq(cand.po).seq(id_l) |
+        id_dsb.seq(cand.po);
+
+    // (* contextually-ordered-before *)
+    const EventSet msr = cand.msrEvents();
+    const Relation id_msr_cse = Relation::identity(msr | m.cse);
+    const Relation id_msr = Relation::identity(msr);
+    const Relation id_cse = Relation::identity(m.cse);
+    m.ctxob = m.speculative.seq(id_msr_cse) |
+        id_msr.seq(cand.po).seq(id_cse) |
+        id_cse.seq(cand.po);
+
+    // (* async-ordered-before *)
+    const Relation id_async = Relation::identity(async_set);
+    m.asyncob = m.speculative.seq(id_async) | id_async.seq(cand.po);
+
+    // FEAT_ETS2: a barrier before translation faults (§3.3).
+    m.ets2 = Relation(n);
+    if (params.featEts2) {
+        m.ets2 = cand.po.seq(
+            Relation::identity(cand.translationFaults()));
+    }
+
+    // §7.5 GIC draft: the interrupt witness orders generation before
+    // delivery, and DSBs order GIC effects with program order.
+    m.gicob = Relation(n);
+    if (params.gicExtension) {
+        m.gicob |= cand.interruptWitness;
+        // GIC effect (iio-after register access r) before a dsb po-after r.
+        m.gicob |= cand.iio.inverse().seq(cand.po).seq(id_dsb);
+        // dsb before GIC effects of po-later register accesses.
+        m.gicob |= id_dsb.seq(cand.po).seq(cand.iio);
+    }
+
+    // (* Ordered-before *)
+    m.ob = (m.obs | m.dob | m.aob | m.bob | m.ctxob | m.asyncob | m.ets2 |
+            m.gicob).transitiveClosure();
+
+    return m;
+}
+
+ModelResult
+checkConsistent(const CandidateExecution &cand, const ModelParams &params)
+{
+    ModelResult result;
+
+    // Internal visibility requirement: SC per location.
+    Relation internal = cand.poLoc() | cand.fr() | cand.co | cand.rf;
+    if (auto cycle = internal.findCycle()) {
+        result.consistent = false;
+        result.failedAxiom = "internal";
+        result.cycle = std::move(cycle);
+        return result;
+    }
+
+    ModelRelations m = computeRelations(cand, params);
+
+    // External visibility requirement.
+    if (!m.ob.irreflexive()) {
+        result.consistent = false;
+        result.failedAxiom = "external";
+        // Report a cycle of the (pre-closure) union for readability.
+        Relation union_rel = m.obs | m.dob | m.aob | m.bob | m.ctxob |
+            m.asyncob | m.ets2 | m.gicob;
+        result.cycle = union_rel.findCycle();
+        return result;
+    }
+
+    // Atomic: no intervening external write between an exclusive pair.
+    Relation atomic_violation =
+        cand.rmw & cand.fre().seq(cand.coe());
+    if (!atomic_violation.empty()) {
+        result.consistent = false;
+        result.failedAxiom = "atomic";
+        return result;
+    }
+
+    return result;
+}
+
+} // namespace rex

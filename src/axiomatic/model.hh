@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The Arm-A exceptions axiomatic model (Figure 9), implemented natively.
+ *
+ * This is a faithful transcription of the paper's cat model into relation
+ * algebra, with two documented additions:
+ *  - the FEAT_ETS2 clause (§3.3): `po; [TF]` is ordered-before, giving
+ *    translation faults a barrier from program-order-earlier instances;
+ *  - the §7.5 GIC draft clauses: the `interrupt` witness edge is in ob,
+ *    and DSBs order GIC effect events (which are iio-after their register
+ *    accesses) with program-order.
+ *
+ * The same model ships as `models/aarch64-exceptions.cat` for the cat
+ * interpreter; tests assert that both implementations agree on every
+ * built-in litmus test.
+ */
+
+#ifndef REX_AXIOMATIC_MODEL_HH
+#define REX_AXIOMATIC_MODEL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axiomatic/params.hh"
+#include "events/candidate.hh"
+
+namespace rex {
+
+/** Outcome of checking one candidate against the model. */
+struct ModelResult {
+    /** True when every axiom holds. */
+    bool consistent = true;
+
+    /** Name of the first failed axiom ("internal", "external",
+     *  "atomic"), empty when consistent. */
+    std::string failedAxiom;
+
+    /** The cycle witnessing an acyclicity/irreflexivity failure. */
+    std::optional<std::vector<EventId>> cycle;
+};
+
+/** All derived relations of the model, exposed for tests/diagnostics. */
+struct ModelRelations {
+    Relation speculative;
+    EventSet cse;
+    Relation obs;
+    Relation dob;
+    Relation aob;
+    Relation bob;
+    Relation ctxob;
+    Relation asyncob;
+    Relation ets2;
+    Relation gicob;
+    Relation ob;
+};
+
+/** Compute all derived relations for @p candidate under @p params. */
+ModelRelations computeRelations(const CandidateExecution &candidate,
+                                const ModelParams &params);
+
+/** Check the three axioms of the model. */
+ModelResult checkConsistent(const CandidateExecution &candidate,
+                            const ModelParams &params);
+
+} // namespace rex
+
+#endif // REX_AXIOMATIC_MODEL_HH

@@ -1,0 +1,109 @@
+#include "axiomatic/params.hh"
+
+#include "base/logging.hh"
+
+namespace rex {
+
+ModelParams
+ModelParams::base()
+{
+    return ModelParams{};
+}
+
+ModelParams
+ModelParams::exs()
+{
+    ModelParams p;
+    p.featExS = true;
+    p.eis = false;
+    p.eos = false;
+    return p;
+}
+
+ModelParams
+ModelParams::seaReads()
+{
+    ModelParams p;
+    p.seaR = true;
+    return p;
+}
+
+ModelParams
+ModelParams::seaWrites()
+{
+    ModelParams p;
+    p.seaW = true;
+    return p;
+}
+
+ModelParams
+ModelParams::seaBoth()
+{
+    ModelParams p;
+    p.seaR = true;
+    p.seaW = true;
+    return p;
+}
+
+ModelParams
+ModelParams::byName(const std::string &name)
+{
+    if (name == "base")
+        return base();
+    if (name == "ExS")
+        return exs();
+    if (name == "SEA_R")
+        return seaReads();
+    if (name == "SEA_W")
+        return seaWrites();
+    if (name == "SEA_RW" || name == "SEA_R+W")
+        return seaBoth();
+    if (name == "ExS_EIS0") {
+        // Entry not context-synchronising; return still is.
+        ModelParams p;
+        p.featExS = true;
+        p.eis = false;
+        return p;
+    }
+    if (name == "ExS_EOS0") {
+        // Return not context-synchronising; entry still is.
+        ModelParams p;
+        p.featExS = true;
+        p.eos = false;
+        return p;
+    }
+    if (name == "noETS2") {
+        ModelParams p;
+        p.featEts2 = false;
+        return p;
+    }
+    fatal("unknown model variant '" + name + "'");
+}
+
+std::vector<ModelParams>
+ModelParams::paperVariants()
+{
+    return {base(), exs(), seaReads(), seaWrites(), seaBoth()};
+}
+
+std::string
+ModelParams::name() const
+{
+    if (featExS && !eis && !eos)
+        return "ExS";
+    if (featExS && !eis)
+        return "ExS_EIS0";
+    if (featExS && !eos)
+        return "ExS_EOS0";
+    if (!featEts2)
+        return "noETS2";
+    if (seaR && seaW)
+        return "SEA_RW";
+    if (seaR)
+        return "SEA_R";
+    if (seaW)
+        return "SEA_W";
+    return "base";
+}
+
+} // namespace rex

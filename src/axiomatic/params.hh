@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Model parameters: the two axes of §5 plus FEAT_ETS2 and the GIC draft.
+ */
+
+#ifndef REX_AXIOMATIC_PARAMS_HH
+#define REX_AXIOMATIC_PARAMS_HH
+
+#include <string>
+#include <vector>
+
+namespace rex {
+
+/**
+ * Parameters of the Arm-A exceptions model (Figure 9).
+ *
+ * - FEAT_ExS with EIS/EOS cleared disables context synchronisation on
+ *   exception entry/return (§3.5); we fix the fields as variants, as the
+ *   paper does (no runtime SCTLR changes).
+ * - SEA_R / SEA_W select the implementation-defined choice of whether
+ *   loads / stores may generate synchronous external aborts (§4), making
+ *   program-order-later instructions speculative until the access
+ *   completes.
+ * - FEAT_ETS2 (§3.3) adds a barrier before translation faults; mandatory
+ *   from Armv8.8-A, so on by default.
+ * - gicExtension enables the §7.5 draft clauses (interrupt witness and
+ *   DSB ordering of GIC effects).
+ */
+struct ModelParams {
+    bool featExS = false;
+    bool eis = true;   //!< SCTLR_ELx.EIS: exception entry is context-sync
+    bool eos = true;   //!< SCTLR_ELx.EOS: exception return is context-sync
+    bool seaR = false; //!< loads may report synchronous external aborts
+    bool seaW = false; //!< stores may report synchronous external aborts
+    bool featEts2 = true;
+    bool gicExtension = true;
+
+    /** Baseline: no ExS, no SEAs, ETS2 on. */
+    static ModelParams base();
+
+    /** FEAT_ExS with EIS=EOS=0 (the paper's "ExS" column). */
+    static ModelParams exs();
+
+    /** SEA on reads ("SEA_R" column). */
+    static ModelParams seaReads();
+
+    /** SEA on writes ("SEA_W" column). */
+    static ModelParams seaWrites();
+
+    /** SEA on both ("SEA_R+W" column). */
+    static ModelParams seaBoth();
+
+    /** Look up a variant by the names used in litmus `variant` lines:
+     *  "base", "ExS", "SEA_R", "SEA_W", "SEA_RW". */
+    static ModelParams byName(const std::string &name);
+
+    /** The paper's four param-refs columns plus baseline. */
+    static std::vector<ModelParams> paperVariants();
+
+    /** Short display name ("base", "ExS", "SEA_R", ...). */
+    std::string name() const;
+
+    /** Is exception entry context-synchronising under these params? */
+    bool entryIsCse() const { return !(featExS && !eis); }
+
+    /** Is exception return context-synchronising? */
+    bool returnIsCse() const { return !(featExS && !eos); }
+};
+
+} // namespace rex
+
+#endif // REX_AXIOMATIC_PARAMS_HH

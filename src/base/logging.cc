@@ -1,0 +1,71 @@
+#include "base/logging.hh"
+
+#include <iostream>
+
+namespace rex {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::Warn;
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug: ";
+      case LogLevel::Info:  return "info: ";
+      case LogLevel::Warn:  return "warn: ";
+      case LogLevel::Error: return "error: ";
+    }
+    return "?: ";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_threshold))
+        return;
+    std::cerr << levelPrefix(level) << msg << "\n";
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "fatal: " + msg);
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "panic: " + msg);
+    throw PanicError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage(LogLevel::Info, msg);
+}
+
+} // namespace rex

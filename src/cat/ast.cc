@@ -1,0 +1,42 @@
+#include "cat/ast.hh"
+
+namespace rex::cat {
+
+std::string
+Expr::toString() const
+{
+    switch (kind) {
+      case Kind::Name:
+        return name;
+      case Kind::Zero:
+        return "0";
+      case Kind::Union:
+        return "(" + lhs->toString() + " | " + rhs->toString() + ")";
+      case Kind::Inter:
+        return "(" + lhs->toString() + " & " + rhs->toString() + ")";
+      case Kind::Diff:
+        return "(" + lhs->toString() + " \\ " + rhs->toString() + ")";
+      case Kind::Seq:
+        return "(" + lhs->toString() + "; " + rhs->toString() + ")";
+      case Kind::Closure:
+        return lhs->toString() + "+";
+      case Kind::RtClosure:
+        return lhs->toString() + "*";
+      case Kind::Optional:
+        return lhs->toString() + "?";
+      case Kind::Inverse:
+        return lhs->toString() + "^-1";
+      case Kind::Complement:
+        return "~" + lhs->toString();
+      case Kind::Bracket:
+        return "[" + lhs->toString() + "]";
+      case Kind::If:
+        return "(if ... then " + lhs->toString() + " else " +
+            rhs->toString() + ")";
+      case Kind::App:
+        return name + "(" + lhs->toString() + ")";
+    }
+    return "?";
+}
+
+} // namespace rex::cat

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * AST for the cat subset: expressions over relations and event sets,
+ * flag conditions, let-bindings, includes, and axiom checks.
+ */
+
+#ifndef REX_CAT_AST_HH
+#define REX_CAT_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rex::cat {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Flag condition of an `if "FLAG" ...` expression. */
+struct FlagCond {
+    enum class Kind { Flag, Not, And, Or };
+    Kind kind = Kind::Flag;
+    std::string flag;                        //!< for Kind::Flag
+    std::unique_ptr<FlagCond> lhs, rhs;      //!< for Not (lhs) / And / Or
+};
+using FlagCondPtr = std::unique_ptr<FlagCond>;
+
+/** Expression node. */
+struct Expr {
+    enum class Kind {
+        Name,        //!< identifier
+        Zero,        //!< polymorphic empty
+        Union,       //!< a | b
+        Inter,       //!< a & b
+        Diff,        //!< a \ b
+        Seq,         //!< a ; b
+        Closure,     //!< a+
+        RtClosure,   //!< a*
+        Optional,    //!< a?
+        Inverse,     //!< a^-1
+        Complement,  //!< ~a
+        Bracket,     //!< [S]
+        If,          //!< if cond then a else b
+        App,         //!< fn(a): range(), domain()
+    };
+
+    Kind kind = Kind::Zero;
+    std::string name;         //!< Name / App function name
+    ExprPtr lhs, rhs;         //!< operands
+    FlagCondPtr cond;         //!< If condition
+    int line = 0;
+
+    /** Render back to cat-ish syntax for diagnostics. */
+    std::string toString() const;
+};
+
+/** Top-level statement. */
+struct Statement {
+    enum class Kind {
+        Let,
+        Check,
+        Include,
+        Show,   //!< herd display directive (ignored)
+        Flag,   //!< herd 'flag ~empty e as name' diagnostic
+    };
+
+    /** Axiom-check flavour. */
+    enum class CheckKind { Acyclic, Irreflexive, Empty };
+
+    Kind kind = Kind::Let;
+
+    // Let: possibly several `and`-joined bindings.
+    std::vector<std::pair<std::string, ExprPtr>> bindings;
+
+    /** 'let rec': the bindings are evaluated to a least fixpoint. */
+    bool recursive = false;
+
+    // Check:
+    CheckKind check = CheckKind::Acyclic;
+    ExprPtr checkExpr;
+    std::string checkName;
+
+    // Include:
+    std::string includePath;
+
+    // Flag:
+    bool flagNegated = false;
+
+    int line = 0;
+};
+
+/** A parsed cat file. */
+struct CatFile {
+    std::string modelName;
+    std::vector<Statement> statements;
+};
+
+} // namespace rex::cat
+
+#endif // REX_CAT_AST_HH

@@ -1,0 +1,118 @@
+#include "cat/catmodel.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "cat/parser.hh"
+
+namespace rex::cat {
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open cat file '" + path + "'");
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string
+dirnameOf(const std::string &path)
+{
+    auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+std::map<std::string, bool>
+flagsFor(const ModelParams &params)
+{
+    return {
+        {"FEAT_ExS", params.featExS},
+        {"EIS", params.eis},
+        {"EOS", params.eos},
+        {"SEA_R", params.seaR},
+        {"SEA_W", params.seaW},
+        {"FEAT_ETS2", params.featEts2},
+        {"GIC", params.gicExtension},
+    };
+}
+
+std::string
+modelDir()
+{
+#ifdef REX_MODEL_DIR
+    return REX_MODEL_DIR;
+#else
+    return "models";
+#endif
+}
+
+std::string
+defaultModelPath()
+{
+    return modelDir() + "/aarch64-exceptions.cat";
+}
+
+CatModel
+CatModel::loadFile(const std::string &path)
+{
+    return fromSource(readFile(path), dirnameOf(path));
+}
+
+CatModel
+CatModel::fromSource(const std::string &source,
+                     const std::string &include_dir)
+{
+    CatModel model;
+    model._file = parseCat(source);
+    model._includeDir = include_dir;
+    return model;
+}
+
+const CatModel &
+CatModel::shipped()
+{
+    static const CatModel *model =
+        new CatModel(loadFile(defaultModelPath()));
+    return *model;
+}
+
+EvalResult
+CatModel::evaluate(const CandidateExecution &candidate,
+                   const ModelParams &params) const
+{
+    std::string dir = _includeDir;
+    IncludeResolver resolver = [dir](const std::string &name) {
+        return readFile(dir + "/" + name);
+    };
+    Evaluator evaluator(candidate, flagsFor(params), resolver);
+    return evaluator.evaluateFile(_file);
+}
+
+ModelResult
+CatModel::check(const CandidateExecution &candidate,
+                const ModelParams &params) const
+{
+    EvalResult eval_result = evaluate(candidate, params);
+    ModelResult result;
+    result.consistent = eval_result.consistent;
+    for (const CheckOutcome &outcome : eval_result.checks) {
+        if (!outcome.passed) {
+            result.failedAxiom = outcome.name;
+            result.cycle = outcome.cycle;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace rex::cat

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * CatModel: a memory model loaded from a .cat file, usable as a drop-in
+ * alternative to the native model of src/axiomatic/model.hh.
+ *
+ * The repository ships the paper's Figure 9 model as
+ * models/aarch64-exceptions.cat (with its cos.cat / arm-common.cat
+ * includes); tests cross-validate it against the native implementation
+ * over the entire litmus library.
+ */
+
+#ifndef REX_CAT_CATMODEL_HH
+#define REX_CAT_CATMODEL_HH
+
+#include <map>
+#include <string>
+
+#include "axiomatic/model.hh"
+#include "axiomatic/params.hh"
+#include "cat/ast.hh"
+#include "cat/eval.hh"
+
+namespace rex::cat {
+
+/** The flag assignment a ModelParams induces for cat evaluation. */
+std::map<std::string, bool> flagsFor(const ModelParams &params);
+
+/** Directory holding the shipped .cat files. */
+std::string modelDir();
+
+/** Path of the shipped exceptions model. */
+std::string defaultModelPath();
+
+/** A parsed cat model bound to an include directory. */
+class CatModel
+{
+  public:
+    /** Load from a file; includes resolve relative to the file's dir. */
+    static CatModel loadFile(const std::string &path);
+
+    /** Parse from source; includes resolve in @p include_dir. */
+    static CatModel fromSource(const std::string &source,
+                               const std::string &include_dir);
+
+    /** The shipped aarch64-exceptions.cat. */
+    static const CatModel &shipped();
+
+    /** Model name from the leading string of the file. */
+    const std::string &name() const { return _file.modelName; }
+
+    /**
+     * Check one candidate, producing the same ModelResult shape as the
+     * native checkConsistent (failedAxiom = first failed check's name).
+     */
+    ModelResult check(const CandidateExecution &candidate,
+                      const ModelParams &params) const;
+
+    /** Raw evaluation with all check outcomes. */
+    EvalResult evaluate(const CandidateExecution &candidate,
+                        const ModelParams &params) const;
+
+  private:
+    CatFile _file;
+    std::string _includeDir;
+};
+
+} // namespace rex::cat
+
+#endif // REX_CAT_CATMODEL_HH

@@ -1,0 +1,168 @@
+#include "cat/lexer.hh"
+
+#include <cctype>
+
+#include "base/logging.hh"
+
+namespace rex::cat {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '.' || c == '-';
+}
+
+TokKind
+keywordKind(const std::string &word)
+{
+    if (word == "let")
+        return TokKind::KwLet;
+    if (word == "include")
+        return TokKind::KwInclude;
+    if (word == "acyclic")
+        return TokKind::KwAcyclic;
+    if (word == "irreflexive")
+        return TokKind::KwIrreflexive;
+    if (word == "empty")
+        return TokKind::KwEmpty;
+    if (word == "as")
+        return TokKind::KwAs;
+    if (word == "if")
+        return TokKind::KwIf;
+    if (word == "then")
+        return TokKind::KwThen;
+    if (word == "else")
+        return TokKind::KwElse;
+    if (word == "and")
+        return TokKind::KwAnd;
+    if (word == "rec")
+        return TokKind::KwRec;
+    if (word == "show")
+        return TokKind::KwShow;
+    if (word == "unshow")
+        return TokKind::KwUnshow;
+    if (word == "flag")
+        return TokKind::KwFlag;
+    return TokKind::Ident;
+}
+
+} // namespace
+
+std::vector<Tok>
+tokenize(const std::string &source)
+{
+    std::vector<Tok> tokens;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto push = [&](TokKind kind, std::string text = "") {
+        tokens.push_back({kind, std::move(text), line});
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // (* nested comments *)
+        if (c == '(' && i + 1 < n && source[i + 1] == '*') {
+            int depth = 1;
+            i += 2;
+            while (i < n && depth > 0) {
+                if (source[i] == '\n')
+                    ++line;
+                if (source[i] == '(' && i + 1 < n && source[i + 1] == '*') {
+                    ++depth;
+                    i += 2;
+                } else if (source[i] == '*' && i + 1 < n &&
+                           source[i + 1] == ')') {
+                    --depth;
+                    i += 2;
+                } else {
+                    ++i;
+                }
+            }
+            if (depth > 0)
+                fatal("unterminated cat comment");
+            continue;
+        }
+        // // line comments
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '"') {
+            std::size_t start = ++i;
+            while (i < n && source[i] != '"')
+                ++i;
+            if (i >= n)
+                fatal("unterminated string in cat source");
+            push(TokKind::String, source.substr(start, i - start));
+            ++i;
+            continue;
+        }
+        if (c == '0' && (i + 1 >= n || !isIdentChar(source[i + 1]))) {
+            push(TokKind::Zero);
+            ++i;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t start = i;
+            while (i < n && isIdentChar(source[i]))
+                ++i;
+            std::string word = source.substr(start, i - start);
+            // Identifiers may contain '-', but a trailing '-' belongs to
+            // the next token (e.g. in "a -b" there is no such case in
+            // practice; cat names like po-loc keep theirs).
+            push(keywordKind(word), word);
+            continue;
+        }
+        switch (c) {
+          case '|': push(TokKind::Pipe); ++i; continue;
+          case '&': push(TokKind::Amp); ++i; continue;
+          case ';': push(TokKind::Semi); ++i; continue;
+          case '\\': push(TokKind::Backslash); ++i; continue;
+          case '+': push(TokKind::Plus); ++i; continue;
+          case '*': push(TokKind::Star); ++i; continue;
+          case '?': push(TokKind::Question); ++i; continue;
+          case '~': push(TokKind::Tilde); ++i; continue;
+          case '=': push(TokKind::Equals); ++i; continue;
+          case '(': push(TokKind::LParen); ++i; continue;
+          case ')': push(TokKind::RParen); ++i; continue;
+          case '[': push(TokKind::LBracket); ++i; continue;
+          case ']': push(TokKind::RBracket); ++i; continue;
+          case ',': push(TokKind::Comma); ++i; continue;
+          case '^':
+            if (i + 2 < n && source[i + 1] == '-' && source[i + 2] == '1') {
+                push(TokKind::Inverse);
+                i += 3;
+                continue;
+            }
+            fatal("bad '^' operator in cat source (expected ^-1)");
+          default:
+            fatal(std::string("unexpected character '") + c +
+                  "' in cat source at line " + std::to_string(line));
+        }
+    }
+    push(TokKind::End);
+    return tokens;
+}
+
+} // namespace rex::cat

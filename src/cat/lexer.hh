@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lexer for the `cat` memory-model language subset used by the paper's
+ * Figure 9 model (herdtools-compatible syntax).
+ */
+
+#ifndef REX_CAT_LEXER_HH
+#define REX_CAT_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rex::cat {
+
+/** Token kinds of the cat subset. */
+enum class TokKind : std::uint8_t {
+    Ident,       //!< identifier (may contain '-', '.', '_')
+    String,      //!< "flag name" or include path
+    KwLet,
+    KwInclude,
+    KwAcyclic,
+    KwIrreflexive,
+    KwEmpty,
+    KwAs,
+    KwIf,
+    KwThen,
+    KwElse,
+    KwAnd,       //!< 'and' joining mutually recursive lets
+    KwRec,       //!< 'let rec'
+    KwShow,      //!< herd display directives (accepted, ignored)
+    KwUnshow,
+    KwFlag,      //!< 'flag <check> expr as name'
+    Zero,        //!< the polymorphic empty value '0'
+    Pipe,        //!< '|'
+    Amp,         //!< '&'
+    Semi,        //!< ';'
+    Backslash,   //!< '\' (difference)
+    Plus,        //!< '+'
+    Star,        //!< '*'
+    Question,    //!< '?'
+    Tilde,       //!< '~'
+    Equals,      //!< '='
+    Inverse,     //!< '^-1'
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,       //!< only in show/unshow lists
+    End,
+};
+
+/** One token, with its source line for error reporting. */
+struct Tok {
+    TokKind kind = TokKind::End;
+    std::string text;
+    int line = 0;
+};
+
+/**
+ * Tokenise a cat source text. Handles (* ... *) comments (nested) and
+ * // line comments.
+ * @throws FatalError on lexical errors.
+ */
+std::vector<Tok> tokenize(const std::string &source);
+
+} // namespace rex::cat
+
+#endif // REX_CAT_LEXER_HH

@@ -1,0 +1,363 @@
+#include "cat/parser.hh"
+
+#include "base/logging.hh"
+#include "cat/lexer.hh"
+
+namespace rex::cat {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+        : _tokens(tokenize(source))
+    {}
+
+    CatFile
+    parseFile()
+    {
+        CatFile file;
+        // Optional leading string: the model name.
+        if (peek().kind == TokKind::String) {
+            file.modelName = next().text;
+        }
+        while (peek().kind != TokKind::End)
+            file.statements.push_back(parseStatement());
+        return file;
+    }
+
+  private:
+    const Tok &peek(std::size_t ahead = 0) const
+    {
+        std::size_t index = _pos + ahead;
+        if (index >= _tokens.size())
+            index = _tokens.size() - 1;
+        return _tokens[index];
+    }
+
+    const Tok &
+    next()
+    {
+        const Tok &t = _tokens[_pos];
+        if (t.kind != TokKind::End)
+            ++_pos;
+        return t;
+    }
+
+    bool
+    tryConsume(TokKind kind)
+    {
+        if (peek().kind == kind) {
+            next();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(TokKind kind, const char *what)
+    {
+        if (!tryConsume(kind))
+            fail(std::string("expected ") + what);
+    }
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        fatal("cat parse error at line " + std::to_string(peek().line) +
+              ": " + why + " (got '" + peek().text + "')");
+    }
+
+    Statement
+    parseStatement()
+    {
+        Statement stmt;
+        stmt.line = peek().line;
+        switch (peek().kind) {
+          case TokKind::KwShow:
+          case TokKind::KwUnshow: {
+            // herd display directives: accept "show expr (as name)?"
+            // with comma-separated items, and ignore them.
+            next();
+            do {
+                parseExpr();
+                if (tryConsume(TokKind::KwAs)) {
+                    if (peek().kind != TokKind::Ident)
+                        fail("expected name after 'as'");
+                    next();
+                }
+            } while (tryConsume(TokKind::Comma));
+            stmt.kind = Statement::Kind::Show;
+            return stmt;
+          }
+          case TokKind::KwFlag: {
+            // "flag ~empty expr as name": a herd diagnostic check; we
+            // evaluate it like 'empty' but only warn (never fail).
+            next();
+            bool negated = tryConsume(TokKind::Tilde);
+            if (peek().kind != TokKind::KwEmpty)
+                fail("expected 'empty' after 'flag'");
+            next();
+            stmt.kind = Statement::Kind::Flag;
+            stmt.flagNegated = negated;
+            stmt.checkExpr = parseExpr();
+            if (tryConsume(TokKind::KwAs)) {
+                if (peek().kind != TokKind::Ident)
+                    fail("expected name after 'as'");
+                stmt.checkName = next().text;
+            }
+            return stmt;
+          }
+          case TokKind::KwInclude: {
+            next();
+            if (peek().kind != TokKind::String)
+                fail("expected include path string");
+            stmt.kind = Statement::Kind::Include;
+            stmt.includePath = next().text;
+            return stmt;
+          }
+          case TokKind::KwLet: {
+            next();
+            stmt.kind = Statement::Kind::Let;
+            stmt.recursive = tryConsume(TokKind::KwRec);
+            do {
+                if (peek().kind != TokKind::Ident)
+                    fail("expected binding name");
+                std::string name = next().text;
+                expect(TokKind::Equals, "'='");
+                stmt.bindings.emplace_back(name, parseExpr());
+            } while (tryConsume(TokKind::KwAnd));
+            return stmt;
+          }
+          case TokKind::KwAcyclic:
+          case TokKind::KwIrreflexive:
+          case TokKind::KwEmpty: {
+            TokKind kw = next().kind;
+            stmt.kind = Statement::Kind::Check;
+            stmt.check = kw == TokKind::KwAcyclic
+                ? Statement::CheckKind::Acyclic
+                : kw == TokKind::KwIrreflexive
+                    ? Statement::CheckKind::Irreflexive
+                    : Statement::CheckKind::Empty;
+            stmt.checkExpr = parseExpr();
+            if (tryConsume(TokKind::KwAs)) {
+                if (peek().kind != TokKind::Ident)
+                    fail("expected check name after 'as'");
+                stmt.checkName = next().text;
+            }
+            return stmt;
+          }
+          default:
+            fail("expected statement");
+        }
+    }
+
+    // expr := diffExpr ('|' diffExpr)*
+    ExprPtr
+    parseExpr()
+    {
+        ExprPtr lhs = parseDiff();
+        while (tryConsume(TokKind::Pipe)) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Union;
+            node->line = peek().line;
+            node->lhs = std::move(lhs);
+            node->rhs = parseDiff();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    // diffExpr := interExpr ('\' interExpr)*
+    ExprPtr
+    parseDiff()
+    {
+        ExprPtr lhs = parseInter();
+        while (tryConsume(TokKind::Backslash)) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Diff;
+            node->line = peek().line;
+            node->lhs = std::move(lhs);
+            node->rhs = parseInter();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    // interExpr := seqExpr ('&' seqExpr)*
+    ExprPtr
+    parseInter()
+    {
+        ExprPtr lhs = parseSeq();
+        while (tryConsume(TokKind::Amp)) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Inter;
+            node->line = peek().line;
+            node->lhs = std::move(lhs);
+            node->rhs = parseSeq();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    // seqExpr := unary (';' unary)*
+    ExprPtr
+    parseSeq()
+    {
+        ExprPtr lhs = parseUnary();
+        while (tryConsume(TokKind::Semi)) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Seq;
+            node->line = peek().line;
+            node->lhs = std::move(lhs);
+            node->rhs = parseUnary();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (tryConsume(TokKind::Tilde)) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Complement;
+            node->line = peek().line;
+            node->lhs = parseUnary();
+            return node;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr expr = parseAtom();
+        while (true) {
+            Expr::Kind kind;
+            if (tryConsume(TokKind::Plus)) {
+                kind = Expr::Kind::Closure;
+            } else if (tryConsume(TokKind::Star)) {
+                kind = Expr::Kind::RtClosure;
+            } else if (tryConsume(TokKind::Question)) {
+                kind = Expr::Kind::Optional;
+            } else if (tryConsume(TokKind::Inverse)) {
+                kind = Expr::Kind::Inverse;
+            } else {
+                break;
+            }
+            auto node = std::make_unique<Expr>();
+            node->kind = kind;
+            node->line = peek().line;
+            node->lhs = std::move(expr);
+            expr = std::move(node);
+        }
+        return expr;
+    }
+
+    // Flag conditions: atom := String | ~atom | (cond);
+    // cond := atom (('&' | '|') atom)*
+    FlagCondPtr
+    parseFlagAtom()
+    {
+        if (tryConsume(TokKind::Tilde)) {
+            auto node = std::make_unique<FlagCond>();
+            node->kind = FlagCond::Kind::Not;
+            node->lhs = parseFlagAtom();
+            return node;
+        }
+        if (tryConsume(TokKind::LParen)) {
+            FlagCondPtr inner = parseFlagCond();
+            expect(TokKind::RParen, "')'");
+            return inner;
+        }
+        if (peek().kind != TokKind::String)
+            fail("expected flag string in condition");
+        auto node = std::make_unique<FlagCond>();
+        node->kind = FlagCond::Kind::Flag;
+        node->flag = next().text;
+        return node;
+    }
+
+    FlagCondPtr
+    parseFlagCond()
+    {
+        FlagCondPtr lhs = parseFlagAtom();
+        while (peek().kind == TokKind::Amp ||
+               peek().kind == TokKind::Pipe) {
+            bool is_and = next().kind == TokKind::Amp;
+            auto node = std::make_unique<FlagCond>();
+            node->kind = is_and ? FlagCond::Kind::And : FlagCond::Kind::Or;
+            node->lhs = std::move(lhs);
+            node->rhs = parseFlagAtom();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAtom()
+    {
+        auto node = std::make_unique<Expr>();
+        node->line = peek().line;
+        switch (peek().kind) {
+          case TokKind::Zero:
+            next();
+            node->kind = Expr::Kind::Zero;
+            return node;
+          case TokKind::LParen: {
+            next();
+            ExprPtr inner = parseExpr();
+            expect(TokKind::RParen, "')'");
+            return inner;
+          }
+          case TokKind::LBracket: {
+            next();
+            node->kind = Expr::Kind::Bracket;
+            node->lhs = parseExpr();
+            expect(TokKind::RBracket, "']'");
+            return node;
+          }
+          case TokKind::KwIf: {
+            next();
+            node->kind = Expr::Kind::If;
+            node->cond = parseFlagCond();
+            expect(TokKind::KwThen, "'then'");
+            node->lhs = parseSeq();
+            expect(TokKind::KwElse, "'else'");
+            node->rhs = parseSeq();
+            return node;
+          }
+          case TokKind::Ident: {
+            std::string name = next().text;
+            if (tryConsume(TokKind::LParen)) {
+                node->kind = Expr::Kind::App;
+                node->name = name;
+                node->lhs = parseExpr();
+                expect(TokKind::RParen, "')'");
+                return node;
+            }
+            node->kind = Expr::Kind::Name;
+            node->name = name;
+            return node;
+          }
+          default:
+            fail("expected expression");
+        }
+    }
+
+    std::vector<Tok> _tokens;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+CatFile
+parseCat(const std::string &source)
+{
+    Parser parser(source);
+    return parser.parseFile();
+}
+
+} // namespace rex::cat

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Recursive-descent parser for the cat subset.
+ *
+ * Operator precedence (loosest to tightest): `|`, `\`, `&`, `;`, then
+ * postfix `+ * ? ^-1`, prefix `~`, and atoms. The branches of
+ * `if ... then ... else ...` parse at `;` level, so a union continues
+ * *after* the conditional (as Figure 9's layout intends); parenthesise a
+ * branch to put a union inside it.
+ */
+
+#ifndef REX_CAT_PARSER_HH
+#define REX_CAT_PARSER_HH
+
+#include <string>
+
+#include "cat/ast.hh"
+
+namespace rex::cat {
+
+/**
+ * Parse a cat source text.
+ * @throws FatalError on syntax errors.
+ */
+CatFile parseCat(const std::string &source);
+
+} // namespace rex::cat
+
+#endif // REX_CAT_PARSER_HH

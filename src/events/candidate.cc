@@ -1,0 +1,378 @@
+#include "events/candidate.hh"
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace rex {
+
+EventSet
+CandidateExecution::allEvents() const
+{
+    return EventSet::universe(size());
+}
+
+EventSet
+CandidateExecution::eventsOfKind(EventKind kind) const
+{
+    EventSet set(size());
+    for (const Event &e : events) {
+        if (e.kind == kind)
+            set.insert(e.id);
+    }
+    return set;
+}
+
+EventSet
+CandidateExecution::reads() const
+{
+    return eventsOfKind(EventKind::ReadMem);
+}
+
+EventSet
+CandidateExecution::writes() const
+{
+    return eventsOfKind(EventKind::WriteMem);
+}
+
+EventSet
+CandidateExecution::initialWrites() const
+{
+    EventSet set(size());
+    for (const Event &e : events) {
+        if (e.isWrite() && e.initial)
+            set.insert(e.id);
+    }
+    return set;
+}
+
+EventSet
+CandidateExecution::acquires() const
+{
+    EventSet set(size());
+    for (const Event &e : events) {
+        if (e.isRead() && e.flags.acquire)
+            set.insert(e.id);
+    }
+    return set;
+}
+
+EventSet
+CandidateExecution::acquirePcs() const
+{
+    EventSet set(size());
+    for (const Event &e : events) {
+        if (e.isRead() && e.flags.acquirePc)
+            set.insert(e.id);
+    }
+    return set;
+}
+
+EventSet
+CandidateExecution::releases() const
+{
+    EventSet set(size());
+    for (const Event &e : events) {
+        if (e.isWrite() && e.flags.release)
+            set.insert(e.id);
+    }
+    return set;
+}
+
+EventSet
+CandidateExecution::barriersOf(BarrierKind kind) const
+{
+    EventSet set(size());
+    for (const Event &e : events) {
+        if (e.isBarrier() && e.barrier == kind)
+            set.insert(e.id);
+    }
+    return set;
+}
+
+EventSet
+CandidateExecution::dmbLd() const
+{
+    return barriersOf(BarrierKind::DmbLd) | barriersOf(BarrierKind::DmbSy) |
+        barriersOf(BarrierKind::DsbLd) | barriersOf(BarrierKind::DsbSy);
+}
+
+EventSet
+CandidateExecution::dmbSt() const
+{
+    return barriersOf(BarrierKind::DmbSt) | barriersOf(BarrierKind::DmbSy) |
+        barriersOf(BarrierKind::DsbSt) | barriersOf(BarrierKind::DsbSy);
+}
+
+EventSet
+CandidateExecution::dsb() const
+{
+    return barriersOf(BarrierKind::DsbLd) | barriersOf(BarrierKind::DsbSt) |
+        barriersOf(BarrierKind::DsbSy);
+}
+
+EventSet
+CandidateExecution::isb() const
+{
+    return barriersOf(BarrierKind::Isb);
+}
+
+EventSet
+CandidateExecution::takeExceptions() const
+{
+    return eventsOfKind(EventKind::TakeException);
+}
+
+EventSet
+CandidateExecution::translationFaults() const
+{
+    EventSet set(size());
+    for (const Event &e : events) {
+        if (e.kind == EventKind::TakeException &&
+                e.exceptionClass == ExceptionClass::DataAbortTranslation) {
+            set.insert(e.id);
+        }
+    }
+    return set;
+}
+
+EventSet
+CandidateExecution::erets() const
+{
+    return eventsOfKind(EventKind::ExceptionReturn);
+}
+
+EventSet
+CandidateExecution::mrsEvents() const
+{
+    return eventsOfKind(EventKind::ReadSysreg);
+}
+
+EventSet
+CandidateExecution::msrEvents() const
+{
+    return eventsOfKind(EventKind::WriteSysreg);
+}
+
+EventSet
+CandidateExecution::takeInterrupts() const
+{
+    return eventsOfKind(EventKind::TakeInterrupt);
+}
+
+EventSet
+CandidateExecution::gicEvents() const
+{
+    EventSet set(size());
+    for (const Event &e : events) {
+        if (e.isGicEvent())
+            set.insert(e.id);
+    }
+    return set;
+}
+
+Relation
+CandidateExecution::sameLoc() const
+{
+    Relation rel(size());
+    for (const Event &a : events) {
+        if (!a.isMemory())
+            continue;
+        for (const Event &b : events) {
+            if (b.isMemory() && a.loc == b.loc)
+                rel.add(a.id, b.id);
+        }
+    }
+    return rel;
+}
+
+Relation
+CandidateExecution::poLoc() const
+{
+    return po & sameLoc();
+}
+
+Relation
+CandidateExecution::internalPairs() const
+{
+    Relation rel(size());
+    for (const Event &a : events) {
+        if (a.tid == kInitialThread)
+            continue;
+        for (const Event &b : events) {
+            if (b.tid == a.tid && b.id != a.id)
+                rel.add(a.id, b.id);
+        }
+    }
+    return rel;
+}
+
+Relation
+CandidateExecution::rfi() const
+{
+    return rf & internalPairs();
+}
+
+Relation
+CandidateExecution::rfe() const
+{
+    return rf - internalPairs();
+}
+
+Relation
+CandidateExecution::fr() const
+{
+    // Classical definition: a read r from-reads to every write co-after
+    // the write it read from.
+    return rf.inverse().seq(co);
+}
+
+Relation
+CandidateExecution::fri() const
+{
+    return fr() & internalPairs();
+}
+
+Relation
+CandidateExecution::fre() const
+{
+    return fr() - internalPairs();
+}
+
+Relation
+CandidateExecution::coi() const
+{
+    return co & internalPairs();
+}
+
+Relation
+CandidateExecution::coe() const
+{
+    return co - internalPairs();
+}
+
+std::uint64_t
+CandidateExecution::finalMemValue(LocationId loc) const
+{
+    // The co-maximal write to loc. co totally orders all writes to a
+    // location (with the initial write first), so the write with no
+    // outgoing co edge is the final one.
+    const Event *last = nullptr;
+    for (const Event &e : events) {
+        if (!e.isWrite() || e.loc != loc)
+            continue;
+        bool has_successor = false;
+        for (const Event &f : events) {
+            if (f.isWrite() && f.loc == loc && co.contains(e.id, f.id)) {
+                has_successor = true;
+                break;
+            }
+        }
+        if (!has_successor) {
+            rexAssert(last == nullptr,
+                      "co is not total over writes to a location");
+            last = &e;
+        }
+    }
+    rexAssert(last != nullptr, "location has no writes at all");
+    return last->value;
+}
+
+std::string
+CandidateExecution::eventLabel(EventId id) const
+{
+    std::string label;
+    EventId n = id;
+    do {
+        label.insert(label.begin(),
+                     static_cast<char>('a' + static_cast<int>(n % 26)));
+        n /= 26;
+    } while (n > 0);
+    return label + ":";
+}
+
+std::string
+CandidateExecution::toDot() const
+{
+    std::string out = "digraph execution {\n"
+        "  node [shape=plaintext, fontname=\"monospace\"];\n"
+        "  rankdir=TB;\n";
+
+    // One cluster per thread; initial writes float outside.
+    for (std::size_t t = 0; t < numThreads; ++t) {
+        out += format("  subgraph cluster_t%zu {\n"
+                      "    label=\"Thread %zu\";\n", t, t);
+        for (const Event &e : events) {
+            if (e.tid == static_cast<ThreadId>(t)) {
+                out += format("    e%u [label=\"%s %s\"];\n", e.id,
+                              eventLabel(e.id).c_str(),
+                              e.toString(locNames).c_str());
+            }
+        }
+        out += "  }\n";
+    }
+    for (const Event &e : events) {
+        if (e.tid == kInitialThread) {
+            out += format("  e%u [label=\"%s\", fontcolor=gray];\n",
+                          e.id, e.toString(locNames).c_str());
+        }
+    }
+
+    struct EdgeStyle {
+        const Relation *rel;
+        const char *name;
+        const char *colour;
+        bool transitiveReduce;
+    };
+    Relation fr_rel = fr();
+    const EdgeStyle styles[] = {
+        {&po, "po", "black", true},
+        {&rf, "rf", "red", false},
+        {&co, "co", "blue", true},
+        {&fr_rel, "fr", "orange", false},
+        {&addr, "addr", "darkgreen", false},
+        {&data, "data", "darkgreen", false},
+        {&ctrl, "ctrl", "purple", false},
+        {&interruptWitness, "interrupt", "brown", false},
+        {&iio, "iio", "gray", false},
+    };
+    for (const EdgeStyle &style : styles) {
+        for (auto [a, b] : style.rel->pairs()) {
+            if (style.transitiveReduce) {
+                // Drop edges implied by a one-hop detour, to keep po/co
+                // chains readable.
+                bool implied = false;
+                for (EventId m = 0; m < size() && !implied; ++m) {
+                    if (m != a && m != b && style.rel->contains(a, m) &&
+                            style.rel->contains(m, b)) {
+                        implied = true;
+                    }
+                }
+                if (implied)
+                    continue;
+            }
+            out += format("  e%u -> e%u [label=\"%s\", color=%s, "
+                          "fontcolor=%s];\n", a, b, style.name,
+                          style.colour, style.colour);
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+CandidateExecution::dump() const
+{
+    std::string out;
+    for (const Event &e : events) {
+        out += format("%-4s T%-2d po=%-3d %s\n", eventLabel(e.id).c_str(),
+                      e.tid, e.poIndex, e.toString(locNames).c_str());
+    }
+    out += "rf:   " + rf.toString() + "\n";
+    out += "co:   " + co.toString() + "\n";
+    out += "addr: " + addr.toString() + "\n";
+    out += "data: " + data.toString() + "\n";
+    out += "ctrl: " + ctrl.toString() + "\n";
+    return out;
+}
+
+} // namespace rex

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Candidate-execution events.
+ *
+ * A candidate execution (§2.3.2 of the paper) contains the events of the
+ * architecturally-executed FDX instances of each thread. Beyond the
+ * classical reads/writes/barriers, the paper's model (§5) adds:
+ *  - TE ("take exception") and ERET events, the synchronisation points of
+ *    exception entry/return;
+ *  - MRS/MSR events for system-register reads/writes;
+ *  - TakeInterrupt events for asynchronous exceptions;
+ *  - and, in the §7.5 draft GIC extension, GenerateInterrupt /
+ *    Acknowledge / DropPriority / Deactivate events.
+ */
+
+#ifndef REX_EVENTS_EVENT_HH
+#define REX_EVENTS_EVENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/sysreg.hh"
+#include "relation/event_set.hh"
+
+namespace rex {
+
+/** Dense id of a memory location within one litmus test. */
+using LocationId = std::uint32_t;
+
+/** Thread id within a litmus test; kInitialThread for initial writes. */
+using ThreadId = std::int32_t;
+
+/** Pseudo-thread owning the initial-state writes. */
+inline constexpr ThreadId kInitialThread = -1;
+
+/** What kind of event this is. */
+enum class EventKind : std::uint8_t {
+    ReadMem,            //!< R: memory read
+    WriteMem,           //!< W: memory write (including initial writes)
+    Barrier,            //!< DMB/DSB/ISB
+    TakeException,      //!< TE: synchronous exception entry
+    ExceptionReturn,    //!< ERET
+    ReadSysreg,         //!< MRS
+    WriteSysreg,        //!< MSR
+    TakeInterrupt,      //!< asynchronous exception entry
+    GenerateInterrupt,  //!< GIC: SGI sent (from ICC_SGI1R_EL1 write)
+    Acknowledge,        //!< GIC: interrupt acknowledged (from IAR read)
+    DropPriority,       //!< GIC: running priority dropped (EOIR write)
+    Deactivate,         //!< GIC: interrupt deactivated (DIR/EOIR write)
+};
+
+/** Barrier flavours; classes are upwards-closed in the model (§5). */
+enum class BarrierKind : std::uint8_t {
+    DmbLd,
+    DmbSt,
+    DmbSy,
+    DsbLd,
+    DsbSt,
+    DsbSy,
+    Isb,
+};
+
+/** Why a synchronous exception (TE) was taken. */
+enum class ExceptionClass : std::uint8_t {
+    Svc,                  //!< exception-generating instruction (SVC)
+    DataAbortTranslation, //!< translation fault / page fault
+    PcAlignment,          //!< misaligned PC fetch
+    SyncExternalAbort,    //!< synchronously-reported external abort (§4)
+};
+
+/** Memory-access ordering annotations. */
+struct AccessFlags {
+    bool acquire = false;    //!< A: load-acquire (LDAR)
+    bool acquirePc = false;  //!< Q: load-acquirePC (LDAPR)
+    bool release = false;    //!< L: store-release (STLR)
+    bool exclusive = false;  //!< X: LDXR/STXR
+
+    bool operator==(const AccessFlags &) const = default;
+};
+
+/**
+ * One event of a candidate execution.
+ *
+ * A plain struct: events are produced by the thread semantics (src/sem)
+ * and consumed read-only by the models.
+ */
+struct Event {
+    EventId id = 0;
+    ThreadId tid = kInitialThread;
+
+    /** Position in the thread's architecturally-executed event sequence;
+     *  -1 for initial writes. */
+    std::int32_t poIndex = -1;
+
+    /** Which FDX instance of the thread produced this event; -1 for
+     *  initial writes. */
+    std::int32_t instrIndex = -1;
+
+    EventKind kind = EventKind::WriteMem;
+
+    // --- memory access fields (ReadMem / WriteMem) ---
+    LocationId loc = 0;
+    std::uint64_t value = 0;
+    AccessFlags flags;
+    bool initial = false;   //!< true for initial-state writes
+
+    // --- barrier fields ---
+    BarrierKind barrier = BarrierKind::DmbSy;
+
+    // --- exception fields (TakeException) ---
+    ExceptionClass exceptionClass = ExceptionClass::Svc;
+
+    // --- system-register fields (ReadSysreg / WriteSysreg) ---
+    isa::Sysreg sysreg = isa::Sysreg::ESR_EL1;
+
+    // --- GIC fields ---
+    std::uint32_t intid = 0;       //!< interrupt id
+    std::uint64_t targetMask = 0;  //!< GenerateInterrupt: target thread bits
+
+    /** TakeInterrupt only: true when the interrupt was delivered by an
+     *  SGI, so the candidate must witness a matching GenerateInterrupt;
+     *  false for externally-pended interrupts ("interrupt at=L"). */
+    bool sgiDelivered = false;
+
+    bool isRead() const { return kind == EventKind::ReadMem; }
+    bool isWrite() const { return kind == EventKind::WriteMem; }
+    bool isMemory() const { return isRead() || isWrite(); }
+    bool isBarrier() const { return kind == EventKind::Barrier; }
+
+    /** True for GIC effect events (§7.5 GICEvents). */
+    bool isGicEvent() const;
+
+    /** Short human-readable rendering, e.g. "W x=1" or "TE(svc)". */
+    std::string toString(const std::vector<std::string> &loc_names) const;
+};
+
+/** Name a barrier kind, e.g. "DMB.SY". */
+std::string barrierName(BarrierKind kind);
+
+/** Name an exception class, e.g. "svc". */
+std::string exceptionClassName(ExceptionClass cls);
+
+} // namespace rex
+
+#endif // REX_EVENTS_EVENT_HH

@@ -1,0 +1,46 @@
+#include "gic/cpu_interface.hh"
+
+namespace rex::gic {
+
+CpuInterface::CpuInterface(Gic &gic, std::uint32_t pe, bool eoi_mode1)
+    : _gic(gic), _pe(pe), _eoiMode1(eoi_mode1)
+{
+}
+
+bool
+CpuInterface::irqPending() const
+{
+    return _gic.redistributor(_pe).irqPending();
+}
+
+std::uint32_t
+CpuInterface::readIar()
+{
+    return _gic.redistributor(_pe).acknowledge();
+}
+
+void
+CpuInterface::writeEoir(std::uint64_t value)
+{
+    std::uint32_t intid = static_cast<std::uint32_t>(value & 0xFFFFFF);
+    Redistributor &redist = _gic.redistributor(_pe);
+    redist.priorityDrop(intid);
+    if (!_eoiMode1)
+        redist.deactivate(intid);
+}
+
+void
+CpuInterface::writeDir(std::uint64_t value)
+{
+    std::uint32_t intid = static_cast<std::uint32_t>(value & 0xFFFFFF);
+    _gic.redistributor(_pe).deactivate(intid);
+}
+
+void
+CpuInterface::writePmr(std::uint64_t value)
+{
+    _gic.redistributor(_pe).setPriorityMask(
+        static_cast<std::uint8_t>(value & 0xFF));
+}
+
+} // namespace rex::gic

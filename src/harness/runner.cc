@@ -1,0 +1,140 @@
+#include "harness/runner.hh"
+
+#include "axiomatic/checker.hh"
+#include "axiomatic/enumerate.hh"
+#include "base/strings.hh"
+#include "cat/catmodel.hh"
+#include "harness/table.hh"
+#include "operational/runner.hh"
+
+namespace rex::harness {
+
+namespace {
+
+std::string
+verdictName(bool allowed)
+{
+    return allowed ? "Allowed" : "Forbidden";
+}
+
+std::string
+condString(const LitmusTest &test)
+{
+    std::string out;
+    for (std::size_t i = 0; i < test.finalCond.atoms.size(); ++i) {
+        const CondAtom &atom = test.finalCond.atoms[i];
+        if (i)
+            out += " & ";
+        if (atom.kind == CondAtom::Kind::Register) {
+            out += format("%d:%s=%llu", atom.tid,
+                          isa::regName(atom.reg).c_str(),
+                          static_cast<unsigned long long>(atom.value));
+        } else {
+            out += format("*%s=%llu", test.locations[atom.loc].c_str(),
+                          static_cast<unsigned long long>(atom.value));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+reproduceFigure(const LitmusTest &test, const FigureOptions &options)
+{
+    std::string out;
+    out += "=== " + test.name + " ===\n";
+    if (!test.description.empty())
+        out += test.description + "\n";
+    out += "final: " + condString(test) + "\n";
+
+    CheckResult base = checkTest(test, ModelParams::base(), true);
+    out += format("model (base): %s   [architectural intent: %s]\n",
+                  verdictName(base.observable).c_str(),
+                  verdictName(test.expectedAllowed).c_str());
+
+    if (options.hwSim) {
+        Table hw;
+        hw.header({"device (simulated)", "hw-sim refs"});
+        for (const op::CoreProfile &profile :
+                op::CoreProfile::paperDevices()) {
+            // Per-device seed so the devices' schedules differ.
+            std::uint64_t seed = options.seed;
+            for (char c : profile.name)
+                seed = seed * 131 + static_cast<unsigned char>(c);
+            op::Runner runner(profile, seed);
+            op::RunStats stats = runner.run(test, options.runsPerDevice);
+            hw.row({profile.name, stats.cell()});
+        }
+        out += hw.render();
+    }
+
+    Table params;
+    params.header({"variant", "model", "expected"});
+    for (const ModelParams &variant : options.variants) {
+        bool allowed = isAllowed(test, variant);
+        std::string expected = "-";
+        if (variant.name() == "base") {
+            expected = verdictName(test.expectedAllowed);
+        } else if (test.variantAllowed.count(variant.name())) {
+            expected = verdictName(test.variantAllowed.at(variant.name()));
+        }
+        params.row({variant.name(), verdictName(allowed), expected});
+    }
+    out += params.render();
+
+    if (options.catCrossCheck) {
+        const cat::CatModel &model = cat::CatModel::shipped();
+        bool agree = true;
+        CandidateEnumerator enumerator(test);
+        enumerator.forEach([&](CandidateExecution &cand) {
+            for (const ModelParams &variant : options.variants) {
+                if (checkConsistent(cand, variant).consistent !=
+                        model.check(cand, variant).consistent) {
+                    agree = false;
+                    return false;
+                }
+            }
+            return true;
+        });
+        out += format("cat-vs-native cross-check: %s\n",
+                      agree ? "agree" : "DISAGREE");
+    }
+    return out;
+}
+
+std::string
+suiteMatrix(const std::vector<const LitmusTest *> &tests)
+{
+    Table table;
+    table.header({"test", "expected", "base", "ExS", "SEA_R", "SEA_W",
+                  "SEA_RW", "ok"});
+    std::size_t mismatches = 0;
+    for (const LitmusTest *test : tests) {
+        std::vector<std::string> row;
+        row.push_back(test->name);
+        row.push_back(test->expectedAllowed ? "A" : "F");
+        bool ok = true;
+        for (const ModelParams &variant : ModelParams::paperVariants()) {
+            bool allowed = isAllowed(*test, variant);
+            row.push_back(allowed ? "A" : "F");
+            const std::string name = variant.name();
+            bool expected = name == "base"
+                ? test->expectedAllowed
+                : (test->variantAllowed.count(name)
+                       ? test->variantAllowed.at(name)
+                       : allowed);
+            if (allowed != expected)
+                ok = false;
+        }
+        if (!ok)
+            ++mismatches;
+        row.push_back(ok ? "yes" : "MISMATCH");
+        table.row(std::move(row));
+    }
+    return table.render() +
+        format("%zu mismatches out of %zu tests\n", mismatches,
+               tests.size());
+}
+
+} // namespace rex::harness

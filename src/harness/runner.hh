@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure-reproduction harness: renders, for a litmus test, the same
+ * information the paper's figures report — the allowed/forbidden verdict
+ * under the baseline model, the hw-refs column (here: hw-sim refs from
+ * the operational simulator under the four device profiles), and the
+ * param-refs column (model verdicts under the paper's variants).
+ */
+
+#ifndef REX_HARNESS_RUNNER_HH
+#define REX_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axiomatic/params.hh"
+#include "litmus/litmus.hh"
+#include "operational/profile.hh"
+
+namespace rex::harness {
+
+/** Options for figure reproduction. */
+struct FigureOptions {
+    /** Randomised runs per device profile for the hw-sim column. */
+    std::uint64_t runsPerDevice = 20000;
+
+    /** RNG seed. */
+    std::uint64_t seed = 42;
+
+    /** Include the hw-sim columns (slower). */
+    bool hwSim = true;
+
+    /** Model variants for the param-refs column. */
+    std::vector<ModelParams> variants = ModelParams::paperVariants();
+
+    /** Cross-check the shipped cat model against the native model. */
+    bool catCrossCheck = false;
+};
+
+/**
+ * Render a paper-figure-style block for @p test: listing, verdict,
+ * hw-sim refs, param-refs.
+ */
+std::string reproduceFigure(const LitmusTest &test,
+                            const FigureOptions &options);
+
+/**
+ * Render the whole-suite matrix: one row per test, with the model
+ * verdict under every paper variant and the expected verdicts, flagging
+ * mismatches.
+ * @return the table plus a trailing "n mismatches" line.
+ */
+std::string suiteMatrix(const std::vector<const LitmusTest *> &tests);
+
+} // namespace rex::harness
+
+#endif // REX_HARNESS_RUNNER_HH

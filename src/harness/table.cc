@@ -1,0 +1,60 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+
+namespace rex::harness {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    _header = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(_header);
+    for (const auto &r : _rows)
+        grow(r);
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            cell.resize(widths[i], ' ');
+            line += cell;
+            if (i + 1 < widths.size())
+                line += "  ";
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!_header.empty()) {
+        out += renderRow(_header);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        out += std::string(total, '-') + "\n";
+    }
+    for (const auto &r : _rows)
+        out += renderRow(r);
+    return out;
+}
+
+} // namespace rex::harness

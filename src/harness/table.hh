@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness: the hw-refs /
+ * param-refs tables of the paper's figures.
+ */
+
+#ifndef REX_HARNESS_TABLE_HH
+#define REX_HARNESS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rex::harness {
+
+/** A simple left-aligned text table. */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace rex::harness
+
+#endif // REX_HARNESS_TABLE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Assembler: litmus-test assembly text -> decoded program.
+ */
+
+#ifndef REX_ISA_ASSEMBLER_HH
+#define REX_ISA_ASSEMBLER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace rex::isa {
+
+/**
+ * A decoded straight-line program with labels.
+ *
+ * Label pseudo-instructions are removed from @c code; @c labels maps each
+ * label name to the index of the instruction it precedes (possibly
+ * code.size() for a trailing label).
+ */
+struct Program {
+    std::vector<Instruction> code;
+    std::map<std::string, std::size_t> labels;
+
+    /** Index of @p label, fatal() when absent. */
+    std::size_t labelIndex(const std::string &label) const;
+
+    /** Render the program as assembly text. */
+    std::string toString() const;
+};
+
+/**
+ * Assemble a program text (newline/';'-separated statements, "//"
+ * comments).
+ * @throws FatalError on syntax errors or unknown mnemonics.
+ */
+Program assemble(const std::string &text);
+
+/** Assemble a single statement (no labels). */
+Instruction assembleStatement(const std::string &statement);
+
+} // namespace rex::isa
+
+#endif // REX_ISA_ASSEMBLER_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Instruction representation for the AArch64 subset.
+ *
+ * The subset covers every opcode appearing in the paper's litmus tests
+ * (§3, §4, §7): moves, loads/stores (plain, acquire/release, exclusive,
+ * and the post/pre-index forms whose writeback interacts with exceptions,
+ * §3.4), barriers, ALU ops for dependency chains, conditional branches,
+ * exception entry/return, and system-register accesses including the GIC
+ * CPU interface and DAIF masking.
+ */
+
+#ifndef REX_ISA_INSTRUCTION_HH
+#define REX_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "events/event.hh"
+#include "isa/register.hh"
+#include "isa/sysreg.hh"
+
+namespace rex::isa {
+
+/** Opcode of an instruction in the subset. */
+enum class Opcode : std::uint8_t {
+    Nop,
+    MovImm,    //!< MOV Xd, #imm (with optional LSL)
+    MovReg,    //!< MOV Xd, Xn
+    Ldr,       //!< LDR Xt, [..]
+    Str,       //!< STR Xt, [..]
+    Ldar,      //!< LDAR Xt, [Xn]   (acquire)
+    Ldapr,     //!< LDAPR Xt, [Xn]  (acquirePC)
+    Stlr,      //!< STLR Xt, [Xn]   (release)
+    Ldxr,      //!< LDXR Xt, [Xn]   (exclusive load)
+    Stxr,      //!< STXR Ws, Xt, [Xn] (exclusive store)
+    Ldp,       //!< LDP Xt1, Xt2, [Xn]: two single-copy-atomic reads
+    Stp,       //!< STP Xt1, Xt2, [Xn]: two single-copy-atomic writes
+    Dmb,       //!< DMB SY/LD/ST
+    Dsb,       //!< DSB SY/LD/ST
+    Isb,       //!< ISB
+    Alu,       //!< ADD/SUB/EOR/AND/ORR Xd, Xn, (Xm | #imm)
+    Cmp,       //!< CMP Xn, (Xm | #imm): sets NZCV
+    Cbz,       //!< CBZ Xt, label
+    Cbnz,      //!< CBNZ Xt, label
+    B,         //!< B label
+    BCond,     //!< B.EQ/B.NE/... label (reads NZCV)
+    Svc,       //!< SVC #imm
+    Eret,      //!< ERET
+    Mrs,       //!< MRS Xt, sysreg
+    Msr,       //!< MSR sysreg, Xt
+    MsrDaifSet,//!< MSR DAIFSet, #imm
+    MsrDaifClr,//!< MSR DAIFClr, #imm
+    Label,     //!< pseudo-instruction: label definition
+};
+
+/** ALU operation selector for Opcode::Alu. */
+enum class AluOp : std::uint8_t {
+    Add,
+    Sub,
+    Eor,
+    And,
+    Orr,
+};
+
+/** Condition code for Opcode::BCond (subset). */
+enum class CondCode : std::uint8_t {
+    Eq,  //!< Z set
+    Ne,  //!< Z clear
+    Ge,  //!< signed >=
+    Gt,  //!< signed >
+    Le,  //!< signed <=
+    Lt,  //!< signed <
+};
+
+/** Name a condition code, e.g. "EQ". */
+std::string condName(CondCode cond);
+
+/** Evaluate @p cond for the comparison lhs - rhs (signed). */
+bool condHoldsFor(CondCode cond, std::int64_t lhs, std::int64_t rhs);
+
+/** Memory addressing mode. */
+enum class AddrMode : std::uint8_t {
+    BaseOnly,   //!< [Xn]
+    BaseReg,    //!< [Xn, Xm]
+    BaseImm,    //!< [Xn, #imm]
+    PostIndex,  //!< [Xn], #imm  (writeback after access, §3.4)
+    PreIndex,   //!< [Xn, #imm]! (writeback before access)
+};
+
+/** One decoded instruction. */
+struct Instruction {
+    Opcode op = Opcode::Nop;
+
+    RegId rd = kZeroReg;   //!< destination / transfer register
+    RegId rn = kZeroReg;   //!< base / first source
+    RegId rm = kZeroReg;   //!< second source / index
+    RegId rs = kZeroReg;   //!< STXR status register
+
+    std::int64_t imm = 0;  //!< immediate operand
+    std::uint8_t shift = 0;//!< LSL amount on MovImm
+
+    AddrMode mode = AddrMode::BaseOnly;
+    AluOp alu = AluOp::Add;
+    bool aluImmediate = false; //!< Alu/Cmp second operand is imm, not rm
+    CondCode cond = CondCode::Eq;
+
+    /** True on the second element access of an expanded LDP/STP pair:
+     *  if it faults, the first element's effects are architecturally
+     *  UNKNOWN-adjacent (s6 of the paper) and the trace is flagged. */
+    bool pairSecond = false;
+
+    BarrierKind barrier = BarrierKind::DmbSy;
+    Sysreg sysreg = Sysreg::ESR_EL1;
+
+    std::string label;     //!< branch target or label name
+
+    bool isLoad() const;
+    bool isStore() const;
+    bool isMemoryAccess() const { return isLoad() || isStore(); }
+    bool isBranch() const;
+
+    /** Render back to assembly text (diagnostics). */
+    std::string toString() const;
+};
+
+} // namespace rex::isa
+
+#endif // REX_ISA_INSTRUCTION_HH

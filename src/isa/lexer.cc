@@ -1,0 +1,122 @@
+#include "isa/lexer.hh"
+
+#include <cctype>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace rex::isa {
+
+std::vector<std::string>
+splitStatements(const std::string &program)
+{
+    std::vector<std::string> statements;
+    std::string current;
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        char c = program[i];
+        if (c == '/' && i + 1 < program.size() && program[i + 1] == '/') {
+            // Skip to end of line.
+            while (i < program.size() && program[i] != '\n')
+                ++i;
+            --i;
+            continue;
+        }
+        if (c == '\n' || c == ';') {
+            std::string t = trim(current);
+            if (!t.empty())
+                statements.push_back(t);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    std::string t = trim(current);
+    if (!t.empty())
+        statements.push_back(t);
+
+    // A statement like "L: NOP" contains a label and an instruction;
+    // split after the colon so labels are standalone statements. Take
+    // care not to split sysreg names (no ':' appears in those).
+    std::vector<std::string> out;
+    for (const std::string &stmt : statements) {
+        std::size_t colon = stmt.find(':');
+        if (colon != std::string::npos && colon + 1 < stmt.size()) {
+            std::string head = trim(stmt.substr(0, colon + 1));
+            std::string tail = trim(stmt.substr(colon + 1));
+            out.push_back(head);
+            if (!tail.empty())
+                out.push_back(tail);
+        } else {
+            out.push_back(stmt);
+        }
+    }
+    return out;
+}
+
+std::vector<Token>
+tokenizeStatement(const std::string &line)
+{
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    auto isIdentChar = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.';
+    };
+    while (i < line.size()) {
+        char c = line[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        switch (c) {
+          case '[':
+            tokens.push_back({TokenKind::LBracket, "", 0});
+            ++i;
+            continue;
+          case ']':
+            tokens.push_back({TokenKind::RBracket, "", 0});
+            ++i;
+            continue;
+          case ',':
+            tokens.push_back({TokenKind::Comma, "", 0});
+            ++i;
+            continue;
+          case '!':
+            tokens.push_back({TokenKind::Bang, "", 0});
+            ++i;
+            continue;
+          case ':':
+            tokens.push_back({TokenKind::Colon, "", 0});
+            ++i;
+            continue;
+          case '#': {
+            std::size_t start = ++i;
+            while (i < line.size() &&
+                   (isIdentChar(line[i]) || line[i] == '-')) {
+                ++i;
+            }
+            std::int64_t value;
+            std::string text = line.substr(start, i - start);
+            if (!parseInteger(text, value))
+                fatal("bad immediate '#" + text + "' in: " + line);
+            tokens.push_back({TokenKind::Immediate, text, value});
+            continue;
+          }
+          default:
+            break;
+        }
+        if (isIdentChar(c)) {
+            std::size_t start = i;
+            while (i < line.size() && isIdentChar(line[i]))
+                ++i;
+            tokens.push_back({TokenKind::Ident,
+                              line.substr(start, i - start), 0});
+            continue;
+        }
+        fatal(std::string("unexpected character '") + c + "' in: " + line);
+    }
+    tokens.push_back({TokenKind::End, "", 0});
+    return tokens;
+}
+
+} // namespace rex::isa

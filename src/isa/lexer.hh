@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tokeniser for the AArch64 assembly subset used in litmus tests.
+ *
+ * One Lexer instance tokenises one line (one statement); the assembler
+ * splits the program into statements first (newlines and ';').
+ */
+
+#ifndef REX_ISA_LEXER_HH
+#define REX_ISA_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rex::isa {
+
+/** Kind of an assembly token. */
+enum class TokenKind : std::uint8_t {
+    Ident,     //!< mnemonic, register, sysreg, or label name
+    Immediate, //!< #imm (value in Token::value)
+    LBracket,
+    RBracket,
+    Comma,
+    Bang,      //!< '!' (pre-index writeback)
+    Colon,     //!< ':' (label definition)
+    End,       //!< end of statement
+};
+
+/** One token. */
+struct Token {
+    TokenKind kind = TokenKind::End;
+    std::string text;          //!< for Ident
+    std::int64_t value = 0;    //!< for Immediate
+
+    bool is(TokenKind k) const { return kind == k; }
+};
+
+/**
+ * Tokenise one assembly statement.
+ * @throws FatalError on malformed input (bad immediate, stray character).
+ */
+std::vector<Token> tokenizeStatement(const std::string &line);
+
+/**
+ * Split a program text into statements: newline- or ';'-separated,
+ * with "//" comments stripped. Blank statements are dropped.
+ */
+std::vector<std::string> splitStatements(const std::string &program);
+
+} // namespace rex::isa
+
+#endif // REX_ISA_LEXER_HH

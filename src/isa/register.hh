@@ -1,0 +1,43 @@
+/**
+ * @file
+ * General-purpose register identifiers for the AArch64 subset.
+ */
+
+#ifndef REX_ISA_REGISTER_HH
+#define REX_ISA_REGISTER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rex::isa {
+
+/**
+ * Id of a general-purpose register.
+ *
+ * 0..30 are X0..X30; 31 is XZR (reads as zero, writes discarded).
+ * The 64-bit X views are all the litmus suite uses; W views are parsed
+ * and mapped onto the same ids (litmus tests never rely on 32-bit
+ * truncation).
+ */
+using RegId = std::uint8_t;
+
+/** Number of addressable GPR ids (X0..X30 plus XZR). */
+inline constexpr RegId kNumRegs = 32;
+
+/** The zero register. */
+inline constexpr RegId kZeroReg = 31;
+
+/** Render a register id as "X5" / "XZR". */
+std::string regName(RegId reg);
+
+/**
+ * Parse "X12" / "W3" / "XZR" / "WZR" (case-insensitive).
+ * @return std::nullopt when @p text is not a register name.
+ */
+std::optional<RegId> parseReg(std::string_view text);
+
+} // namespace rex::isa
+
+#endif // REX_ISA_REGISTER_HH

@@ -1,0 +1,82 @@
+#include "isa/sysreg.hh"
+
+#include "base/strings.hh"
+
+namespace rex::isa {
+
+bool
+isSelfSynchronising(Sysreg reg)
+{
+    return reg == Sysreg::ELR_EL1 || reg == Sysreg::SPSR_EL1;
+}
+
+bool
+isGicRegister(Sysreg reg)
+{
+    switch (reg) {
+      case Sysreg::ICC_SGI1R_EL1:
+      case Sysreg::ICC_IAR1_EL1:
+      case Sysreg::ICC_EOIR1_EL1:
+      case Sysreg::ICC_DIR_EL1:
+      case Sysreg::ICC_PMR_EL1:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+sysregName(Sysreg reg)
+{
+    switch (reg) {
+      case Sysreg::ESR_EL1:       return "ESR_EL1";
+      case Sysreg::ELR_EL1:       return "ELR_EL1";
+      case Sysreg::SPSR_EL1:      return "SPSR_EL1";
+      case Sysreg::VBAR_EL1:      return "VBAR_EL1";
+      case Sysreg::FAR_EL1:       return "FAR_EL1";
+      case Sysreg::SCTLR_EL1:     return "SCTLR_EL1";
+      case Sysreg::TPIDR_EL1:     return "TPIDR_EL1";
+      case Sysreg::ICC_SGI1R_EL1: return "ICC_SGI1R_EL1";
+      case Sysreg::ICC_IAR1_EL1:  return "ICC_IAR1_EL1";
+      case Sysreg::ICC_EOIR1_EL1: return "ICC_EOIR1_EL1";
+      case Sysreg::ICC_DIR_EL1:   return "ICC_DIR_EL1";
+      case Sysreg::ICC_PMR_EL1:   return "ICC_PMR_EL1";
+      case Sysreg::DAIF:          return "DAIF";
+    }
+    return "?";
+}
+
+std::optional<Sysreg>
+parseSysreg(std::string_view text)
+{
+    std::string up = toUpper(text);
+    if (up == "ESR_EL1" || up == "ESR")
+        return Sysreg::ESR_EL1;
+    if (up == "ELR_EL1" || up == "ELR")
+        return Sysreg::ELR_EL1;
+    if (up == "SPSR_EL1" || up == "SPSR")
+        return Sysreg::SPSR_EL1;
+    if (up == "VBAR_EL1" || up == "VBAR")
+        return Sysreg::VBAR_EL1;
+    if (up == "FAR_EL1" || up == "FAR")
+        return Sysreg::FAR_EL1;
+    if (up == "SCTLR_EL1" || up == "SCTLR")
+        return Sysreg::SCTLR_EL1;
+    if (up == "TPIDR_EL1" || up == "TPIDR")
+        return Sysreg::TPIDR_EL1;
+    if (up == "ICC_SGI1R_EL1" || up == "SGI1R")
+        return Sysreg::ICC_SGI1R_EL1;
+    if (up == "ICC_IAR1_EL1" || up == "IAR")
+        return Sysreg::ICC_IAR1_EL1;
+    if (up == "ICC_EOIR1_EL1" || up == "EOIR")
+        return Sysreg::ICC_EOIR1_EL1;
+    if (up == "ICC_DIR_EL1" || up == "DIR")
+        return Sysreg::ICC_DIR_EL1;
+    if (up == "ICC_PMR_EL1" || up == "PMR")
+        return Sysreg::ICC_PMR_EL1;
+    if (up == "DAIF")
+        return Sysreg::DAIF;
+    return std::nullopt;
+}
+
+} // namespace rex::isa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * System and special-purpose registers used by the exception model.
+ *
+ * The paper (§3.2.5) distinguishes three classes with different ordering
+ * behaviour:
+ *  - plain system registers (ESR, VBAR, FAR, SCTLR, TPIDR): writes need
+ *    context synchronisation to be guaranteed visible; dependencies into
+ *    their MSR events compose with ctxob;
+ *  - special-purpose, "self-synchronising" registers (ELR, SPSR):
+ *    dependencies into them are preserved without context synchronisation;
+ *  - GIC CPU-interface registers (ICC_SGI1R_EL1, IAR, EOIR, DIR) and the
+ *    DAIF mask: their accesses have GIC-/mask- effects lifted into the
+ *    memory model as dedicated events (§7.5).
+ */
+
+#ifndef REX_ISA_SYSREG_HH
+#define REX_ISA_SYSREG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rex::isa {
+
+/** The system/special registers the litmus suite touches. */
+enum class Sysreg : std::uint8_t {
+    ESR_EL1,        //!< exception syndrome
+    ELR_EL1,        //!< exception link register (special-purpose)
+    SPSR_EL1,       //!< saved program status (special-purpose)
+    VBAR_EL1,       //!< vector base address
+    FAR_EL1,        //!< fault address
+    SCTLR_EL1,      //!< system control (holds EIS/EOS under FEAT_ExS)
+    TPIDR_EL1,      //!< software thread id register
+    ICC_SGI1R_EL1,  //!< SGI generation (GIC)
+    ICC_IAR1_EL1,   //!< interrupt acknowledge (GIC)
+    ICC_EOIR1_EL1,  //!< end of interrupt / priority drop (GIC)
+    ICC_DIR_EL1,    //!< deactivate interrupt (GIC)
+    ICC_PMR_EL1,    //!< priority mask (GIC)
+    DAIF,           //!< interrupt mask bits (via MSR DAIFSet/DAIFClr)
+};
+
+/** Number of modelled system registers. */
+inline constexpr std::size_t kNumSysregs = 13;
+
+/** True for special-purpose, self-synchronising registers (§3.2.5). */
+bool isSelfSynchronising(Sysreg reg);
+
+/** True for GIC CPU-interface registers whose accesses have GIC effects. */
+bool isGicRegister(Sysreg reg);
+
+/** Render the architectural name, e.g. "ELR_EL1". */
+std::string sysregName(Sysreg reg);
+
+/**
+ * Parse a system-register name as written in litmus tests. Accepts both
+ * architectural names ("ICC_IAR1_EL1") and the paper's shorthands
+ * ("IAR", "EOIR", "DIR", "ESR_EL1", ...). Case-insensitive.
+ */
+std::optional<Sysreg> parseSysreg(std::string_view text);
+
+} // namespace rex::isa
+
+#endif // REX_ISA_SYSREG_HH

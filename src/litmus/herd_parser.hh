@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Parser for the classic herdtools litmus format, so existing AArch64
+ * .litmus corpora load directly:
+ *
+ * ```
+ * AArch64 MP
+ * "message passing"
+ * {
+ * 0:X1=x; 0:X3=y;
+ * 1:X1=y; 1:X3=x;
+ * }
+ *  P0          | P1          ;
+ *  MOV X0,#1   | LDR X0,[X1] ;
+ *  STR X0,[X1] | LDR X2,[X3] ;
+ * exists (1:X0=1 /\ 1:X2=0)
+ * ```
+ *
+ * Supported: the `{...}` init block (memory cells with or without `*`,
+ * register bindings, ignored C-style type annotations), column-aligned
+ * thread programs separated by `|` and terminated by `;`, `locations`
+ * directives (ignored), and `exists (...)` / `~exists (...)` final
+ * conditions over conjunctions of atoms. Exception handlers and pended
+ * interrupts have no classic-herd syntax; use the native format
+ * (litmus/parser.hh) for those.
+ */
+
+#ifndef REX_LITMUS_HERD_PARSER_HH
+#define REX_LITMUS_HERD_PARSER_HH
+
+#include <string>
+
+#include "litmus/litmus.hh"
+
+namespace rex {
+
+/** True when @p text looks like classic herd format ("AArch64 <name>"
+ *  header). */
+bool looksLikeHerdFormat(const std::string &text);
+
+/**
+ * Parse a classic-herd-format litmus test.
+ * @throws FatalError on malformed or unsupported input.
+ */
+LitmusTest parseHerdLitmus(const std::string &text);
+
+} // namespace rex
+
+#endif // REX_LITMUS_HERD_PARSER_HH

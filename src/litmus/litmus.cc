@@ -1,0 +1,48 @@
+#include "litmus/litmus.hh"
+
+#include "base/logging.hh"
+
+namespace rex {
+
+std::optional<LocationId>
+addressToLocation(std::uint64_t address, std::size_t num_locations)
+{
+    if (address == 0 || address % kLocationStride != 0)
+        return std::nullopt;
+    std::uint64_t index = address / kLocationStride - 1;
+    if (index >= num_locations)
+        return std::nullopt;
+    return static_cast<LocationId>(index);
+}
+
+LocationId
+LitmusTest::locationId(const std::string &name) const
+{
+    for (LocationId i = 0; i < locations.size(); ++i) {
+        if (locations[i] == name)
+            return i;
+    }
+    fatal("unknown location '" + name + "' in test " + this->name);
+}
+
+bool
+LitmusTest::generatesSgis() const
+{
+    for (const LitmusThread &thread : threads) {
+        for (const isa::Instruction &inst : thread.program.code) {
+            if (inst.op == isa::Opcode::Msr &&
+                    inst.sysreg == isa::Sysreg::ICC_SGI1R_EL1) {
+                return true;
+            }
+        }
+        for (const isa::Instruction &inst : thread.handler.code) {
+            if (inst.op == isa::Opcode::Msr &&
+                    inst.sysreg == isa::Sysreg::ICC_SGI1R_EL1) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace rex

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Litmus-test representation.
+ *
+ * A litmus test (§3.2) is a small multi-threaded program with an initial
+ * state and a final-state condition, used to catalogue which relaxed
+ * behaviours an architecture allows. This reproduction extends the classic
+ * format with the paper's exception machinery: per-thread exception
+ * handlers, pended interrupts at labelled program points (the Isla
+ * construct of §5.1), initial exception level, and GIC EOImode.
+ */
+
+#ifndef REX_LITMUS_LITMUS_HH
+#define REX_LITMUS_LITMUS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "events/event.hh"
+#include "isa/assembler.hh"
+#include "isa/register.hh"
+
+namespace rex {
+
+/**
+ * Memory addresses of locations: location i lives at (i + 1) * 0x1000.
+ * Address 0 (and any other unmapped address) faults with a translation
+ * abort, which is how fault tests (`MP+dmb.sy+fault`) trigger handlers.
+ */
+inline constexpr std::uint64_t kLocationStride = 0x1000;
+
+/** The address of location @p loc. */
+inline constexpr std::uint64_t
+locationAddress(LocationId loc)
+{
+    return (static_cast<std::uint64_t>(loc) + 1) * kLocationStride;
+}
+
+/** Map an address back to a location; nullopt when unmapped. */
+std::optional<LocationId> addressToLocation(std::uint64_t address,
+                                            std::size_t num_locations);
+
+/** One thread of a litmus test. */
+struct LitmusThread {
+    /** Main program. */
+    isa::Program program;
+
+    /** Exception handler; empty when the thread takes no exceptions.
+     *  A handler ending in ERET resumes the main program; a handler
+     *  without ERET terminates the thread (as in the paper's tests). */
+    isa::Program handler;
+
+    /** Initial register values. */
+    std::array<std::uint64_t, isa::kNumRegs> initRegs{};
+
+    /** Initial exception level (PSTATE.EL). */
+    int initialEl = 0;
+
+    /** Initial interrupt mask (PSTATE.I); false = interrupts enabled. */
+    bool initialMasked = false;
+
+    /** GIC EOImode for this PE (EOImode=1 splits drop/deactivate). */
+    bool eoiMode1 = false;
+
+    /**
+     * When set, an asynchronous interrupt is pended at this label of the
+     * main program ("interrupt at=L", §5.1); the thread takes it exactly
+     * there.
+     */
+    std::optional<std::string> interruptAt;
+
+    /** INTID of the pended interrupt (for interruptAt). */
+    std::uint32_t interruptIntid = 0;
+
+    /**
+     * True when this thread may receive SGIs: the enumerator considers
+     * executions where a generated SGI targeting this thread is taken at
+     * each unmasked program point (and executions where it is not taken).
+     * Set automatically by the parser when the thread has a handler and
+     * the test generates SGIs.
+     */
+    bool sgiReceiver = false;
+};
+
+/** One conjunct of the final-state condition. */
+struct CondAtom {
+    enum class Kind : std::uint8_t {
+        Register,  //!< tid:Xn = value
+        Memory,    //!< *loc = value
+    };
+    Kind kind = Kind::Register;
+    ThreadId tid = 0;
+    isa::RegId reg = 0;
+    LocationId loc = 0;
+    std::uint64_t value = 0;
+};
+
+/** The final-state condition: a conjunction of atoms. */
+struct Condition {
+    std::vector<CondAtom> atoms;
+};
+
+/** A complete litmus test. */
+struct LitmusTest {
+    std::string name;
+    std::string description;
+
+    std::vector<LitmusThread> threads;
+
+    /** Location names, indexed by LocationId. */
+    std::vector<std::string> locations;
+
+    /** Initial memory values, indexed by LocationId. */
+    std::vector<std::uint64_t> initValues;
+
+    /** The interesting final state. */
+    Condition finalCond;
+
+    /** Architectural intent under the baseline model: is the final state
+     *  observable? */
+    bool expectedAllowed = false;
+
+    /**
+     * Expected verdicts under named model variants, where they differ
+     * from or refine the baseline (the paper's param-refs columns).
+     * Keys: "base", "ExS", "SEA_R", "SEA_W", "SEA_RW".
+     */
+    std::map<std::string, bool> variantAllowed;
+
+    /** Find a location id by name; fatal() when absent. */
+    LocationId locationId(const std::string &name) const;
+
+    /** True when any thread's code writes ICC_SGI1R_EL1. */
+    bool generatesSgis() const;
+};
+
+} // namespace rex
+
+#endif // REX_LITMUS_LITMUS_HH

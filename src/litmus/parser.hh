@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Text format for litmus tests.
+ *
+ * The format is line-oriented:
+ *
+ * ```
+ * name: SB+dmb.sy+eret
+ * desc: reads execute out-of-order across exception entry+exit
+ * init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+ * thread 0:
+ *     MOV X0,#1
+ *     STR X0,[X1]
+ *     DMB SY
+ *     LDR X2,[X3]
+ * thread 1:
+ *     SVC #0
+ *     LDR X2,[X3]
+ * handler 1:
+ *     MOV X0,#1
+ *     STR X0,[X1]
+ *     ERET
+ * allowed: 0:X2=0 & 1:X2=0
+ * variant SEA_W: forbidden
+ * ```
+ *
+ * Sections:
+ *  - `name:`, `desc:`: metadata.
+ *  - `init:`: ';'-separated entries. `*x=v` declares location x with
+ *    initial value v; `T:Xn=x` points a register at a location;
+ *    `T:Xn=v` sets an integer; `T:PSTATE.EL=n` sets the initial
+ *    exception level; `T:PSTATE.I=1` starts with interrupts masked;
+ *    `T:EOIMode=1` selects GIC EOImode 1 for that PE.
+ *  - `thread N:` / `handler N:`: assembly bodies (see isa/assembler.hh).
+ *  - `interrupt N at LABEL [intid K]`: pend an asynchronous interrupt at
+ *    the label (the Isla construct of §5.1).
+ *  - `allowed:` / `forbidden:`: the final condition, '&'-separated atoms
+ *    `T:Xn=v` or `*x=v`, and the baseline architectural expectation.
+ *  - `variant NAME: allowed|forbidden`: expectation under a named model
+ *    variant (ExS, SEA_R, SEA_W, SEA_RW).
+ */
+
+#ifndef REX_LITMUS_PARSER_HH
+#define REX_LITMUS_PARSER_HH
+
+#include <string>
+
+#include "litmus/litmus.hh"
+
+namespace rex {
+
+/**
+ * Parse a litmus test from its text form.
+ * @throws FatalError on malformed input.
+ */
+LitmusTest parseLitmus(const std::string &text);
+
+/**
+ * Load and parse a litmus test from a file.
+ * @throws FatalError when the file cannot be read or is malformed.
+ */
+LitmusTest parseLitmusFile(const std::string &path);
+
+} // namespace rex
+
+#endif // REX_LITMUS_PARSER_HH

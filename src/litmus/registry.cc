@@ -1,0 +1,78 @@
+#include "litmus/registry.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "litmus/parser.hh"
+
+namespace rex {
+
+const TestRegistry &
+TestRegistry::instance()
+{
+    static TestRegistry *registry = [] {
+        auto *r = new TestRegistry();
+        registerCoreSuite(*r);
+        registerExceptionSuite(*r);
+        registerSeaSuite(*r);
+        registerGicSuite(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+TestRegistry::add(const std::string &suite_name, const std::string &text)
+{
+    LitmusTest test = parseLitmus(text);
+    if (_byName.count(test.name))
+        fatal("duplicate litmus test name '" + test.name + "'");
+    _byName[test.name] = _entries.size();
+    _entries.push_back({suite_name, std::move(test)});
+}
+
+const LitmusTest &
+TestRegistry::get(const std::string &name) const
+{
+    auto it = _byName.find(name);
+    if (it == _byName.end())
+        fatal("unknown litmus test '" + name + "'");
+    return _entries[it->second].test;
+}
+
+bool
+TestRegistry::has(const std::string &name) const
+{
+    return _byName.count(name) > 0;
+}
+
+std::vector<const LitmusTest *>
+TestRegistry::suite(const std::string &name) const
+{
+    std::vector<const LitmusTest *> out;
+    for (const Entry &entry : _entries) {
+        if (entry.suite == name)
+            out.push_back(&entry.test);
+    }
+    return out;
+}
+
+std::vector<const LitmusTest *>
+TestRegistry::all() const
+{
+    std::vector<const LitmusTest *> out;
+    for (const Entry &entry : _entries)
+        out.push_back(&entry.test);
+    return out;
+}
+
+std::vector<std::string>
+TestRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, index] : _byName)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace rex

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Registry of built-in litmus tests.
+ *
+ * The library (the analogue of the paper's 61 hand-written tests) is
+ * organised in suites:
+ *  - core:       classic shapes without exceptions (sanity-anchoring the
+ *                base model against the well-known Armv8 verdicts);
+ *  - exceptions: §3's reordering across exception boundaries;
+ *  - sea:        §4's synchronous-external-abort strengthening;
+ *  - gic:        §7's SGI/GIC tests (message passing via SGI, RCU,
+ *                Verona asymmetric lock).
+ */
+
+#ifndef REX_LITMUS_REGISTRY_HH
+#define REX_LITMUS_REGISTRY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "litmus/litmus.hh"
+
+namespace rex {
+
+/** Singleton collection of all built-in tests. */
+class TestRegistry
+{
+  public:
+    /** The populated registry. */
+    static const TestRegistry &instance();
+
+    /** Look up a test by name; fatal() when absent. */
+    const LitmusTest &get(const std::string &name) const;
+
+    /** True when a test with @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** All tests in a named suite ("core", "exceptions", "sea", "gic"). */
+    std::vector<const LitmusTest *> suite(const std::string &name) const;
+
+    /** Every test, ordered by suite then name. */
+    std::vector<const LitmusTest *> all() const;
+
+    /** Sorted test names. */
+    std::vector<std::string> names() const;
+
+    /** Register a test from its text form into @p suite_name. */
+    void add(const std::string &suite_name, const std::string &text);
+
+  private:
+    TestRegistry() = default;
+
+    struct Entry {
+        std::string suite;
+        LitmusTest test;
+    };
+
+    std::vector<Entry> _entries;
+    std::map<std::string, std::size_t> _byName;
+};
+
+// Suite installers (defined in suite_*.cc).
+void registerCoreSuite(TestRegistry &registry);
+void registerExceptionSuite(TestRegistry &registry);
+void registerSeaSuite(TestRegistry &registry);
+void registerGicSuite(TestRegistry &registry);
+
+} // namespace rex
+
+#endif // REX_LITMUS_REGISTRY_HH

@@ -1,0 +1,666 @@
+/**
+ * @file
+ * Core suite: classic exception-free shapes, anchoring the baseline model
+ * against the well-known Armv8 verdicts (Pulte et al.'s model, which
+ * Figure 9 extends). Where §4.1 strengthens a verdict under the SEA
+ * variants, the expectation is recorded as a `variant` line.
+ */
+
+#include "litmus/registry.hh"
+
+namespace rex {
+
+namespace {
+
+const char *kCoreTests[] = {
+
+// ---- Coherence ----------------------------------------------------
+
+R"(name: CoRR
+desc: a thread may not read a location's values against coherence order
+init: *x=0; 0:X1=x; 1:X1=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+thread 1:
+    LDR X0,[X1]
+    LDR X2,[X1]
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: CoWW
+desc: same-thread writes to one location propagate in program order
+init: *x=0; 0:X1=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#2
+    STR X2,[X1]
+forbidden: *x=1
+)",
+
+R"(name: CoWR
+desc: a read may not ignore a program-order-earlier write to the same location
+init: *x=0; 0:X1=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    LDR X2,[X1]
+forbidden: 0:X2=0
+)",
+
+R"(name: CoRW1
+desc: a read may not be satisfied by a program-order-later write
+init: *x=0; 0:X1=x
+thread 0:
+    LDR X0,[X1]
+    MOV X2,#1
+    STR X2,[X1]
+forbidden: 0:X0=1
+)",
+
+// ---- Message passing ----------------------------------------------
+
+R"(name: MP+pos
+desc: plain message passing is relaxed in both directions
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    LDR X2,[X3]
+allowed: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: MP+dmb.sys
+desc: DMB SY on both sides restores message passing
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: MP+dmb.sy+addr
+desc: an address dependency orders the reads
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X6,X0,X0
+    LDR X4,[X5,X6]
+forbidden: 1:X0=1 & 1:X4=0
+)",
+
+R"(name: MP+dmb.sy+po
+desc: plain program order between the reads is not enough
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    LDR X2,[X3]
+allowed: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: MP+po+addr
+desc: without a writer-side barrier the writes may reorder; under SEA_W
+desc: stores may abort synchronously, so later instances are speculative
+desc: until the store propagates, forbidding the write-write reordering
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X6,X0,X0
+    LDR X4,[X5,X6]
+allowed: 1:X0=1 & 1:X4=0
+variant SEA_W: forbidden
+variant SEA_RW: forbidden
+variant ExS: allowed
+variant SEA_R: allowed
+)",
+
+R"(name: MP+dmb.sy+ctrl
+desc: a control dependency does not order read-read pairs
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    CBNZ X0,LC00
+LC00:
+    LDR X2,[X3]
+allowed: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: MP+dmb.sy+ctrlisb
+desc: control dependency plus ISB orders the reads
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    CBNZ X0,LC00
+LC00:
+    ISB
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: MP+dmb.sy+isb
+desc: a plain ISB (no dependency into it) does not order the reads; under
+desc: SEA_R the first load makes later instances speculative, so the ISB
+desc: bites (s4.1)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    ISB
+    LDR X2,[X3]
+allowed: 1:X0=1 & 1:X2=0
+variant SEA_R: forbidden
+variant SEA_RW: forbidden
+variant ExS: allowed
+variant SEA_W: allowed
+)",
+
+R"(name: MP+dmb.st+addr
+desc: DMB ST suffices on the writer side
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB ST
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X6,X0,X0
+    LDR X4,[X5,X6]
+forbidden: 1:X0=1 & 1:X4=0
+)",
+
+R"(name: MP+rel+addr
+desc: store-release on the writer side orders the writes
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1
+    STLR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X6,X0,X0
+    LDR X4,[X5,X6]
+forbidden: 1:X0=1 & 1:X4=0
+)",
+
+R"(name: MP+rel+acq
+desc: release/acquire message passing
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1
+    STLR X2,[X3]
+thread 1:
+    LDAR X0,[X1]
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+// ---- Store buffering ----------------------------------------------
+
+R"(name: SB+pos
+desc: store buffering is observable without barriers
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    LDR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    LDR X2,[X3]
+allowed: 0:X2=0 & 1:X2=0
+)",
+
+R"(name: SB+dmb.sys
+desc: DMB SY on both sides forbids store buffering
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+forbidden: 0:X2=0 & 1:X2=0
+)",
+
+R"(name: SB+rel+acq
+desc: STLR-LDAR pairs order write before read (RCsc), forbidding SB
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STLR X0,[X1]
+    LDAR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STLR X0,[X1]
+    LDAR X2,[X3]
+forbidden: 0:X2=0 & 1:X2=0
+)",
+
+// ---- Load buffering ------------------------------------------------
+
+R"(name: LB+pos
+desc: load buffering is architecturally allowed; under SEA_R a load may
+desc: abort synchronously, so the later store is speculative until the
+desc: load completes, ruling LB out (s4.1, s4.2)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 0:X2=1; 1:X1=y; 1:X3=x; 1:X2=1
+thread 0:
+    LDR X0,[X1]
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    STR X2,[X3]
+allowed: 0:X0=1 & 1:X0=1
+variant SEA_R: forbidden
+variant SEA_RW: forbidden
+variant ExS: allowed
+variant SEA_W: allowed
+)",
+
+R"(name: LB+datas
+desc: data dependencies forbid load buffering
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    ADD X2,X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    ADD X2,X2,#1
+    STR X2,[X3]
+forbidden: 0:X0=1 & 1:X0=1
+)",
+
+R"(name: LB+addrs
+desc: address dependencies forbid load buffering
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 0:X2=1; 1:X1=y; 1:X3=x; 1:X2=1
+thread 0:
+    LDR X0,[X1]
+    EOR X4,X0,X0
+    STR X2,[X3,X4]
+thread 1:
+    LDR X0,[X1]
+    EOR X4,X0,X0
+    STR X2,[X3,X4]
+forbidden: 0:X0=1 & 1:X0=1
+)",
+
+R"(name: LB+acqs
+desc: acquire loads order everything program-order-later
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 0:X2=1; 1:X1=y; 1:X3=x; 1:X2=1
+thread 0:
+    LDAR X0,[X1]
+    STR X2,[X3]
+thread 1:
+    LDAR X0,[X1]
+    STR X2,[X3]
+forbidden: 0:X0=1 & 1:X0=1
+)",
+
+// ---- Other classic shapes ------------------------------------------
+
+R"(name: S+dmb.sy+data
+desc: the S shape with a barrier and a data dependency
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#2
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    ADD X2,X2,#1
+    STR X2,[X3]
+forbidden: 1:X0=1 & *x=2
+)",
+
+R"(name: R+dmb.sys
+desc: the R shape with barriers on both sides
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    MOV X0,#2
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+forbidden: *y=2 & 1:X2=0
+)",
+
+R"(name: 2+2W+pos
+desc: write-write reordering across two threads is observable
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#2
+    STR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#2
+    STR X2,[X3]
+allowed: *x=1 & *y=1
+)",
+
+R"(name: 2+2W+dmb.sys
+desc: barriers forbid the 2+2W shape
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#2
+    STR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#2
+    STR X2,[X3]
+forbidden: *x=1 & *y=1
+)",
+
+R"(name: WRC+addrs
+desc: write-to-read causality with address dependencies (multicopy
+desc: atomicity)
+init: *x=0; *y=0; 0:X1=x; 1:X1=x; 1:X3=y; 1:X6=1; 2:X1=y; 2:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+thread 1:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    STR X6,[X3,X2]
+thread 2:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    LDR X4,[X5,X2]
+forbidden: 1:X0=1 & 2:X0=1 & 2:X4=0
+)",
+
+R"(name: WRC+pos
+desc: without dependencies the WRC shape is observable
+init: *x=0; *y=0; 0:X1=x; 1:X1=x; 1:X3=y; 1:X6=1; 2:X1=y; 2:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+thread 1:
+    LDR X0,[X1]
+    STR X6,[X3]
+thread 2:
+    LDR X0,[X1]
+    LDR X4,[X5]
+allowed: 1:X0=1 & 2:X0=1 & 2:X4=0
+)",
+
+R"(name: ISA2+dmb.sy+addr+addr
+desc: the ISA2 shape: barrier then two dependency hops
+init: *x=0; *y=0; *z=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=z; 1:X6=1; 2:X1=z; 2:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    STR X6,[X3,X2]
+thread 2:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    LDR X4,[X5,X2]
+forbidden: 1:X0=1 & 2:X0=1 & 2:X4=0
+)",
+
+R"(name: S+pos
+desc: the S shape without barriers or dependencies is observable
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#2
+    STR X0,[X1]
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    MOV X2,#1
+    STR X2,[X3]
+allowed: 1:X0=1 & *x=2
+)",
+
+R"(name: R+pos
+desc: the R shape without barriers is observable
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    MOV X0,#2
+    STR X0,[X1]
+    LDR X2,[X3]
+allowed: *y=2 & 1:X2=0
+)",
+
+R"(name: IRIW+pos
+desc: independent readers may disagree on write order when nothing
+desc: orders their reads
+init: *x=0; *y=0; 0:X1=x; 1:X1=y; 2:X1=x; 2:X3=y; 3:X1=y; 3:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+thread 2:
+    LDR X0,[X1]
+    LDR X2,[X3]
+thread 3:
+    LDR X0,[X1]
+    LDR X2,[X3]
+allowed: 2:X0=1 & 2:X2=0 & 3:X0=1 & 3:X2=0
+)",
+
+R"(name: IRIW+addrs
+desc: with address dependencies, other-multicopy-atomicity forbids the
+desc: readers from disagreeing on the write order
+init: *x=0; *y=0; 0:X1=x; 1:X1=y; 2:X1=x; 2:X3=y; 3:X1=y; 3:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+thread 2:
+    LDR X0,[X1]
+    EOR X4,X0,X0
+    LDR X2,[X3,X4]
+thread 3:
+    LDR X0,[X1]
+    EOR X4,X0,X0
+    LDR X2,[X3,X4]
+forbidden: 2:X0=1 & 2:X2=0 & 3:X0=1 & 3:X2=0
+)",
+
+R"(name: LB+cmp-ctrls
+desc: control dependencies through the NZCV flags (CMP + B.cond)
+desc: forbid load buffering like register-value control dependencies
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 0:X2=1; 1:X1=y; 1:X3=x; 1:X2=1
+thread 0:
+    LDR X0,[X1]
+    CMP X0,#0
+    B.EQ LC00
+LC00:
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    CMP X0,#0
+    B.EQ LC10
+LC10:
+    STR X2,[X3]
+forbidden: 0:X0=1 & 1:X0=1
+)",
+
+R"(name: MP+dmb.sy+cmp-ctrlisb
+desc: a flags-mediated control dependency plus ISB orders the reads
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    CMP X0,#1
+    B.NE LC00
+LC00:
+    ISB
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: MP+dmb.sy+cmp-ctrlsvc
+desc: Figure 5's shape with the control dependency through CMP/B.cond
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    CMP X0,#1
+    B.GE LC00
+LC00:
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+variant ExS: allowed
+)",
+
+// ---- Exclusives ----------------------------------------------------
+
+R"(name: ATOM-2+2
+desc: two successful exclusive pairs on one location cannot both read the
+desc: initial value (atomic axiom)
+init: *x=0; 0:X1=x; 1:X1=x
+thread 0:
+    LDXR X0,[X1]
+    MOV X2,#1
+    STXR W3,X2,[X1]
+thread 1:
+    LDXR X0,[X1]
+    MOV X2,#2
+    STXR W3,X2,[X1]
+forbidden: 0:X0=0 & 1:X0=0 & 0:X3=0 & 1:X3=0
+)",
+
+R"(name: ATOM-fail
+desc: a store-exclusive may fail, leaving the other pair intact
+init: *x=0; 0:X1=x; 1:X1=x
+thread 0:
+    LDXR X0,[X1]
+    MOV X2,#1
+    STXR W3,X2,[X1]
+thread 1:
+    LDXR X0,[X1]
+    MOV X2,#2
+    STXR W3,X2,[X1]
+allowed: 0:X0=0 & 1:X0=0 & 0:X3=0 & 1:X3=1
+)",
+
+// ---- Post-index writeback (s3.4) ------------------------------------
+
+R"(name: LB+pos+wb
+desc: post-index writeback publishes the base register early; the
+desc: writeback carries no dependency from the loaded data
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 0:X2=1; 1:X1=y; 1:X3=x; 1:X2=1
+thread 0:
+    LDR X0,[X1],#8
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    STR X2,[X3]
+allowed: 0:X0=1 & 1:X0=1
+variant SEA_R: forbidden
+)",
+
+};
+
+} // namespace
+
+void
+registerCoreSuite(TestRegistry &registry)
+{
+    for (const char *text : kCoreTests)
+        registry.add("core", text);
+}
+
+} // namespace rex

@@ -1,0 +1,857 @@
+/**
+ * @file
+ * Exceptions suite (§3): relaxed behaviour across exception boundaries.
+ *
+ * Contains every litmus test shown in the paper's figures 4-8, the
+ * MP+dmb.sy+svc shape of §3.2.2, and further hand-written tests covering
+ * the same mechanisms (entry-only / exit-only reordering, dependencies
+ * crossing boundaries, system-register dependency composition, §3.4
+ * writeback-unwinding, and the FEAT_ExS / FEAT_ETS2 parameter axes).
+ *
+ * Expected verdicts follow the paper's figures; `variant` lines record
+ * the param-refs columns.
+ */
+
+#include "litmus/registry.hh"
+
+namespace rex {
+
+namespace {
+
+const char *kExceptionTests[] = {
+
+// ---- Figure 4 -------------------------------------------------------
+
+R"(name: SB+dmb.sy+eret
+desc: reads and writes execute out-of-order across exception entry+exit
+desc: (Figure 4); under SEA_W the handler store pins the post-return read
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+thread 1:
+    SVC #0
+    LDR X2,[X3]
+handler 1:
+    MOV X0,#1
+    STR X0,[X1]
+    ERET
+allowed: 0:X2=0 & 1:X2=0
+variant ExS: allowed
+variant SEA_R: allowed
+variant SEA_W: forbidden
+variant SEA_RW: forbidden
+)",
+
+// ---- Figure 5 -------------------------------------------------------
+
+R"(name: MP+dmb.sy+ctrlsvc
+desc: context-synchronising exception entry is never speculative
+desc: (Figure 5): a control dependency into the SVC orders the reads
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    CBNZ X0,LC00
+LC00:
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+variant ExS: allowed
+variant SEA_R: forbidden
+variant SEA_W: forbidden
+variant SEA_RW: forbidden
+)",
+
+// ---- Figure 6 -------------------------------------------------------
+
+R"(name: SB+dmb.sy+rfisvc-addr
+desc: a store forwards to a read inside the (non-speculative) handler
+desc: (Figure 6)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=y; 1:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+    EOR X6,X2,X2
+    LDR X4,[X5,X6]
+allowed: 0:X2=0 & 1:X2=1 & 1:X4=0
+variant ExS: allowed
+variant SEA_R: allowed
+variant SEA_W: forbidden
+variant SEA_RW: forbidden
+)",
+
+// ---- Figure 7 -------------------------------------------------------
+
+R"(name: MP.EL1+dmb.sy+dataesrsvc
+desc: a dependent write to ESR composes with the SVC's context
+desc: synchronisation (Figure 7, top)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:PSTATE.EL=1; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    MRS X4,ESR_EL1
+    EOR X5,X0,X0
+    ADD X5,X4,X5
+    MSR ESR_EL1,X5
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+variant ExS: allowed
+)",
+
+R"(name: MP+dmb.sy+ctrlelr
+desc: a dependent write to the (self-synchronising) ELR is preserved and
+desc: feeds the ERET (Figure 7, bottom; the paper's listing has X4 where
+desc: the dependency chain requires X5)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    SVC #0
+    LDR X2,[X3]
+handler 1:
+    LDR X0,[X1]
+    MRS X4,ELR_EL1
+    EOR X5,X0,X0
+    ADD X5,X4,X5
+    MSR ELR_EL1,X5
+    ERET
+forbidden: 1:X0=1 & 1:X2=0
+variant ExS: allowed
+variant SEA_R: forbidden
+variant SEA_W: forbidden
+variant SEA_RW: forbidden
+)",
+
+// ---- Figure 8 -------------------------------------------------------
+
+R"(name: MP+dmb.sy+fault
+desc: FEAT_ETS2 gives translation faults a barrier from program-order-
+desc: earlier instances (Figure 8, top)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    MOV X5,#0
+    LDR X4,[X5]
+handler 1:
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+variant noETS2: allowed
+)",
+
+R"(name: MP+dmb.sy+int
+desc: an asynchronous interrupt gets no such barrier: the handler read
+desc: may satisfy before the program-order-earlier read (Figure 8,
+desc: bottom)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+L:
+    NOP
+handler 1:
+    LDR X2,[X3]
+interrupt 1 at L
+allowed: 1:X0=1 & 1:X2=0
+)",
+
+// ---- s3.2.2: MP+dmb.sy+svc -----------------------------------------
+
+R"(name: MP+dmb.sy+svc
+desc: exception entry+return act like an ISB with no dependency into it
+desc: (s3.2.2): allowed, by analogy with MP+dmb.sy+isb; forbidden once
+desc: loads may abort synchronously
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    SVC #0
+    LDR X2,[X3]
+handler 1:
+    ERET
+allowed: 1:X0=1 & 1:X2=0
+variant ExS: allowed
+variant SEA_R: forbidden
+variant SEA_W: allowed
+variant SEA_RW: forbidden
+)",
+
+// ---- Entry-only / exit-only reordering ------------------------------
+
+R"(name: SB+dmb.sy+svc-entry
+desc: a read in the handler may satisfy before the pre-SVC store
+desc: propagates (entry-only reordering)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+allowed: 0:X2=0 & 1:X2=0
+variant ExS: allowed
+variant SEA_R: allowed
+variant SEA_W: forbidden
+variant SEA_RW: forbidden
+)",
+
+R"(name: SB+dmb.sy+svceret-both
+desc: store and read reorder across the composition of exception entry
+desc: and return (the store before SVC, the read after ERET)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    SVC #0
+    LDR X2,[X3]
+handler 1:
+    ERET
+allowed: 0:X2=0 & 1:X2=0
+variant SEA_W: forbidden
+)",
+
+R"(name: SB+dmb.sy+erets
+desc: exception boundaries on both threads still do not act as memory
+desc: barriers
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    SVC #0
+    LDR X2,[X3]
+thread 1:
+    SVC #0
+    LDR X2,[X3]
+handler 0:
+    MOV X0,#1
+    STR X0,[X1]
+    ERET
+handler 1:
+    MOV X0,#1
+    STR X0,[X1]
+    ERET
+allowed: 0:X2=0 & 1:X2=0
+variant SEA_W: forbidden
+)",
+
+// ---- Dependencies crossing exception boundaries ---------------------
+
+R"(name: MP+dmb.sy+addrsvc
+desc: an address dependency from a pre-SVC load into a handler load is
+desc: preserved across the boundary
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 1:
+    LDR X0,[X1]
+    EOR X4,X0,X0
+    ADD X5,X3,X4
+    SVC #0
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+handler 1:
+    LDR X2,[X5]
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: LB+datasvc+data
+desc: a data dependency through an exception boundary still forbids load
+desc: buffering
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    LDR X0,[X1]
+    SVC #0
+thread 1:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    ADD X2,X2,#1
+    STR X2,[X3]
+handler 0:
+    EOR X2,X0,X0
+    ADD X2,X2,#1
+    STR X2,[X3]
+forbidden: 0:X0=1 & 1:X0=1
+)",
+
+R"(name: MP+dmb.sy+ctrleret
+desc: a control dependency into a context-synchronising ERET orders
+desc: program-order-later reads
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    SVC #0
+    LDR X2,[X3]
+handler 1:
+    LDR X0,[X1]
+    CBNZ X0,LH00
+LH00:
+    ERET
+forbidden: 1:X0=1 & 1:X2=0
+variant ExS: allowed
+variant ExS_EIS0: forbidden
+variant ExS_EOS0: allowed
+)",
+
+R"(name: MP+dmb.sy+svc-noeret
+desc: entry alone (handler never returns) is still context-synchronising
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    CBNZ X0,LC00
+LC00:
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+variant ExS: allowed
+variant ExS_EIS0: allowed
+variant ExS_EOS0: forbidden
+)",
+
+// ---- System-register dependency composition -------------------------
+
+R"(name: MP+dmb.sy+msresr-nodep
+desc: writing ESR with an independent value imposes no ordering: only
+desc: *dependent* system-register writes compose with context sync
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:PSTATE.EL=1; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    MOV X5,#7
+    MSR ESR_EL1,X5
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+allowed: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: MP.EL1+dmb.sy+datatpidrsvc
+desc: TPIDR_EL1 is a plain system register, so a dependent write into it
+desc: composes with context synchronisation like ESR (s3.2.5 notes Arm is
+desc: still investigating whether TPIDR could be weaker)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:PSTATE.EL=1; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    MRS X4,TPIDR_EL1
+    EOR X5,X0,X0
+    ADD X5,X4,X5
+    MSR TPIDR_EL1,X5
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+variant ExS: allowed
+)",
+
+R"(name: MP+dmb.sy+dataelr-roundtrip
+desc: a dependent ELR write read back by MRS carries the dependency to a
+desc: handler store
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x; 1:X6=1
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    SVC #0
+    NOP
+handler 1:
+    LDR X0,[X1]
+    MRS X4,ELR_EL1
+    EOR X5,X0,X0
+    ADD X5,X4,X5
+    MSR ELR_EL1,X5
+    MRS X7,ELR_EL1
+    EOR X8,X7,X7
+    LDR X2,[X3,X8]
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+// ---- Faults and s3.4 writeback --------------------------------------
+
+R"(name: FAULT+wb-unchanged
+desc: a faulting post-index access leaves the writeback register
+desc: unchanged for instances after the exception boundary (s3.4)
+init: *x=0; 0:X9=x
+thread 0:
+    MOV X5,#0
+    LDR X4,[X5],#8
+handler 0:
+    MOV X6,#1
+forbidden: 0:X5=8
+)",
+
+R"(name: FAULT+wb-success
+desc: a non-faulting post-index access does write back (x lives at
+desc: 0x1000, so the base advances to 0x1008)
+init: *x=0; 0:X1=x
+thread 0:
+    LDR X4,[X1],#8
+allowed: 0:X4=0 & 0:X1=4104
+)",
+
+R"(name: MP+dmb.sy+fault-addr
+desc: with ETS2 the faulting access is ordered even when its address
+desc: depends on the first load
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X5,X0,X0
+    LDR X4,[X5]
+handler 1:
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+variant noETS2: forbidden
+)",
+
+// ---- Interrupt ordering (s3.2.6) ------------------------------------
+
+R"(name: MP+dmb.sy+interet
+desc: a handler read and a post-return read are both ordered after the
+desc: TakeInterrupt, but not with each other: still allowed
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+L:
+    NOP
+    LDR X2,[X3]
+handler 1:
+    LDR X0,[X1]
+    ERET
+interrupt 1 at L
+allowed: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: LB+ctrlint+data
+desc: asynchronous exceptions cannot be taken speculatively (s3.2.6): a
+desc: control dependency into the interrupt point orders the handler's
+desc: store after the read
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 0:X2=1; 1:X1=y; 1:X3=x
+thread 0:
+    LDR X0,[X1]
+    CBNZ X0,L
+L:
+    NOP
+handler 0:
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    ADD X2,X2,#1
+    STR X2,[X3]
+interrupt 0 at L
+forbidden: 0:X0=1 & 1:X0=1
+)",
+
+R"(name: SB+dmb.sy+int
+desc: a handler read may still satisfy early relative to a pre-interrupt
+desc: store on the other thread
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+L:
+    NOP
+handler 1:
+    LDR X2,[X3]
+interrupt 1 at L
+allowed: 0:X2=0 & 1:X2=0
+variant SEA_W: forbidden
+)",
+
+// ---- Acquire/release across exception boundaries ---------------------
+
+R"(name: MP+dmb.sy+svc-acq-eret
+desc: an acquire load in the handler orders the post-return read
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    SVC #0
+    LDR X2,[X3]
+handler 1:
+    LDAR X0,[X1]
+    ERET
+forbidden: 1:X0=1 & 1:X2=0
+variant ExS: forbidden
+)",
+
+R"(name: SB+dmb.sy+eret-rel
+desc: a store-release in the handler does not order a post-return read
+desc: (releases order earlier accesses, not later reads)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+thread 1:
+    SVC #0
+    LDR X2,[X3]
+handler 1:
+    MOV X0,#1
+    STLR X0,[X1]
+    ERET
+allowed: 0:X2=0 & 1:X2=0
+variant SEA_W: forbidden
+)",
+
+// ---- Classic shapes through exception boundaries ----------------------
+
+R"(name: WRC+addrsvc+addr
+desc: WRC with the dependent store inside an exception handler:
+desc: dependencies and multicopy atomicity survive the boundary
+init: *x=0; *y=0; 0:X1=x; 1:X1=x; 1:X3=y; 1:X6=1; 2:X1=y; 2:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+thread 1:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    SVC #0
+thread 2:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    LDR X4,[X5,X2]
+handler 1:
+    STR X6,[X3,X2]
+forbidden: 1:X0=1 & 2:X0=1 & 2:X4=0
+)",
+
+R"(name: S+dmb.sy+datasvc
+desc: the S shape with the data-dependent store in the handler
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#2
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    SVC #0
+handler 1:
+    EOR X2,X0,X0
+    ADD X2,X2,#1
+    STR X2,[X3]
+forbidden: 1:X0=1 & *x=2
+)",
+
+R"(name: MP+dmb.sy+ldsvc
+desc: a DMB LD before the SVC orders the handler's read after the
+desc: earlier load
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    DMB LD
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+forbidden: 1:X0=1 & 1:X2=0
+variant ExS: forbidden
+)",
+
+R"(name: CoRR+svc
+desc: per-location coherence applies across exception boundaries
+init: *x=0; 0:X1=x; 1:X1=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+thread 1:
+    LDR X0,[X1]
+    SVC #0
+handler 1:
+    LDR X2,[X1]
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: MP+rel+svc
+desc: release on the writer with only an SVC between the reads: like
+desc: MP+rel+isb-style shapes, the stale read survives
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1
+    STLR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    SVC #0
+handler 1:
+    LDR X2,[X3]
+allowed: 1:X0=1 & 1:X2=0
+variant SEA_R: forbidden
+variant SEA_RW: forbidden
+variant SEA_W: allowed
+)",
+
+// ---- More interrupt-boundary dependencies ----------------------------
+
+R"(name: MP+dmb.sy+addrint
+desc: an address dependency carried (through registers) into an
+desc: interrupt handler still orders the reads
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X4,X0,X0
+    ADD X5,X3,X4
+L:
+    NOP
+handler 1:
+    LDR X2,[X5]
+interrupt 1 at L
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: ATOM+svc
+desc: the exclusive monitor is not modelled as cleared by exception
+desc: entry/return: an SVC spliced into the exclusive pair leaves the
+desc: atomic axiom in force
+init: *x=0; 0:X1=x; 1:X1=x
+thread 0:
+    LDXR X0,[X1]
+    SVC #0
+    MOV X2,#1
+    STXR W3,X2,[X1]
+thread 1:
+    LDXR X0,[X1]
+    MOV X2,#2
+    STXR W3,X2,[X1]
+handler 0:
+    ERET
+forbidden: 0:X0=0 & 1:X0=0 & 0:X3=0 & 1:X3=0
+)",
+
+R"(name: MP+dmb.sy+addr-pre
+desc: an address dependency through a pre-index addressing mode is
+desc: still a dependency
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X4,X0,X0
+    ADD X5,X5,X4
+    LDR X2,[X5,#0]!
+forbidden: 1:X0=1 & 1:X2=0
+)",
+
+R"(name: MP.EL0+dmb.sy+svc
+desc: the privilege level has little to no effect on these behaviours
+desc: (s3.2.3): the EL0->EL1 system call behaves like the same-EL one
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:PSTATE.EL=0; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    SVC #0
+    LDR X2,[X3]
+handler 1:
+    ERET
+allowed: 1:X0=1 & 1:X2=0
+variant SEA_R: forbidden
+)",
+
+R"(name: MP+dsb.sy+addr
+desc: DSB SY is at least as strong as DMB SY (the barrier classes are
+desc: upwards-closed, s5)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X5=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DSB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X6,X0,X0
+    LDR X4,[X5,X6]
+forbidden: 1:X0=1 & 1:X4=0
+)",
+
+// ---- Pair accesses and s6's UNKNOWN side effects ----------------------
+
+R"(name: STP+pair-unordered
+desc: the two single-copy-atomic writes of an STP are not ordered with
+desc: each other: a reader may see the second without the first (x and
+desc: y occupy adjacent cells)
+init: *x=0; *y=0; 0:X1=x; 0:X2=1; 0:X3=2; 1:X1=y; 1:X3=x
+thread 0:
+    STP X2,X3,[X1]
+thread 1:
+    LDR X0,[X1]
+    EOR X4,X0,X0
+    LDR X2,[X3,X4]
+allowed: 1:X0=2 & 1:X2=0
+)",
+
+R"(name: STP+partial-fault-racy-read
+desc: when the second element of an STP faults, the first element's
+desc: write is an UNKNOWN-tinged side effect that a racy reader may
+desc: observe (s6); the checker flags such candidates
+init: *x=0; 0:X1=x; 0:X2=1; 0:X3=2; 1:X1=x
+thread 0:
+    STP X2,X3,[X1]
+handler 0:
+    MOV X6,#1
+thread 1:
+    LDR X0,[X1]
+allowed: 0:X6=1 & 1:X0=1
+)",
+
+R"(name: LDP+pair-mp
+desc: the two reads of an LDP are mutually unordered: the element
+desc: reading the newer cell may see the message while the other misses
+desc: the data
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDP X0,X2,[X1]
+allowed: 1:X2=1 & 1:X0=0
+)",
+
+R"(name: FAULT+wb-pre-unchanged
+desc: a faulting pre-index access also leaves the base register
+desc: unchanged (s3.4)
+init: *x=0; 0:X9=x
+thread 0:
+    MOV X5,#0
+    LDR X4,[X5,#8]!
+handler 0:
+    MOV X6,#1
+forbidden: 0:X5=8
+)",
+
+};
+
+} // namespace
+
+void
+registerExceptionSuite(TestRegistry &registry)
+{
+    for (const char *text : kExceptionTests)
+        registry.add("exceptions", text);
+}
+
+} // namespace rex

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * SGI / GIC suite (§7): message passing via software-generated
+ * interrupts, the Linux-RCU system-wide memory barrier, and the Verona
+ * asymmetric lock.
+ *
+ * These tests exercise the §7.5 draft axiomatic extension: the
+ * `interrupt` witness (GenerateInterrupt -> TakeInterrupt) is in
+ * ordered-before, GIC effect events sit iio-after their register
+ * accesses, and only DSBs order GIC effects with program order.
+ */
+
+#include "litmus/registry.hh"
+
+namespace rex {
+
+namespace {
+
+const char *kGicTests[] = {
+
+// ---- Figure 12 ------------------------------------------------------
+
+R"(name: MPviaSGI
+desc: message passing via an SGI with no synchronisation: the SGI's
+desc: generation and delivery may outrun the po-earlier data write
+desc: (Figure 12)
+init: *x=0; 0:X1=x; 0:PSTATE.EL=1; 1:X2=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+thread 1:
+    NOP
+handler 1:
+    MOV X0,#1
+    LDR X1,[X2]
+    ERET
+allowed: 1:X0=1 & 1:X1=0
+)",
+
+R"(name: MPviaSGI+dsb.st
+desc: a DSB ST between the data write and the SGI generation orders the
+desc: write before GenerateInterrupt, hence before delivery and the
+desc: handler's read
+init: *x=0; 0:X1=x; 0:PSTATE.EL=1; 1:X2=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DSB ST
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+thread 1:
+    NOP
+handler 1:
+    MOV X0,#1
+    LDR X1,[X2]
+    ERET
+forbidden: 1:X0=1 & 1:X1=0
+)",
+
+// ---- Figure 11 ------------------------------------------------------
+
+R"(name: MPviaSGIEIOmode1sequence
+desc: synchronisation via SGI with the full acknowledge / priority-drop /
+desc: deactivate sequence appropriate for EOImode=1 (Figure 11)
+init: *x=0; 0:X1=x; 0:PSTATE.EL=1; 1:EOIMode=1; 1:X2=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DSB ST
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+    ISB
+thread 1:
+    NOP
+handler 1:
+    MRS X3,IAR
+    AND X3,X3,#0xFFFFFF
+    DSB SY
+    MSR EOIR,X3
+    ISB
+    MOV X0,#1
+    LDR X1,[X2]
+    DSB SY
+    MSR DIR,X3
+    ERET
+forbidden: 1:X0=1 & 1:X1=0
+)",
+
+// ---- Figure 13: RCU -------------------------------------------------
+
+R"(name: RCU-MP
+desc: the key RCU test (Figure 13): writes separated by an SGI-based
+desc: system-wide barrier versus an interrupt-masked read section;
+desc: without a DSB ST before the SGI the data write may lag
+init: *x=0; *y=0; *z=0; 0:X1=x; 0:X4=y; 0:X6=z; 1:X1=y; 1:X3=x; 1:X5=z; 1:EOIMode=1
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+    LDAR X5,[X6]
+    MOV X3,#1
+    STR X3,[X4]
+thread 1:
+    MSR DAIFSet,#0xf
+    LDR X0,[X1]
+    LDR X2,[X3]
+    MSR DAIFClr,#0xf
+handler 1:
+    MRS X6,IAR
+    DSB SY
+    MSR EOIR,X6
+    MSR DIR,X6
+    MOV X2,#1
+    STLR X2,[X5]
+    ERET
+allowed: 0:X5=1 & 1:X0=1 & 1:X2=0
+)",
+
+R"(name: RCU-MP+dsb.st
+desc: with the DSB ST the synchronize_rcu barrier is sound: the masked
+desc: read section sees the data write once it sees the flag
+init: *x=0; *y=0; *z=0; 0:X1=x; 0:X4=y; 0:X6=z; 1:X1=y; 1:X3=x; 1:X5=z; 1:EOIMode=1
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DSB ST
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+    LDAR X5,[X6]
+    MOV X3,#1
+    STR X3,[X4]
+thread 1:
+    MSR DAIFSet,#0xf
+    LDR X0,[X1]
+    LDR X2,[X3]
+    MSR DAIFClr,#0xf
+handler 1:
+    MRS X6,IAR
+    DSB SY
+    MSR EOIR,X6
+    MSR DIR,X6
+    MOV X2,#1
+    STLR X2,[X5]
+    ERET
+forbidden: 0:X5=1 & 1:X0=1 & 1:X2=0
+)",
+
+// ---- Verona asymmetric lock (§7.3) ----------------------------------
+
+R"(name: VERONA-asymlock
+desc: the Verona asymmetric lock: the owner's cheap internal acquire
+desc: (plain write of the external flag then read of the internal flag)
+desc: against an external acquire using a system-wide barrier; precision
+desc: of the interrupt ensures mutual exclusion (at least one side sees
+desc: the other's interest)
+init: *intf=0; *extf=0; *ack=0; 0:X1=intf; 0:X3=extf; 0:X6=ack; 1:X1=extf; 1:X3=intf; 1:X5=ack
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DSB ST
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+    LDAR X5,[X6]
+    LDR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    LDR X2,[X3]
+handler 1:
+    MRS X6,IAR
+    DSB SY
+    MSR EOIR,X6
+    MOV X7,#1
+    STLR X7,[X5]
+    ERET
+forbidden: 0:X5=1 & 0:X2=0 & 1:X2=0
+)",
+
+R"(name: VERONA-asymlock-nodsb
+desc: dropping the DSB ST from the external acquire breaks the lock: the
+desc: internal-flag write may lag the SGI, letting both threads enter
+init: *intf=0; *extf=0; *ack=0; 0:X1=intf; 0:X3=extf; 0:X6=ack; 1:X1=extf; 1:X3=intf; 1:X5=ack
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+    LDAR X5,[X6]
+    LDR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    LDR X2,[X3]
+handler 1:
+    MRS X6,IAR
+    DSB SY
+    MSR EOIR,X6
+    MOV X7,#1
+    STLR X7,[X5]
+    ERET
+allowed: 0:X5=1 & 0:X2=0 & 1:X2=0
+)",
+
+// ---- Interrupt-masking fundamentals ---------------------------------
+
+R"(name: SGI-masked-section
+desc: an SGI cannot be taken inside a DAIF-masked section: a handler
+desc: effect observed between the section's reads is impossible; here the
+desc: handler writes w, and the section reads w twice -- it cannot see
+desc: the write appear between them
+init: *w=0; 0:PSTATE.EL=1; 1:X1=w
+thread 0:
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+thread 1:
+    MSR DAIFSet,#0xf
+    LDR X0,[X1]
+    LDR X2,[X1]
+    MSR DAIFClr,#0xf
+handler 1:
+    MOV X3,#1
+    STR X3,[X1]
+    ERET
+forbidden: 1:X0=0 & 1:X2=1
+)",
+
+R"(name: SGI-unmasked-between
+desc: without masking, the interrupt may land between the two reads
+init: *w=0; 0:PSTATE.EL=1; 1:X1=w
+thread 0:
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+thread 1:
+    LDR X0,[X1]
+    LDR X2,[X1]
+handler 1:
+    MOV X3,#1
+    STR X3,[X1]
+    ERET
+allowed: 1:X0=0 & 1:X2=1
+)",
+
+// ---- SGI routing at the axiomatic level -------------------------------
+
+R"(name: SGI-broadcast-two-targets
+desc: a broadcast SGI (IRM=1) may be taken by every other PE
+init: *w=0; 0:PSTATE.EL=1
+thread 0:
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+thread 1:
+    NOP
+thread 2:
+    NOP
+handler 1:
+    MOV X3,#1
+    ERET
+handler 2:
+    MOV X3,#1
+    ERET
+allowed: 1:X3=1 & 2:X3=1
+)",
+
+R"(name: SGI-target-list-miss
+desc: a target-list SGI is never taken by a PE outside the list
+init: *w=0; 0:PSTATE.EL=1
+thread 0:
+    MOV X2,#2
+    MSR ICC_SGI1R_EL1,X2
+thread 1:
+    NOP
+thread 2:
+    NOP
+handler 1:
+    MOV X3,#1
+    ERET
+handler 2:
+    MOV X3,#1
+    ERET
+forbidden: 2:X3=1
+)",
+
+R"(name: SGI-self
+desc: a PE may send an SGI to itself via an explicit target list
+init: *w=0; 0:PSTATE.EL=1
+thread 0:
+    MOV X2,#1
+    MSR ICC_SGI1R_EL1,X2
+handler 0:
+    MOV X3,#1
+    ERET
+allowed: 0:X3=1
+)",
+
+R"(name: MPviaSGI+dmb.st
+desc: a DMB ST does not order the data write before the SGI generation:
+desc: only DSBs order GIC effects (s7.4)
+init: *x=0; 0:X1=x; 0:PSTATE.EL=1; 1:X2=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB ST
+    MOV X2,#1,LSL #40
+    MSR ICC_SGI1R_EL1,X2
+thread 1:
+    NOP
+handler 1:
+    MOV X0,#1
+    LDR X1,[X2]
+    ERET
+allowed: 1:X0=1 & 1:X1=0
+)",
+
+};
+
+} // namespace
+
+void
+registerGicSuite(TestRegistry &registry)
+{
+    for (const char *text : kGicTests)
+        registry.add("gic", text);
+}
+
+} // namespace rex

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Synchronous-external-abort suite (§4).
+ *
+ * When loads (SEA_R) or stores (SEA_W) may report external aborts
+ * synchronously, program-order-later instances are speculative until the
+ * access completes. Writes cannot be speculative, so SEA_R forbids
+ * load-buffering shapes and SEA_W forbids write-write reordering, while
+ * read speculation (R-R reordering) stays allowed. These tests exercise
+ * those consequences directly; the core suite's LB+pos / MP+po+addr /
+ * MP+dmb.sy+isb record the same strengthening via variant lines.
+ */
+
+#include "litmus/registry.hh"
+
+namespace rex {
+
+namespace {
+
+const char *kSeaTests[] = {
+
+R"(name: LB+svc+po
+desc: under SEA_R a load is ordered before a later context-synchronising
+desc: exception entry, pinning the handler's store
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x; 1:X2=1
+thread 0:
+    LDR X0,[X1]
+    SVC #0
+thread 1:
+    LDR X0,[X1]
+    STR X2,[X3]
+handler 0:
+    MOV X2,#1
+    STR X2,[X3]
+allowed: 0:X0=1 & 1:X0=1
+variant SEA_R: forbidden
+variant SEA_RW: forbidden
+variant SEA_W: allowed
+variant ExS: allowed
+)",
+
+R"(name: S+po+data
+desc: writer-side write-write reordering is allowed until stores may
+desc: abort synchronously
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#2
+    STR X0,[X1]
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    EOR X2,X0,X0
+    ADD X2,X2,#1
+    STR X2,[X3]
+allowed: 1:X0=1 & *x=2
+variant SEA_W: forbidden
+variant SEA_RW: forbidden
+variant SEA_R: allowed
+variant ExS: allowed
+)",
+
+R"(name: R+po+dmb.sy
+desc: the R shape with only program order on the writer side
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    MOV X0,#2
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+allowed: *y=2 & 1:X2=0
+variant SEA_W: forbidden
+variant SEA_RW: forbidden
+)",
+
+R"(name: MP+po+po-rr
+desc: read-read reordering survives all SEA variants: reads may be
+desc: satisfied speculatively (s4.1)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    MOV X2,#1
+    STR X2,[X3]
+thread 1:
+    LDR X0,[X1]
+    LDR X2,[X3]
+allowed: 1:X0=1 & 1:X2=0
+variant SEA_R: allowed
+variant SEA_W: allowed
+variant SEA_RW: allowed
+variant ExS: allowed
+)",
+
+R"(name: LB+wb-base+po
+desc: the post-index writeback publishes the new base early (s3.4): a
+desc: store addressing through the written-back base has no dependency on
+desc: the loaded data, so LB is allowed -- until SEA_R pins it (x is at
+desc: 0x1000 and y at 0x2000, so the post-index offset 4096 retargets the
+desc: base from x to y)
+init: *x=0; *y=0; 0:X1=x; 0:X2=1; 1:X1=y; 1:X3=x; 1:X2=1
+thread 0:
+    LDR X0,[X1],#4096
+    STR X2,[X1]
+thread 1:
+    LDR X0,[X1]
+    STR X2,[X3]
+allowed: 0:X0=1 & 1:X0=1
+variant SEA_R: forbidden
+variant SEA_RW: forbidden
+)",
+
+R"(name: SB+sea+isb
+desc: an ISB after the first load orders it under SEA_R (the
+desc: MP+dmb.sy+isb mechanism in an SB shape: still allowed, since the
+desc: ISB only orders reads after it, not the store buffering itself)
+init: *x=0; *y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x
+thread 0:
+    MOV X0,#1
+    STR X0,[X1]
+    DMB SY
+    LDR X2,[X3]
+thread 1:
+    MOV X0,#1
+    STR X0,[X1]
+    ISB
+    LDR X2,[X3]
+allowed: 0:X2=0 & 1:X2=0
+variant SEA_R: allowed
+variant SEA_W: forbidden
+variant SEA_RW: forbidden
+)",
+
+};
+
+} // namespace
+
+void
+registerSeaSuite(TestRegistry &registry)
+{
+    for (const char *text : kSeaTests)
+        registry.add("sea", text);
+}
+
+} // namespace rex

@@ -1,0 +1,66 @@
+#include "operational/explorer.hh"
+
+#include <unordered_set>
+#include <vector>
+
+namespace rex::op {
+
+namespace {
+
+/** DFS frame: the transition sequence that led here is implicit in the
+ *  machine replays (the machine is copied per frame — states are small
+ *  and litmus tests shallow). */
+struct Frame {
+    Machine machine;
+    std::vector<Machine::Transition> transitions;
+    std::size_t next = 0;
+};
+
+} // namespace
+
+ExploreResult
+explore(const LitmusTest &test, const CoreProfile &profile,
+        std::size_t max_states)
+{
+    ExploreResult result;
+    std::unordered_set<std::string> visited;
+
+    Machine initial(test, profile);
+    std::vector<Frame> stack;
+    stack.push_back({initial, initial.enabled(), 0});
+    visited.insert(initial.stateKey());
+
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        if (frame.machine.done()) {
+            Outcome outcome = frame.machine.outcome();
+            result.outcomes.insert(outcome.key());
+            if (outcome.satisfiesCondition(test))
+                result.conditionReachable = true;
+            stack.pop_back();
+            continue;
+        }
+        if (frame.next >= frame.transitions.size()) {
+            stack.pop_back();
+            continue;
+        }
+        Machine next = frame.machine;
+        next.apply(frame.transitions[frame.next++]);
+        std::string key = next.stateKey();
+        if (visited.count(key))
+            continue;
+        if (visited.size() >= max_states) {
+            result.truncated = true;
+            stack.clear();
+            break;
+        }
+        visited.insert(key);
+        auto transitions = next.enabled();
+        stack.push_back({std::move(next), std::move(transitions), 0});
+    }
+
+    result.statesVisited = visited.size();
+    return result;
+}
+
+} // namespace rex::op

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Exhaustive exploration of the operational machine: enumerates every
+ * reachable final state (memoised on machine state), used to check the
+ * simulator sound against the axiomatic model — every operationally
+ * reachable outcome must be axiomatically allowed.
+ */
+
+#ifndef REX_OPERATIONAL_EXPLORER_HH
+#define REX_OPERATIONAL_EXPLORER_HH
+
+#include <set>
+#include <string>
+
+#include "litmus/litmus.hh"
+#include "operational/machine.hh"
+#include "operational/profile.hh"
+
+namespace rex::op {
+
+/** Result of exhaustive exploration. */
+struct ExploreResult {
+    /** Keys of all reachable final outcomes. */
+    std::set<std::string> outcomes;
+
+    /** True when some reachable outcome satisfies the condition. */
+    bool conditionReachable = false;
+
+    /** Number of distinct states visited. */
+    std::size_t statesVisited = 0;
+
+    /** True when exploration hit the state cap and stopped early. */
+    bool truncated = false;
+};
+
+/**
+ * Exhaustively explore @p test on @p profile.
+ * @param max_states cap on distinct visited states.
+ */
+ExploreResult explore(const LitmusTest &test, const CoreProfile &profile,
+                      std::size_t max_states = 2'000'000);
+
+} // namespace rex::op
+
+#endif // REX_OPERATIONAL_EXPLORER_HH

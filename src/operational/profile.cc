@@ -1,0 +1,85 @@
+#include "operational/profile.hh"
+
+#include "base/logging.hh"
+
+namespace rex::op {
+
+CoreProfile
+CoreProfile::cortexA53()
+{
+    CoreProfile p;
+    p.name = "cortex-a53";
+    p.windowSize = 8;
+    return p;
+}
+
+CoreProfile
+CoreProfile::cortexA72()
+{
+    CoreProfile p;
+    p.name = "cortex-a72";
+    p.storeStoreReorder = true;
+    return p;
+}
+
+CoreProfile
+CoreProfile::cortexA76()
+{
+    CoreProfile p;
+    p.name = "cortex-a76";
+    p.storeStoreReorder = true;
+    p.windowSize = 32;
+    return p;
+}
+
+CoreProfile
+CoreProfile::cortexA73()
+{
+    CoreProfile p;
+    p.name = "cortex-a73";
+    p.loadLoadReorder = true;
+    p.storeStoreReorder = true;
+    p.loadStoreReorder = true;
+    return p;
+}
+
+CoreProfile
+CoreProfile::sequential()
+{
+    CoreProfile p;
+    p.name = "sequential";
+    p.forwarding = true;
+    p.windowSize = 1;
+    return p;
+}
+
+CoreProfile
+CoreProfile::maxRelaxed()
+{
+    CoreProfile p;
+    p.name = "max-relaxed";
+    p.loadLoadReorder = true;
+    p.storeStoreReorder = true;
+    p.loadStoreReorder = true;
+    p.windowSize = 32;
+    return p;
+}
+
+std::vector<CoreProfile>
+CoreProfile::paperDevices()
+{
+    return {cortexA53(), cortexA72(), cortexA76(), cortexA73()};
+}
+
+CoreProfile
+CoreProfile::byName(const std::string &name)
+{
+    for (const CoreProfile &p : {cortexA53(), cortexA72(), cortexA76(),
+                                 cortexA73(), sequential(), maxRelaxed()}) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown core profile '" + name + "'");
+}
+
+} // namespace rex::op

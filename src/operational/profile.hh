@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Core profiles for the operational simulator.
+ *
+ * The paper tests four implementations (Cortex-A53/A72/A76/A73); our
+ * simulator substitutes for them with profiles controlling which
+ * reorderings the abstract microarchitecture performs. The profiles are
+ * calibrated so that *which* relaxed outcomes each profile can exhibit
+ * mirrors which devices observed which tests (§3.2): all four have store
+ * buffers with forwarding; only the A73 profile reorders loads (the
+ * paper observed MP+dmb.sy+svc only on the ODROID-N2+'s A73 cores).
+ * Absolute frequencies are synthetic.
+ */
+
+#ifndef REX_OPERATIONAL_PROFILE_HH
+#define REX_OPERATIONAL_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+namespace rex::op {
+
+/** Reordering capabilities of a simulated core. */
+struct CoreProfile {
+    std::string name;
+
+    /** Loads may satisfy while older loads are unsatisfied. */
+    bool loadLoadReorder = false;
+
+    /** Stores may commit while older (other-location) stores are
+     *  uncommitted. */
+    bool storeStoreReorder = false;
+
+    /** Stores may commit while older loads are unsatisfied
+     *  (enables load-buffering shapes). */
+    bool loadStoreReorder = false;
+
+    /** Loads may forward from uncommitted older same-address stores. */
+    bool forwarding = true;
+
+    /** Maximum in-flight operations per thread. */
+    unsigned windowSize = 16;
+
+    /** An in-order core with a store buffer (Cortex-A53-like). */
+    static CoreProfile cortexA53();
+
+    /** Out-of-order, conservative loads (Cortex-A72-like). */
+    static CoreProfile cortexA72();
+
+    /** Out-of-order, conservative loads (Cortex-A76-like). */
+    static CoreProfile cortexA76();
+
+    /** Aggressive out-of-order incl. load-load reordering
+     *  (Cortex-A73-like). */
+    static CoreProfile cortexA73();
+
+    /** Fully in-order, no store buffer: sequentially consistent-ish
+     *  reference. */
+    static CoreProfile sequential();
+
+    /** Everything the simulator can reorder: coverage-maximising. */
+    static CoreProfile maxRelaxed();
+
+    /** The four device profiles in the paper's hw-refs order. */
+    static std::vector<CoreProfile> paperDevices();
+
+    /** Look up by name; fatal() when unknown. */
+    static CoreProfile byName(const std::string &name);
+};
+
+} // namespace rex::op
+
+#endif // REX_OPERATIONAL_PROFILE_HH

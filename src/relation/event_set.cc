@@ -1,0 +1,159 @@
+#include "relation/event_set.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace rex {
+
+namespace {
+
+std::size_t
+wordsFor(std::size_t universe_size)
+{
+    return (universe_size + 63) / 64;
+}
+
+} // namespace
+
+EventSet::EventSet(std::size_t universe_size)
+    : _size(universe_size), _words(wordsFor(universe_size), 0)
+{
+}
+
+EventSet
+EventSet::universe(std::size_t universe_size)
+{
+    EventSet set(universe_size);
+    for (std::size_t w = 0; w < set._words.size(); ++w)
+        set._words[w] = ~std::uint64_t{0};
+    // Mask off bits beyond the universe so equality tests stay exact.
+    std::size_t excess = set._words.size() * 64 - universe_size;
+    if (!set._words.empty() && excess > 0)
+        set._words.back() >>= excess;
+    return set;
+}
+
+std::size_t
+EventSet::count() const
+{
+    std::size_t n = 0;
+    for (std::uint64_t w : _words)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+void
+EventSet::insert(EventId id)
+{
+    rexAssert(id < _size, "EventSet::insert out of range");
+    _words[id / 64] |= std::uint64_t{1} << (id % 64);
+}
+
+void
+EventSet::erase(EventId id)
+{
+    rexAssert(id < _size, "EventSet::erase out of range");
+    _words[id / 64] &= ~(std::uint64_t{1} << (id % 64));
+}
+
+bool
+EventSet::contains(EventId id) const
+{
+    if (id >= _size)
+        return false;
+    return (_words[id / 64] >> (id % 64)) & 1;
+}
+
+void
+EventSet::checkCompatible(const EventSet &other) const
+{
+    rexAssert(_size == other._size,
+              "EventSet operation over mismatched universes");
+}
+
+EventSet
+EventSet::operator|(const EventSet &other) const
+{
+    EventSet out = *this;
+    out |= other;
+    return out;
+}
+
+EventSet
+EventSet::operator&(const EventSet &other) const
+{
+    EventSet out = *this;
+    out &= other;
+    return out;
+}
+
+EventSet
+EventSet::operator-(const EventSet &other) const
+{
+    EventSet out = *this;
+    out -= other;
+    return out;
+}
+
+EventSet
+EventSet::complement() const
+{
+    return universe(_size) - *this;
+}
+
+EventSet &
+EventSet::operator|=(const EventSet &other)
+{
+    checkCompatible(other);
+    for (std::size_t w = 0; w < _words.size(); ++w)
+        _words[w] |= other._words[w];
+    return *this;
+}
+
+EventSet &
+EventSet::operator&=(const EventSet &other)
+{
+    checkCompatible(other);
+    for (std::size_t w = 0; w < _words.size(); ++w)
+        _words[w] &= other._words[w];
+    return *this;
+}
+
+EventSet &
+EventSet::operator-=(const EventSet &other)
+{
+    checkCompatible(other);
+    for (std::size_t w = 0; w < _words.size(); ++w)
+        _words[w] &= ~other._words[w];
+    return *this;
+}
+
+std::vector<EventId>
+EventSet::members() const
+{
+    std::vector<EventId> out;
+    for (EventId id = 0; id < _size; ++id) {
+        if (contains(id))
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::string
+EventSet::toString() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (EventId id : members()) {
+        if (!first)
+            out += ", ";
+        out += std::to_string(id);
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace rex

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dense set of candidate-execution events, represented as a bitset.
+ *
+ * Event sets are the `cat` language's notion of a set of events (e.g. the
+ * set R of reads, W of writes, ISB of ISB barrier events). The axiomatic
+ * engine indexes events of one candidate execution by small dense ids, so
+ * a bitset is both compact and fast.
+ */
+
+#ifndef REX_RELATION_EVENT_SET_HH
+#define REX_RELATION_EVENT_SET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rex {
+
+/** Dense id of an event within one candidate execution. */
+using EventId = std::uint32_t;
+
+/**
+ * A set of events over a fixed universe of @c size() events.
+ *
+ * All binary operations require both operands to have the same universe
+ * size; violating this is a library bug (panic).
+ */
+class EventSet
+{
+  public:
+    /** An empty set over an empty universe. */
+    EventSet() = default;
+
+    /** An empty set over a universe of @p universe_size events. */
+    explicit EventSet(std::size_t universe_size);
+
+    /** The full set over a universe of @p universe_size events. */
+    static EventSet universe(std::size_t universe_size);
+
+    /** Number of events in the universe (not the set). */
+    std::size_t size() const { return _size; }
+
+    /** Number of events in the set. */
+    std::size_t count() const;
+
+    /** True when the set contains no events. */
+    bool empty() const { return count() == 0; }
+
+    /** Add event @p id to the set. */
+    void insert(EventId id);
+
+    /** Remove event @p id from the set. */
+    void erase(EventId id);
+
+    /** True when the set contains @p id. */
+    bool contains(EventId id) const;
+
+    /** Set union. */
+    EventSet operator|(const EventSet &other) const;
+    /** Set intersection. */
+    EventSet operator&(const EventSet &other) const;
+    /** Set difference. */
+    EventSet operator-(const EventSet &other) const;
+    /** Complement with respect to the universe. */
+    EventSet complement() const;
+
+    EventSet &operator|=(const EventSet &other);
+    EventSet &operator&=(const EventSet &other);
+    EventSet &operator-=(const EventSet &other);
+
+    bool operator==(const EventSet &other) const = default;
+
+    /** All member ids in increasing order. */
+    std::vector<EventId> members() const;
+
+    /** Render as "{0, 3, 7}" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    friend class Relation;
+
+    void checkCompatible(const EventSet &other) const;
+
+    std::size_t _size = 0;
+    std::vector<std::uint64_t> _words;
+};
+
+} // namespace rex
+
+#endif // REX_RELATION_EVENT_SET_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Dense binary relations over candidate-execution events.
+ *
+ * This is the evaluation substrate for `cat`-style axiomatic models: every
+ * derived relation (ordered-before, dependency-ordered-before, ...) is a
+ * Relation value, and the model's axioms are acyclicity / irreflexivity /
+ * emptiness checks on such values.
+ *
+ * Relations are stored as n x n bit matrices (row-major, 64-bit words), so
+ * composition and closure are word-parallel. Candidate executions of litmus
+ * tests have tens of events, making this representation essentially free.
+ */
+
+#ifndef REX_RELATION_RELATION_HH
+#define REX_RELATION_RELATION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relation/event_set.hh"
+
+namespace rex {
+
+/**
+ * A binary relation over a fixed universe of events.
+ *
+ * Supports the operator vocabulary of the `cat` language:
+ *  - `|` union, `&` intersection, `-` difference (cat `\`)
+ *  - `;` sequential composition (seq())
+ *  - `+` transitive closure, `*` reflexive-transitive, `?` reflexive
+ *  - `^-1` inverse
+ *  - `[S]` identity on a set, `S * T` cartesian product
+ */
+class Relation
+{
+  public:
+    /** The empty relation over an empty universe. */
+    Relation() = default;
+
+    /** The empty relation over a universe of @p universe_size events. */
+    explicit Relation(std::size_t universe_size);
+
+    /** Identity relation restricted to @p set (cat `[S]`). */
+    static Relation identity(const EventSet &set);
+
+    /** Full identity over a universe of @p universe_size events. */
+    static Relation identity(std::size_t universe_size);
+
+    /** Cartesian product @p from x @p to (cat `S * T`). */
+    static Relation cartesian(const EventSet &from, const EventSet &to);
+
+    /** Number of events in the universe. */
+    std::size_t size() const { return _size; }
+
+    /** Number of pairs in the relation. */
+    std::size_t pairCount() const;
+
+    /** True when no pair is related. */
+    bool empty() const { return pairCount() == 0; }
+
+    /** Relate @p from to @p to. */
+    void add(EventId from, EventId to);
+
+    /** Remove the pair (@p from, @p to). */
+    void remove(EventId from, EventId to);
+
+    /** True when (@p from, @p to) is in the relation. */
+    bool contains(EventId from, EventId to) const;
+
+    Relation operator|(const Relation &other) const;
+    Relation operator&(const Relation &other) const;
+    Relation operator-(const Relation &other) const;
+    Relation &operator|=(const Relation &other);
+    Relation &operator&=(const Relation &other);
+    Relation &operator-=(const Relation &other);
+
+    bool operator==(const Relation &other) const = default;
+
+    /** Sequential composition: pairs (a, c) with (a, b) here, (b, c) in
+     *  @p other for some b (cat `;`). */
+    Relation seq(const Relation &other) const;
+
+    /** Transitive closure (cat `+`). */
+    Relation transitiveClosure() const;
+
+    /** Reflexive-transitive closure (cat `*`). */
+    Relation reflexiveTransitiveClosure() const;
+
+    /** Reflexive closure (cat `?`). */
+    Relation optional() const;
+
+    /** Inverse relation (cat `^-1`). */
+    Relation inverse() const;
+
+    /** Pairs whose source is in @p set. */
+    Relation restrictDomain(const EventSet &set) const;
+
+    /** Pairs whose target is in @p set. */
+    Relation restrictRange(const EventSet &set) const;
+
+    /** The set of pair sources. */
+    EventSet domain() const;
+
+    /** The set of pair targets. */
+    EventSet range() const;
+
+    /** True when no event is related to itself. */
+    bool irreflexive() const;
+
+    /** True when the relation has no cycle (its closure is irreflexive). */
+    bool acyclic() const;
+
+    /**
+     * Find some cycle, as the sequence of events around it (first event
+     * not repeated at the end). Used to report *why* an axiom failed.
+     * @return std::nullopt when the relation is acyclic.
+     */
+    std::optional<std::vector<EventId>> findCycle() const;
+
+    /** All pairs, in row-major order. */
+    std::vector<std::pair<EventId, EventId>> pairs() const;
+
+    /** Render as "{(0,1), (2,3)}" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    void checkCompatible(const Relation &other) const;
+    std::size_t rowWords() const { return (_size + 63) / 64; }
+    const std::uint64_t *row(EventId r) const;
+    std::uint64_t *row(EventId r);
+
+    std::size_t _size = 0;
+    std::vector<std::uint64_t> _bits;
+};
+
+} // namespace rex
+
+#endif // REX_RELATION_RELATION_HH

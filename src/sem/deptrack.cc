@@ -1,0 +1,15 @@
+#include "sem/deptrack.hh"
+
+namespace rex::sem {
+
+void
+addDepEdges(std::vector<std::pair<int, int>> &edges, Taint sources,
+            int target)
+{
+    for (int i = 0; i < kMaxThreadEvents; ++i) {
+        if (sources & taintOf(i))
+            edges.emplace_back(i, target);
+    }
+}
+
+} // namespace rex::sem

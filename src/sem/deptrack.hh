@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Register dependency (taint) tracking for the thread semantics.
+ *
+ * The axiomatic model's addr/data/ctrl relations are *syntactic* register
+ * dataflow: an event depends on a read when the value it uses was computed
+ * (through registers) from that read's result. We track, per register, the
+ * set of read events the register's current value depends on, as a bitmask
+ * of local (per-thread) event indices.
+ */
+
+#ifndef REX_SEM_DEPTRACK_HH
+#define REX_SEM_DEPTRACK_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rex::sem {
+
+/** Set of local event indices (one thread emits < 64 events). */
+using Taint = std::uint64_t;
+
+/** Maximum events a single thread trace may contain. */
+inline constexpr int kMaxThreadEvents = 64;
+
+/** Taint containing exactly local event @p index. */
+inline Taint
+taintOf(int index)
+{
+    return Taint{1} << index;
+}
+
+/**
+ * Append one dependency edge (from each read in @p sources to event
+ * @p target) to @p edges.
+ */
+void addDepEdges(std::vector<std::pair<int, int>> &edges, Taint sources,
+                 int target);
+
+} // namespace rex::sem
+
+#endif // REX_SEM_DEPTRACK_HH

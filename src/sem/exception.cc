@@ -1,0 +1,68 @@
+#include "sem/exception.hh"
+
+namespace rex::sem {
+
+std::uint64_t
+syndromeFor(ExceptionClass cls, std::uint64_t iss)
+{
+    std::uint64_t ec;
+    switch (cls) {
+      case ExceptionClass::Svc:
+        ec = static_cast<std::uint64_t>(SyndromeClass::Svc);
+        break;
+      case ExceptionClass::DataAbortTranslation:
+        ec = static_cast<std::uint64_t>(SyndromeClass::DataAbortSameEl);
+        break;
+      case ExceptionClass::PcAlignment:
+        ec = static_cast<std::uint64_t>(SyndromeClass::PcAlignment);
+        break;
+      case ExceptionClass::SyncExternalAbort:
+        ec = static_cast<std::uint64_t>(SyndromeClass::SError);
+        break;
+      default:
+        ec = 0;
+        break;
+    }
+    return (ec << 26) | (iss & 0x1ffffff);
+}
+
+std::uint64_t
+preferredReturn(ExceptionClass cls, std::uint64_t pc)
+{
+    switch (cls) {
+      case ExceptionClass::Svc:
+        return pc + 1;
+      default:
+        return pc;
+    }
+}
+
+std::uint64_t
+SgiRequest::targetMask(std::size_t num_threads, std::uint32_t sender) const
+{
+    std::uint64_t mask = 0;
+    if (broadcast) {
+        for (std::size_t t = 0; t < num_threads; ++t) {
+            if (t != sender)
+                mask |= std::uint64_t{1} << t;
+        }
+    } else {
+        for (std::size_t t = 0; t < num_threads && t < 16; ++t) {
+            if (targetList & (std::uint16_t{1} << t))
+                mask |= std::uint64_t{1} << t;
+        }
+    }
+    return mask;
+}
+
+SgiRequest
+decodeSgi1r(std::uint64_t value)
+{
+    SgiRequest req;
+    req.intid = static_cast<std::uint32_t>((value >> 24) & 0xF);
+    req.broadcast = (value >> 40) & 1;
+    req.targetList = static_cast<std::uint16_t>(value & 0xFFFF);
+    return req;
+}
+
+} // namespace rex::sem

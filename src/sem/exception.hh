@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Exception-entry bookkeeping shared by the thread semantics and the
+ * operational simulator: syndrome values, preferred return addresses, and
+ * the GICv3 SGI1R register encoding.
+ */
+
+#ifndef REX_SEM_EXCEPTION_HH
+#define REX_SEM_EXCEPTION_HH
+
+#include <cstdint>
+
+#include "events/event.hh"
+
+namespace rex::sem {
+
+/** ESR_EL1.EC syndrome class codes (subset). */
+enum class SyndromeClass : std::uint64_t {
+    Svc = 0x15,
+    DataAbortLowerEl = 0x24,
+    DataAbortSameEl = 0x25,
+    PcAlignment = 0x22,
+    SError = 0x2f,
+};
+
+/** The ESR value written on taking a synchronous exception. */
+std::uint64_t syndromeFor(ExceptionClass cls, std::uint64_t iss);
+
+/**
+ * Preferred return address (§2.1) for an exception taken at @p pc:
+ *  - SVC: the instruction after the SVC;
+ *  - faults: the faulting instruction itself (so a handler that maps the
+ *    page can resume it);
+ *  - interrupts: the first instruction not yet architecturally executed.
+ */
+std::uint64_t preferredReturn(ExceptionClass cls, std::uint64_t pc);
+
+/** Decoded fields of a write to ICC_SGI1R_EL1 (GICv3 §12.11.16). */
+struct SgiRequest {
+    std::uint32_t intid = 0;       //!< bits [27:24]
+    bool broadcast = false;        //!< IRM, bit 40: all PEs but self
+    std::uint16_t targetList = 0;  //!< bits [15:0]
+
+    /**
+     * Target-thread bitmask for a test with @p num_threads threads, sent
+     * from thread @p sender. Thread i corresponds to target-list bit i
+     * (we identify PEs with litmus threads; affinity routing collapses).
+     */
+    std::uint64_t targetMask(std::size_t num_threads,
+                             std::uint32_t sender) const;
+};
+
+/** Decode an ICC_SGI1R_EL1 value. */
+SgiRequest decodeSgi1r(std::uint64_t value);
+
+} // namespace rex::sem
+
+#endif // REX_SEM_EXCEPTION_HH

@@ -1,0 +1,685 @@
+#include "sem/executor.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "sem/exception.hh"
+
+namespace rex::sem {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::RegId;
+using isa::Sysreg;
+
+ValueDomain::ValueDomain(const LitmusTest &test)
+{
+    locValues.resize(test.locations.size());
+    for (LocationId loc = 0; loc < test.locations.size(); ++loc)
+        locValues[loc].push_back(test.initValues[loc]);
+}
+
+bool
+ValueDomain::addLocValue(LocationId loc, std::uint64_t value)
+{
+    auto &values = locValues[loc];
+    auto it = std::lower_bound(values.begin(), values.end(), value);
+    if (it != values.end() && *it == value)
+        return false;
+    values.insert(it, value);
+    return true;
+}
+
+bool
+ValueDomain::addIntid(std::uint32_t intid)
+{
+    auto it = std::lower_bound(sgiIntids.begin(), sgiIntids.end(), intid);
+    if (it != sgiIntids.end() && *it == intid)
+        return false;
+    sgiIntids.insert(it, intid);
+    return true;
+}
+
+/**
+ * The full interpreter state of one thread during trace enumeration.
+ * Copied at each nondeterministic fork (small: fixed arrays plus the
+ * trace built so far).
+ */
+struct ThreadExecutor::ExecState {
+    std::size_t pc = 0;
+    bool inHandler = false;
+    std::size_t handlerPc = 0;
+    bool done = false;
+
+    std::array<std::uint64_t, isa::kNumRegs> regs{};
+    std::array<Taint, isa::kNumRegs> taint{};
+    std::array<std::uint64_t, isa::kNumSysregs> sysregs{};
+    std::array<Taint, isa::kNumSysregs> sysregTaint{};
+
+    /** Reads feeding any branch executed so far. */
+    Taint ctrlTaint = 0;
+
+    /** NZCV state, kept as the last comparison's operands. */
+    std::int64_t cmpLhs = 0;
+    std::int64_t cmpRhs = 0;
+    Taint flagsTaint = 0;
+
+    /** A context-controlling system register (VBAR/SCTLR) was written
+     *  and no context synchronisation has happened since. */
+    bool pendingContextChange = false;
+
+    /** PSTATE.I: asynchronous interrupts masked. */
+    bool masked = false;
+    /** Mask state saved on exception entry, restored by ERET. */
+    bool savedMasked = false;
+
+    bool interruptTaken = false;
+    std::uint32_t activeIntid = 0;
+
+    /** Outstanding exclusive (location, load event index), if any. */
+    bool exclusiveValid = false;
+    LocationId exclusiveLoc = 0;
+    int exclusiveEvent = 0;
+
+    int instrCount = 0;
+    int steps = 0;
+
+    ThreadTrace trace;
+};
+
+namespace {
+
+std::size_t
+sysregIndex(Sysreg reg)
+{
+    return static_cast<std::size_t>(reg);
+}
+
+} // namespace
+
+ThreadExecutor::ThreadExecutor(const LitmusTest &test, ThreadId tid,
+                               const ValueDomain &domain)
+    : _test(test), _thread(test.threads[static_cast<std::size_t>(tid)]),
+      _tid(tid), _domain(domain)
+{
+}
+
+std::vector<ThreadTrace>
+ThreadExecutor::enumerate()
+{
+    _results.clear();
+
+    // Build the list of interrupt plans.
+    struct Plan { int point; std::uint32_t intid; bool witness; };
+    std::vector<Plan> plans;
+
+    if (_thread.interruptAt) {
+        // Mandatory externally-pended interrupt at the label.
+        int point = static_cast<int>(
+            _thread.program.labelIndex(*_thread.interruptAt));
+        plans.push_back({point, _thread.interruptIntid, false});
+    } else if (_thread.sgiReceiver && !_domain.sgiIntids.empty()) {
+        // Maybe no interrupt arrives in time...
+        plans.push_back({-1, 0, false});
+        // ... or one arrives before any program point.
+        for (std::size_t p = 0; p <= _thread.program.code.size(); ++p) {
+            for (std::uint32_t intid : _domain.sgiIntids)
+                plans.push_back({static_cast<int>(p), intid, true});
+        }
+    } else {
+        plans.push_back({-1, 0, false});
+    }
+
+    for (const Plan &plan : plans) {
+        _firePoint = plan.point;
+        _fireIntid = plan.intid;
+        _fireNeedsWitness = plan.witness;
+
+        ExecState init;
+        init.regs = _thread.initRegs;
+        init.masked = _thread.initialMasked;
+        run(init);
+    }
+    return _results;
+}
+
+void
+ThreadExecutor::run(ExecState state)
+{
+    while (!state.done) {
+        if (++state.steps > 512) {
+            fatal("thread " + std::to_string(_tid) + " of test " +
+                  _test.name + " did not terminate (loop in litmus code?)");
+        }
+        step(state);
+    }
+}
+
+int
+ThreadExecutor::emit(ExecState &state, Event event, Taint ctrl_sources)
+{
+    int index = static_cast<int>(state.trace.events.size());
+    rexAssert(index < kMaxThreadEvents, "thread trace too long");
+    event.tid = _tid;
+    event.poIndex = index;
+    event.instrIndex = state.instrCount;
+    state.trace.events.push_back(event);
+    addDepEdges(state.trace.ctrl, ctrl_sources, index);
+    return index;
+}
+
+void
+ThreadExecutor::finish(ExecState &state)
+{
+    state.done = true;
+    state.trace.finalRegs = state.regs;
+    _results.push_back(state.trace);
+}
+
+void
+ThreadExecutor::enterHandler(ExecState &state, std::uint64_t return_pc)
+{
+    rexAssert(!state.inHandler, "nested exception in litmus thread");
+    if (state.pendingContextChange) {
+        // Taking an exception with an un-synchronised VBAR/SCTLR write
+        // outstanding: constrained unpredictable (s1.2). Flag it; the
+        // exception still vectors to the test's handler.
+        state.trace.constrainedUnpredictable = true;
+        state.pendingContextChange = false;
+    }
+    if (_thread.handler.code.empty()) {
+        fatal("thread " + std::to_string(_tid) + " of test " + _test.name +
+              " takes an exception but has no handler");
+    }
+    state.sysregs[sysregIndex(Sysreg::ELR_EL1)] = return_pc;
+    state.sysregTaint[sysregIndex(Sysreg::ELR_EL1)] = 0;
+    state.sysregs[sysregIndex(Sysreg::SPSR_EL1)] = state.masked ? 1 : 0;
+    state.sysregTaint[sysregIndex(Sysreg::SPSR_EL1)] = 0;
+    state.savedMasked = state.masked;
+    state.masked = true;
+    state.inHandler = true;
+    state.handlerPc = 0;
+}
+
+void
+ThreadExecutor::takeSyncException(ExecState &state, ExceptionClass cls,
+                                  std::uint64_t return_pc)
+{
+    Event te;
+    te.kind = EventKind::TakeException;
+    te.exceptionClass = cls;
+    emit(state, te, state.ctrlTaint);
+    state.sysregs[sysregIndex(Sysreg::ESR_EL1)] = syndromeFor(cls, 0);
+    state.sysregTaint[sysregIndex(Sysreg::ESR_EL1)] = 0;
+    enterHandler(state, return_pc);
+}
+
+void
+ThreadExecutor::takeInterrupt(ExecState &state)
+{
+    Event ti;
+    ti.kind = EventKind::TakeInterrupt;
+    ti.intid = _fireIntid;
+    ti.sgiDelivered = _fireNeedsWitness;
+    emit(state, ti, state.ctrlTaint);
+    state.interruptTaken = true;
+    state.activeIntid = _fireIntid;
+    enterHandler(state, state.pc);
+}
+
+void
+ThreadExecutor::step(ExecState &state)
+{
+    if (!state.inHandler) {
+        // Pended interrupt fires before the instruction at _firePoint
+        // (or at program end). Masked delivery points are invalid plans:
+        // the equivalent deferred delivery is enumerated as a later plan.
+        if (!state.interruptTaken && _firePoint >= 0 &&
+                state.pc == static_cast<std::size_t>(_firePoint)) {
+            if (state.masked && !_thread.interruptAt) {
+                state.done = true;  // prune: plan not deliverable
+                return;
+            }
+            ++state.instrCount;
+            takeInterrupt(state);
+            return;
+        }
+        if (state.pc >= _thread.program.code.size()) {
+            finish(state);
+            return;
+        }
+        const Instruction &inst = _thread.program.code[state.pc];
+        ++state.instrCount;
+        execute(state, inst, false);
+        return;
+    }
+
+    if (state.handlerPc >= _thread.handler.code.size()) {
+        // Handler fell off the end without ERET: thread terminates here
+        // (the idiom the paper's fault/interrupt tests use).
+        finish(state);
+        return;
+    }
+    const Instruction &inst = _thread.handler.code[state.handlerPc];
+    ++state.instrCount;
+    execute(state, inst, true);
+}
+
+void
+ThreadExecutor::executeMemory(ExecState &state, const Instruction &inst)
+{
+    // Effective address.
+    std::uint64_t address = state.regs[inst.rn];
+    Taint addr_taint = state.taint[inst.rn];
+    switch (inst.mode) {
+      case isa::AddrMode::BaseReg:
+        address += state.regs[inst.rm];
+        addr_taint |= state.taint[inst.rm];
+        break;
+      case isa::AddrMode::BaseImm:
+      case isa::AddrMode::PreIndex:
+        address += static_cast<std::uint64_t>(inst.imm);
+        break;
+      default:
+        break;
+    }
+
+    auto loc = addressToLocation(address, _test.locations.size());
+    std::uint64_t cur_pc = state.inHandler ? state.handlerPc : state.pc;
+
+    if (!loc) {
+        // Translation fault. Per §3.4, the writeback register of a
+        // faulting post/pre-index access appears unchanged to instances
+        // after the exception boundary, so no writeback happens here.
+        // A fault on the second element of a pair leaves the first
+        // element's effects architecturally UNKNOWN (s6): this trace
+        // models the performed outcome, flagged.
+        if (inst.pairSecond)
+            state.trace.unknownSideEffects = true;
+        Event te;
+        te.kind = EventKind::TakeException;
+        te.exceptionClass = ExceptionClass::DataAbortTranslation;
+        int idx = emit(state, te, state.ctrlTaint);
+        addDepEdges(state.trace.addr, addr_taint, idx);
+        state.sysregs[sysregIndex(Sysreg::ESR_EL1)] =
+            syndromeFor(ExceptionClass::DataAbortTranslation, 0);
+        state.sysregTaint[sysregIndex(Sysreg::ESR_EL1)] = 0;
+        state.sysregs[sysregIndex(Sysreg::FAR_EL1)] = address;
+        state.sysregTaint[sysregIndex(Sysreg::FAR_EL1)] = addr_taint;
+        enterHandler(state, preferredReturn(
+            ExceptionClass::DataAbortTranslation, cur_pc));
+        return;
+    }
+
+    auto advance = [&]() {
+        // Writeback for post/pre-index succeeds only on non-faulting
+        // accesses (handled above).
+        if (inst.mode == isa::AddrMode::PostIndex) {
+            state.regs[inst.rn] += static_cast<std::uint64_t>(inst.imm);
+        } else if (inst.mode == isa::AddrMode::PreIndex) {
+            state.regs[inst.rn] = address;
+        }
+        if (state.inHandler)
+            ++state.handlerPc;
+        else
+            ++state.pc;
+    };
+
+    if (inst.isLoad()) {
+        // Fork over every candidate value of the location.
+        const std::vector<std::uint64_t> &values = _domain.locValues[*loc];
+        rexAssert(!values.empty(), "empty value domain");
+        for (std::size_t vi = 0; vi < values.size(); ++vi) {
+            std::uint64_t value = values[vi];
+            bool last = vi + 1 == values.size();
+            ExecState fork_state = state;
+            ExecState &st = last ? state : fork_state;
+
+            Event read;
+            read.kind = EventKind::ReadMem;
+            read.loc = *loc;
+            read.value = value;
+            read.flags.acquire = inst.op == Opcode::Ldar;
+            read.flags.acquirePc = inst.op == Opcode::Ldapr;
+            read.flags.exclusive = inst.op == Opcode::Ldxr;
+            int idx = emit(st, read, st.ctrlTaint);
+            addDepEdges(st.trace.addr, addr_taint, idx);
+
+            st.regs[inst.rd] = value;
+            st.taint[inst.rd] = inst.rd == isa::kZeroReg
+                ? 0 : taintOf(idx);
+            if (inst.op == Opcode::Ldxr) {
+                st.exclusiveValid = true;
+                st.exclusiveLoc = *loc;
+                st.exclusiveEvent = idx;
+            }
+
+            if (last) {
+                advance();
+            } else {
+                // Run the fork to completion.
+                if (fork_state.inHandler)
+                    ++fork_state.handlerPc;
+                else
+                    ++fork_state.pc;
+                if (inst.mode == isa::AddrMode::PostIndex) {
+                    fork_state.regs[inst.rn] +=
+                        static_cast<std::uint64_t>(inst.imm);
+                } else if (inst.mode == isa::AddrMode::PreIndex) {
+                    fork_state.regs[inst.rn] = address;
+                }
+                run(fork_state);
+            }
+        }
+        return;
+    }
+
+    // Stores.
+    if (inst.op == Opcode::Stxr) {
+        // Fork: the store-exclusive may fail (status 1, no write event).
+        ExecState fail_state = state;
+        fail_state.regs[inst.rs] = 1;
+        fail_state.taint[inst.rs] = 0;
+        fail_state.exclusiveValid = false;
+        if (fail_state.inHandler)
+            ++fail_state.handlerPc;
+        else
+            ++fail_state.pc;
+        run(fail_state);
+
+        Event write;
+        write.kind = EventKind::WriteMem;
+        write.loc = *loc;
+        write.value = state.regs[inst.rd];
+        write.flags.exclusive = true;
+        int idx = emit(state, write, state.ctrlTaint);
+        addDepEdges(state.trace.addr, addr_taint, idx);
+        addDepEdges(state.trace.data, state.taint[inst.rd], idx);
+        if (state.exclusiveValid && state.exclusiveLoc == *loc)
+            state.trace.rmw.emplace_back(state.exclusiveEvent, idx);
+        state.exclusiveValid = false;
+        state.regs[inst.rs] = 0;
+        state.taint[inst.rs] = 0;
+        advance();
+        return;
+    }
+
+    Event write;
+    write.kind = EventKind::WriteMem;
+    write.loc = *loc;
+    write.value = state.regs[inst.rd];
+    write.flags.release = inst.op == Opcode::Stlr;
+    int idx = emit(state, write, state.ctrlTaint);
+    addDepEdges(state.trace.addr, addr_taint, idx);
+    addDepEdges(state.trace.data, state.taint[inst.rd], idx);
+    advance();
+}
+
+void
+ThreadExecutor::execute(ExecState &state, const Instruction &inst,
+                        bool in_handler)
+{
+    auto advance = [&]() {
+        if (in_handler)
+            ++state.handlerPc;
+        else
+            ++state.pc;
+    };
+
+    const isa::Program &prog = in_handler ? _thread.handler
+                                          : _thread.program;
+
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Label:
+        advance();
+        return;
+
+      case Opcode::MovImm:
+        state.regs[inst.rd] =
+            static_cast<std::uint64_t>(inst.imm) << inst.shift;
+        state.taint[inst.rd] = 0;
+        advance();
+        return;
+
+      case Opcode::MovReg:
+        state.regs[inst.rd] = state.regs[inst.rn];
+        state.taint[inst.rd] = state.taint[inst.rn];
+        advance();
+        return;
+
+      case Opcode::Alu: {
+        std::uint64_t lhs = state.regs[inst.rn];
+        std::uint64_t rhs = inst.aluImmediate
+            ? static_cast<std::uint64_t>(inst.imm) : state.regs[inst.rm];
+        std::uint64_t result = 0;
+        switch (inst.alu) {
+          case isa::AluOp::Add: result = lhs + rhs; break;
+          case isa::AluOp::Sub: result = lhs - rhs; break;
+          case isa::AluOp::Eor: result = lhs ^ rhs; break;
+          case isa::AluOp::And: result = lhs & rhs; break;
+          case isa::AluOp::Orr: result = lhs | rhs; break;
+        }
+        state.regs[inst.rd] = result;
+        state.taint[inst.rd] = state.taint[inst.rn] |
+            (inst.aluImmediate ? 0 : state.taint[inst.rm]);
+        advance();
+        return;
+      }
+
+      case Opcode::Ldr:
+      case Opcode::Str:
+      case Opcode::Ldar:
+      case Opcode::Ldapr:
+      case Opcode::Stlr:
+      case Opcode::Ldxr:
+      case Opcode::Stxr:
+        executeMemory(state, inst);
+        return;
+
+      case Opcode::Ldp:
+      case Opcode::Stp:
+        panic("pair access not expanded by the assembler");
+
+      case Opcode::Dmb:
+      case Opcode::Dsb:
+      case Opcode::Isb: {
+        Event barrier;
+        barrier.kind = EventKind::Barrier;
+        barrier.barrier = inst.barrier;
+        emit(state, barrier, state.ctrlTaint);
+        if (inst.op == Opcode::Isb)
+            state.pendingContextChange = false;
+        advance();
+        return;
+      }
+
+      case Opcode::Cmp:
+        state.cmpLhs = static_cast<std::int64_t>(state.regs[inst.rn]);
+        state.cmpRhs = inst.aluImmediate
+            ? inst.imm : static_cast<std::int64_t>(state.regs[inst.rm]);
+        state.flagsTaint = state.taint[inst.rn] |
+            (inst.aluImmediate ? 0 : state.taint[inst.rm]);
+        advance();
+        return;
+
+      case Opcode::BCond: {
+        state.ctrlTaint |= state.flagsTaint;
+        bool taken = isa::condHoldsFor(inst.cond, state.cmpLhs,
+                                       state.cmpRhs);
+        if (taken) {
+            std::size_t target = prog.labelIndex(inst.label);
+            if (in_handler)
+                state.handlerPc = target;
+            else
+                state.pc = target;
+        } else {
+            advance();
+        }
+        return;
+      }
+
+      case Opcode::Cbz:
+      case Opcode::Cbnz: {
+        state.ctrlTaint |= state.taint[inst.rd];
+        bool zero = state.regs[inst.rd] == 0;
+        bool taken = inst.op == Opcode::Cbz ? zero : !zero;
+        if (taken) {
+            std::size_t target = prog.labelIndex(inst.label);
+            if (in_handler)
+                state.handlerPc = target;
+            else
+                state.pc = target;
+        } else {
+            advance();
+        }
+        return;
+      }
+
+      case Opcode::B: {
+        std::size_t target = prog.labelIndex(inst.label);
+        if (in_handler)
+            state.handlerPc = target;
+        else
+            state.pc = target;
+        return;
+      }
+
+      case Opcode::Svc: {
+        rexAssert(!in_handler, "SVC inside handler unsupported");
+        std::uint64_t ret = preferredReturn(ExceptionClass::Svc, state.pc);
+        takeSyncException(state, ExceptionClass::Svc, ret);
+        return;
+      }
+
+      case Opcode::Eret: {
+        if (!in_handler)
+            fatal("ERET outside handler in test " + _test.name);
+        Event eret;
+        eret.kind = EventKind::ExceptionReturn;
+        int idx = emit(state, eret, state.ctrlTaint);
+        // ERET reads ELR: dependencies into the ELR are preserved
+        // (§3.2.5), so record them as register-data dependencies.
+        addDepEdges(state.trace.data,
+                    state.sysregTaint[sysregIndex(Sysreg::ELR_EL1)], idx);
+        std::uint64_t target =
+            state.sysregs[sysregIndex(Sysreg::ELR_EL1)];
+        if (target > _thread.program.code.size()) {
+            fatal("ERET to bad address in test " + _test.name);
+        }
+        state.inHandler = false;
+        state.pc = static_cast<std::size_t>(target);
+        state.masked = state.savedMasked;
+        return;
+      }
+
+      case Opcode::Mrs: {
+        std::size_t sri = sysregIndex(inst.sysreg);
+        Event mrs;
+        mrs.kind = EventKind::ReadSysreg;
+        mrs.sysreg = inst.sysreg;
+        std::uint64_t value;
+        if (inst.sysreg == Sysreg::ICC_IAR1_EL1) {
+            // Acknowledge the active interrupt: returns its INTID and has
+            // a GIC effect event iio-after the register read (§7.5).
+            value = state.activeIntid;
+            mrs.value = value;
+            int idx = emit(state, mrs, state.ctrlTaint);
+            Event ack;
+            ack.kind = EventKind::Acknowledge;
+            ack.intid = state.activeIntid;
+            int ack_idx = emit(state, ack, state.ctrlTaint);
+            state.trace.iio.emplace_back(idx, ack_idx);
+        } else {
+            value = state.sysregs[sri];
+            mrs.value = value;
+            int idx = emit(state, mrs, state.ctrlTaint);
+            state.taint[inst.rd] = state.sysregTaint[sri];
+            state.regs[inst.rd] = value;
+            (void)idx;
+            advance();
+            return;
+        }
+        state.regs[inst.rd] = value;
+        state.taint[inst.rd] = 0;
+        advance();
+        return;
+      }
+
+      case Opcode::Msr: {
+        std::size_t sri = sysregIndex(inst.sysreg);
+        std::uint64_t value = state.regs[inst.rn];
+        Event msr;
+        msr.kind = EventKind::WriteSysreg;
+        msr.sysreg = inst.sysreg;
+        msr.value = value;
+        int idx = emit(state, msr, state.ctrlTaint);
+        addDepEdges(state.trace.data, state.taint[inst.rn], idx);
+
+        switch (inst.sysreg) {
+          case Sysreg::ICC_SGI1R_EL1: {
+            SgiRequest req = decodeSgi1r(value);
+            Event gen;
+            gen.kind = EventKind::GenerateInterrupt;
+            gen.intid = req.intid;
+            gen.targetMask = req.targetMask(
+                _test.threads.size(), static_cast<std::uint32_t>(_tid));
+            int gen_idx = emit(state, gen, state.ctrlTaint);
+            state.trace.iio.emplace_back(idx, gen_idx);
+            break;
+          }
+          case Sysreg::ICC_EOIR1_EL1: {
+            Event drop;
+            drop.kind = EventKind::DropPriority;
+            drop.intid = static_cast<std::uint32_t>(value & 0xFFFFFF);
+            int drop_idx = emit(state, drop, state.ctrlTaint);
+            state.trace.iio.emplace_back(idx, drop_idx);
+            if (!_thread.eoiMode1) {
+                Event deact;
+                deact.kind = EventKind::Deactivate;
+                deact.intid = drop.intid;
+                int d_idx = emit(state, deact, state.ctrlTaint);
+                state.trace.iio.emplace_back(idx, d_idx);
+            }
+            break;
+          }
+          case Sysreg::ICC_DIR_EL1: {
+            Event deact;
+            deact.kind = EventKind::Deactivate;
+            deact.intid = static_cast<std::uint32_t>(value & 0xFFFFFF);
+            int d_idx = emit(state, deact, state.ctrlTaint);
+            state.trace.iio.emplace_back(idx, d_idx);
+            break;
+          }
+          default:
+            state.sysregs[sri] = value;
+            state.sysregTaint[sri] = state.taint[inst.rn];
+            if (inst.sysreg == Sysreg::VBAR_EL1 ||
+                    inst.sysreg == Sysreg::SCTLR_EL1) {
+                state.pendingContextChange = true;
+            }
+            break;
+        }
+        advance();
+        return;
+      }
+
+      case Opcode::MsrDaifSet:
+      case Opcode::MsrDaifClr: {
+        Event msr;
+        msr.kind = EventKind::WriteSysreg;
+        msr.sysreg = Sysreg::DAIF;
+        msr.value = static_cast<std::uint64_t>(inst.imm);
+        emit(state, msr, state.ctrlTaint);
+        // Bit 1 of the DAIF immediate is the IRQ mask (I).
+        if (inst.imm & 0x2)
+            state.masked = inst.op == Opcode::MsrDaifSet;
+        advance();
+        return;
+      }
+    }
+    panic("unhandled opcode in ThreadExecutor");
+}
+
+} // namespace rex::sem

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Per-thread micro-operational semantics.
+ *
+ * The ThreadExecutor enumerates all architecturally-executed event
+ * sequences of one litmus thread (§2.3.2's "sequence of FDX instances"),
+ * branching over:
+ *  - the value returned by each memory read (from a ValueDomain computed
+ *    to fixpoint over all threads' stores);
+ *  - success/failure of store-exclusives;
+ *  - where a deliverable SGI is taken (each unmasked program point, or
+ *    not at all), and which INTID it carries.
+ *
+ * Synchronous exceptions (SVC, translation faults) and pended interrupts
+ * splice the handler's execution into the trace, emitting TE /
+ * TakeInterrupt and ERET events per §5. Post/pre-index writebacks follow
+ * the §3.4 rule: a faulting access leaves the writeback register
+ * unchanged for instances after the exception boundary.
+ */
+
+#ifndef REX_SEM_EXECUTOR_HH
+#define REX_SEM_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "events/event.hh"
+#include "litmus/litmus.hh"
+#include "sem/deptrack.hh"
+
+namespace rex::sem {
+
+/**
+ * The domain of values reads may return, per location, plus the INTIDs of
+ * SGIs the test can generate. Grown to fixpoint by the candidate
+ * enumerator.
+ */
+struct ValueDomain {
+    /** Per location: sorted distinct candidate read values. */
+    std::vector<std::vector<std::uint64_t>> locValues;
+
+    /** Distinct INTIDs of generated SGIs. */
+    std::vector<std::uint32_t> sgiIntids;
+
+    /** Initialise with each location's initial value. */
+    explicit ValueDomain(const LitmusTest &test);
+
+    /** @return true when the value was new. */
+    bool addLocValue(LocationId loc, std::uint64_t value);
+
+    /** @return true when the intid was new. */
+    bool addIntid(std::uint32_t intid);
+};
+
+/**
+ * One enumerated execution of one thread: its events in program order
+ * plus local dependency edges (pairs of event indices).
+ */
+struct ThreadTrace {
+    std::vector<Event> events;
+    std::vector<std::pair<int, int>> addr;
+    std::vector<std::pair<int, int>> data;
+    std::vector<std::pair<int, int>> ctrl;
+    std::vector<std::pair<int, int>> rmw;
+    std::vector<std::pair<int, int>> iio;
+    std::array<std::uint64_t, isa::kNumRegs> finalRegs{};
+
+    /** True when the trace triggered 'constrained unpredictable'
+     *  behaviour the paper declines to define (s1.2): here, taking an
+     *  exception while an un-synchronised write to a context-controlling
+     *  register (VBAR/SCTLR) is outstanding. The models do not assign it
+     *  semantics; they merely flag it. */
+    bool constrainedUnpredictable = false;
+
+    /** True when a pair access (LDP/STP) faulted on its second element:
+     *  the first element's effects are architecturally UNKNOWN-tinged
+     *  (s6); this trace models the performed-first-element outcome and
+     *  flags it. */
+    bool unknownSideEffects = false;
+};
+
+/** Enumerates the traces of one litmus thread. */
+class ThreadExecutor
+{
+  public:
+    /**
+     * @param test   the litmus test
+     * @param tid    which thread to execute
+     * @param domain candidate read values (see ValueDomain)
+     */
+    ThreadExecutor(const LitmusTest &test, ThreadId tid,
+                   const ValueDomain &domain);
+
+    /** All architecturally-executed traces of this thread. */
+    std::vector<ThreadTrace> enumerate();
+
+  private:
+    struct ExecState;
+
+    void run(ExecState state);
+    void step(ExecState &state);
+    void execute(ExecState &state, const isa::Instruction &inst,
+                 bool in_handler);
+    void executeMemory(ExecState &state, const isa::Instruction &inst);
+    void takeSyncException(ExecState &state, ExceptionClass cls,
+                           std::uint64_t return_pc);
+    void takeInterrupt(ExecState &state);
+    void enterHandler(ExecState &state, std::uint64_t return_pc);
+    void finish(ExecState &state);
+
+    int emit(ExecState &state, Event event, Taint ctrl_sources);
+
+    const LitmusTest &_test;
+    const LitmusThread &_thread;
+    ThreadId _tid;
+    const ValueDomain &_domain;
+
+    /** Interrupt plan for the current enumeration pass: fire before
+     *  instruction index _firePoint (or not at all when < 0). */
+    int _firePoint = -1;
+    std::uint32_t _fireIntid = 0;
+    bool _fireNeedsWitness = false;
+
+    std::vector<ThreadTrace> _results;
+};
+
+} // namespace rex::sem
+
+#endif // REX_SEM_EXECUTOR_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the base utilities: logging discipline and string
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace rex {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("library bug"), PanicError);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(rexAssert(true, "fine"));
+    EXPECT_THROW(rexAssert(false, "boom"), PanicError);
+}
+
+TEST(Logging, ThresholdRoundTrips)
+{
+    LogLevel old = logThreshold();
+    setLogThreshold(LogLevel::Error);
+    EXPECT_EQ(logThreshold(), LogLevel::Error);
+    setLogThreshold(old);
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, Split)
+{
+    auto fields = split("a;b;;c", ';');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[2], "");
+    EXPECT_EQ(split("", ';').size(), 1u);
+}
+
+TEST(Strings, SplitWhitespace)
+{
+    auto tokens = splitWhitespace("  one\ttwo \n three ");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[1], "two");
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, Case)
+{
+    EXPECT_EQ(toUpper("dmb sy"), "DMB SY");
+    EXPECT_EQ(toLower("ERET"), "eret");
+}
+
+TEST(Strings, Affixes)
+{
+    EXPECT_TRUE(startsWith("thread 0:", "thread "));
+    EXPECT_FALSE(startsWith("th", "thread"));
+    EXPECT_TRUE(endsWith("x.cat", ".cat"));
+    EXPECT_FALSE(endsWith("cat", ".cat"));
+}
+
+TEST(Strings, ParseIntegerDecimal)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseInteger("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInteger("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(parseInteger("0", v));
+    EXPECT_EQ(v, 0);
+}
+
+TEST(Strings, ParseIntegerHexAndBinary)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseInteger("0xFF", v));
+    EXPECT_EQ(v, 255);
+    EXPECT_TRUE(parseInteger("0b101", v));
+    EXPECT_EQ(v, 5);
+    EXPECT_TRUE(parseInteger("0xf", v));
+    EXPECT_EQ(v, 15);
+}
+
+TEST(Strings, ParseIntegerRejectsGarbage)
+{
+    std::int64_t v = 0;
+    EXPECT_FALSE(parseInteger("", v));
+    EXPECT_FALSE(parseInteger("x", v));
+    EXPECT_FALSE(parseInteger("12z", v));
+    EXPECT_FALSE(parseInteger("-", v));
+    EXPECT_FALSE(parseInteger("0x", v));
+}
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(format("%d/%s", 3, "x"), "3/x");
+    EXPECT_EQ(format("%s", ""), "");
+}
+
+} // namespace
+} // namespace rex

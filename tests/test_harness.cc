@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the harness (table rendering, figure reproduction, suite
+ * matrix) and the dot output of candidate executions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axiomatic/checker.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "litmus/registry.hh"
+
+namespace rex {
+namespace {
+
+TEST(TableTest, AlignsColumns)
+{
+    harness::Table table;
+    table.header({"a", "long-header"});
+    table.row({"wide-cell", "x"});
+    table.row({"y"});
+    std::string out = table.render();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    EXPECT_NE(out.find("a          long-header"), std::string::npos);
+    EXPECT_NE(out.find("wide-cell  x"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTableRendersNothing)
+{
+    harness::Table table;
+    EXPECT_EQ(table.render(), "");
+}
+
+TEST(FigureReproduction, ContainsVerdictAndVariants)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("SB+dmb.sy+eret");
+    harness::FigureOptions options;
+    options.hwSim = false;  // keep the unit test fast
+    std::string out = harness::reproduceFigure(test, options);
+    EXPECT_NE(out.find("SB+dmb.sy+eret"), std::string::npos);
+    EXPECT_NE(out.find("model (base): Allowed"), std::string::npos);
+    EXPECT_NE(out.find("SEA_W"), std::string::npos);
+    EXPECT_NE(out.find("Forbidden"), std::string::npos);
+}
+
+TEST(FigureReproduction, HwSimColumnsPresent)
+{
+    const LitmusTest &test = TestRegistry::instance().get("SB+pos");
+    harness::FigureOptions options;
+    options.runsPerDevice = 200;
+    std::string out = harness::reproduceFigure(test, options);
+    EXPECT_NE(out.find("cortex-a53"), std::string::npos);
+    EXPECT_NE(out.find("cortex-a73"), std::string::npos);
+    EXPECT_NE(out.find("/200"), std::string::npos);
+}
+
+TEST(SuiteMatrix, ReportsZeroMismatches)
+{
+    std::string out = harness::suiteMatrix(
+        TestRegistry::instance().suite("sea"));
+    EXPECT_NE(out.find("0 mismatches"), std::string::npos);
+}
+
+TEST(DotOutput, WellFormedGraph)
+{
+    const LitmusTest &test = TestRegistry::instance().get("MP+pos");
+    CheckResult result = checkTest(test, ModelParams::base());
+    ASSERT_TRUE(result.witness.has_value());
+    std::string dot = result.witness->toDot();
+    EXPECT_EQ(dot.substr(0, 8), "digraph ");
+    EXPECT_NE(dot.find("cluster_t0"), std::string::npos);
+    EXPECT_NE(dot.find("cluster_t1"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"rf\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"po\""), std::string::npos);
+    EXPECT_EQ(dot.back(), '\n');
+    // Balanced braces.
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+              std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotOutput, ExceptionEventsRendered)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("SB+dmb.sy+eret");
+    CheckResult result = checkTest(test, ModelParams::base());
+    ASSERT_TRUE(result.witness.has_value());
+    std::string dot = result.witness->toDot();
+    EXPECT_NE(dot.find("TE(svc)"), std::string::npos);
+    EXPECT_NE(dot.find("ERET"), std::string::npos);
+}
+
+} // namespace
+} // namespace rex

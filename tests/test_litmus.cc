@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the litmus representation, the text-format parser, and
+ * the built-in registry's integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axiomatic/checker.hh"
+#include "axiomatic/params.hh"
+#include "base/logging.hh"
+#include "litmus/herd_parser.hh"
+#include "litmus/parser.hh"
+#include "litmus/registry.hh"
+
+namespace rex {
+namespace {
+
+TEST(Locations, AddressMapping)
+{
+    EXPECT_EQ(locationAddress(0), 0x1000u);
+    EXPECT_EQ(locationAddress(1), 0x2000u);
+    EXPECT_EQ(addressToLocation(0x1000, 2), LocationId{0});
+    EXPECT_EQ(addressToLocation(0x2000, 2), LocationId{1});
+    EXPECT_FALSE(addressToLocation(0, 2).has_value());
+    EXPECT_FALSE(addressToLocation(0x3000, 2).has_value());
+    EXPECT_FALSE(addressToLocation(0x1008, 2).has_value());
+}
+
+TEST(Parser, FullTest)
+{
+    LitmusTest test = parseLitmus(
+        "name: demo\n"
+        "desc: a demo\n"
+        "init: *x=0; *y=5; 0:X1=x; 1:X3=y; 1:X0=7; 1:PSTATE.EL=1;"
+        " 1:PSTATE.I=1; 1:EOIMode=1\n"
+        "thread 0:\n"
+        "    MOV X0,#1\n"
+        "    STR X0,[X1]\n"
+        "thread 1:\n"
+        "    LDR X2,[X3]\n"
+        "handler 1:\n"
+        "    ERET\n"
+        "forbidden: 1:X2=0 & *x=1\n"
+        "variant SEA_R: allowed\n");
+    EXPECT_EQ(test.name, "demo");
+    EXPECT_EQ(test.description, "a demo");
+    ASSERT_EQ(test.threads.size(), 2u);
+    ASSERT_EQ(test.locations.size(), 2u);
+    EXPECT_EQ(test.initValues[test.locationId("y")], 5u);
+    EXPECT_EQ(test.threads[0].initRegs[1], locationAddress(0));
+    EXPECT_EQ(test.threads[1].initRegs[0], 7u);
+    EXPECT_EQ(test.threads[1].initialEl, 1);
+    EXPECT_TRUE(test.threads[1].initialMasked);
+    EXPECT_TRUE(test.threads[1].eoiMode1);
+    EXPECT_FALSE(test.expectedAllowed);
+    ASSERT_EQ(test.finalCond.atoms.size(), 2u);
+    EXPECT_EQ(test.finalCond.atoms[0].kind, CondAtom::Kind::Register);
+    EXPECT_EQ(test.finalCond.atoms[1].kind, CondAtom::Kind::Memory);
+    ASSERT_EQ(test.variantAllowed.count("SEA_R"), 1u);
+    EXPECT_TRUE(test.variantAllowed.at("SEA_R"));
+    EXPECT_EQ(test.threads[0].handler.code.size(), 0u);
+    EXPECT_EQ(test.threads[1].handler.code.size(), 1u);
+}
+
+TEST(Parser, InterruptDirective)
+{
+    LitmusTest test = parseLitmus(
+        "name: t\n"
+        "init: *x=0; 0:X1=x\n"
+        "thread 0:\n"
+        "L:\n"
+        "    NOP\n"
+        "handler 0:\n"
+        "    LDR X0,[X1]\n"
+        "interrupt 0 at L intid 5\n"
+        "allowed: 0:X0=0\n");
+    ASSERT_TRUE(test.threads[0].interruptAt.has_value());
+    EXPECT_EQ(*test.threads[0].interruptAt, "L");
+    EXPECT_EQ(test.threads[0].interruptIntid, 5u);
+    EXPECT_FALSE(test.threads[0].sgiReceiver);
+}
+
+TEST(Parser, SgiReceiverAutoDetection)
+{
+    LitmusTest test = parseLitmus(
+        "name: t\n"
+        "init: *x=0; 1:X1=x\n"
+        "thread 0:\n"
+        "    MOV X2,#1,LSL #40\n"
+        "    MSR ICC_SGI1R_EL1,X2\n"
+        "thread 1:\n"
+        "    NOP\n"
+        "handler 1:\n"
+        "    LDR X0,[X1]\n"
+        "allowed: 1:X0=0\n");
+    EXPECT_TRUE(test.generatesSgis());
+    EXPECT_FALSE(test.threads[0].sgiReceiver);  // no handler
+    EXPECT_TRUE(test.threads[1].sgiReceiver);
+}
+
+TEST(Parser, ConditionWithSlashBackslashConjunction)
+{
+    LitmusTest test = parseLitmus(
+        "name: t\n"
+        "init: *x=0; 0:X1=x\n"
+        "thread 0:\n"
+        "    LDR X0,[X1]\n"
+        "allowed: 0:X0=0 /\\ *x=0\n");
+    EXPECT_EQ(test.finalCond.atoms.size(), 2u);
+}
+
+TEST(Parser, Errors)
+{
+    EXPECT_THROW(parseLitmus(""), FatalError);
+    EXPECT_THROW(parseLitmus("name: x\n"), FatalError);  // no condition
+    EXPECT_THROW(parseLitmus(
+        "name: x\ninit: bogus\nthread 0:\n NOP\nallowed: *x=0\n"),
+        FatalError);
+    EXPECT_THROW(parseLitmus(
+        "name: x\nthread zz:\n NOP\nallowed: *x=0\n"), FatalError);
+    EXPECT_THROW(parseLitmus(
+        "name: x\n NOP\nallowed: *x=0\n"), FatalError);  // outside section
+    EXPECT_THROW(parseLitmus(
+        "name: x\nthread 0:\n NOP\nvariant X allowed\nallowed: *x=0\n"),
+        FatalError);
+}
+
+TEST(Parser, UnknownLocationInConditionIsCreated)
+{
+    // Referencing a fresh location in the condition interns it with
+    // initial value 0 (convenient for tests that only read).
+    LitmusTest test = parseLitmus(
+        "name: t\n"
+        "init: 0:X1=x\n"
+        "thread 0:\n"
+        "    LDR X0,[X1]\n"
+        "allowed: *x=0\n");
+    EXPECT_EQ(test.locations.size(), 1u);
+    EXPECT_EQ(test.initValues[0], 0u);
+}
+
+TEST(HerdFormat, ClassicMpParsesAndChecks)
+{
+    const char *herd = R"(AArch64 MP-herd
+"classic message passing, herd format"
+{
+0:X1=x; 0:X3=y;
+1:X1=y; 1:X3=x;
+x=0; y=0;
+}
+ P0          | P1          ;
+ MOV X0,#1   | LDR X0,[X1] ;
+ STR X0,[X1] | LDR X2,[X3] ;
+ DMB SY      |             ;
+ MOV X2,#1   |             ;
+ STR X2,[X3] |             ;
+exists (1:X0=1 /\ 1:X2=0)
+)";
+    ASSERT_TRUE(looksLikeHerdFormat(herd));
+    LitmusTest test = parseLitmus(herd);
+    EXPECT_EQ(test.name, "MP-herd");
+    EXPECT_EQ(test.description,
+              "classic message passing, herd format");
+    ASSERT_EQ(test.threads.size(), 2u);
+    EXPECT_EQ(test.threads[0].program.code.size(), 5u);
+    EXPECT_EQ(test.threads[1].program.code.size(), 2u);
+    EXPECT_TRUE(test.expectedAllowed);
+    EXPECT_EQ(test.finalCond.atoms.size(), 2u);
+
+    // The parsed test behaves like the built-in MP+dmb.sy+po: allowed.
+    EXPECT_TRUE(isAllowed(test, ModelParams::base()));
+}
+
+TEST(HerdFormat, NegatedExistsIsForbidden)
+{
+    const char *herd =
+        "AArch64 CoWW-herd\n"
+        "{ x=0; 0:X1=x; }\n"
+        " P0          ;\n"
+        " MOV X0,#1   ;\n"
+        " STR X0,[X1] ;\n"
+        " MOV X2,#2   ;\n"
+        " STR X2,[X1] ;\n"
+        "~exists ([x]=1)\n";
+    LitmusTest test = parseLitmus(herd);
+    EXPECT_FALSE(test.expectedAllowed);
+    ASSERT_EQ(test.finalCond.atoms.size(), 1u);
+    EXPECT_EQ(test.finalCond.atoms[0].kind, CondAtom::Kind::Memory);
+    EXPECT_FALSE(isAllowed(test, ModelParams::base()));
+}
+
+TEST(HerdFormat, UnsupportedConstructsRejected)
+{
+    EXPECT_THROW(parseLitmus(
+        "AArch64 t\n{ x=0; }\n P0 ;\n NOP ;\n"
+        "exists (0:X0=0 \\/ 0:X1=1)\n"), FatalError);
+    EXPECT_THROW(parseLitmus(
+        "AArch64 t\n{ x=0; }\n P0 ;\n NOP ;\n"
+        "forall (0:X0=0)\n"), FatalError);
+}
+
+TEST(Registry, LookupAndSuites)
+{
+    const TestRegistry &registry = TestRegistry::instance();
+    EXPECT_TRUE(registry.has("SB+dmb.sy+eret"));
+    EXPECT_FALSE(registry.has("not-a-test"));
+    EXPECT_THROW(registry.get("not-a-test"), FatalError);
+    EXPECT_EQ(registry.get("MP+dmb.sy+fault").name, "MP+dmb.sy+fault");
+
+    std::size_t total = 0;
+    for (const char *suite : {"core", "exceptions", "sea", "gic"})
+        total += registry.suite(suite).size();
+    EXPECT_EQ(total, registry.all().size());
+}
+
+TEST(Registry, NamesAreUniqueAndSorted)
+{
+    auto names = TestRegistry::instance().names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) ==
+                names.end());
+}
+
+TEST(Registry, PaperFigureTestsPresent)
+{
+    const TestRegistry &registry = TestRegistry::instance();
+    for (const char *name : {
+             "SB+dmb.sy+eret",              // Fig. 4
+             "MP+dmb.sy+ctrlsvc",           // Fig. 5
+             "SB+dmb.sy+rfisvc-addr",       // Fig. 6
+             "MP.EL1+dmb.sy+dataesrsvc",    // Fig. 7 top
+             "MP+dmb.sy+ctrlelr",           // Fig. 7 bottom
+             "MP+dmb.sy+fault",             // Fig. 8 top
+             "MP+dmb.sy+int",               // Fig. 8 bottom
+             "MP+dmb.sy+svc",               // §3.2.2
+             "MPviaSGIEIOmode1sequence",    // Fig. 11
+             "MPviaSGI",                    // Fig. 12
+             "RCU-MP",                      // Fig. 13
+         }) {
+        EXPECT_TRUE(registry.has(name)) << name;
+    }
+}
+
+TEST(Files, ShippedLitmusFilesParseAndMatchVerdicts)
+{
+    for (const char *file : {"SB+dmb.sy+eret.litmus",
+                             "MP+dmb.sy+fault.litmus",
+                             "MPviaSGI.litmus"}) {
+        LitmusTest test = parseLitmusFile(
+            std::string(REX_LITMUS_DIR) + "/" + file);
+        EXPECT_FALSE(test.name.empty()) << file;
+        EXPECT_FALSE(test.threads.empty()) << file;
+        EXPECT_FALSE(test.finalCond.atoms.empty()) << file;
+    }
+    EXPECT_THROW(parseLitmusFile("/nonexistent.litmus"), FatalError);
+}
+
+TEST(Registry, VariantNamesAreKnown)
+{
+    for (const LitmusTest *test : TestRegistry::instance().all()) {
+        for (const auto &[variant, allowed] : test->variantAllowed) {
+            EXPECT_NO_THROW(ModelParams::byName(variant))
+                << test->name << " declares unknown variant " << variant;
+        }
+    }
+}
+
+} // namespace
+} // namespace rex

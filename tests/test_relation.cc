@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit and property tests for the relation-algebra substrate. The
+ * property tests sweep universe sizes (including sizes straddling the
+ * 64-bit word boundary) with parameterised gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "relation/relation.hh"
+
+namespace rex {
+namespace {
+
+TEST(EventSetTest, InsertEraseContains)
+{
+    EventSet set(10);
+    EXPECT_TRUE(set.empty());
+    set.insert(3);
+    set.insert(7);
+    EXPECT_TRUE(set.contains(3));
+    EXPECT_FALSE(set.contains(4));
+    EXPECT_EQ(set.count(), 2u);
+    set.erase(3);
+    EXPECT_FALSE(set.contains(3));
+}
+
+TEST(EventSetTest, UniverseMasksExcessBits)
+{
+    EventSet u = EventSet::universe(70);
+    EXPECT_EQ(u.count(), 70u);
+    EXPECT_EQ(u.complement().count(), 0u);
+    EXPECT_EQ(u, u | u);
+    EXPECT_EQ(u, u & u);
+}
+
+TEST(EventSetTest, SetAlgebra)
+{
+    EventSet a(8), b(8);
+    a.insert(1);
+    a.insert(2);
+    b.insert(2);
+    b.insert(3);
+    EXPECT_EQ((a | b).count(), 3u);
+    EXPECT_EQ((a & b).count(), 1u);
+    EXPECT_EQ((a - b).count(), 1u);
+    EXPECT_TRUE((a - b).contains(1));
+    EXPECT_EQ(a.complement().count(), 6u);
+}
+
+TEST(EventSetTest, MembersSortedAndToString)
+{
+    EventSet a(8);
+    a.insert(5);
+    a.insert(1);
+    auto members = a.members();
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_EQ(members[0], 1u);
+    EXPECT_EQ(members[1], 5u);
+    EXPECT_EQ(a.toString(), "{1, 5}");
+}
+
+TEST(EventSetTest, MismatchedUniversePanics)
+{
+    EventSet a(4), b(5);
+    EXPECT_THROW(a | b, PanicError);
+    EXPECT_THROW(a.insert(4), PanicError);
+}
+
+TEST(RelationTest, AddRemoveContains)
+{
+    Relation r(6);
+    r.add(0, 1);
+    r.add(1, 2);
+    EXPECT_TRUE(r.contains(0, 1));
+    EXPECT_FALSE(r.contains(1, 0));
+    EXPECT_EQ(r.pairCount(), 2u);
+    r.remove(0, 1);
+    EXPECT_FALSE(r.contains(0, 1));
+}
+
+TEST(RelationTest, Composition)
+{
+    Relation r(5), s(5);
+    r.add(0, 1);
+    r.add(0, 2);
+    s.add(1, 3);
+    s.add(2, 4);
+    Relation rs = r.seq(s);
+    EXPECT_TRUE(rs.contains(0, 3));
+    EXPECT_TRUE(rs.contains(0, 4));
+    EXPECT_EQ(rs.pairCount(), 2u);
+}
+
+TEST(RelationTest, TransitiveClosureChain)
+{
+    Relation r(5);
+    r.add(0, 1);
+    r.add(1, 2);
+    r.add(2, 3);
+    Relation plus = r.transitiveClosure();
+    EXPECT_TRUE(plus.contains(0, 3));
+    EXPECT_TRUE(plus.contains(1, 3));
+    EXPECT_FALSE(plus.contains(3, 0));
+    EXPECT_EQ(plus.pairCount(), 6u);
+}
+
+TEST(RelationTest, ClosureOfCycleIsReflexive)
+{
+    Relation r(3);
+    r.add(0, 1);
+    r.add(1, 0);
+    Relation plus = r.transitiveClosure();
+    EXPECT_TRUE(plus.contains(0, 0));
+    EXPECT_FALSE(plus.irreflexive());
+    EXPECT_FALSE(r.acyclic());
+}
+
+TEST(RelationTest, IdentityAndCartesian)
+{
+    EventSet s(4);
+    s.insert(1);
+    s.insert(2);
+    Relation id = Relation::identity(s);
+    EXPECT_TRUE(id.contains(1, 1));
+    EXPECT_FALSE(id.contains(0, 0));
+    EXPECT_EQ(id.pairCount(), 2u);
+
+    EventSet t(4);
+    t.insert(3);
+    Relation cart = Relation::cartesian(s, t);
+    EXPECT_TRUE(cart.contains(1, 3));
+    EXPECT_TRUE(cart.contains(2, 3));
+    EXPECT_EQ(cart.pairCount(), 2u);
+}
+
+TEST(RelationTest, InverseAndRestrict)
+{
+    Relation r(4);
+    r.add(0, 1);
+    r.add(2, 3);
+    Relation inv = r.inverse();
+    EXPECT_TRUE(inv.contains(1, 0));
+    EXPECT_TRUE(inv.contains(3, 2));
+
+    EventSet dom(4);
+    dom.insert(0);
+    EXPECT_EQ(r.restrictDomain(dom).pairCount(), 1u);
+    EventSet rng(4);
+    rng.insert(3);
+    EXPECT_EQ(r.restrictRange(rng).pairCount(), 1u);
+}
+
+TEST(RelationTest, DomainAndRange)
+{
+    Relation r(5);
+    r.add(0, 2);
+    r.add(1, 2);
+    EXPECT_EQ(r.domain().count(), 2u);
+    EXPECT_EQ(r.range().count(), 1u);
+    EXPECT_TRUE(r.range().contains(2));
+}
+
+TEST(RelationTest, FindCycleReturnsRealCycle)
+{
+    Relation r(6);
+    r.add(0, 1);
+    r.add(1, 2);
+    r.add(2, 0);
+    r.add(3, 4);
+    auto cycle = r.findCycle();
+    ASSERT_TRUE(cycle.has_value());
+    // Every consecutive pair (and the wrap-around) must be an edge.
+    for (std::size_t i = 0; i < cycle->size(); ++i) {
+        EventId from = (*cycle)[i];
+        EventId to = (*cycle)[(i + 1) % cycle->size()];
+        EXPECT_TRUE(r.contains(from, to))
+            << "missing edge " << from << "->" << to;
+    }
+}
+
+TEST(RelationTest, FindCycleOnDagIsEmpty)
+{
+    Relation r(4);
+    r.add(0, 1);
+    r.add(0, 2);
+    r.add(1, 3);
+    r.add(2, 3);
+    EXPECT_FALSE(r.findCycle().has_value());
+    EXPECT_TRUE(r.acyclic());
+}
+
+TEST(RelationTest, OptionalAddsIdentity)
+{
+    Relation r(3);
+    r.add(0, 1);
+    Relation opt = r.optional();
+    EXPECT_TRUE(opt.contains(2, 2));
+    EXPECT_TRUE(opt.contains(0, 1));
+}
+
+// ---------------------------------------------------------------------
+// Property sweeps across universe sizes (crossing the word boundary).
+// ---------------------------------------------------------------------
+
+class RelationProperty : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    /** A deterministic pseudo-random relation over n events. */
+    Relation
+    randomRelation(std::size_t n, std::uint64_t seed) const
+    {
+        Relation r(n);
+        std::uint64_t state = seed * 2654435761u + 1;
+        for (EventId a = 0; a < n; ++a) {
+            for (EventId b = 0; b < n; ++b) {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if (state % 7 == 0)
+                    r.add(a, b);
+            }
+        }
+        return r;
+    }
+};
+
+TEST_P(RelationProperty, UnionIsCommutativeAndIdempotent)
+{
+    std::size_t n = GetParam();
+    Relation a = randomRelation(n, 1);
+    Relation b = randomRelation(n, 2);
+    EXPECT_EQ(a | b, b | a);
+    EXPECT_EQ(a | a, a);
+}
+
+TEST_P(RelationProperty, IntersectionDistributesOverUnion)
+{
+    std::size_t n = GetParam();
+    Relation a = randomRelation(n, 3);
+    Relation b = randomRelation(n, 4);
+    Relation c = randomRelation(n, 5);
+    EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+}
+
+TEST_P(RelationProperty, SeqAssociative)
+{
+    std::size_t n = GetParam();
+    Relation a = randomRelation(n, 6);
+    Relation b = randomRelation(n, 7);
+    Relation c = randomRelation(n, 8);
+    EXPECT_EQ(a.seq(b).seq(c), a.seq(b.seq(c)));
+}
+
+TEST_P(RelationProperty, SeqDistributesOverUnion)
+{
+    std::size_t n = GetParam();
+    Relation a = randomRelation(n, 9);
+    Relation b = randomRelation(n, 10);
+    Relation c = randomRelation(n, 11);
+    EXPECT_EQ(a.seq(b | c), a.seq(b) | a.seq(c));
+}
+
+TEST_P(RelationProperty, ClosureIsIdempotentAndContainsBase)
+{
+    std::size_t n = GetParam();
+    Relation a = randomRelation(n, 12);
+    Relation plus = a.transitiveClosure();
+    EXPECT_EQ(plus.transitiveClosure(), plus);
+    EXPECT_EQ(plus | a, plus);
+    // Closure is transitively closed: plus;plus ⊆ plus.
+    EXPECT_EQ(plus.seq(plus) | plus, plus);
+}
+
+TEST_P(RelationProperty, InverseIsInvolutive)
+{
+    std::size_t n = GetParam();
+    Relation a = randomRelation(n, 13);
+    EXPECT_EQ(a.inverse().inverse(), a);
+}
+
+TEST_P(RelationProperty, InverseReversesComposition)
+{
+    std::size_t n = GetParam();
+    Relation a = randomRelation(n, 14);
+    Relation b = randomRelation(n, 15);
+    EXPECT_EQ(a.seq(b).inverse(), b.inverse().seq(a.inverse()));
+}
+
+TEST_P(RelationProperty, AcyclicAgreesWithFindCycle)
+{
+    std::size_t n = GetParam();
+    for (std::uint64_t seed = 20; seed < 26; ++seed) {
+        Relation a = randomRelation(n, seed);
+        EXPECT_EQ(a.acyclic(), !a.findCycle().has_value());
+    }
+}
+
+TEST_P(RelationProperty, DomainRangeConsistentWithPairs)
+{
+    std::size_t n = GetParam();
+    Relation a = randomRelation(n, 16);
+    EventSet dom(n), rng(n);
+    for (auto [x, y] : a.pairs()) {
+        dom.insert(x);
+        rng.insert(y);
+    }
+    EXPECT_EQ(a.domain(), dom);
+    EXPECT_EQ(a.range(), rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RelationProperty,
+                         ::testing::Values(1, 2, 7, 16, 63, 64, 65, 100));
+
+} // namespace
+} // namespace rex

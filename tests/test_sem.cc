@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Unit tests for the thread semantics: trace enumeration, dependency
+ * tracking (addr/data/ctrl), exception splicing, §3.4 writeback rules,
+ * interrupt plans and DAIF masking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "litmus/parser.hh"
+#include "sem/exception.hh"
+#include "sem/executor.hh"
+
+namespace rex {
+namespace {
+
+using sem::ThreadExecutor;
+using sem::ThreadTrace;
+using sem::ValueDomain;
+
+LitmusTest
+makeTest(const std::string &text)
+{
+    return parseLitmus(text);
+}
+
+/** Count events of a kind in a trace. */
+std::size_t
+countKind(const ThreadTrace &trace, EventKind kind)
+{
+    return static_cast<std::size_t>(
+        std::count_if(trace.events.begin(), trace.events.end(),
+                      [&](const Event &e) { return e.kind == kind; }));
+}
+
+TEST(Executor, StraightLineStoreTrace)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x\n"
+        "thread 0:\n"
+        "    MOV X0,#1\n"
+        "    STR X0,[X1]\n"
+        "allowed: *x=1\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    ASSERT_EQ(traces[0].events.size(), 1u);
+    EXPECT_EQ(traces[0].events[0].kind, EventKind::WriteMem);
+    EXPECT_EQ(traces[0].events[0].value, 1u);
+    EXPECT_EQ(traces[0].finalRegs[0], 1u);
+}
+
+TEST(Executor, LoadForksOverValueDomain)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x\n"
+        "thread 0:\n"
+        "    LDR X0,[X1]\n"
+        "allowed: 0:X0=0\n");
+    ValueDomain domain(test);
+    domain.addLocValue(0, 1);
+    domain.addLocValue(0, 2);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    EXPECT_EQ(traces.size(), 3u);  // one per candidate value
+    std::set<std::uint64_t> values;
+    for (const auto &trace : traces)
+        values.insert(trace.finalRegs[0]);
+    EXPECT_EQ(values, (std::set<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(Executor, AddrDataCtrlDependencies)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; *y=0; 0:X1=x; 0:X3=y; 0:X7=1\n"
+        "thread 0:\n"
+        "    LDR X0,[X1]\n"       // event 0: read
+        "    EOR X2,X0,X0\n"
+        "    LDR X4,[X3,X2]\n"    // event 1: addr-dependent read
+        "    CBNZ X0,L\n"
+        "L:\n"
+        "    STR X7,[X3]\n"       // event 2: ctrl-dependent write
+        "allowed: 0:X0=0\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    const ThreadTrace &trace = traces[0];
+    ASSERT_EQ(trace.events.size(), 3u);
+    EXPECT_EQ(trace.addr, (std::vector<std::pair<int, int>>{{0, 1}}));
+    EXPECT_EQ(trace.ctrl, (std::vector<std::pair<int, int>>{{0, 2}}));
+    EXPECT_TRUE(trace.data.empty());
+}
+
+TEST(Executor, DataDependencyIntoStoreAndMsr)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; *y=0; 0:X1=x; 0:X3=y; 0:PSTATE.EL=1\n"
+        "thread 0:\n"
+        "    LDR X0,[X1]\n"          // event 0
+        "    EOR X2,X0,X0\n"
+        "    ADD X2,X2,#1\n"
+        "    STR X2,[X3]\n"          // event 1: data-dependent store
+        "    MSR ESR_EL1,X0\n"       // event 2: data-dependent MSR
+        "allowed: 0:X0=0\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    const ThreadTrace &trace = traces[0];
+    EXPECT_EQ(trace.data,
+              (std::vector<std::pair<int, int>>{{0, 1}, {0, 2}}));
+}
+
+TEST(Executor, SvcSplicesHandlerWithTeAndEret)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x; 0:X2=1\n"
+        "thread 0:\n"
+        "    SVC #0\n"
+        "    LDR X0,[X1]\n"
+        "handler 0:\n"
+        "    STR X2,[X1]\n"
+        "    ERET\n"
+        "allowed: 0:X0=1\n");
+    ValueDomain domain(test);
+    domain.addLocValue(0, 1);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 2u);  // post-return load forks over values
+    const ThreadTrace &trace = traces[0];
+    ASSERT_EQ(trace.events.size(), 4u);
+    EXPECT_EQ(trace.events[0].kind, EventKind::TakeException);
+    EXPECT_EQ(trace.events[0].exceptionClass, ExceptionClass::Svc);
+    EXPECT_EQ(trace.events[1].kind, EventKind::WriteMem);
+    EXPECT_EQ(trace.events[2].kind, EventKind::ExceptionReturn);
+    EXPECT_EQ(trace.events[3].kind, EventKind::ReadMem);
+}
+
+TEST(Executor, HandlerWithoutEretTerminatesThread)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x\n"
+        "thread 0:\n"
+        "    SVC #0\n"
+        "    LDR X0,[X1]\n"   // never executed
+        "handler 0:\n"
+        "    MOV X5,#9\n"
+        "allowed: 0:X5=9\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(countKind(traces[0], EventKind::ReadMem), 0u);
+    EXPECT_EQ(traces[0].finalRegs[5], 9u);
+}
+
+TEST(Executor, FaultingAccessSkipsWritebackAndData)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X9=x\n"
+        "thread 0:\n"
+        "    MOV X5,#0\n"
+        "    LDR X4,[X5],#8\n"
+        "handler 0:\n"
+        "    MOV X6,#1\n"
+        "allowed: 0:X6=1\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    const ThreadTrace &trace = traces[0];
+    // A TE(fault) event, no memory read, and no writeback (§3.4).
+    EXPECT_EQ(countKind(trace, EventKind::ReadMem), 0u);
+    ASSERT_GE(trace.events.size(), 1u);
+    EXPECT_EQ(trace.events[0].kind, EventKind::TakeException);
+    EXPECT_EQ(trace.events[0].exceptionClass,
+              ExceptionClass::DataAbortTranslation);
+    EXPECT_EQ(trace.finalRegs[5], 0u);  // writeback suppressed
+}
+
+TEST(Executor, SuccessfulPostIndexWritesBack)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x\n"
+        "thread 0:\n"
+        "    LDR X4,[X1],#8\n"
+        "allowed: 0:X4=0\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(traces[0].finalRegs[1], locationAddress(0) + 8);
+}
+
+TEST(Executor, ElrDependencyFlowsIntoEret)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x\n"
+        "thread 0:\n"
+        "    SVC #0\n"
+        "    NOP\n"
+        "handler 0:\n"
+        "    LDR X0,[X1]\n"
+        "    MRS X4,ELR_EL1\n"
+        "    EOR X5,X0,X0\n"
+        "    ADD X5,X4,X5\n"
+        "    MSR ELR_EL1,X5\n"
+        "    ERET\n"
+        "allowed: 0:X0=0\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    const ThreadTrace &trace = traces[0];
+    // Events: TE, R x, MRS, MSR, ERET. The handler load must have data
+    // edges into both the MSR and the ERET (§3.2.5).
+    int read_idx = -1, msr_idx = -1, eret_idx = -1;
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        if (trace.events[i].kind == EventKind::ReadMem)
+            read_idx = static_cast<int>(i);
+        if (trace.events[i].kind == EventKind::WriteSysreg)
+            msr_idx = static_cast<int>(i);
+        if (trace.events[i].kind == EventKind::ExceptionReturn)
+            eret_idx = static_cast<int>(i);
+    }
+    ASSERT_GE(read_idx, 0);
+    ASSERT_GE(msr_idx, 0);
+    ASSERT_GE(eret_idx, 0);
+    auto has_edge = [&](int a, int b) {
+        return std::find(trace.data.begin(), trace.data.end(),
+                         std::make_pair(a, b)) != trace.data.end();
+    };
+    EXPECT_TRUE(has_edge(read_idx, msr_idx));
+    EXPECT_TRUE(has_edge(read_idx, eret_idx));
+}
+
+TEST(Executor, InterruptAtLabelIsMandatoryAndPlaced)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x\n"
+        "thread 0:\n"
+        "    NOP\n"
+        "L:\n"
+        "    NOP\n"
+        "handler 0:\n"
+        "    LDR X0,[X1]\n"
+        "interrupt 0 at L intid 3\n"
+        "allowed: 0:X0=0\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    const ThreadTrace &trace = traces[0];
+    ASSERT_GE(trace.events.size(), 1u);
+    EXPECT_EQ(trace.events[0].kind, EventKind::TakeInterrupt);
+    EXPECT_EQ(trace.events[0].intid, 3u);
+    EXPECT_FALSE(trace.events[0].sgiDelivered);
+}
+
+TEST(Executor, SgiReceiverEnumeratesPlacementsRespectingMask)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 1:X1=x; 0:PSTATE.EL=1\n"
+        "thread 0:\n"
+        "    MOV X2,#1,LSL #40\n"
+        "    MSR ICC_SGI1R_EL1,X2\n"
+        "thread 1:\n"
+        "    MSR DAIFSet,#0xf\n"
+        "    LDR X0,[X1]\n"
+        "    MSR DAIFClr,#0xf\n"
+        "handler 1:\n"
+        "    MOV X3,#1\n"
+        "    ERET\n"
+        "allowed: 1:X3=1\n");
+    ValueDomain domain(test);
+    domain.addIntid(0);
+    ThreadExecutor executor(test, 1, domain);
+    auto traces = executor.enumerate();
+    // Plans: not-taken, plus taken at each unmasked point: before the
+    // DAIFSet (index 0) and after the DAIFClr (index 3 = program end).
+    // Masked points (inside the section) are pruned.
+    std::size_t with_interrupt = 0;
+    for (const auto &trace : traces)
+        with_interrupt += countKind(trace, EventKind::TakeInterrupt);
+    EXPECT_EQ(traces.size(), 3u);
+    EXPECT_EQ(with_interrupt, 2u);
+    for (const auto &trace : traces) {
+        for (const Event &e : trace.events) {
+            if (e.kind == EventKind::TakeInterrupt) {
+                EXPECT_TRUE(e.sgiDelivered);
+            }
+        }
+    }
+}
+
+TEST(Executor, StxrForksSuccessAndFailure)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x\n"
+        "thread 0:\n"
+        "    LDXR X0,[X1]\n"
+        "    MOV X2,#1\n"
+        "    STXR W3,X2,[X1]\n"
+        "allowed: 0:X3=0\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 2u);
+    std::set<std::uint64_t> statuses;
+    for (const auto &trace : traces)
+        statuses.insert(trace.finalRegs[3]);
+    EXPECT_EQ(statuses, (std::set<std::uint64_t>{0, 1}));
+    // The successful trace has the rmw edge.
+    for (const auto &trace : traces) {
+        if (trace.finalRegs[3] == 0)
+            EXPECT_EQ(trace.rmw.size(), 1u);
+        else
+            EXPECT_TRUE(trace.rmw.empty());
+    }
+}
+
+TEST(Executor, GicEventsAreIioAfterRegisterAccess)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:PSTATE.EL=1\n"
+        "thread 0:\n"
+        "    MOV X2,#1,LSL #40\n"
+        "    MSR ICC_SGI1R_EL1,X2\n"
+        "allowed: *x=0\n");
+    ValueDomain domain(test);
+    ThreadExecutor executor(test, 0, domain);
+    auto traces = executor.enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    const ThreadTrace &trace = traces[0];
+    ASSERT_EQ(trace.events.size(), 2u);
+    EXPECT_EQ(trace.events[0].kind, EventKind::WriteSysreg);
+    EXPECT_EQ(trace.events[1].kind, EventKind::GenerateInterrupt);
+    EXPECT_EQ(trace.iio, (std::vector<std::pair<int, int>>{{0, 1}}));
+    // Broadcast from thread 0 of a 1-thread test: empty target mask.
+    EXPECT_EQ(trace.events[1].targetMask, 0u);
+}
+
+TEST(Executor, ConstrainedUnpredictableFlagged)
+{
+    // MSR VBAR_EL1 followed by an exception with no intervening context
+    // synchronisation: the paper declines to define this (s1.2); we
+    // flag it.
+    LitmusTest unsynced = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x; 0:X2=4096; 0:PSTATE.EL=1\n"
+        "thread 0:\n"
+        "    MSR VBAR_EL1,X2\n"
+        "    SVC #0\n"
+        "handler 0:\n"
+        "    MOV X5,#1\n"
+        "allowed: 0:X5=1\n");
+    ValueDomain domain(unsynced);
+    auto traces = ThreadExecutor(unsynced, 0, domain).enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_TRUE(traces[0].constrainedUnpredictable);
+
+    // With an ISB between, the context change is synchronised.
+    LitmusTest synced = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x; 0:X2=4096; 0:PSTATE.EL=1\n"
+        "thread 0:\n"
+        "    MSR VBAR_EL1,X2\n"
+        "    ISB\n"
+        "    SVC #0\n"
+        "handler 0:\n"
+        "    MOV X5,#1\n"
+        "allowed: 0:X5=1\n");
+    auto synced_traces =
+        ThreadExecutor(synced, 0, ValueDomain(synced)).enumerate();
+    ASSERT_EQ(synced_traces.size(), 1u);
+    EXPECT_FALSE(synced_traces[0].constrainedUnpredictable);
+}
+
+TEST(Executor, PartialPairFaultFlagsUnknowns)
+{
+    // STP whose second element lands beyond the last mapped cell: the
+    // first element performs, the second faults, and the trace carries
+    // the s6 UNKNOWN flag.
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; 0:X1=x; 0:X2=1; 0:X3=2\n"   // only one location
+        "thread 0:\n"
+        "    STP X2,X3,[X1]\n"
+        "handler 0:\n"
+        "    MOV X6,#1\n"
+        "allowed: 0:X6=1\n");
+    ValueDomain domain(test);
+    auto traces = ThreadExecutor(test, 0, domain).enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    const ThreadTrace &trace = traces[0];
+    EXPECT_TRUE(trace.unknownSideEffects);
+    // One write performed (the first element), then the fault.
+    EXPECT_EQ(countKind(trace, EventKind::WriteMem), 1u);
+    EXPECT_EQ(countKind(trace, EventKind::TakeException), 1u);
+}
+
+TEST(Executor, FullPairEmitsTwoAccesses)
+{
+    LitmusTest test = makeTest(
+        "name: t\n"
+        "init: *x=0; *y=0; 0:X1=x; 0:X2=1; 0:X3=2\n"
+        "thread 0:\n"
+        "    STP X2,X3,[X1]\n"
+        "allowed: *x=1 & *y=2\n");
+    ValueDomain domain(test);
+    auto traces = ThreadExecutor(test, 0, domain).enumerate();
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(countKind(traces[0], EventKind::WriteMem), 2u);
+    EXPECT_FALSE(traces[0].unknownSideEffects);
+}
+
+TEST(ExceptionHelpers, SyndromesAndReturns)
+{
+    using namespace sem;
+    EXPECT_EQ(syndromeFor(ExceptionClass::Svc, 0) >> 26, 0x15u);
+    EXPECT_EQ(syndromeFor(ExceptionClass::DataAbortTranslation, 0) >> 26,
+              0x25u);
+    EXPECT_EQ(preferredReturn(ExceptionClass::Svc, 4), 5u);
+    EXPECT_EQ(preferredReturn(ExceptionClass::DataAbortTranslation, 4),
+              4u);
+}
+
+TEST(ExceptionHelpers, SgiEncodingRoundTrip)
+{
+    using namespace sem;
+    SgiRequest broadcast = decodeSgi1r(std::uint64_t{1} << 40);
+    EXPECT_TRUE(broadcast.broadcast);
+    EXPECT_EQ(broadcast.targetMask(3, 0), 0b110u);
+
+    SgiRequest list = decodeSgi1r((std::uint64_t{7} << 24) | 0b011);
+    EXPECT_EQ(list.intid, 7u);
+    EXPECT_EQ(list.targetMask(3, 5), 0b011u);
+}
+
+} // namespace
+} // namespace rex
