@@ -5,31 +5,62 @@
  * under SEA_W, write-write reordering (MP+po+addr) becomes forbidden;
  * read-read reordering survives every variant (§4.2 discusses why
  * ruling out LB matters for programming-language models).
+ *
+ * The 8×4 (test × variant) matrix runs as independent verdict jobs on
+ * the batch engine (--jobs N / REX_JOBS; verdicts memoized under
+ * .rex-cache/); cells are reassembled in fixed order, so stdout is
+ * byte-identical for every job count.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "rex/rex.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rex;
 
+    engine::EngineConfig config = engine::EngineConfig::fromEnv();
+    if (config.cacheDir.empty())
+        config.cacheDir = ".rex-cache";
+    for (int arg = 1; arg < argc; ++arg) {
+        if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
+            config.jobs =
+                static_cast<unsigned>(std::strtoul(argv[++arg], nullptr,
+                                                   10));
+        } else {
+            std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+            return 2;
+        }
+    }
+    engine::Engine engine(config);
+
     std::printf("S4.1: behaviour under synchronous external aborts\n\n");
+
+    const std::vector<std::string> names{
+        "LB+pos", "MP+dmb.sy+isb", "MP+po+addr", "MP+po+po-rr",
+        "LB+svc+po", "S+po+data", "SB+sea+isb", "LB+wb-base+po"};
+    const std::vector<std::string> variants{"base", "SEA_R", "SEA_W",
+                                            "SEA_RW"};
+
+    std::vector<char> cells = engine.map(
+        names.size() * variants.size(), [&](std::size_t i) -> char {
+            const LitmusTest &test = TestRegistry::instance().get(
+                names[i / variants.size()]);
+            const ModelParams params =
+                ModelParams::byName(variants[i % variants.size()]);
+            return engine.isAllowed(test, params) ? 'A' : 'F';
+        });
 
     harness::Table table;
     table.header({"test", "base", "SEA_R", "SEA_W", "SEA_RW"});
-    for (const char *name :
-            {"LB+pos", "MP+dmb.sy+isb", "MP+po+addr", "MP+po+po-rr",
-             "LB+svc+po", "S+po+data", "SB+sea+isb", "LB+wb-base+po"}) {
-        const LitmusTest &test = TestRegistry::instance().get(name);
-        std::vector<std::string> row{name};
-        for (const char *variant : {"base", "SEA_R", "SEA_W", "SEA_RW"}) {
-            bool allowed =
-                isAllowed(test, ModelParams::byName(variant));
-            row.push_back(allowed ? "A" : "F");
-        }
+    for (std::size_t t = 0; t < names.size(); ++t) {
+        std::vector<std::string> row{names[t]};
+        for (std::size_t v = 0; v < variants.size(); ++v)
+            row.push_back(
+                std::string(1, cells[t * variants.size() + v]));
         table.row(std::move(row));
     }
     std::fputs(table.render().c_str(), stdout);

@@ -6,22 +6,81 @@
  * "for all the (non-IPI) tests presented in this paper, Isla, the
  * architectural intent, and the results of hardware testing are
  * consistent".
+ *
+ * The (test × variant) matrix runs on the batch engine: verdict jobs
+ * are sharded across worker threads, memoized in the on-disk verdict
+ * cache (default `.rex-cache/`, so a second run skips every proved
+ * verdict), and logged one-JSONL-record-per-job to the results file.
+ * Table output on stdout is byte-identical for every --jobs value;
+ * engine diagnostics go to stderr.
+ *
+ * Usage:
+ *   bench_suite_matrix [--jobs N] [--results PATH] [--cache-dir DIR]
+ *                      [--no-cache]
+ *
+ * Defaults: --jobs from REX_JOBS (else hardware concurrency), results
+ * to suite_matrix.jsonl, cache under .rex-cache/.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "rex/rex.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rex;
+
+    engine::EngineConfig config = engine::EngineConfig::fromEnv();
+    if (config.resultsPath.empty())
+        config.resultsPath = "suite_matrix.jsonl";
+    if (config.cacheDir.empty())
+        config.cacheDir = ".rex-cache";
+
+    for (int arg = 1; arg < argc; ++arg) {
+        if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
+            config.jobs =
+                static_cast<unsigned>(std::strtoul(argv[++arg], nullptr,
+                                                   10));
+        } else if (std::strcmp(argv[arg], "--results") == 0 &&
+                   arg + 1 < argc) {
+            config.resultsPath = argv[++arg];
+        } else if (std::strcmp(argv[arg], "--cache-dir") == 0 &&
+                   arg + 1 < argc) {
+            config.cacheDir = argv[++arg];
+        } else if (std::strcmp(argv[arg], "--no-cache") == 0) {
+            config.cacheEnabled = false;
+            config.cacheDir.clear();
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--results PATH] "
+                         "[--cache-dir DIR] [--no-cache]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    engine::Engine engine(config);
     const TestRegistry &registry = TestRegistry::instance();
     for (const char *suite : {"core", "exceptions", "sea", "gic"}) {
         std::printf("=== suite: %s ===\n", suite);
         std::fputs(
-            harness::suiteMatrix(registry.suite(suite)).c_str(), stdout);
+            harness::suiteMatrix(registry.suite(suite), engine).c_str(),
+            stdout);
         std::printf("\n");
     }
+
+    std::fprintf(stderr,
+                 "engine: %u jobs, %llu cache hits, %llu misses, "
+                 "%llu records -> %s\n",
+                 engine.jobs(),
+                 static_cast<unsigned long long>(engine.cache().hits()),
+                 static_cast<unsigned long long>(engine.cache().misses()),
+                 static_cast<unsigned long long>(
+                     engine.results().records()),
+                 engine.results().enabled()
+                     ? engine.results().path().c_str()
+                     : "(no results file)");
     return 0;
 }

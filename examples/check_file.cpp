@@ -6,28 +6,38 @@
  * with the witness (or the forbidding explanation) on request.
  *
  * Usage:
- *   ./example_check_file [--dot|--all] FILE.litmus [variant...]
- *   ./example_check_file [--dot|--all] --builtin TEST-NAME [variant...]
+ *   ./example_check_file [--dot|--all|--jobs N] FILE.litmus [variant...]
+ *   ./example_check_file [--dot|--all|--jobs N] --builtin TEST-NAME
+ *                        [variant...]
  *
  * Variants: base (default), ExS, ExS_EIS0, ExS_EOS0, SEA_R, SEA_W,
  * SEA_RW, noETS2. With --dot, the witness execution is printed as a
  * Graphviz graph (pipe into `dot -Tsvg`); with --all, every consistent
  * final state is listed with the number of consistent candidate
  * executions reaching it (Isla-style exhaustive output).
+ *
+ * The per-variant checks run as independent jobs on the batch engine
+ * (--jobs N, default REX_JOBS else hardware concurrency); output is
+ * printed in variant order regardless of the schedule. The full
+ * enumeration (exact candidate counts, witness) always runs — verdicts
+ * are not served from the cache here, because the oracle's whole point
+ * is the counted evidence.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "base/strings.hh"
 #include "rex/rex.hh"
 
 namespace {
 
-/** List every consistent final state under @p params. */
-void
+/** Render every consistent final state under @p params. */
+std::string
 listAllOutcomes(const rex::LitmusTest &test,
                 const rex::ModelParams &params)
 {
@@ -53,12 +63,20 @@ listAllOutcomes(const rex::LitmusTest &test,
         ++outcomes[key];
         return true;
     });
+    std::string out;
     for (const auto &[key, count] : outcomes) {
-        std::printf("    %6zu  %s\n", count, key.c_str());
+        out += rex::format("    %6zu  %s\n", count, key.c_str());
     }
-    std::printf("    (%zu distinct consistent final states)\n",
-                outcomes.size());
+    out += rex::format("    (%zu distinct consistent final states)\n",
+                       outcomes.size());
+    return out;
 }
+
+/** Everything one variant's job computes. */
+struct VariantReport {
+    rex::CheckResult result;
+    std::string outcomesListing;  // --all only
+};
 
 } // namespace
 
@@ -80,12 +98,25 @@ main(int argc, char **argv)
     int arg = 1;
     bool dot = false;
     bool all = false;
+    engine::EngineConfig config = engine::EngineConfig::fromEnv();
+    // The oracle wants exact counts and witnesses, which cached verdicts
+    // (short-circuited, witness-less) cannot provide.
+    config.cacheEnabled = false;
     while (arg < argc && (std::strcmp(argv[arg], "--dot") == 0 ||
-                          std::strcmp(argv[arg], "--all") == 0)) {
-        if (std::strcmp(argv[arg], "--dot") == 0)
+                          std::strcmp(argv[arg], "--all") == 0 ||
+                          std::strcmp(argv[arg], "--jobs") == 0)) {
+        if (std::strcmp(argv[arg], "--dot") == 0) {
             dot = true;
-        else
+        } else if (std::strcmp(argv[arg], "--all") == 0) {
             all = true;
+        } else {
+            if (arg + 1 >= argc) {
+                std::fprintf(stderr, "--jobs needs a count\n");
+                return 2;
+            }
+            config.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++arg], nullptr, 10));
+        }
         ++arg;
     }
     if (arg >= argc) {
@@ -116,10 +147,24 @@ main(int argc, char **argv)
 
     std::printf("%s: %s\n", test->name.c_str(),
                 test->description.c_str());
+
+    // One engine job per requested variant; reports print in variant
+    // order below, independent of the schedule.
+    engine::Engine engine(config);
+    std::vector<VariantReport> reports =
+        engine.map(variants.size(), [&](std::size_t i) {
+            VariantReport report;
+            ModelParams params = ModelParams::byName(variants[i]);
+            report.result = checkTest(*test, params);
+            if (all)
+                report.outcomesListing = listAllOutcomes(*test, params);
+            return report;
+        });
+
     bool all_match = true;
-    for (const std::string &variant : variants) {
-        ModelParams params = ModelParams::byName(variant);
-        CheckResult result = checkTest(*test, params);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const std::string &variant = variants[v];
+        const CheckResult &result = reports[v].result;
         std::printf("  %-9s %-9s  (%zu candidates, %zu consistent, "
                     "%zu witnesses)\n",
                     variant.c_str(),
@@ -138,7 +183,7 @@ main(int argc, char **argv)
             all_match = false;
         }
         if (all)
-            listAllOutcomes(*test, params);
+            std::fputs(reports[v].outcomesListing.c_str(), stdout);
         if (result.witness) {
             if (dot) {
                 std::fputs(result.witness->toDot().c_str(), stdout);

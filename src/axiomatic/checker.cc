@@ -28,7 +28,7 @@ condHolds(const CandidateExecution &cand, const Condition &cond)
 
 CheckResult
 checkTest(const LitmusTest &test, const ModelParams &params,
-          bool stop_at_first)
+          bool stop_at_first, bool capture_witness)
 {
     CheckResult result;
     CandidateEnumerator enumerator(test);
@@ -45,15 +45,23 @@ checkTest(const LitmusTest &test, const ModelParams &params,
         if (stop_at_first && !satisfies)
             return true;
         ModelResult model = checkConsistent(cand, params);
-        if (!model.consistent)
+        if (!model.consistent) {
+            if (satisfies && result.forbiddingAxiom.empty()) {
+                // Remember why the first satisfying candidate was
+                // rejected: the forbidding explanation if no witness
+                // ever turns up.
+                result.forbiddingAxiom = model.failedAxiom;
+                if (model.cycle)
+                    result.forbiddingCycle = *model.cycle;
+            }
             return true;
+        }
         ++result.consistent;
         if (satisfies) {
             ++result.witnesses;
-            if (!result.witness) {
-                result.observable = true;
+            result.observable = true;
+            if (capture_witness && !result.witness)
                 result.witness = cand;
-            }
             if (stop_at_first)
                 return false;
         }

@@ -9,6 +9,8 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "axiomatic/model.hh"
 #include "axiomatic/params.hh"
@@ -38,8 +40,15 @@ struct CheckResult {
     /** Candidates with UNKNOWN-tinged pair-fault side effects (s6). */
     std::size_t unknownSideEffects = 0;
 
-    /** A witnessing execution, when observable. */
+    /** A witnessing execution, when observable and requested. */
     std::optional<CandidateExecution> witness;
+
+    /** Failed axiom of the first condition-satisfying candidate the
+     *  model rejected — the forbidding explanation when Forbidden. */
+    std::string forbiddingAxiom;
+
+    /** That candidate's forbidding cycle (cyclicity failures only). */
+    std::vector<EventId> forbiddingCycle;
 };
 
 /** Does the final condition hold in this candidate? */
@@ -47,16 +56,23 @@ bool condHolds(const CandidateExecution &candidate, const Condition &cond);
 
 /**
  * Check @p test under @p params, enumerating every candidate.
- * @param stop_at_first stop as soon as a witness is found (verdict only).
+ * @param stop_at_first stop enumeration at the first witnessing
+ *        candidate (verdict only): Allowed verdicts short-circuit
+ *        instead of visiting the full candidate set.
+ * @param capture_witness copy the witnessing execution into the result;
+ *        pass false for verdict-only checks to skip the (relation-heavy)
+ *        candidate copy.
  */
 CheckResult checkTest(const LitmusTest &test, const ModelParams &params,
-                      bool stop_at_first = false);
+                      bool stop_at_first = false,
+                      bool capture_witness = true);
 
-/** Convenience: just the Allowed/Forbidden verdict. */
+/** Convenience: just the Allowed/Forbidden verdict, short-circuiting on
+ *  the first witness and skipping the witness copy. */
 inline bool
 isAllowed(const LitmusTest &test, const ModelParams &params)
 {
-    return checkTest(test, params, true).observable;
+    return checkTest(test, params, true, false).observable;
 }
 
 } // namespace rex

@@ -1,0 +1,107 @@
+#include "engine/batch.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace rex::engine {
+
+namespace {
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const char *env = std::getenv("REX_JOBS");
+    if (env && *env) {
+        char *end = nullptr;
+        unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && parsed > 0)
+            return static_cast<unsigned>(parsed);
+        warn(std::string("ignoring malformed REX_JOBS='") + env + "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace
+
+EngineConfig
+EngineConfig::fromEnv()
+{
+    EngineConfig config;
+    const char *cache = std::getenv("REX_CACHE");
+    if (cache && std::string(cache) == "0")
+        config.cacheEnabled = false;
+    if (const char *dir = std::getenv("REX_CACHE_DIR"))
+        config.cacheDir = dir;
+    if (const char *results = std::getenv("REX_RESULTS"))
+        config.resultsPath = results;
+    // jobs stays 0: resolved (REX_JOBS, then hardware concurrency) at
+    // engine construction, so explicit EngineConfig{.jobs = n} wins.
+    return config;
+}
+
+Engine::Engine(EngineConfig config)
+    : _config(std::move(config)),
+      _jobs(resolveJobs(_config.jobs)),
+      _cache(_config.cacheEnabled, _config.cacheDir)
+{
+    if (_jobs > 1)
+        _pool = std::make_unique<ThreadPool>(_jobs);
+    if (!_config.resultsPath.empty())
+        _sink.open(_config.resultsPath);
+}
+
+CheckResult
+Engine::verdict(const LitmusTest &test, const ModelParams &params)
+{
+    auto start = std::chrono::steady_clock::now();
+    VerdictKey key =
+        VerdictKey::make(test, params, _config.modelRevision);
+
+    JobRecord record;
+    record.test = test.name;
+    record.variant = params.name();
+
+    std::optional<CachedVerdict> cached = _cache.lookup(key);
+    CachedVerdict verdict;
+    if (cached) {
+        verdict = *cached;
+        record.cacheHit = true;
+    } else {
+        // Witness-less, short-circuiting check: Allowed verdicts stop at
+        // the first witnessing candidate.
+        CheckResult result = checkTest(test, params,
+                                       /*stop_at_first=*/true,
+                                       /*capture_witness=*/false);
+        verdict = CachedVerdict::fromResult(result);
+        _cache.store(key, verdict);
+    }
+
+    record.verdict = verdict.observable ? "Allowed" : "Forbidden";
+    record.candidates = verdict.candidates;
+    record.consistent = verdict.consistent;
+    record.witnesses = verdict.witnesses;
+    record.forbidding = verdict.forbiddingSummary();
+    record.wallMicros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    _sink.append(record);
+    return verdict.toResult();
+}
+
+Engine &
+Engine::shared()
+{
+    // Leaked (like the registry and cat-model singletons) so worker
+    // threads never race static destruction at exit.
+    static Engine *engine = new Engine(EngineConfig::fromEnv());
+    return *engine;
+}
+
+} // namespace rex::engine

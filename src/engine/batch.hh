@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The batch-execution engine: shards (test × variant) work across a
+ * work-stealing thread pool, memoizes verdicts in the content-addressed
+ * cache, and streams one JSONL record per job to the results sink.
+ *
+ * The engine is the single parallelism primitive of the library: the
+ * harness, the bench matrices, the fuzz corpus, and the command-line
+ * oracle all express their work as ordered map() calls over an Engine,
+ * so results are assembled in deterministic submission order and the
+ * rendered output is byte-identical for every job count. With jobs == 1
+ * the engine runs every task inline on the calling thread — the exact
+ * legacy serial path, with no pool and no reordering of any kind.
+ *
+ * Configuration knobs (CLI flags override the environment):
+ *   REX_JOBS       worker count; 0/unset = hardware concurrency, 1 = serial
+ *   REX_CACHE      "0" disables verdict memoization entirely
+ *   REX_CACHE_DIR  on-disk persistence directory (e.g. ".rex-cache")
+ *   REX_RESULTS    JSONL results path
+ */
+
+#ifndef REX_ENGINE_BATCH_HH
+#define REX_ENGINE_BATCH_HH
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "axiomatic/checker.hh"
+#include "axiomatic/params.hh"
+#include "engine/cache.hh"
+#include "engine/pool.hh"
+#include "engine/results.hh"
+#include "litmus/litmus.hh"
+
+namespace rex::engine {
+
+/** Engine construction parameters. */
+struct EngineConfig {
+    /** Worker threads: 0 = hardware concurrency, 1 = inline/serial. */
+    unsigned jobs = 0;
+
+    /** Master switch for verdict memoization. */
+    bool cacheEnabled = true;
+
+    /** Cache persistence directory; empty = in-memory only. */
+    std::string cacheDir;
+
+    /** JSONL results path; empty = no results file. */
+    std::string resultsPath;
+
+    /** Model revision baked into cache keys. */
+    std::string modelRevision = kModelRevision;
+
+    /** Defaults from REX_JOBS / REX_CACHE / REX_CACHE_DIR / REX_RESULTS. */
+    static EngineConfig fromEnv();
+};
+
+/** A configured batch-execution engine. */
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig config = EngineConfig::fromEnv());
+
+    /** Effective worker count (1 = inline serial execution). */
+    unsigned jobs() const { return _jobs; }
+
+    const EngineConfig &config() const { return _config; }
+    VerdictCache &cache() { return _cache; }
+    ResultsSink &results() { return _sink; }
+
+    /**
+     * Ordered parallel map: run fn(0) .. fn(count-1) across the pool and
+     * return the results indexed by input — deterministic regardless of
+     * schedule. Exceptions rethrow in the caller at the failing index.
+     * With jobs == 1, runs inline in index order (the legacy path).
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t count, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn, std::size_t>>
+    {
+        using Result = std::invoke_result_t<Fn, std::size_t>;
+        std::vector<Result> out;
+        out.reserve(count);
+        if (!_pool) {
+            for (std::size_t i = 0; i < count; ++i)
+                out.push_back(fn(i));
+            return out;
+        }
+        std::vector<std::future<Result>> futures;
+        futures.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            futures.push_back(_pool->submit([fn, i]() { return fn(i); }));
+        for (std::future<Result> &future : futures)
+            out.push_back(future.get());
+        return out;
+    }
+
+    /**
+     * Verdict-only check of @p test under @p params: cached, witness-less
+     * (the checker short-circuits on the first witness), recorded in the
+     * results sink with wall time and cache-hit flag.
+     */
+    CheckResult verdict(const LitmusTest &test, const ModelParams &params);
+
+    /** Convenience wrapper over verdict(). */
+    bool
+    isAllowed(const LitmusTest &test, const ModelParams &params)
+    {
+        return verdict(test, params).observable;
+    }
+
+    /**
+     * The process-wide default engine (configured from the environment
+     * at first use): what the harness entry points run on when no
+     * explicit engine is passed.
+     */
+    static Engine &shared();
+
+  private:
+    EngineConfig _config;
+    unsigned _jobs = 1;
+    std::unique_ptr<ThreadPool> _pool;
+    VerdictCache _cache;
+    ResultsSink _sink;
+};
+
+} // namespace rex::engine
+
+#endif // REX_ENGINE_BATCH_HH

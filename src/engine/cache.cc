@@ -1,0 +1,319 @@
+#include "engine/cache.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "isa/register.hh"
+
+namespace rex::engine {
+
+namespace {
+
+/** FNV-1a over @p text, seeded by @p hash. */
+std::uint64_t
+fnv1a(std::uint64_t hash, std::string_view text)
+{
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+void
+appendProgram(std::string &out, const char *tag, int tid,
+              const isa::Program &program)
+{
+    if (program.code.empty() && program.labels.empty())
+        return;
+    out += format("%s %d:\n", tag, tid);
+    out += program.toString();
+}
+
+} // namespace
+
+std::string
+canonicalTestText(const LitmusTest &test)
+{
+    std::string out = "litmus-canonical-v1\n";
+    out += "name " + test.name + "\n";
+    out += "locations";
+    for (std::size_t loc = 0; loc < test.locations.size(); ++loc) {
+        out += format(" %s=%" PRIu64, test.locations[loc].c_str(),
+                      test.initValues[loc]);
+    }
+    out += "\n";
+    for (std::size_t t = 0; t < test.threads.size(); ++t) {
+        const LitmusThread &thread = test.threads[t];
+        out += format("thread %zu el=%d masked=%d eoimode1=%d sgirx=%d",
+                      t, thread.initialEl, thread.initialMasked ? 1 : 0,
+                      thread.eoiMode1 ? 1 : 0,
+                      thread.sgiReceiver ? 1 : 0);
+        if (thread.interruptAt) {
+            out += format(" interrupt-at=%s intid=%u",
+                          thread.interruptAt->c_str(),
+                          thread.interruptIntid);
+        }
+        for (isa::RegId r = 0; r < isa::kNumRegs; ++r) {
+            if (thread.initRegs[r] != 0) {
+                out += format(" %s=%" PRIu64,
+                              isa::regName(r).c_str(),
+                              thread.initRegs[r]);
+            }
+        }
+        out += "\n";
+        appendProgram(out, "program", static_cast<int>(t),
+                      thread.program);
+        appendProgram(out, "handler", static_cast<int>(t),
+                      thread.handler);
+    }
+    out += "final";
+    for (const CondAtom &atom : test.finalCond.atoms) {
+        if (atom.kind == CondAtom::Kind::Register) {
+            out += format(" %d:%s=%" PRIu64, atom.tid,
+                          isa::regName(atom.reg).c_str(), atom.value);
+        } else {
+            out += format(" *%s=%" PRIu64,
+                          test.locations[atom.loc].c_str(), atom.value);
+        }
+    }
+    out += "\n";
+    return out;
+}
+
+std::string
+canonicalParamsText(const ModelParams &params)
+{
+    return format("exs=%d eis=%d eos=%d seaR=%d seaW=%d ets2=%d gic=%d",
+                  params.featExS ? 1 : 0, params.eis ? 1 : 0,
+                  params.eos ? 1 : 0, params.seaR ? 1 : 0,
+                  params.seaW ? 1 : 0, params.featEts2 ? 1 : 0,
+                  params.gicExtension ? 1 : 0);
+}
+
+VerdictKey
+VerdictKey::make(const LitmusTest &test, const ModelParams &params,
+                 const std::string &revision)
+{
+    VerdictKey key;
+    key.text = "revision " + revision + "\n" +
+        "params " + canonicalParamsText(params) + "\n" +
+        canonicalTestText(test);
+    key.hash = fnv1a(kFnvOffset, key.text);
+    return key;
+}
+
+std::string
+VerdictKey::hashHex() const
+{
+    return format("%016" PRIx64, hash);
+}
+
+CachedVerdict
+CachedVerdict::fromResult(const CheckResult &result)
+{
+    CachedVerdict verdict;
+    verdict.observable = result.observable;
+    verdict.candidates = result.candidates;
+    verdict.consistent = result.consistent;
+    verdict.witnesses = result.witnesses;
+    verdict.constrainedUnpredictable = result.constrainedUnpredictable;
+    verdict.unknownSideEffects = result.unknownSideEffects;
+    verdict.forbiddingAxiom = result.forbiddingAxiom;
+    verdict.forbiddingCycle = result.forbiddingCycle;
+    return verdict;
+}
+
+CheckResult
+CachedVerdict::toResult() const
+{
+    CheckResult result;
+    result.observable = observable;
+    result.candidates = candidates;
+    result.consistent = consistent;
+    result.witnesses = witnesses;
+    result.constrainedUnpredictable = constrainedUnpredictable;
+    result.unknownSideEffects = unknownSideEffects;
+    result.forbiddingAxiom = forbiddingAxiom;
+    result.forbiddingCycle = forbiddingCycle;
+    return result;
+}
+
+std::string
+CachedVerdict::forbiddingSummary() const
+{
+    if (observable || forbiddingAxiom.empty())
+        return "";
+    std::string out = forbiddingAxiom;
+    for (std::size_t i = 0; i < forbiddingCycle.size(); ++i) {
+        out += i ? "->" : ":";
+        out += std::to_string(forbiddingCycle[i]);
+    }
+    return out;
+}
+
+VerdictCache::VerdictCache(bool enabled, std::string dir)
+    : _enabled(enabled), _dir(std::move(dir))
+{
+    if (_enabled && !_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(_dir, ec);
+        if (ec) {
+            warn("verdict cache: cannot create '" + _dir + "' (" +
+                 ec.message() + "); persistence disabled");
+            _dir.clear();
+        }
+    }
+}
+
+std::string
+VerdictCache::entryPath(const VerdictKey &key) const
+{
+    return _dir + "/" + key.hashHex() + ".rexv";
+}
+
+std::optional<CachedVerdict>
+VerdictCache::lookup(const VerdictKey &key)
+{
+    if (!_enabled)
+        return std::nullopt;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _entries.find(key.text);
+        if (it != _entries.end()) {
+            ++_hits;
+            return it->second;
+        }
+    }
+    if (!_dir.empty()) {
+        std::optional<CachedVerdict> fromDisk = loadFromDisk(key);
+        if (fromDisk) {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _entries.emplace(key.text, *fromDisk);
+            ++_hits;
+            return fromDisk;
+        }
+    }
+    ++_misses;
+    return std::nullopt;
+}
+
+void
+VerdictCache::store(const VerdictKey &key, const CachedVerdict &value)
+{
+    if (!_enabled)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _entries.insert_or_assign(key.text, value);
+    }
+    if (!_dir.empty())
+        writeToDisk(key, value);
+}
+
+std::optional<CachedVerdict>
+VerdictCache::loadFromDisk(const VerdictKey &key)
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::string line;
+    if (!std::getline(in, line) || line != "rex-verdict-v1")
+        return std::nullopt;
+    CachedVerdict verdict;
+    std::size_t keylen = 0;
+    while (std::getline(in, line)) {
+        std::size_t space = line.find(' ');
+        std::string field = line.substr(0, space);
+        std::string rest =
+            space == std::string::npos ? "" : line.substr(space + 1);
+        if (field == "observable") {
+            verdict.observable = rest == "1";
+        } else if (field == "candidates") {
+            verdict.candidates = std::strtoull(rest.c_str(), nullptr, 10);
+        } else if (field == "consistent") {
+            verdict.consistent = std::strtoull(rest.c_str(), nullptr, 10);
+        } else if (field == "witnesses") {
+            verdict.witnesses = std::strtoull(rest.c_str(), nullptr, 10);
+        } else if (field == "cu") {
+            verdict.constrainedUnpredictable =
+                std::strtoull(rest.c_str(), nullptr, 10);
+        } else if (field == "unknown") {
+            verdict.unknownSideEffects =
+                std::strtoull(rest.c_str(), nullptr, 10);
+        } else if (field == "axiom") {
+            verdict.forbiddingAxiom = rest;
+        } else if (field == "cycle") {
+            for (const std::string &id : splitWhitespace(rest)) {
+                verdict.forbiddingCycle.push_back(static_cast<EventId>(
+                    std::strtoul(id.c_str(), nullptr, 10)));
+            }
+        } else if (field == "keylen") {
+            keylen = std::strtoull(rest.c_str(), nullptr, 10);
+            break;
+        } else {
+            return std::nullopt;  // unknown field: treat as corrupt
+        }
+    }
+    if (keylen == 0)
+        return std::nullopt;
+    std::string stored(keylen, '\0');
+    in.read(stored.data(), static_cast<std::streamsize>(keylen));
+    if (static_cast<std::size_t>(in.gcount()) != keylen ||
+            stored != key.text) {
+        // Corrupt entry or a content-hash collision: miss, never lie.
+        return std::nullopt;
+    }
+    return verdict;
+}
+
+void
+VerdictCache::writeToDisk(const VerdictKey &key,
+                          const CachedVerdict &value)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    std::string path = entryPath(key);
+    std::string tmp =
+        path + format(".tmp%" PRIu64, counter.fetch_add(1) + 1);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("verdict cache: cannot write '" + tmp + "'");
+            return;
+        }
+        out << "rex-verdict-v1\n";
+        out << "observable " << (value.observable ? 1 : 0) << "\n";
+        out << "candidates " << value.candidates << "\n";
+        out << "consistent " << value.consistent << "\n";
+        out << "witnesses " << value.witnesses << "\n";
+        out << "cu " << value.constrainedUnpredictable << "\n";
+        out << "unknown " << value.unknownSideEffects << "\n";
+        if (!value.forbiddingAxiom.empty())
+            out << "axiom " << value.forbiddingAxiom << "\n";
+        if (!value.forbiddingCycle.empty()) {
+            out << "cycle";
+            for (EventId id : value.forbiddingCycle)
+                out << " " << id;
+            out << "\n";
+        }
+        out << "keylen " << key.text.size() << "\n";
+        out << key.text;
+    }
+    // Atomic publication: concurrent writers of the same key race
+    // benignly (identical content), and readers never see a torn file.
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        warn("verdict cache: cannot publish '" + path + "'");
+    }
+}
+
+} // namespace rex::engine

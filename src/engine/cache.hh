@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Content-addressed verdict cache.
+ *
+ * A verdict (the result of checkTest on one litmus test under one set of
+ * model parameters) is pure: it depends only on the test's program text,
+ * the parameter values, and the model implementation itself. The cache
+ * keys entries by a stable hash of exactly those three inputs:
+ *
+ *   key = (canonical litmus text, canonical params text, model revision)
+ *
+ * The canonical litmus text is a full serialisation of the parsed test
+ * (programs, handlers, initial registers/EL/masking, locations, initial
+ * memory, final condition), so two textual variants that parse to the
+ * same test share an entry, and any semantic difference changes the key.
+ * kModelRevision must be bumped whenever the axiomatic model's semantics
+ * change; this is what invalidates stale on-disk entries.
+ *
+ * Entries live in a thread-safe in-memory table, optionally persisted
+ * one-file-per-entry under a cache directory (conventionally
+ * `.rex-cache/`), so repeated bench/ctest invocations skip verdicts that
+ * are already proved. Disk entries embed the full key text and are
+ * verified on load, so a (vanishingly unlikely) hash collision degrades
+ * to a miss, never to a wrong verdict.
+ *
+ * Cached verdicts never carry a witness execution (witnesses are large
+ * and only needed for diagnostics); callers that need the witness run
+ * the checker directly.
+ */
+
+#ifndef REX_ENGINE_CACHE_HH
+#define REX_ENGINE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "axiomatic/checker.hh"
+#include "axiomatic/params.hh"
+#include "litmus/litmus.hh"
+
+namespace rex::engine {
+
+/**
+ * Revision tag of the axiomatic model implementation. Bump whenever
+ * src/axiomatic/model.cc (or anything feeding it: enumeration, thread
+ * semantics) changes behaviour, so persisted verdicts are invalidated.
+ */
+inline constexpr const char *kModelRevision = "fig9-native-r1";
+
+/** Full, stable serialisation of a parsed litmus test. */
+std::string canonicalTestText(const LitmusTest &test);
+
+/** Stable serialisation of every model parameter. */
+std::string canonicalParamsText(const ModelParams &params);
+
+/** A cache key: the canonical text plus its content hash. */
+struct VerdictKey {
+    std::string text;
+    std::uint64_t hash = 0;
+
+    static VerdictKey make(const LitmusTest &test,
+                           const ModelParams &params,
+                           const std::string &revision = kModelRevision);
+
+    /** 16-hex-digit content address (the on-disk file stem). */
+    std::string hashHex() const;
+};
+
+/** The witness-less payload of a cached verdict. */
+struct CachedVerdict {
+    bool observable = false;
+    std::uint64_t candidates = 0;
+    std::uint64_t consistent = 0;
+    std::uint64_t witnesses = 0;
+    std::uint64_t constrainedUnpredictable = 0;
+    std::uint64_t unknownSideEffects = 0;
+
+    /** First satisfying candidate's failed axiom (forbidden verdicts). */
+    std::string forbiddingAxiom;
+
+    /** Its forbidding cycle, when the failure was a cyclicity check. */
+    std::vector<EventId> forbiddingCycle;
+
+    static CachedVerdict fromResult(const CheckResult &result);
+
+    /** Rebuild a CheckResult (without witness). */
+    CheckResult toResult() const;
+
+    /** "axiom:3->7->12" summary for results records; "" when allowed. */
+    std::string forbiddingSummary() const;
+};
+
+/** Thread-safe verdict memoization with optional on-disk persistence. */
+class VerdictCache
+{
+  public:
+    /**
+     * @param enabled  disabled caches miss on every lookup and drop
+     *                 every store (the engine's bypass switch)
+     * @param dir      persistence directory; empty = in-memory only
+     */
+    explicit VerdictCache(bool enabled = true, std::string dir = "");
+
+    bool enabled() const { return _enabled; }
+    const std::string &dir() const { return _dir; }
+
+    /** Find a verdict, consulting memory then disk. */
+    std::optional<CachedVerdict> lookup(const VerdictKey &key);
+
+    /** Record a verdict in memory and (when configured) on disk. */
+    void store(const VerdictKey &key, const CachedVerdict &value);
+
+    std::uint64_t hits() const { return _hits.load(); }
+    std::uint64_t misses() const { return _misses.load(); }
+
+  private:
+    std::optional<CachedVerdict> loadFromDisk(const VerdictKey &key);
+    void writeToDisk(const VerdictKey &key, const CachedVerdict &value);
+    std::string entryPath(const VerdictKey &key) const;
+
+    bool _enabled;
+    std::string _dir;
+    std::mutex _mutex;
+    std::unordered_map<std::string, CachedVerdict> _entries;
+    std::atomic<std::uint64_t> _hits{0};
+    std::atomic<std::uint64_t> _misses{0};
+};
+
+} // namespace rex::engine
+
+#endif // REX_ENGINE_CACHE_HH

@@ -1,0 +1,97 @@
+#include "engine/pool.hh"
+
+namespace rex::engine {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    _workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        _workers.push_back(std::make_unique<Worker>());
+    _threads.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_sleepMutex);
+        _stopping.store(true);
+    }
+    _wakeup.notify_all();
+    for (std::thread &thread : _threads)
+        thread.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    // Round-robin placement; load imbalance is corrected by stealing.
+    std::size_t target = _nextWorker.fetch_add(1) % _workers.size();
+    {
+        std::lock_guard<std::mutex> lock(_workers[target]->mutex);
+        _workers[target]->tasks.push_back(std::move(task));
+    }
+    ++_submitted;
+    {
+        // Publish the count under the sleep mutex so a worker between
+        // its emptiness check and wait() cannot miss the wakeup.
+        std::lock_guard<std::mutex> lock(_sleepMutex);
+        ++_queued;
+    }
+    _wakeup.notify_one();
+}
+
+bool
+ThreadPool::tryRun(std::size_t index)
+{
+    std::function<void()> task;
+    {
+        // Own queue first, in submission order.
+        Worker &own = *_workers[index];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.front());
+            own.tasks.pop_front();
+        }
+    }
+    for (std::size_t off = 1; !task && off < _workers.size(); ++off) {
+        // Steal from the back of a sibling's queue.
+        Worker &victim = *_workers[(index + off) % _workers.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+        }
+    }
+    if (!task)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(_sleepMutex);
+        --_queued;
+    }
+    // packaged_task stores any exception into the task's future.
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    while (true) {
+        if (tryRun(index))
+            continue;
+        std::unique_lock<std::mutex> lock(_sleepMutex);
+        if (_queued.load() > 0)
+            continue;
+        if (_stopping.load())
+            return;
+        _wakeup.wait(lock, [this] {
+            return _queued.load() > 0 || _stopping.load();
+        });
+    }
+}
+
+} // namespace rex::engine

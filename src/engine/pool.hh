@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A work-stealing thread pool with task futures and graceful shutdown.
+ *
+ * Tasks are placed round-robin onto per-worker deques; an idle worker
+ * first drains its own deque in submission order, then steals from the
+ * back of a sibling's deque. Results and exceptions propagate through
+ * std::future (a task that throws stores the exception; future.get()
+ * rethrows it in the waiting thread).
+ *
+ * Destruction is graceful: every task already submitted runs to
+ * completion before the workers join, so no future is ever abandoned.
+ *
+ * Tasks must not block on futures of tasks in the same pool (the pool
+ * has a fixed thread count and does not re-enter the scheduler while a
+ * task waits); the engine's batch layer only ever waits from outside.
+ */
+
+#ifndef REX_ENGINE_POOL_HH
+#define REX_ENGINE_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rex::engine {
+
+/** Fixed-size work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (0 is clamped to 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Graceful shutdown: drains every queued task, then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(_threads.size());
+    }
+
+    /** Tasks submitted over the pool's lifetime. */
+    std::uint64_t submitted() const { return _submitted.load(); }
+
+    /**
+     * Queue @p fn for execution on some worker.
+     * @return a future for fn's result; rethrows fn's exception on get().
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+  private:
+    struct Worker {
+        std::deque<std::function<void()>> tasks;
+        std::mutex mutex;
+    };
+
+    void enqueue(std::function<void()> task);
+    void workerLoop(std::size_t index);
+    bool tryRun(std::size_t index);
+
+    std::vector<std::unique_ptr<Worker>> _workers;
+    std::vector<std::thread> _threads;
+
+    /** Guards the queued-task count for sleep/wake handshakes. */
+    std::mutex _sleepMutex;
+    std::condition_variable _wakeup;
+    std::atomic<bool> _stopping{false};
+    std::atomic<std::size_t> _queued{0};
+    std::atomic<std::size_t> _nextWorker{0};
+    std::atomic<std::uint64_t> _submitted{0};
+};
+
+} // namespace rex::engine
+
+#endif // REX_ENGINE_POOL_HH

@@ -1,0 +1,91 @@
+#include "engine/results.hh"
+
+#include <cinttypes>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace rex::engine {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+std::string
+JobRecord::toJson() const
+{
+    return format(
+        "{\"kind\":\"%s\",\"test\":\"%s\",\"variant\":\"%s\","
+        "\"verdict\":\"%s\",\"candidates\":%" PRIu64
+        ",\"consistent\":%" PRIu64 ",\"witnesses\":%" PRIu64
+        ",\"runs\":%" PRIu64 ",\"observed\":%" PRIu64
+        ",\"wall_us\":%" PRIu64 ",\"cache_hit\":%s,\"forbidding\":\"%s\"}",
+        jsonEscape(kind).c_str(), jsonEscape(test).c_str(),
+        jsonEscape(variant).c_str(), jsonEscape(verdict).c_str(),
+        candidates, consistent, witnesses, runs, observed, wallMicros,
+        cacheHit ? "true" : "false", jsonEscape(forbidding).c_str());
+}
+
+ResultsSink::~ResultsSink()
+{
+    if (_out)
+        std::fclose(_out);
+}
+
+void
+ResultsSink::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_out) {
+        std::fclose(_out);
+        _out = nullptr;
+    }
+    _out = std::fopen(path.c_str(), "w");
+    if (!_out) {
+        warn("results sink: cannot open '" + path + "'");
+        return;
+    }
+    _path = path;
+}
+
+void
+ResultsSink::append(const JobRecord &record)
+{
+    if (!_out)
+        return;
+    std::string line = record.toJson() + "\n";
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::fwrite(line.data(), 1, line.size(), _out);
+    std::fflush(_out);
+    ++_records;
+}
+
+} // namespace rex::engine

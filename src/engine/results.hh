@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structured results sink: one JSONL record per engine job.
+ *
+ * Every job the batch engine runs (axiomatic verdict, hw-sim profile
+ * run, cat cross-check) appends one line of JSON to the configured
+ * results file, so downstream tooling can aggregate verdicts, wall
+ * times, and cache behaviour without scraping table output. The schema
+ * is documented in docs/FORMAT.md; every record carries every field
+ * (irrelevant ones are zero/empty) so consumers never branch on
+ * presence.
+ *
+ * Appends are serialised under a mutex and each record is one write, so
+ * lines from parallel jobs never interleave. Record order follows job
+ * completion and is therefore schedule-dependent; consumers must key on
+ * (test, kind, variant), not line number.
+ */
+
+#ifndef REX_ENGINE_RESULTS_HH
+#define REX_ENGINE_RESULTS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace rex::engine {
+
+/** Escape @p text for inclusion in a JSON string literal. */
+std::string jsonEscape(std::string_view text);
+
+/** One engine job's outcome. */
+struct JobRecord {
+    /** "verdict", "hwsim", or "cat-crosscheck". */
+    std::string kind = "verdict";
+
+    /** Litmus test name. */
+    std::string test;
+
+    /** Model variant ("base", "SEA_R", ...) or device profile name. */
+    std::string variant;
+
+    /** "Allowed"/"Forbidden"; "agree"/"DISAGREE" for cross-checks. */
+    std::string verdict;
+
+    /** Candidate executions enumerated (verdict jobs). */
+    std::uint64_t candidates = 0;
+
+    /** Model-consistent candidates (verdict jobs). */
+    std::uint64_t consistent = 0;
+
+    /** Consistent candidates satisfying the condition (verdict jobs). */
+    std::uint64_t witnesses = 0;
+
+    /** Randomised runs performed (hwsim jobs). */
+    std::uint64_t runs = 0;
+
+    /** Runs observing the final state (hwsim jobs). */
+    std::uint64_t observed = 0;
+
+    /** Job wall time in microseconds. */
+    std::uint64_t wallMicros = 0;
+
+    /** True when the verdict came from the cache. */
+    bool cacheHit = false;
+
+    /** "axiom:3->7->12" summary for forbidden verdicts. */
+    std::string forbidding;
+
+    /** Render as a single JSON object (no trailing newline). */
+    std::string toJson() const;
+};
+
+/** Thread-safe JSONL writer; disabled until open() succeeds. */
+class ResultsSink
+{
+  public:
+    ResultsSink() = default;
+    ~ResultsSink();
+
+    ResultsSink(const ResultsSink &) = delete;
+    ResultsSink &operator=(const ResultsSink &) = delete;
+
+    /** Truncate and open @p path; warns and stays disabled on failure. */
+    void open(const std::string &path);
+
+    bool enabled() const { return _out != nullptr; }
+    const std::string &path() const { return _path; }
+
+    /** Append one record (no-op when disabled). */
+    void append(const JobRecord &record);
+
+    /** Records appended so far. */
+    std::uint64_t records() const { return _records.load(); }
+
+  private:
+    std::mutex _mutex;
+    std::FILE *_out = nullptr;
+    std::string _path;
+    std::atomic<std::uint64_t> _records{0};
+};
+
+} // namespace rex::engine
+
+#endif // REX_ENGINE_RESULTS_HH

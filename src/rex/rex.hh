@@ -23,6 +23,7 @@
  *  - cat/       the cat-language interpreter and shipped .cat models
  *  - gic/       the GICv3 SGI model (Figure 10 automaton)
  *  - operational/ the abstract-microarchitecture simulator
+ *  - engine/    parallel batch execution, verdict cache, JSONL results
  *  - harness/   paper-figure reproduction and table rendering
  */
 
@@ -34,6 +35,10 @@
 #include "axiomatic/model.hh"
 #include "axiomatic/params.hh"
 #include "cat/catmodel.hh"
+#include "engine/batch.hh"
+#include "engine/cache.hh"
+#include "engine/pool.hh"
+#include "engine/results.hh"
 #include "events/candidate.hh"
 #include "gic/cpu_interface.hh"
 #include "gic/gic.hh"

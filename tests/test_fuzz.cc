@@ -7,6 +7,12 @@
  * axiomatic model. This is the library-wide soundness property of
  * test_operational.cc, extended beyond the hand-written suite to a
  * randomised corpus — deterministic given the seeds.
+ *
+ * The corpus fans out over the batch engine (REX_JOBS workers, default
+ * hardware concurrency): each seed is one pool job returning a failure
+ * description (empty = pass), and all assertions run on the main thread
+ * over the collected results, so the corpus is embarrassingly parallel
+ * without sharing gtest state across threads.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +23,7 @@
 #include "axiomatic/enumerate.hh"
 #include "axiomatic/model.hh"
 #include "cat/catmodel.hh"
+#include "engine/batch.hh"
 #include "litmus/parser.hh"
 #include "operational/explorer.hh"
 
@@ -204,37 +211,39 @@ axiomaticKey(const LitmusTest &test, const CandidateExecution &cand)
     return out;
 }
 
-class FuzzSoundness : public ::testing::TestWithParam<std::uint64_t> {};
-
-/** Differential fuzzing of the cat interpreter: the shipped Figure 9
- *  model must agree with the native transcription on random programs,
- *  not just the curated library. */
-class FuzzCatAgreement
-    : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(FuzzCatAgreement, CatAgreesWithNativeOnRandomPrograms)
+/** One cat-agreement job: "" on success, else a failure description. */
+std::string
+catAgreementJob(std::uint64_t seed)
 {
-    LitmusTest test = generateTest(GetParam());
+    LitmusTest test = generateTest(seed);
     const cat::CatModel &model = cat::CatModel::shipped();
     CandidateEnumerator enumerator(test);
     std::size_t checked = 0;
+    std::string failure;
     enumerator.forEach([&](CandidateExecution &cand) {
         bool native =
             checkConsistent(cand, ModelParams::base()).consistent;
         bool interpreted =
             model.check(cand, ModelParams::base()).consistent;
-        EXPECT_EQ(native, interpreted) << test.name;
+        if (native != interpreted) {
+            failure = test.name + ": native " +
+                (native ? "consistent" : "inconsistent") +
+                " but cat " +
+                (interpreted ? "consistent" : "inconsistent");
+            return false;
+        }
         return ++checked < 400;
     });
-    EXPECT_GT(checked, 0u);
+    if (failure.empty() && checked == 0)
+        return test.name + ": no candidates enumerated";
+    return failure;
 }
 
-INSTANTIATE_TEST_SUITE_P(Corpus, FuzzCatAgreement,
-                         ::testing::Range<std::uint64_t>(1, 61));
-
-TEST_P(FuzzSoundness, OperationalWithinAxiomatic)
+/** One soundness job: "" on success/skip, else a failure description. */
+std::string
+soundnessJob(std::uint64_t seed, std::size_t &skipped)
 {
-    LitmusTest test = generateTest(GetParam());
+    LitmusTest test = generateTest(seed);
 
     // Bail out on pathologically large candidate spaces (rare seeds).
     CandidateEnumerator enumerator(test);
@@ -242,8 +251,10 @@ TEST_P(FuzzSoundness, OperationalWithinAxiomatic)
     enumerator.forEach([&](CandidateExecution &) {
         return ++candidates < 150000;
     });
-    if (candidates >= 150000)
-        GTEST_SKIP() << "candidate space too large for this seed";
+    if (candidates >= 150000) {
+        ++skipped;
+        return "";
+    }
 
     std::set<std::string> allowed;
     enumerator.forEach([&](CandidateExecution &cand) {
@@ -251,31 +262,56 @@ TEST_P(FuzzSoundness, OperationalWithinAxiomatic)
             allowed.insert(axiomaticKey(test, cand));
         return true;
     });
-    ASSERT_FALSE(allowed.empty()) << test.name;
+    if (allowed.empty())
+        return test.name + ": no axiomatically allowed outcome";
 
     op::ExploreResult explored =
         op::explore(test, op::CoreProfile::maxRelaxed(), 300000);
     for (const std::string &outcome : explored.outcomes) {
-        EXPECT_TRUE(allowed.count(outcome))
-            << test.name << ": operational outcome " << outcome
-            << " not axiomatically allowed\nprogram:\n"
-            << test.threads[0].program.toString() << "---\n"
-            << test.threads[1].program.toString();
+        if (!allowed.count(outcome)) {
+            return test.name + ": operational outcome " + outcome +
+                " not axiomatically allowed\nprogram:\n" +
+                test.threads[0].program.toString() + "---\n" +
+                test.threads[1].program.toString();
+        }
     }
-    EXPECT_FALSE(explored.outcomes.empty());
+    if (explored.outcomes.empty())
+        return test.name + ": operational explorer found no outcome";
+    return "";
 }
 
-std::vector<std::uint64_t>
-fuzzSeeds()
+/** Differential fuzzing of the cat interpreter: the shipped Figure 9
+ *  model must agree with the native transcription on random programs,
+ *  not just the curated library. */
+TEST(FuzzCatAgreement, CatAgreesWithNativeOnRandomPrograms)
 {
-    std::vector<std::uint64_t> seeds;
-    for (std::uint64_t s = 1; s <= 400; ++s)
-        seeds.push_back(s * 2654435761u);
-    return seeds;
+    // Force the shipped model's lazy load before fanning out.
+    cat::CatModel::shipped();
+    engine::Engine engine{engine::EngineConfig{}};
+    std::vector<std::string> failures =
+        engine.map(60, [](std::size_t i) {
+            return catAgreementJob(i + 1);
+        });
+    for (const std::string &failure : failures)
+        EXPECT_EQ(failure, "");
 }
 
-INSTANTIATE_TEST_SUITE_P(Corpus, FuzzSoundness,
-                         ::testing::ValuesIn(fuzzSeeds()));
+TEST(FuzzSoundness, OperationalWithinAxiomatic)
+{
+    engine::Engine engine{engine::EngineConfig{}};
+    std::vector<std::size_t> skips(400, 0);
+    std::vector<std::string> failures =
+        engine.map(400, [&skips](std::size_t i) {
+            return soundnessJob((i + 1) * 2654435761u, skips[i]);
+        });
+    std::size_t skipped = 0;
+    for (std::size_t s : skips)
+        skipped += s;
+    for (const std::string &failure : failures)
+        EXPECT_EQ(failure, "");
+    // The corpus must overwhelmingly run, not skip.
+    EXPECT_LT(skipped, 40u);
+}
 
 } // namespace
 } // namespace rex
