@@ -60,6 +60,35 @@ BM_NativeModelCheck(benchmark::State &state)
 BENCHMARK(BM_NativeModelCheck);
 
 void
+BM_NativeModelCheckFull(benchmark::State &state)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("MP.EL1+dmb.sy+dataesrsvc");
+    // No early exit: visits and checks every candidate.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            checkTest(test, ModelParams::base(), false).candidates);
+}
+BENCHMARK(BM_NativeModelCheckFull);
+
+void
+BM_NativeModelCheckSharded(benchmark::State &state)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("MP.EL1+dmb.sy+dataesrsvc");
+    // Same check distributed over a worker pool; results are merged in
+    // deterministic order, so the verdict is identical to the serial
+    // path (the interesting number is the coordination overhead on a
+    // combination space this small).
+    engine::ThreadPool pool(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            checkTest(test, ModelParams::base(), false, true, &pool)
+                .candidates);
+}
+BENCHMARK(BM_NativeModelCheckSharded);
+
+void
 BM_CatModelCheck(benchmark::State &state)
 {
     const LitmusTest &test =

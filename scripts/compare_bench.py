@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs.
+
+Prints a per-benchmark ratio table (old time / new time, so >1 means the
+new run is faster) and optionally fails when any selected benchmark
+regressed beyond a threshold.
+
+Usage:
+    compare_bench.py OLD.json NEW.json [--threshold 0.9] [--filter REGEX]
+    compare_bench.py --list FILE.json
+
+Only aggregate-free entries are compared (run_type == "iteration" or no
+run_type at all); aggregates like _mean/_median are skipped so plain and
+--benchmark_repetitions outputs both work.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        out[entry["name"]] = float(entry["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline benchmark JSON")
+    parser.add_argument("new", nargs="?", help="candidate benchmark JSON")
+    parser.add_argument("--list", action="store_true",
+                        help="list benchmark names/times of OLD and exit")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fail (exit 1) if any compared benchmark's "
+                             "speedup ratio falls below this value")
+    parser.add_argument("--filter", default=None,
+                        help="only compare benchmarks matching this regex")
+    args = parser.parse_args()
+
+    old = load(args.old)
+    if args.list:
+        for name, t in sorted(old.items()):
+            print(f"{name:50s} {t:12.0f} ns")
+        return 0
+    if args.new is None:
+        parser.error("NEW.json required unless --list")
+
+    new = load(args.new)
+    pattern = re.compile(args.filter) if args.filter else None
+
+    names = [n for n in old if n in new]
+    if pattern:
+        names = [n for n in names if pattern.search(n)]
+    if not names:
+        print("no common benchmarks to compare", file=sys.stderr)
+        return 1
+
+    width = max(len(n) for n in names)
+    print(f"{'benchmark':{width}s} {'old(ns)':>12s} {'new(ns)':>12s} "
+          f"{'speedup':>8s}")
+    worst = None
+    for name in sorted(names):
+        ratio = old[name] / new[name] if new[name] else float("inf")
+        print(f"{name:{width}s} {old[name]:12.0f} {new[name]:12.0f} "
+              f"{ratio:7.2f}x")
+        if worst is None or ratio < worst[1]:
+            worst = (name, ratio)
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"only in {args.old}: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in {args.new}: {', '.join(only_new)}")
+
+    if args.threshold is not None and worst and worst[1] < args.threshold:
+        print(f"FAIL: {worst[0]} speedup {worst[1]:.2f}x is below "
+              f"threshold {args.threshold:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

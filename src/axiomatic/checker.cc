@@ -1,6 +1,14 @@
 #include "axiomatic/checker.hh"
 
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <optional>
+#include <utility>
+
 #include "axiomatic/enumerate.hh"
+#include "base/logging.hh"
+#include "engine/pool.hh"
 
 namespace rex {
 
@@ -26,13 +34,32 @@ condHolds(const CandidateExecution &cand, const Condition &cond)
     return true;
 }
 
-CheckResult
-checkTest(const LitmusTest &test, const ModelParams &params,
-          bool stop_at_first, bool capture_witness)
-{
+namespace {
+
+/**
+ * Folds staged candidates into a CheckResult.
+ *
+ * One accumulator per (serial run | shard); the per-combination
+ * skeleton is cached lazily so verdict checks that never reach the
+ * model (stop_at_first with a non-satisfying candidate, or pre-filter
+ * rejection) pay nothing for it.
+ */
+struct StagedAccumulator {
+    const LitmusTest &test;
+    const ModelParams &params;
+    bool stopAtFirst;
+    bool captureWitness;
+
     CheckResult result;
-    CandidateEnumerator enumerator(test);
-    enumerator.forEach([&](CandidateExecution &cand) {
+
+    std::optional<SkeletonRelations> skeleton;
+    std::uint64_t skeletonCombo = 0;
+
+    /** Visit one candidate; false stops enumeration (witness found). */
+    bool
+    consume(CandidateExecution &cand,
+            const CandidateEnumerator::StagedInfo &info)
+    {
         ++result.candidates;
         if (cand.constrainedUnpredictable)
             ++result.constrainedUnpredictable;
@@ -41,15 +68,219 @@ checkTest(const LitmusTest &test, const ModelParams &params,
         // Evaluate the condition first: it is much cheaper than the
         // model, and forbidden-checks only care about satisfying
         // candidates.
+        const bool satisfies = condHolds(cand, test.finalCond);
+        if (stopAtFirst && !satisfies)
+            return true;
+        if (!info.coherent) {
+            // The pre-filter already knows the internal axiom rejects
+            // this candidate; only the first satisfying rejection needs
+            // the actual cycle for diagnostics.
+            if (satisfies && result.forbiddingAxiom.empty()) {
+                Relation internal =
+                    cand.poLoc() | cand.fr() | cand.co | cand.rf;
+                result.forbiddingAxiom = "internal";
+                if (auto cycle = internal.findCycle())
+                    result.forbiddingCycle = *cycle;
+            }
+            return true;
+        }
+        if (!skeleton || skeletonCombo != info.comboIndex) {
+            skeleton = computeSkeleton(cand, params);
+            skeletonCombo = info.comboIndex;
+        }
+        ModelResult model = checkConsistent(
+            cand, params, *skeleton, /*internal_prechecked=*/true);
+        if (!model.consistent) {
+            if (satisfies && result.forbiddingAxiom.empty()) {
+                result.forbiddingAxiom = model.failedAxiom;
+                if (model.cycle)
+                    result.forbiddingCycle = *model.cycle;
+            }
+            return true;
+        }
+        ++result.consistent;
+        if (satisfies) {
+            ++result.witnesses;
+            result.observable = true;
+            if (captureWitness && !result.witness)
+                result.witness = cand;  // deep copy: buffer is reused
+            if (stopAtFirst)
+                return false;
+        }
+        return true;
+    }
+};
+
+/** Fold @p part into @p into, preserving enumeration-order "first"
+ *  semantics for the forbidding diagnostic and the witness. */
+void
+mergeInto(CheckResult &into, CheckResult &&part)
+{
+    into.candidates += part.candidates;
+    into.consistent += part.consistent;
+    into.witnesses += part.witnesses;
+    into.constrainedUnpredictable += part.constrainedUnpredictable;
+    into.unknownSideEffects += part.unknownSideEffects;
+    if (into.forbiddingAxiom.empty() && !part.forbiddingAxiom.empty()) {
+        into.forbiddingAxiom = std::move(part.forbiddingAxiom);
+        into.forbiddingCycle = std::move(part.forbiddingCycle);
+    }
+    if (!into.witness && part.witness)
+        into.witness = std::move(*part.witness);
+}
+
+/** Serial staged check over an already-built enumerator. */
+CheckResult
+checkSerial(CandidateEnumerator &enumerator, const LitmusTest &test,
+            const ModelParams &params, bool stop_at_first,
+            bool capture_witness)
+{
+    StagedAccumulator acc{test, params, stop_at_first, capture_witness,
+                          {}, std::nullopt, 0};
+    enumerator.forEachStaged(
+        [&](CandidateExecution &cand,
+            const CandidateEnumerator::StagedInfo &info) {
+            return acc.consume(cand, info);
+        });
+    acc.result.observable = acc.result.witnesses > 0;
+    return std::move(acc.result);
+}
+
+/** Witness assignments per shard: large enough to amortise the
+ *  per-shard skeleton rebuild, small enough to split tiny tests. */
+constexpr std::uint64_t kShardTarget = 256;
+
+/**
+ * Parallel staged check: plan shards in global enumeration order, run
+ * them on the pool, merge in order.
+ *
+ * Determinism, including under stop_at_first: let w be the smallest
+ * index of a shard that found a witness. Shards publish their index
+ * into `cutoff` with a fetch-min when they find a witness, and only
+ * shards *strictly above* the cutoff abort; since cutoff only ever
+ * decreases down to w, every shard below w runs to completion. The
+ * merge consumes shards 0..w (the w-th stopped at its witness) and
+ * drops the rest — exactly the candidates the serial path visits.
+ */
+CheckResult
+checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
+             const ModelParams &params, bool stop_at_first,
+             bool capture_witness, engine::ThreadPool &pool)
+{
+    const std::vector<CandidateEnumerator::Shard> shards =
+        enumerator.planShards(kShardTarget);
+    if (shards.size() <= 1) {
+        return checkSerial(enumerator, test, params, stop_at_first,
+                           capture_witness);
+    }
+
+    struct ShardOutcome {
+        CheckResult result;
+        bool witnessed = false;  //!< stopped at a witness
+        bool cancelled = false;  //!< aborted/skipped via the cutoff
+    };
+    std::vector<ShardOutcome> outcomes(shards.size());
+    std::atomic<std::size_t> cutoff{shards.size()};
+
+    auto fetchMinCutoff = [&cutoff](std::size_t value) {
+        std::size_t seen = cutoff.load();
+        while (value < seen &&
+               !cutoff.compare_exchange_weak(seen, value)) {
+        }
+    };
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        futures.push_back(pool.submit([&, i] {
+            ShardOutcome &out = outcomes[i];
+            if (stop_at_first && i > cutoff.load()) {
+                out.cancelled = true;  // a lower shard already witnessed
+                return;
+            }
+            StagedAccumulator acc{test, params, stop_at_first,
+                                  capture_witness, {}, std::nullopt, 0};
+            const bool completed = enumerator.visitShard(
+                shards[i],
+                [&](CandidateExecution &cand,
+                    const CandidateEnumerator::StagedInfo &info) {
+                    if (stop_at_first && i > cutoff.load()) {
+                        out.cancelled = true;
+                        return false;
+                    }
+                    return acc.consume(cand, info);
+                });
+            if (!completed && !out.cancelled) {
+                out.witnessed = true;
+                if (stop_at_first)
+                    fetchMinCutoff(i);
+            }
+            out.result = std::move(acc.result);
+        }));
+    }
+    for (std::future<void> &future : futures)
+        future.get();
+
+    CheckResult merged;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        ShardOutcome &out = outcomes[i];
+        rexAssert(!out.cancelled || i > 0,
+                  "shard 0 cancelled without a predecessor witness");
+        if (out.cancelled)
+            break;  // everything at or after this index is post-witness
+        const bool witnessed = out.witnessed;
+        mergeInto(merged, std::move(out.result));
+        if (stop_at_first && witnessed)
+            break;
+    }
+    merged.observable = merged.witnesses > 0;
+    return merged;
+}
+
+bool
+envFlag(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value && value[0] == '1' && value[1] == '\0';
+}
+
+} // namespace
+
+CheckResult
+checkTest(const LitmusTest &test, const ModelParams &params,
+          bool stop_at_first, bool capture_witness,
+          engine::ThreadPool *pool)
+{
+    if (envFlag("REX_NAIVE_ENUM"))
+        return checkTestNaive(test, params, stop_at_first, capture_witness);
+    CandidateEnumerator enumerator(test);
+    if (pool && pool->threadCount() > 1 &&
+            !engine::ThreadPool::onWorkerThread()) {
+        return checkSharded(enumerator, test, params, stop_at_first,
+                            capture_witness, *pool);
+    }
+    return checkSerial(enumerator, test, params, stop_at_first,
+                       capture_witness);
+}
+
+CheckResult
+checkTestNaive(const LitmusTest &test, const ModelParams &params,
+               bool stop_at_first, bool capture_witness)
+{
+    CheckResult result;
+    CandidateEnumerator enumerator(test);
+    enumerator.forEachNaive([&](CandidateExecution &cand) {
+        ++result.candidates;
+        if (cand.constrainedUnpredictable)
+            ++result.constrainedUnpredictable;
+        if (cand.unknownSideEffects)
+            ++result.unknownSideEffects;
         bool satisfies = condHolds(cand, test.finalCond);
         if (stop_at_first && !satisfies)
             return true;
         ModelResult model = checkConsistent(cand, params);
         if (!model.consistent) {
             if (satisfies && result.forbiddingAxiom.empty()) {
-                // Remember why the first satisfying candidate was
-                // rejected: the forbidding explanation if no witness
-                // ever turns up.
                 result.forbiddingAxiom = model.failedAxiom;
                 if (model.cycle)
                     result.forbiddingCycle = *model.cycle;

@@ -2,6 +2,22 @@
  * @file
  * The executable-as-test-oracle checker (§5.1): is a litmus test's final
  * state observable under the model?
+ *
+ * Candidate checking runs on the enumerator's staged fast path: per
+ * trace combination the witness-independent model relations are
+ * computed once (SkeletonRelations), the coherence pre-filter skips
+ * the model for SC-per-location-violating candidates, and candidates
+ * are visited in a reusable buffer. Setting REX_NAIVE_ENUM=1 routes
+ * checkTest() through the retained pre-staging reference path
+ * (checkTestNaive); both produce identical CheckResults — the parity
+ * test suite asserts it.
+ *
+ * When a thread pool is supplied, a test's candidate space is split
+ * into shards checked in parallel and merged deterministically in
+ * enumeration order: counts, forbidding axiom/cycle, and the first
+ * witness are identical to the serial path, including under
+ * stop_at_first (shards past the earliest witnessing shard are
+ * cancelled cooperatively and never merged).
  */
 
 #ifndef REX_AXIOMATIC_CHECKER_HH
@@ -18,6 +34,8 @@
 #include "litmus/litmus.hh"
 
 namespace rex {
+
+namespace engine { class ThreadPool; }
 
 /** Result of checking one litmus test against the model. */
 struct CheckResult {
@@ -62,10 +80,22 @@ bool condHolds(const CandidateExecution &candidate, const Condition &cond);
  * @param capture_witness copy the witnessing execution into the result;
  *        pass false for verdict-only checks to skip the (relation-heavy)
  *        candidate copy.
+ * @param pool when non-null (and not called from one of its workers),
+ *        shard the candidate space across the pool; the merged result
+ *        is byte-identical to pool == nullptr.
  */
 CheckResult checkTest(const LitmusTest &test, const ModelParams &params,
                       bool stop_at_first = false,
-                      bool capture_witness = true);
+                      bool capture_witness = true,
+                      engine::ThreadPool *pool = nullptr);
+
+/** The retained pre-staging reference path: fresh candidate copy per
+ *  witness assignment, full (unstaged) model check per candidate.
+ *  Exists for parity testing; REX_NAIVE_ENUM=1 routes checkTest here. */
+CheckResult checkTestNaive(const LitmusTest &test,
+                           const ModelParams &params,
+                           bool stop_at_first = false,
+                           bool capture_witness = true);
 
 /** Convenience: just the Allowed/Forbidden verdict, short-circuiting on
  *  the first witness and skipping the witness copy. */

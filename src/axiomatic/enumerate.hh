@@ -6,11 +6,29 @@
  * explicit enumeration: per-thread traces are produced by the thread
  * semantics under a read-value domain grown to fixpoint, then the
  * existential witnesses (rf, co, interrupt) are enumerated exhaustively.
+ *
+ * Enumeration is *staged* (see "Staged enumeration" in DESIGN.md): per
+ * trace combination a skeleton candidate is assembled once, and the
+ * witness odometer mutates the rf/co/interrupt pairs of a reusable
+ * candidate buffer in place (mutate-and-undo) instead of deep-copying
+ * the skeleton per assignment. Each assignment is additionally screened
+ * by a per-location coherence pre-filter, so consumers can skip the
+ * full model evaluation for candidates the internal (SC-per-location)
+ * axiom rejects anyway. The pre-PR naive path (fresh deep copy per
+ * candidate, no pre-filter) is retained as forEachNaive() as a
+ * reference for parity testing (env REX_NAIVE_ENUM=1 routes checkTest
+ * through it).
+ *
+ * Env knobs:
+ *   REX_PREFILTER_CHECK=1  assert, for every candidate, that the
+ *                          coherence pre-filter agrees with a full
+ *                          cycle check of po-loc | rf | co | fr.
  */
 
 #ifndef REX_AXIOMATIC_ENUMERATE_HH
 #define REX_AXIOMATIC_ENUMERATE_HH
 
+#include <cstdint>
 #include <functional>
 
 #include "events/candidate.hh"
@@ -23,13 +41,75 @@ namespace rex {
 class CandidateEnumerator
 {
   public:
+    /** Per-candidate staging facts passed to staged visitors. */
+    struct StagedInfo {
+        /** Index of the trace combination this candidate belongs to;
+         *  consumers key per-combination caches (e.g. the model's
+         *  SkeletonRelations) on it. */
+        std::uint64_t comboIndex = 0;
+
+        /** Result of the per-location coherence pre-filter: false means
+         *  po-loc | rf | co | fr has a cycle, i.e. the internal
+         *  (SC-per-location) axiom is guaranteed to reject this
+         *  candidate and the full model evaluation can be skipped. */
+        bool coherent = true;
+    };
+
+    /**
+     * A staged visitor. The candidate reference is a *reusable buffer*:
+     * it is valid only for the duration of the call and must not be
+     * mutated (copy it to keep it). Return false to stop enumeration.
+     */
+    using StagedVisitor =
+        std::function<bool(CandidateExecution &, const StagedInfo &)>;
+
+    /** A contiguous slice of one combination's witness space. */
+    struct Shard {
+        std::size_t combo = 0;     //!< trace-combination index
+        std::uint64_t begin = 0;   //!< first witness-odometer index
+        std::uint64_t end = 0;     //!< one past the last index
+    };
+
     explicit CandidateEnumerator(const LitmusTest &test);
 
     /**
      * Visit every candidate execution (before any model axiom is
-     * applied). The visitor returns false to stop early.
+     * applied). The visitor returns false to stop early. Runs on the
+     * staged path; the candidate reference is a reusable buffer (copy
+     * to keep).
      */
     void forEach(const std::function<bool(CandidateExecution &)> &visit);
+
+    /** Staged visitation: candidates plus their staging facts. */
+    void forEachStaged(const StagedVisitor &visit) const;
+
+    /**
+     * The retained pre-staging reference path: a fresh candidate is
+     * materialized per witness assignment, with no pre-filter. Visits
+     * the exact same candidates in the exact same order as the staged
+     * path; kept for parity tests and REX_NAIVE_ENUM=1.
+     */
+    void forEachNaive(
+        const std::function<bool(CandidateExecution &)> &visit);
+
+    /** Number of trace combinations (product of per-thread counts). */
+    std::size_t combinationCount() const;
+
+    /**
+     * Split the whole candidate space into shards of at most
+     * @p target_per_shard candidates, each within one combination, in
+     * global enumeration order. Concatenating the shards' candidates
+     * reproduces forEachStaged() exactly, which makes parallel
+     * execution with a deterministic in-order merge possible.
+     */
+    std::vector<Shard> planShards(std::uint64_t target_per_shard) const;
+
+    /**
+     * Visit one shard's candidates (thread-safe: shards build private
+     * odometer state; the enumerator itself is only read).
+     * @return false when the visitor stopped early.
+     */
+    bool visitShard(const Shard &shard, const StagedVisitor &visit) const;
 
     /** Number of candidate executions. */
     std::size_t count();
@@ -45,10 +125,15 @@ class CandidateEnumerator
 
   private:
     void computeTraces();
-    void visitCombination(
+
+    /** The legacy copy-per-candidate combination walk (naive path). */
+    void visitCombinationNaive(
         const std::vector<const sem::ThreadTrace *> &combo,
         const std::function<bool(CandidateExecution &)> &visit,
         bool &keep_going);
+
+    /** The trace pointers of combination @p index (odometer order). */
+    std::vector<const sem::ThreadTrace *> comboAt(std::size_t index) const;
 
     const LitmusTest &_test;
     sem::ValueDomain _domain;

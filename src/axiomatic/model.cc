@@ -2,101 +2,228 @@
 
 namespace rex {
 
-ModelRelations
-computeRelations(const CandidateExecution &cand, const ModelParams &params)
+namespace {
+
+/**
+ * All per-event-kind sets the skeleton needs, filled in ONE pass over
+ * the events instead of one pass per accessor (each CandidateExecution
+ * helper re-scans the event list; the skeleton needs over a dozen).
+ * Definitions mirror the CandidateExecution accessors exactly.
+ */
+struct KindSets {
+    EventSet reads, writes, acquires, acquirePcs, releases;
+    EventSet dmbLd, dmbSt, dsb, isb;
+    EventSet takeExceptions, translationFaults, erets, msr, takeInterrupts;
+
+    explicit KindSets(const CandidateExecution &cand)
+        : reads(cand.size()), writes(cand.size()), acquires(cand.size()),
+          acquirePcs(cand.size()), releases(cand.size()),
+          dmbLd(cand.size()), dmbSt(cand.size()), dsb(cand.size()),
+          isb(cand.size()), takeExceptions(cand.size()),
+          translationFaults(cand.size()), erets(cand.size()),
+          msr(cand.size()), takeInterrupts(cand.size())
+    {
+        for (const Event &e : cand.events) {
+            switch (e.kind) {
+              case EventKind::ReadMem:
+                reads.insert(e.id);
+                if (e.flags.acquire)
+                    acquires.insert(e.id);
+                if (e.flags.acquirePc)
+                    acquirePcs.insert(e.id);
+                break;
+              case EventKind::WriteMem:
+                writes.insert(e.id);
+                if (e.flags.release)
+                    releases.insert(e.id);
+                break;
+              case EventKind::Barrier:
+                switch (e.barrier) {
+                  case BarrierKind::DmbLd:
+                    dmbLd.insert(e.id);
+                    break;
+                  case BarrierKind::DmbSt:
+                    dmbSt.insert(e.id);
+                    break;
+                  case BarrierKind::DmbSy:
+                    dmbLd.insert(e.id);
+                    dmbSt.insert(e.id);
+                    break;
+                  case BarrierKind::DsbLd:
+                    dmbLd.insert(e.id);
+                    dsb.insert(e.id);
+                    break;
+                  case BarrierKind::DsbSt:
+                    dmbSt.insert(e.id);
+                    dsb.insert(e.id);
+                    break;
+                  case BarrierKind::DsbSy:
+                    dmbLd.insert(e.id);
+                    dmbSt.insert(e.id);
+                    dsb.insert(e.id);
+                    break;
+                  case BarrierKind::Isb:
+                    isb.insert(e.id);
+                    break;
+                }
+                break;
+              case EventKind::TakeException:
+                takeExceptions.insert(e.id);
+                if (e.exceptionClass ==
+                        ExceptionClass::DataAbortTranslation)
+                    translationFaults.insert(e.id);
+                break;
+              case EventKind::ExceptionReturn:
+                erets.insert(e.id);
+                break;
+              case EventKind::WriteSysreg:
+                msr.insert(e.id);
+                break;
+              case EventKind::TakeInterrupt:
+                takeInterrupts.insert(e.id);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+};
+
+} // namespace
+
+SkeletonRelations
+computeSkeleton(const CandidateExecution &cand, const ModelParams &params)
 {
     const std::size_t n = cand.size();
-    ModelRelations m;
+    SkeletonRelations s;
 
-    const EventSet reads = cand.reads();
-    const EventSet writes = cand.writes();
-    const EventSet mem = reads | writes;
-    const Relation id_r = Relation::identity(reads);
-    const Relation id_w = Relation::identity(writes);
-    const Relation id_rw = Relation::identity(mem);
+    const KindSets k(cand);
+    const EventSet mem = k.reads | k.writes;
+
+    // poLoc and internalPairs, fused into one pair sweep (their
+    // CandidateExecution accessors each materialize an intermediate
+    // n x n relation).
+    s.poLoc.reset(n);
+    s.internalPairs.reset(n);
+    for (const Event &a : cand.events) {
+        for (const Event &b : cand.events) {
+            if (a.tid != kInitialThread && b.tid == a.tid && b.id != a.id)
+                s.internalPairs.add(a.id, b.id);
+            if (a.isMemory() && b.isMemory() && a.loc == b.loc &&
+                    cand.po.contains(a.id, b.id))
+                s.poLoc.add(a.id, b.id);
+        }
+    }
+    s.addrData = cand.addr | cand.data;
 
     // (* might-be speculatively executed *)
-    m.speculative = cand.ctrl | cand.addr.seq(cand.po);
+    // [S]; r and r; [S] are domain/range restrictions: computed as such
+    // instead of materializing identity relations and seq-composing,
+    // which costs a row scan per pair instead of a word-wise AND.
+    s.speculative = cand.ctrl | cand.addr.seq(cand.po);
     if (params.seaR)
-        m.speculative |= id_r.seq(cand.po);
+        s.speculative |= cand.po.restrictDomain(k.reads);
     if (params.seaW)
-        m.speculative |= id_w.seq(cand.po);
+        s.speculative |= cand.po.restrictDomain(k.writes);
 
     // (* context-sync-events *)
-    m.cse = cand.isb();
+    s.cse = k.isb;
     if (params.entryIsCse())
-        m.cse |= cand.takeExceptions();
+        s.cse |= k.takeExceptions;
     if (params.returnIsCse())
-        m.cse |= cand.erets();
+        s.cse |= k.erets;
     // Asynchronous exception entry is exception entry too: when entry is
     // context-synchronising, TakeInterrupt events are CSEs as well.
     if (params.entryIsCse())
-        m.cse |= cand.takeInterrupts();
+        s.cse |= k.takeInterrupts;
 
-    const EventSet async_set = cand.takeInterrupts();
+    // (* dependency-ordered-before *), minus the rfi tail.
+    s.dobStatic = s.addrData;
+    s.dobStatic |= s.speculative.restrictRange(k.writes);
+    s.dobStatic |= s.speculative.restrictRange(k.isb);
 
-    // (* observed by *)
-    m.obs = cand.rfe() | cand.fr() | cand.co;
-
-    // (* dependency-ordered-before *)
-    const Relation id_isb = Relation::identity(cand.isb());
-    m.dob = cand.addr | cand.data |
-        m.speculative.seq(id_w) |
-        m.speculative.seq(id_isb) |
-        (cand.addr | cand.data).seq(cand.rfi());
-
-    // (* atomic-ordered-before *)
-    const EventSet acq = cand.acquires() | cand.acquirePcs();
-    m.aob = cand.rmw |
-        Relation::identity(cand.rmw.range())
-            .seq(cand.rfi()).seq(Relation::identity(acq));
+    // (* atomic-ordered-before *): cand.rmw is already skeleton; keep
+    // the endpoint sets of the rfi tail ([range(rmw)]; rfi; [A|Q]).
+    s.rmwRange = cand.rmw.range();
+    s.acq = k.acquires | k.acquirePcs;
 
     // (* barrier-ordered-before *)
-    const Relation id_dmbld = Relation::identity(cand.dmbLd());
-    const Relation id_dmbst = Relation::identity(cand.dmbSt());
-    const Relation id_l = Relation::identity(cand.releases());
-    const Relation id_a = Relation::identity(cand.acquires());
-    const Relation id_aq = Relation::identity(acq);
-    const Relation id_dsb = Relation::identity(cand.dsb());
-    m.bob = id_r.seq(cand.po).seq(id_dmbld) |
-        id_w.seq(cand.po).seq(id_dmbst) |
-        id_dmbst.seq(cand.po).seq(id_w) |
-        id_dmbld.seq(cand.po).seq(id_rw) |
-        id_l.seq(cand.po).seq(id_a) |
-        id_aq.seq(cand.po).seq(id_rw) |
-        id_rw.seq(cand.po).seq(id_l) |
-        id_dsb.seq(cand.po);
+    s.bob = cand.po.restricted(k.reads, k.dmbLd);
+    s.bob |= cand.po.restricted(k.writes, k.dmbSt);
+    s.bob |= cand.po.restricted(k.dmbSt, k.writes);
+    s.bob |= cand.po.restricted(k.dmbLd, mem);
+    s.bob |= cand.po.restricted(k.releases, k.acquires);
+    s.bob |= cand.po.restricted(s.acq, mem);
+    s.bob |= cand.po.restricted(mem, k.releases);
+    s.bob |= cand.po.restrictDomain(k.dsb);
 
     // (* contextually-ordered-before *)
-    const EventSet msr = cand.msrEvents();
-    const Relation id_msr_cse = Relation::identity(msr | m.cse);
-    const Relation id_msr = Relation::identity(msr);
-    const Relation id_cse = Relation::identity(m.cse);
-    m.ctxob = m.speculative.seq(id_msr_cse) |
-        id_msr.seq(cand.po).seq(id_cse) |
-        id_cse.seq(cand.po);
+    s.ctxob = s.speculative.restrictRange(k.msr | s.cse);
+    s.ctxob |= cand.po.restricted(k.msr, s.cse);
+    s.ctxob |= cand.po.restrictDomain(s.cse);
 
     // (* async-ordered-before *)
-    const Relation id_async = Relation::identity(async_set);
-    m.asyncob = m.speculative.seq(id_async) | id_async.seq(cand.po);
+    s.asyncob = s.speculative.restrictRange(k.takeInterrupts);
+    s.asyncob |= cand.po.restrictDomain(k.takeInterrupts);
 
     // FEAT_ETS2: a barrier before translation faults (§3.3).
-    m.ets2 = Relation(n);
-    if (params.featEts2) {
-        m.ets2 = cand.po.seq(
-            Relation::identity(cand.translationFaults()));
+    if (params.featEts2)
+        s.ets2 = cand.po.restrictRange(k.translationFaults);
+    else
+        s.ets2 = Relation(n);
+
+    // §7.5 GIC draft, minus the interrupt witness edge: DSBs order GIC
+    // effects (iio-after their register access) with program order.
+    s.gicobStatic = Relation(n);
+    s.gic = params.gicExtension;
+    if (params.gicExtension) {
+        s.gicobStatic |= cand.iio.inverse().seq(cand.po).restrictRange(k.dsb);
+        s.gicobStatic |= cand.po.restrictDomain(k.dsb).seq(cand.iio);
     }
 
+    s.staticOb = s.dobStatic | cand.rmw;
+    s.staticOb |= s.bob;
+    s.staticOb |= s.ctxob;
+    s.staticOb |= s.asyncob;
+    s.staticOb |= s.ets2;
+    s.staticOb |= s.gicobStatic;
+
+    return s;
+}
+
+ModelRelations
+computeRelations(const CandidateExecution &cand, const ModelParams &params)
+{
+    const SkeletonRelations s = computeSkeleton(cand, params);
+    ModelRelations m;
+
+    m.speculative = s.speculative;
+    m.cse = s.cse;
+
+    // Witness-dependent pieces: obs and the rfi tails.
+    const Relation rfi = cand.rf & s.internalPairs;
+    const Relation rfe = cand.rf - s.internalPairs;
+    const Relation fr = cand.rf.inverse().seq(cand.co);
+
+    // (* observed by *)
+    m.obs = rfe | fr | cand.co;
+
+    // (* dependency-ordered-before *)
+    m.dob = s.dobStatic | s.addrData.seq(rfi);
+
+    // (* atomic-ordered-before *)
+    m.aob = cand.rmw | rfi.restricted(s.rmwRange, s.acq);
+
+    m.bob = s.bob;
+    m.ctxob = s.ctxob;
+    m.asyncob = s.asyncob;
+    m.ets2 = s.ets2;
+
     // §7.5 GIC draft: the interrupt witness orders generation before
-    // delivery, and DSBs order GIC effects with program order.
-    m.gicob = Relation(n);
-    if (params.gicExtension) {
+    // delivery.
+    m.gicob = s.gicobStatic;
+    if (params.gicExtension)
         m.gicob |= cand.interruptWitness;
-        // GIC effect (iio-after register access r) before a dsb po-after r.
-        m.gicob |= cand.iio.inverse().seq(cand.po).seq(id_dsb);
-        // dsb before GIC effects of po-later register accesses.
-        m.gicob |= id_dsb.seq(cand.po).seq(cand.iio);
-    }
 
     // (* Ordered-before *)
     m.ob = (m.obs | m.dob | m.aob | m.bob | m.ctxob | m.asyncob | m.ets2 |
@@ -106,35 +233,47 @@ computeRelations(const CandidateExecution &cand, const ModelParams &params)
 }
 
 ModelResult
-checkConsistent(const CandidateExecution &cand, const ModelParams &params)
+checkConsistent(const CandidateExecution &cand, const ModelParams &,
+                const SkeletonRelations &skel, bool internal_prechecked)
 {
     ModelResult result;
 
+    const Relation fr = cand.rf.inverse().seq(cand.co);
+
     // Internal visibility requirement: SC per location.
-    Relation internal = cand.poLoc() | cand.fr() | cand.co | cand.rf;
-    if (auto cycle = internal.findCycle()) {
-        result.consistent = false;
-        result.failedAxiom = "internal";
-        result.cycle = std::move(cycle);
-        return result;
+    if (!internal_prechecked) {
+        Relation internal = skel.poLoc | fr;
+        internal |= cand.co;
+        internal |= cand.rf;
+        if (auto cycle = internal.findCycle()) {
+            result.consistent = false;
+            result.failedAxiom = "internal";
+            result.cycle = std::move(cycle);
+            return result;
+        }
     }
 
-    ModelRelations m = computeRelations(cand, params);
-
-    // External visibility requirement.
-    if (!m.ob.irreflexive()) {
+    // External visibility requirement: rebuild only the
+    // witness-dependent ob clauses on top of the skeleton union.
+    const Relation rfi = cand.rf & skel.internalPairs;
+    Relation union_rel = skel.staticOb | fr;
+    union_rel |= cand.rf - skel.internalPairs;  // rfe
+    union_rel |= cand.co;
+    union_rel |= skel.addrData.seq(rfi);
+    union_rel |= rfi.restricted(skel.rmwRange, skel.acq);
+    if (skel.gic)
+        union_rel |= cand.interruptWitness;
+    if (!union_rel.transitiveClosure().irreflexive()) {
         result.consistent = false;
         result.failedAxiom = "external";
         // Report a cycle of the (pre-closure) union for readability.
-        Relation union_rel = m.obs | m.dob | m.aob | m.bob | m.ctxob |
-            m.asyncob | m.ets2 | m.gicob;
         result.cycle = union_rel.findCycle();
         return result;
     }
 
     // Atomic: no intervening external write between an exclusive pair.
-    Relation atomic_violation =
-        cand.rmw & cand.fre().seq(cand.coe());
+    Relation atomic_violation = cand.rmw & (fr - skel.internalPairs)
+                                               .seq(cand.co - skel.internalPairs);
     if (!atomic_violation.empty()) {
         result.consistent = false;
         result.failedAxiom = "atomic";
@@ -142,6 +281,26 @@ checkConsistent(const CandidateExecution &cand, const ModelParams &params)
     }
 
     return result;
+}
+
+ModelResult
+checkConsistent(const CandidateExecution &cand, const ModelParams &params)
+{
+    // Check the (cheap) internal axiom before paying for the skeleton,
+    // preserving the historical early exit of per-candidate callers.
+    Relation internal = cand.poLoc() | cand.fr();
+    internal |= cand.co;
+    internal |= cand.rf;
+    if (auto cycle = internal.findCycle()) {
+        ModelResult result;
+        result.consistent = false;
+        result.failedAxiom = "internal";
+        result.cycle = std::move(cycle);
+        return result;
+    }
+
+    return checkConsistent(cand, params, computeSkeleton(cand, params),
+                           /*internal_prechecked=*/true);
 }
 
 } // namespace rex

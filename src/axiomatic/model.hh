@@ -55,6 +55,58 @@ struct ModelRelations {
     Relation ob;
 };
 
+/**
+ * The witness-independent slice of the model's relations.
+ *
+ * Every relation here depends only on the thread-trace skeleton of a
+ * candidate (events, po, iio, addr/data/ctrl, rmw, event kinds) — not
+ * on the existential witnesses rf, co, or interrupt. Within one trace
+ * combination the enumerator varies only the witnesses, so this slice
+ * is computed once per combination and reused for every rf × co ×
+ * interrupt assignment (see "Staged enumeration" in DESIGN.md).
+ */
+struct SkeletonRelations {
+    /** po restricted to same-location accesses (internal axiom). */
+    Relation poLoc;
+
+    /** Same-thread pairs: splits rf/fr/co into internal/external. */
+    Relation internalPairs;
+
+    /** addr | data — source of dob's rfi tail. */
+    Relation addrData;
+
+    /** range(rmw) — domain of aob's rfi tail (`[range(rmw)]; rfi`). */
+    EventSet rmwRange;
+
+    /** A | Q — range of aob's rfi tail (`rfi; [A|Q]`). */
+    EventSet acq;
+
+    /** (* might-be speculatively executed *) */
+    Relation speculative;
+
+    /** (* context-sync-events *) */
+    EventSet cse;
+
+    // The individual witness-independent clauses, kept for
+    // computeRelations() and diagnostics.
+    Relation dobStatic;   //!< addr | data | spec;[W] | spec;[ISB]
+    Relation bob;
+    Relation ctxob;
+    Relation asyncob;
+    Relation ets2;
+    Relation gicobStatic; //!< the dsb/iio clauses (no interrupt witness)
+
+    /** Union of every witness-independent ob clause (incl. rmw). */
+    Relation staticOb;
+
+    /** params.gicExtension: include the interrupt witness in ob. */
+    bool gic = false;
+};
+
+/** Compute the witness-independent relations for @p candidate. */
+SkeletonRelations computeSkeleton(const CandidateExecution &candidate,
+                                  const ModelParams &params);
+
 /** Compute all derived relations for @p candidate under @p params. */
 ModelRelations computeRelations(const CandidateExecution &candidate,
                                 const ModelParams &params);
@@ -62,6 +114,20 @@ ModelRelations computeRelations(const CandidateExecution &candidate,
 /** Check the three axioms of the model. */
 ModelResult checkConsistent(const CandidateExecution &candidate,
                             const ModelParams &params);
+
+/**
+ * Check the axioms reusing the precomputed witness-independent slice:
+ * only obs, the rfi tails of dob/aob, and gicob's witness edge are
+ * rebuilt before the ob closure. Produces exactly the same ModelResult
+ * (axiom and cycle) as the two-argument overload.
+ * @param internal_prechecked skip the internal (SC-per-location) axiom;
+ *        the caller has already established it, e.g. via the
+ *        enumerator's coherence pre-filter.
+ */
+ModelResult checkConsistent(const CandidateExecution &candidate,
+                            const ModelParams &params,
+                            const SkeletonRelations &skeleton,
+                            bool internal_prechecked = false);
 
 } // namespace rex
 

@@ -74,10 +74,15 @@ Engine::verdict(const LitmusTest &test, const ModelParams &params)
         record.cacheHit = true;
     } else {
         // Witness-less, short-circuiting check: Allowed verdicts stop at
-        // the first witnessing candidate.
+        // the first witnessing candidate. From the engine's own worker
+        // threads the pool is withheld (checkTest would shard the
+        // candidate space onto the same pool and deadlock waiting on
+        // its futures); a direct caller gets intra-test sharding.
+        ThreadPool *pool =
+            ThreadPool::onWorkerThread() ? nullptr : _pool.get();
         CheckResult result = checkTest(test, params,
                                        /*stop_at_first=*/true,
-                                       /*capture_witness=*/false);
+                                       /*capture_witness=*/false, pool);
         verdict = CachedVerdict::fromResult(result);
         _cache.store(key, verdict);
     }

@@ -2,6 +2,16 @@
 
 namespace rex::engine {
 
+namespace {
+thread_local bool tl_pool_worker = false;
+} // namespace
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tl_pool_worker;
+}
+
 ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
@@ -80,6 +90,7 @@ ThreadPool::tryRun(std::size_t index)
 void
 ThreadPool::workerLoop(std::size_t index)
 {
+    tl_pool_worker = true;
     while (true) {
         if (tryRun(index))
             continue;

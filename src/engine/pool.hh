@@ -58,6 +58,15 @@ class ThreadPool
     std::uint64_t submitted() const { return _submitted.load(); }
 
     /**
+     * True when the calling thread is a worker of *some* ThreadPool.
+     * Code that would submit work and block on its futures (e.g. the
+     * checker's intra-test sharding) must not do so from inside a pool
+     * task — with a fixed thread count that deadlocks — and uses this
+     * to fall back to the serial path instead.
+     */
+    static bool onWorkerThread();
+
+    /**
      * Queue @p fn for execution on some worker.
      * @return a future for fn's result; rethrows fn's exception on get().
      */

@@ -4,6 +4,7 @@
 
 #include "axiomatic/checker.hh"
 #include "axiomatic/enumerate.hh"
+#include "axiomatic/model.hh"
 #include "base/strings.hh"
 #include "cat/catmodel.hh"
 #include "harness/table.hh"
@@ -141,14 +142,44 @@ reproduceFigure(const LitmusTest &test, const FigureOptions &options,
                     engine.verdict(test, variant).observable);
             }
             // Cat-vs-native cross-check: one job, same single-pass
-            // early-exit loop as the legacy serial path.
+            // early-exit order as the legacy serial path, but on the
+            // staged enumeration — per (combo, variant) the native
+            // skeleton is computed once and shared by every witness.
             auto start = std::chrono::steady_clock::now();
             const cat::CatModel &model = cat::CatModel::shipped();
             bool agree = true;
             CandidateEnumerator enumerator(test);
-            enumerator.forEach([&](CandidateExecution &cand) {
-                for (const ModelParams &variant : options.variants) {
-                    if (checkConsistent(cand, variant).consistent !=
+            std::vector<SkeletonRelations> skels(options.variants.size());
+            std::vector<bool> skel_valid(options.variants.size(), false);
+            std::size_t skel_combo = 0;
+            enumerator.forEachStaged(
+                [&](CandidateExecution &cand,
+                    const CandidateEnumerator::StagedInfo &info) {
+                for (std::size_t v = 0; v < options.variants.size(); ++v) {
+                    const ModelParams &variant = options.variants[v];
+                    bool native_consistent;
+                    if (!info.coherent) {
+                        // The coherence pre-filter is exactly the
+                        // internal (SC-per-location) axiom, which no
+                        // variant relaxes: native rejects outright.
+                        native_consistent = false;
+                    } else {
+                        if (!skel_valid[v] ||
+                                skel_combo != info.comboIndex) {
+                            if (skel_combo != info.comboIndex) {
+                                std::fill(skel_valid.begin(),
+                                          skel_valid.end(), false);
+                                skel_combo = info.comboIndex;
+                            }
+                            skels[v] = computeSkeleton(cand, variant);
+                            skel_valid[v] = true;
+                        }
+                        native_consistent =
+                            checkConsistent(cand, variant, skels[v],
+                                            /*internal_prechecked=*/true)
+                                .consistent;
+                    }
+                    if (native_consistent !=
                             model.check(cand, variant).consistent) {
                         agree = false;
                         return false;

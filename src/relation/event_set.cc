@@ -44,6 +44,16 @@ EventSet::count() const
     return n;
 }
 
+bool
+EventSet::empty() const
+{
+    for (std::uint64_t w : _words) {
+        if (w != 0)
+            return false;
+    }
+    return true;
+}
+
 void
 EventSet::insert(EventId id)
 {

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "relation/word_buf.hh"
+
 namespace rex {
 
 /** Dense id of an event within one candidate execution. */
@@ -45,8 +47,9 @@ class EventSet
     /** Number of events in the set. */
     std::size_t count() const;
 
-    /** True when the set contains no events. */
-    bool empty() const { return count() == 0; }
+    /** True when the set contains no events (short-circuits on the
+     *  first nonzero word, unlike count()). */
+    bool empty() const;
 
     /** Add event @p id to the set. */
     void insert(EventId id);
@@ -84,7 +87,8 @@ class EventSet
     void checkCompatible(const EventSet &other) const;
 
     std::size_t _size = 0;
-    std::vector<std::uint64_t> _words;
+    /** 4 inline words: heap-free universes up to 256 events. */
+    WordBuf<4> _words;
 };
 
 } // namespace rex

@@ -11,6 +11,16 @@ Relation::Relation(std::size_t universe_size)
 {
 }
 
+void
+Relation::reset(std::size_t universe_size)
+{
+    _size = universe_size;
+    // assign() reuses the vector's capacity; a fresh Relation would
+    // reallocate on every call, which the enumerator's combo reuse
+    // (see ComboSpace) is designed to avoid.
+    _bits.assign(universe_size * ((universe_size + 63) / 64), 0);
+}
+
 const std::uint64_t *
 Relation::row(EventId r) const
 {
@@ -58,6 +68,16 @@ Relation::pairCount() const
     for (std::uint64_t w : _bits)
         n += static_cast<std::size_t>(std::popcount(w));
     return n;
+}
+
+bool
+Relation::empty() const
+{
+    for (std::uint64_t w : _bits) {
+        if (w != 0)
+            return false;
+    }
+    return true;
 }
 
 void
@@ -146,12 +166,22 @@ Relation::seq(const Relation &other) const
     checkCompatible(other);
     Relation out(_size);
     const std::size_t words = rowWords();
+    // Raw pointers hoisted for the same aliasing reason as in
+    // transitiveClosure().
+    const std::uint64_t *abits = _bits.data();
+    const std::uint64_t *bbits = other._bits.data();
+    std::uint64_t *obits = out._bits.data();
     for (EventId a = 0; a < _size; ++a) {
-        const std::uint64_t *arow = row(a);
-        std::uint64_t *orow = out.row(a);
-        for (EventId b = 0; b < _size; ++b) {
-            if ((arow[b / 64] >> (b % 64)) & 1) {
-                const std::uint64_t *brow = other.row(b);
+        const std::uint64_t *arow = abits + a * words;
+        std::uint64_t *orow = obits + a * words;
+        for (std::size_t wi = 0; wi < words; ++wi) {
+            std::uint64_t bits = arow[wi];
+            while (bits != 0) {
+                const EventId b = static_cast<EventId>(
+                    wi * 64 +
+                    static_cast<std::size_t>(std::countr_zero(bits)));
+                bits &= bits - 1;
+                const std::uint64_t *brow = bbits + b * words;
                 for (std::size_t w = 0; w < words; ++w)
                     orow[w] |= brow[w];
             }
@@ -167,13 +197,17 @@ Relation::transitiveClosure() const
     // reaches k absorbs k's row.
     Relation out = *this;
     const std::size_t words = rowWords();
+    // Hoisted raw pointer: row() re-reads the storage pointer through
+    // the object after every word store (a size_t member aliases
+    // uint64_t stores under TBAA), which the inner loop cannot afford.
+    std::uint64_t *bits = out._bits.data();
     for (EventId k = 0; k < _size; ++k) {
         const std::uint64_t mask = std::uint64_t{1} << (k % 64);
         const std::size_t kword = k / 64;
-        for (EventId i = 0; i < _size; ++i) {
-            std::uint64_t *irow = out.row(i);
+        const std::uint64_t *krow = bits + k * words;
+        std::uint64_t *irow = bits;
+        for (EventId i = 0; i < _size; ++i, irow += words) {
             if (irow[kword] & mask) {
-                const std::uint64_t *krow = out.row(k);
                 for (std::size_t w = 0; w < words; ++w)
                     irow[w] |= krow[w];
             }
@@ -198,10 +232,18 @@ Relation
 Relation::inverse() const
 {
     Relation out(_size);
+    const std::size_t words = rowWords();
     for (EventId a = 0; a < _size; ++a) {
-        for (EventId b = 0; b < _size; ++b) {
-            if (contains(a, b))
+        const std::uint64_t *arow = row(a);
+        for (std::size_t wi = 0; wi < words; ++wi) {
+            std::uint64_t bits = arow[wi];
+            while (bits != 0) {
+                const EventId b = static_cast<EventId>(
+                    wi * 64 +
+                    static_cast<std::size_t>(std::countr_zero(bits)));
+                bits &= bits - 1;
                 out.add(b, a);
+            }
         }
     }
     return out;
@@ -236,6 +278,24 @@ Relation::restrictRange(const EventSet &set) const
         std::uint64_t *arow = out.row(a);
         for (std::size_t w = 0; w < words; ++w)
             arow[w] &= set._words[w];
+    }
+    return out;
+}
+
+Relation
+Relation::restricted(const EventSet &dom, const EventSet &rng) const
+{
+    rexAssert(dom.size() == _size && rng.size() == _size,
+              "Relation::restricted over mismatched universes");
+    Relation out(_size);
+    const std::size_t words = rowWords();
+    for (EventId a = 0; a < _size; ++a) {
+        if (!dom.contains(a))
+            continue;
+        const std::uint64_t *arow = row(a);
+        std::uint64_t *orow = out.row(a);
+        for (std::size_t w = 0; w < words; ++w)
+            orow[w] = arow[w] & rng._words[w];
     }
     return out;
 }

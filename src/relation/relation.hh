@@ -45,6 +45,11 @@ class Relation
     /** The empty relation over a universe of @p universe_size events. */
     explicit Relation(std::size_t universe_size);
 
+    /** Make this the empty relation over @p universe_size events,
+     *  reusing the existing word storage when it is large enough
+     *  (unlike `rel = Relation(n)`, which always reallocates). */
+    void reset(std::size_t universe_size);
+
     /** Identity relation restricted to @p set (cat `[S]`). */
     static Relation identity(const EventSet &set);
 
@@ -60,8 +65,9 @@ class Relation
     /** Number of pairs in the relation. */
     std::size_t pairCount() const;
 
-    /** True when no pair is related. */
-    bool empty() const { return pairCount() == 0; }
+    /** True when no pair is related (short-circuits on the first
+     *  nonzero word, unlike pairCount()). */
+    bool empty() const;
 
     /** Relate @p from to @p to. */
     void add(EventId from, EventId to);
@@ -103,6 +109,10 @@ class Relation
     /** Pairs whose target is in @p set. */
     Relation restrictRange(const EventSet &set) const;
 
+    /** Pairs with source in @p dom and target in @p rng: equals
+     *  `[dom]; r; [rng]` in one pass without the identity relations. */
+    Relation restricted(const EventSet &dom, const EventSet &rng) const;
+
     /** The set of pair sources. */
     EventSet domain() const;
 
@@ -135,7 +145,9 @@ class Relation
     std::uint64_t *row(EventId r);
 
     std::size_t _size = 0;
-    std::vector<std::uint64_t> _bits;
+    /** 64 inline words: heap-free single-word-row universes (up to 64
+     *  events), which covers every litmus-sized candidate. */
+    WordBuf<64> _bits;
 };
 
 } // namespace rex

@@ -174,7 +174,7 @@ ThreadExecutor::finish(ExecState &state)
 {
     state.done = true;
     state.trace.finalRegs = state.regs;
-    _results.push_back(state.trace);
+    _results.push_back(std::move(state.trace));
 }
 
 void
@@ -327,15 +327,13 @@ ThreadExecutor::executeMemory(ExecState &state, const Instruction &inst)
     };
 
     if (inst.isLoad()) {
-        // Fork over every candidate value of the location.
+        // Fork over every candidate value of the location. Only the
+        // non-last values pay for a state copy; the last value continues
+        // in place (single-value domains copy nothing).
         const std::vector<std::uint64_t> &values = _domain.locValues[*loc];
         rexAssert(!values.empty(), "empty value domain");
-        for (std::size_t vi = 0; vi < values.size(); ++vi) {
-            std::uint64_t value = values[vi];
-            bool last = vi + 1 == values.size();
-            ExecState fork_state = state;
-            ExecState &st = last ? state : fork_state;
 
+        auto emitRead = [&](ExecState &st, std::uint64_t value) {
             Event read;
             read.kind = EventKind::ReadMem;
             read.loc = *loc;
@@ -354,24 +352,26 @@ ThreadExecutor::executeMemory(ExecState &state, const Instruction &inst)
                 st.exclusiveLoc = *loc;
                 st.exclusiveEvent = idx;
             }
+        };
 
-            if (last) {
-                advance();
-            } else {
-                // Run the fork to completion.
-                if (fork_state.inHandler)
-                    ++fork_state.handlerPc;
-                else
-                    ++fork_state.pc;
-                if (inst.mode == isa::AddrMode::PostIndex) {
-                    fork_state.regs[inst.rn] +=
-                        static_cast<std::uint64_t>(inst.imm);
-                } else if (inst.mode == isa::AddrMode::PreIndex) {
-                    fork_state.regs[inst.rn] = address;
-                }
-                run(fork_state);
+        for (std::size_t vi = 0; vi + 1 < values.size(); ++vi) {
+            ExecState fork_state = state;
+            emitRead(fork_state, values[vi]);
+            // Run the fork to completion.
+            if (fork_state.inHandler)
+                ++fork_state.handlerPc;
+            else
+                ++fork_state.pc;
+            if (inst.mode == isa::AddrMode::PostIndex) {
+                fork_state.regs[inst.rn] +=
+                    static_cast<std::uint64_t>(inst.imm);
+            } else if (inst.mode == isa::AddrMode::PreIndex) {
+                fork_state.regs[inst.rn] = address;
             }
+            run(fork_state);
         }
+        emitRead(state, values.back());
+        advance();
         return;
     }
 

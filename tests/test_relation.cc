@@ -200,6 +200,59 @@ TEST(RelationTest, OptionalAddsIdentity)
     EXPECT_TRUE(opt.contains(0, 1));
 }
 
+TEST(RelationTest, EmptyShortCircuits)
+{
+    Relation r(100);
+    EXPECT_TRUE(r.empty());
+    r.add(99, 99);
+    EXPECT_FALSE(r.empty());
+    r.remove(99, 99);
+    EXPECT_TRUE(r.empty());
+
+    EventSet s(100);
+    EXPECT_TRUE(s.empty());
+    s.insert(99);
+    EXPECT_FALSE(s.empty());
+    s.erase(99);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(RelationTest, ResetReusesStorage)
+{
+    Relation r(8);
+    r.add(1, 2);
+    r.reset(8);
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r, Relation(8));
+    // Shrinking / growing the universe both give the empty relation of
+    // the new size.
+    r.add(0, 0);
+    r.reset(4);
+    EXPECT_EQ(r, Relation(4));
+    r.reset(130);
+    EXPECT_EQ(r, Relation(130));
+}
+
+TEST(RelationTest, RestrictedEqualsIdentitySandwich)
+{
+    Relation r(70);
+    r.add(0, 1);
+    r.add(1, 69);
+    r.add(65, 2);
+    r.add(3, 3);
+    EventSet dom(70), rng(70);
+    dom.insert(1);
+    dom.insert(65);
+    dom.insert(3);
+    rng.insert(69);
+    rng.insert(2);
+    Relation expected =
+        Relation::identity(dom).seq(r).seq(Relation::identity(rng));
+    EXPECT_EQ(r.restricted(dom, rng), expected);
+    EXPECT_EQ(r.restricted(dom, rng),
+              r.restrictDomain(dom).restrictRange(rng));
+}
+
 // ---------------------------------------------------------------------
 // Property sweeps across universe sizes (crossing the word boundary).
 // ---------------------------------------------------------------------
@@ -294,6 +347,21 @@ TEST_P(RelationProperty, AcyclicAgreesWithFindCycle)
     for (std::uint64_t seed = 20; seed < 26; ++seed) {
         Relation a = randomRelation(n, seed);
         EXPECT_EQ(a.acyclic(), !a.findCycle().has_value());
+    }
+}
+
+TEST_P(RelationProperty, RestrictedAgreesWithSequentialRestriction)
+{
+    std::size_t n = GetParam();
+    for (std::uint64_t seed = 30; seed < 34; ++seed) {
+        Relation a = randomRelation(n, seed);
+        EventSet dom(n), rng(n);
+        for (std::size_t i = 0; i < n; i += 2)
+            dom.insert(static_cast<EventId>(i));
+        for (std::size_t i = 0; i < n; i += 3)
+            rng.insert(static_cast<EventId>(i));
+        EXPECT_EQ(a.restricted(dom, rng),
+                  a.restrictDomain(dom).restrictRange(rng));
     }
 }
 
