@@ -19,6 +19,8 @@ inline int
 reproduce(const char *title, const std::vector<std::string> &names,
           harness::FigureOptions options = {})
 {
+    // Interrupted figure runs keep their JSONL records.
+    engine::installFlushOnExitSignals();
     std::printf("%s\n%s\n\n", title,
                 std::string(std::string(title).size(), '=').c_str());
     for (const std::string &name : names) {

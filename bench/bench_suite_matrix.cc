@@ -32,6 +32,9 @@ main(int argc, char **argv)
 {
     using namespace rex;
 
+    // An interrupted matrix run keeps the verdict records proved so far.
+    engine::installFlushOnExitSignals();
+
     engine::EngineConfig config = engine::EngineConfig::fromEnv();
     if (config.resultsPath.empty())
         config.resultsPath = "suite_matrix.jsonl";

@@ -85,6 +85,9 @@ main(int argc, char **argv)
 {
     using namespace rex;
 
+    // ^C mid-run keeps the JSONL records already proved.
+    engine::installFlushOnExitSignals();
+
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: %s FILE.litmus [variant...]\n"

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * rex_client: command-line client for the rexd litmus-checking daemon.
+ *
+ * Usage:
+ *   ./example_rex_client [options] FILE.litmus
+ *   ./example_rex_client [options] --builtin TEST-NAME
+ *   ./example_rex_client [options] -              # test text on stdin
+ *   ./example_rex_client --metrics | --health
+ *   ./example_rex_client --post PATH              # raw body on stdin
+ *
+ * Options:
+ *   --host H        daemon host (default 127.0.0.1)
+ *   --port P        daemon port (default 8643)
+ *   --variants L    comma-separated variant names, or "paper" for the
+ *                   paper's five-variant matrix (default: base)
+ *   --sleep-ms N    forward the server-side test hook (pins the request
+ *                   in a handler thread; used by CI's backpressure test)
+ *   --stable        normalise the JSONL output for diffing: zero the
+ *                   schedule-dependent wall_us and cache_hit fields
+ *   --direct        skip the network and run the request through an
+ *                   in-process CheckService on a local engine — the
+ *                   exact code path rexd serves, minus the sockets.
+ *                   CI diffs `--direct --stable` against the daemon's
+ *                   `--stable` output to prove byte-identical verdicts.
+ *
+ * Exit status: 0 on HTTP 200 (or healthy), 4 on a 4xx response, 5 on a
+ * 5xx response, 1 on transport/usage errors. Response bodies go to
+ * stdout either way; the status line goes to stderr when not 200.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "engine/batch.hh"
+#include "litmus/parser.hh"
+#include "litmus/registry.hh"
+#include "server/client.hh"
+#include "server/json.hh"
+#include "server/service.hh"
+
+namespace {
+
+std::string
+readAllOfStdin()
+{
+    std::ostringstream text;
+    text << std::cin.rdbuf();
+    return text.str();
+}
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::FILE *in = std::fopen(path.c_str(), "rb");
+    if (!in)
+        rex::fatal("cannot open litmus file '" + path + "'");
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        text.append(buf, n);
+    std::fclose(in);
+    return text;
+}
+
+/**
+ * Re-render one JSONL verdict line with the schedule-dependent fields
+ * (wall_us, cache_hit) zeroed, so two runs of the same checks diff
+ * clean. Round-trips through the server's own JSON parser and the
+ * engine's own record renderer — no third serialisation to drift.
+ */
+std::string
+stabiliseLine(const std::string &line)
+{
+    using rex::server::JsonValue;
+    JsonValue v = rex::server::parseJson(line);
+    auto str = [&](const char *key) {
+        const JsonValue *m = v.find(key);
+        return m && m->isString() ? m->string : std::string();
+    };
+    auto num = [&](const char *key) -> std::uint64_t {
+        const JsonValue *m = v.find(key);
+        return m && m->isInt() ? static_cast<std::uint64_t>(m->integer)
+                               : 0;
+    };
+    rex::engine::JobRecord record;
+    record.kind = str("kind");
+    record.test = str("test");
+    record.variant = str("variant");
+    record.verdict = str("verdict");
+    record.candidates = num("candidates");
+    record.consistent = num("consistent");
+    record.witnesses = num("witnesses");
+    record.runs = num("runs");
+    record.observed = num("observed");
+    record.forbidding = str("forbidding");
+    record.wallMicros = 0;
+    record.cacheHit = false;
+    return record.toJson();
+}
+
+std::string
+stabiliseBody(const std::string &body)
+{
+    std::string out;
+    for (const std::string &line : rex::split(body, '\n')) {
+        std::string trimmed = rex::trim(line);
+        if (trimmed.empty())
+            continue;
+        out += stabiliseLine(trimmed);
+        out += '\n';
+    }
+    return out;
+}
+
+int
+exitCodeFor(int status)
+{
+    if (status == 200)
+        return 0;
+    return status >= 500 ? 5 : 4;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--host H] [--port P] [--variants LIST] "
+                 "[--sleep-ms N]\n"
+                 "          [--stable] [--direct] "
+                 "(FILE.litmus | --builtin NAME | -)\n"
+                 "       %s [--host H] [--port P] --metrics | --health\n"
+                 "       %s [--host H] [--port P] --post PATH   "
+                 "(body on stdin)\n",
+                 argv0, argv0, argv0);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rex;
+
+    std::string host = "127.0.0.1";
+    int port = 8643;
+    std::string variantsArg = "base";
+    int sleepMs = 0;
+    bool stable = false;
+    bool direct = false;
+    bool wantMetrics = false;
+    bool wantHealth = false;
+    std::string postPath;
+    std::string builtinName;
+    std::string file;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            host = value();
+        } else if (arg == "--port") {
+            port = std::atoi(value().c_str());
+        } else if (arg == "--variants") {
+            variantsArg = value();
+        } else if (arg == "--sleep-ms") {
+            sleepMs = std::atoi(value().c_str());
+        } else if (arg == "--stable") {
+            stable = true;
+        } else if (arg == "--direct") {
+            direct = true;
+        } else if (arg == "--metrics") {
+            wantMetrics = true;
+        } else if (arg == "--health") {
+            wantHealth = true;
+        } else if (arg == "--post") {
+            postPath = value();
+        } else if (arg == "--builtin") {
+            builtinName = value();
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            file = arg;
+        }
+    }
+
+    try {
+        server::Client client(host, static_cast<std::uint16_t>(port));
+
+        if (wantHealth) {
+            bool ok = client.healthy();
+            std::printf("%s\n", ok ? "ok" : "unhealthy");
+            return ok ? 0 : 1;
+        }
+        if (wantMetrics) {
+            server::ClientResponse r = client.get("/metrics");
+            std::fwrite(r.body.data(), 1, r.body.size(), stdout);
+            return exitCodeFor(r.status);
+        }
+        if (!postPath.empty()) {
+            server::ClientResponse r =
+                client.post(postPath, readAllOfStdin());
+            if (r.status != 200)
+                std::fprintf(stderr, "HTTP %d\n", r.status);
+            std::fwrite(r.body.data(), 1, r.body.size(), stdout);
+            if (!r.body.empty() && r.body.back() != '\n')
+                std::printf("\n");
+            return exitCodeFor(r.status);
+        }
+
+        // A /check request: resolve the test text and the variant list.
+        std::string testText;
+        if (!builtinName.empty())
+            testText = TestRegistry::instance().sourceText(builtinName);
+        else if (file == "-")
+            testText = readAllOfStdin();
+        else if (!file.empty())
+            testText = readFileOrDie(file);
+        else
+            return usage(argv[0]);
+
+        std::vector<std::string> variants;
+        if (variantsArg == "paper") {
+            for (const ModelParams &params : ModelParams::paperVariants())
+                variants.push_back(params.name());
+        } else {
+            for (const std::string &v : split(variantsArg, ',')) {
+                std::string name = trim(v);
+                if (!name.empty())
+                    variants.push_back(name);
+            }
+        }
+
+        int status;
+        std::string body;
+        if (direct) {
+            // The daemon's exact serving path, in-process: same JSON
+            // request, same service, same JSONL renderer.
+            engine::Engine engine;
+            server::Metrics metrics;
+            server::CheckService service(engine, metrics);
+            server::HttpRequest request;
+            request.method = "POST";
+            request.path = "/check";
+            request.body =
+                server::checkRequestJson(testText, variants, sleepMs);
+            server::HttpResponse response = service.handle(request);
+            status = response.status;
+            body = response.body;
+        } else {
+            server::ClientResponse r =
+                client.check(testText, variants, sleepMs);
+            status = r.status;
+            body = r.body;
+        }
+
+        if (status != 200) {
+            std::fprintf(stderr, "HTTP %d\n", status);
+            std::fwrite(body.data(), 1, body.size(), stdout);
+            if (!body.empty() && body.back() != '\n')
+                std::printf("\n");
+            return exitCodeFor(status);
+        }
+        std::string rendered = stable ? stabiliseBody(body) : body;
+        std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "rex_client: %s\n", e.what());
+        return 1;
+    }
+}

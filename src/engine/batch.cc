@@ -38,6 +38,15 @@ EngineConfig::fromEnv()
         config.cacheEnabled = false;
     if (const char *dir = std::getenv("REX_CACHE_DIR"))
         config.cacheDir = dir;
+    if (const char *cap = std::getenv("REX_CACHE_MAX_BYTES")) {
+        char *end = nullptr;
+        unsigned long long parsed = std::strtoull(cap, &end, 10);
+        if (end && *end == '\0')
+            config.cacheMaxBytes = parsed;
+        else
+            warn(std::string("ignoring malformed REX_CACHE_MAX_BYTES='") +
+                 cap + "'");
+    }
     if (const char *results = std::getenv("REX_RESULTS"))
         config.resultsPath = results;
     // jobs stays 0: resolved (REX_JOBS, then hardware concurrency) at
@@ -48,7 +57,8 @@ EngineConfig::fromEnv()
 Engine::Engine(EngineConfig config)
     : _config(std::move(config)),
       _jobs(resolveJobs(_config.jobs)),
-      _cache(_config.cacheEnabled, _config.cacheDir)
+      _cache(_config.cacheEnabled, _config.cacheDir,
+             _config.cacheMaxBytes)
 {
     if (_jobs > 1)
         _pool = std::make_unique<ThreadPool>(_jobs);
@@ -59,11 +69,26 @@ Engine::Engine(EngineConfig config)
 CheckResult
 Engine::verdict(const LitmusTest &test, const ModelParams &params)
 {
+    JobRecord record;
+    return verdictCommon(test, params, record).toResult();
+}
+
+JobRecord
+Engine::verdictRecord(const LitmusTest &test, const ModelParams &params)
+{
+    JobRecord record;
+    verdictCommon(test, params, record);
+    return record;
+}
+
+CachedVerdict
+Engine::verdictCommon(const LitmusTest &test, const ModelParams &params,
+                      JobRecord &record)
+{
     auto start = std::chrono::steady_clock::now();
     VerdictKey key =
         VerdictKey::make(test, params, _config.modelRevision);
 
-    JobRecord record;
     record.test = test.name;
     record.variant = params.name();
 
@@ -97,7 +122,7 @@ Engine::verdict(const LitmusTest &test, const ModelParams &params)
             std::chrono::steady_clock::now() - start)
             .count());
     _sink.append(record);
-    return verdict.toResult();
+    return verdict;
 }
 
 Engine &

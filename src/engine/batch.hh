@@ -13,10 +13,12 @@
  * legacy serial path, with no pool and no reordering of any kind.
  *
  * Configuration knobs (CLI flags override the environment):
- *   REX_JOBS       worker count; 0/unset = hardware concurrency, 1 = serial
- *   REX_CACHE      "0" disables verdict memoization entirely
- *   REX_CACHE_DIR  on-disk persistence directory (e.g. ".rex-cache")
- *   REX_RESULTS    JSONL results path
+ *   REX_JOBS             worker count; 0/unset = hardware concurrency,
+ *                        1 = serial
+ *   REX_CACHE            "0" disables verdict memoization entirely
+ *   REX_CACHE_DIR        on-disk persistence directory (".rex-cache")
+ *   REX_CACHE_MAX_BYTES  on-disk cache byte cap; 0/unset = unlimited
+ *   REX_RESULTS          JSONL results path
  */
 
 #ifndef REX_ENGINE_BATCH_HH
@@ -48,6 +50,9 @@ struct EngineConfig {
 
     /** Cache persistence directory; empty = in-memory only. */
     std::string cacheDir;
+
+    /** On-disk cache byte cap (oldest-mtime eviction); 0 = unlimited. */
+    std::uint64_t cacheMaxBytes = 0;
 
     /** JSONL results path; empty = no results file. */
     std::string resultsPath;
@@ -107,6 +112,22 @@ class Engine
      */
     CheckResult verdict(const LitmusTest &test, const ModelParams &params);
 
+    /**
+     * Like verdict(), but returning the full JobRecord that was
+     * appended to the results sink — verdict plus wall time and
+     * cache-hit flag. This is rexd's serving path: the record is
+     * exactly one JSONL response line.
+     */
+    JobRecord verdictRecord(const LitmusTest &test,
+                            const ModelParams &params);
+
+    /** Tasks queued (not yet running) in the pool; 0 when serial. */
+    std::size_t
+    poolQueueDepth() const
+    {
+        return _pool ? _pool->queueDepth() : 0;
+    }
+
     /** Convenience wrapper over verdict(). */
     bool
     isAllowed(const LitmusTest &test, const ModelParams &params)
@@ -122,6 +143,11 @@ class Engine
     static Engine &shared();
 
   private:
+    /** Shared lookup/compute/record path behind verdict[Record](). */
+    CachedVerdict verdictCommon(const LitmusTest &test,
+                                const ModelParams &params,
+                                JobRecord &record);
+
     EngineConfig _config;
     unsigned _jobs = 1;
     std::unique_ptr<ThreadPool> _pool;

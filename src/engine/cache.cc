@@ -1,5 +1,6 @@
 #include "engine/cache.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -159,8 +160,9 @@ CachedVerdict::forbiddingSummary() const
     return out;
 }
 
-VerdictCache::VerdictCache(bool enabled, std::string dir)
-    : _enabled(enabled), _dir(std::move(dir))
+VerdictCache::VerdictCache(bool enabled, std::string dir,
+                           std::uint64_t maxBytes)
+    : _enabled(enabled), _dir(std::move(dir)), _maxBytes(maxBytes)
 {
     if (_enabled && !_dir.empty()) {
         std::error_code ec;
@@ -171,6 +173,75 @@ VerdictCache::VerdictCache(bool enabled, std::string dir)
             _dir.clear();
         }
     }
+    if (_enabled && !_dir.empty()) {
+        std::lock_guard<std::mutex> lock(_diskMutex);
+        scanDisk();
+        trimToCapLocked();
+    }
+}
+
+std::size_t
+VerdictCache::entryCount()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+std::uint64_t
+VerdictCache::diskBytes()
+{
+    std::lock_guard<std::mutex> lock(_diskMutex);
+    return _diskBytes;
+}
+
+void
+VerdictCache::scanDisk()
+{
+    _diskEntries.clear();
+    _diskBytes = 0;
+    std::error_code ec;
+    for (const auto &entry :
+             std::filesystem::directory_iterator(_dir, ec)) {
+        if (!entry.is_regular_file() ||
+                entry.path().extension() != ".rexv") {
+            continue;
+        }
+        DiskEntry tracked;
+        tracked.path = entry.path().string();
+        tracked.bytes = static_cast<std::uint64_t>(
+            entry.file_size(ec));
+        tracked.mtimeNanos =
+            entry.last_write_time(ec).time_since_epoch().count();
+        _diskEntries.push_back(std::move(tracked));
+        _diskBytes += _diskEntries.back().bytes;
+    }
+}
+
+void
+VerdictCache::trimToCapLocked()
+{
+    if (_maxBytes == 0 || _diskBytes <= _maxBytes)
+        return;
+    // Oldest first; ties (same-nanosecond writes) break by path so the
+    // trim order is deterministic.
+    std::sort(_diskEntries.begin(), _diskEntries.end(),
+              [](const DiskEntry &a, const DiskEntry &b) {
+                  if (a.mtimeNanos != b.mtimeNanos)
+                      return a.mtimeNanos < b.mtimeNanos;
+                  return a.path < b.path;
+              });
+    std::size_t removed = 0;
+    while (removed < _diskEntries.size() && _diskBytes > _maxBytes) {
+        const DiskEntry &victim = _diskEntries[removed];
+        std::error_code ec;
+        std::filesystem::remove(victim.path, ec);
+        _diskBytes -= std::min(_diskBytes, victim.bytes);
+        ++_evictions;
+        ++removed;
+    }
+    _diskEntries.erase(_diskEntries.begin(),
+                       _diskEntries.begin() +
+                           static_cast<std::ptrdiff_t>(removed));
 }
 
 std::string
@@ -313,7 +384,29 @@ VerdictCache::writeToDisk(const VerdictKey &key,
     if (ec) {
         std::filesystem::remove(tmp, ec);
         warn("verdict cache: cannot publish '" + path + "'");
+        return;
     }
+
+    std::lock_guard<std::mutex> lock(_diskMutex);
+    DiskEntry tracked;
+    tracked.path = path;
+    tracked.bytes = static_cast<std::uint64_t>(
+        std::filesystem::file_size(path, ec));
+    tracked.mtimeNanos = std::filesystem::last_write_time(path, ec)
+                             .time_since_epoch()
+                             .count();
+    // Same-key overwrites (benign racing writers) would double-count:
+    // drop any stale index entry for this path first.
+    for (auto it = _diskEntries.begin(); it != _diskEntries.end(); ++it) {
+        if (it->path == path) {
+            _diskBytes -= std::min(_diskBytes, it->bytes);
+            _diskEntries.erase(it);
+            break;
+        }
+    }
+    _diskBytes += tracked.bytes;
+    _diskEntries.push_back(std::move(tracked));
+    trimToCapLocked();
 }
 
 } // namespace rex::engine

@@ -23,6 +23,13 @@
  * verified on load, so a (vanishingly unlikely) hash collision degrades
  * to a miss, never to a wrong verdict.
  *
+ * The on-disk footprint is bounded: a configurable byte cap (0 =
+ * unlimited) trims oldest-mtime entries at construction (so a cap
+ * applies retroactively to a directory grown by earlier runs) and
+ * whenever a store overflows it. Eviction only deletes files — the
+ * in-memory table and correctness are unaffected; an evicted verdict
+ * simply costs a re-check on some future run.
+ *
  * Cached verdicts never carry a witness execution (witnesses are large
  * and only needed for diagnostics); callers that need the witness run
  * the checker directly.
@@ -100,14 +107,19 @@ class VerdictCache
 {
   public:
     /**
-     * @param enabled  disabled caches miss on every lookup and drop
-     *                 every store (the engine's bypass switch)
-     * @param dir      persistence directory; empty = in-memory only
+     * @param enabled   disabled caches miss on every lookup and drop
+     *                  every store (the engine's bypass switch)
+     * @param dir       persistence directory; empty = in-memory only
+     * @param maxBytes  on-disk byte cap; 0 = unlimited. Enforced by
+     *                  deleting oldest-mtime entries at construction
+     *                  and on overflow after each store.
      */
-    explicit VerdictCache(bool enabled = true, std::string dir = "");
+    explicit VerdictCache(bool enabled = true, std::string dir = "",
+                          std::uint64_t maxBytes = 0);
 
     bool enabled() const { return _enabled; }
     const std::string &dir() const { return _dir; }
+    std::uint64_t maxBytes() const { return _maxBytes; }
 
     /** Find a verdict, consulting memory then disk. */
     std::optional<CachedVerdict> lookup(const VerdictKey &key);
@@ -118,17 +130,47 @@ class VerdictCache
     std::uint64_t hits() const { return _hits.load(); }
     std::uint64_t misses() const { return _misses.load(); }
 
+    /** On-disk entries evicted by the byte cap so far. */
+    std::uint64_t evictions() const { return _evictions.load(); }
+
+    /** In-memory entries currently held. */
+    std::size_t entryCount();
+
+    /** Bytes currently persisted under dir() (0 when not persisting). */
+    std::uint64_t diskBytes();
+
   private:
     std::optional<CachedVerdict> loadFromDisk(const VerdictKey &key);
     void writeToDisk(const VerdictKey &key, const CachedVerdict &value);
     std::string entryPath(const VerdictKey &key) const;
 
+    /** Build the (path, mtime, size) index by scanning dir(). */
+    void scanDisk();
+
+    /** Delete oldest-mtime entries until the cap holds. Needs _diskMutex. */
+    void trimToCapLocked();
+
     bool _enabled;
     std::string _dir;
+    std::uint64_t _maxBytes;
     std::mutex _mutex;
     std::unordered_map<std::string, CachedVerdict> _entries;
+
+    /** One persisted entry, as tracked by the eviction index. */
+    struct DiskEntry {
+        std::string path;
+        std::int64_t mtimeNanos = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Guards the on-disk index (separate from the hot in-memory path). */
+    std::mutex _diskMutex;
+    std::vector<DiskEntry> _diskEntries;
+    std::uint64_t _diskBytes = 0;
+
     std::atomic<std::uint64_t> _hits{0};
     std::atomic<std::uint64_t> _misses{0};
+    std::atomic<std::uint64_t> _evictions{0};
 };
 
 } // namespace rex::engine

@@ -57,6 +57,10 @@ class ThreadPool
     /** Tasks submitted over the pool's lifetime. */
     std::uint64_t submitted() const { return _submitted.load(); }
 
+    /** Tasks queued and not yet picked up by a worker (a live gauge:
+     *  rexd's /metrics reads it while workers run). */
+    std::size_t queueDepth() const { return _queued.load(); }
+
     /**
      * True when the calling thread is a worker of *some* ThreadPool.
      * Code that would submit work and block on its futures (e.g. the

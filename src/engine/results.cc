@@ -1,6 +1,7 @@
 #include "engine/results.hh"
 
 #include <cinttypes>
+#include <csignal>
 
 #include "base/logging.hh"
 #include "base/strings.hh"
@@ -58,6 +59,52 @@ ResultsSink::~ResultsSink()
 {
     if (_out)
         std::fclose(_out);
+}
+
+void
+ResultsSink::flush()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_out)
+        std::fflush(_out);
+}
+
+void
+ResultsSink::close()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_out) {
+        std::fclose(_out);
+        _out = nullptr;
+    }
+}
+
+namespace {
+
+extern "C" void
+flushAndReraise(int sig)
+{
+    // Flush every stdio stream: results sinks are plain FILE*s, so this
+    // pushes any buffered JSONL tail to the kernel. (fflush(nullptr) is
+    // not formally async-signal-safe, but the alternative — dying with
+    // a dirty buffer — loses records for certain; appends are one
+    // whole-line fwrite each, so the file still ends on a record
+    // boundary either way.)
+    std::fflush(nullptr);
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+} // namespace
+
+void
+installFlushOnExitSignals()
+{
+    static std::once_flag installed;
+    std::call_once(installed, [] {
+        std::signal(SIGINT, flushAndReraise);
+        std::signal(SIGTERM, flushAndReraise);
+    });
 }
 
 void

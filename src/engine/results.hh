@@ -31,6 +31,19 @@ namespace rex::engine {
 /** Escape @p text for inclusion in a JSON string literal. */
 std::string jsonEscape(std::string_view text);
 
+/**
+ * Install SIGINT/SIGTERM handlers that flush every open stdio stream
+ * (and with them every open results sink — each sink is a FILE*), then
+ * restore the default disposition and re-raise, so the process still
+ * dies with the conventional signal exit status. Idempotent.
+ *
+ * This is the batch-harness interrupt path: a long check_file or bench
+ * run killed mid-flight keeps every JSONL record written so far, ending
+ * on a complete line (appends are single whole-line writes). rexd does
+ * NOT use this — it drains gracefully instead (see server/server.hh).
+ */
+void installFlushOnExitSignals();
+
 /** One engine job's outcome. */
 struct JobRecord {
     /** "verdict", "hwsim", or "cat-crosscheck". */
@@ -91,6 +104,12 @@ class ResultsSink
 
     /** Append one record (no-op when disabled). */
     void append(const JobRecord &record);
+
+    /** Flush buffered output to disk (no-op when disabled). */
+    void flush();
+
+    /** Flush and close the file; enabled() is false afterwards. */
+    void close();
 
     /** Records appended so far. */
     std::uint64_t records() const { return _records.load(); }

@@ -19,6 +19,9 @@ internLocation(LitmusTest &test, const std::string &name)
         if (test.locations[i] == name)
             return i;
     }
+    if (test.locations.size() >= kMaxLocations)
+        fatal(format("too many locations (max %zu): %s", kMaxLocations,
+                     name.c_str()));
     test.locations.push_back(name);
     test.initValues.push_back(0);
     return static_cast<LocationId>(test.locations.size() - 1);
@@ -27,6 +30,9 @@ internLocation(LitmusTest &test, const std::string &name)
 void
 ensureThread(LitmusTest &test, std::size_t tid)
 {
+    if (tid >= kMaxThreads)
+        fatal(format("thread id %zu out of range (max %zu threads)", tid,
+                     kMaxThreads));
     if (test.threads.size() <= tid)
         test.threads.resize(tid + 1);
 }
@@ -288,8 +294,16 @@ parseHerdLitmus(const std::string &text)
     if (!have_cond)
         fatal("herd litmus test without a condition: " + test.name);
     ensureThread(test, bodies.empty() ? 0 : bodies.size() - 1);
-    for (std::size_t t = 0; t < bodies.size(); ++t)
+    for (std::size_t t = 0; t < bodies.size(); ++t) {
         test.threads[t].program = isa::assemble(bodies[t]);
+        if (test.threads[t].program.code.size() >
+                kMaxProgramInstructions) {
+            fatal(format("program of P%zu too large: %zu instructions "
+                         "(max %zu)",
+                         t, test.threads[t].program.code.size(),
+                         kMaxProgramInstructions));
+        }
+    }
     if (test.threads.empty())
         fatal("herd litmus test without threads: " + test.name);
     return test;

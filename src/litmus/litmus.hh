@@ -33,6 +33,18 @@ namespace rex {
  */
 inline constexpr std::uint64_t kLocationStride = 0x1000;
 
+/**
+ * Parser input bounds. Litmus tests are tiny by construction (the
+ * paper's largest uses 4 threads and a handful of locations); these
+ * caps exist so a malformed or hostile input — a five-billion thread
+ * id, a megabyte program — is a clean diagnostic instead of an
+ * allocation blow-up. They bound what rexd will accept over the wire,
+ * so keep docs/SERVER.md in sync when changing them.
+ */
+inline constexpr std::size_t kMaxThreads = 16;
+inline constexpr std::size_t kMaxLocations = 64;
+inline constexpr std::size_t kMaxProgramInstructions = 1024;
+
 /** The address of location @p loc. */
 inline constexpr std::uint64_t
 locationAddress(LocationId loc)

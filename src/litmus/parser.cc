@@ -20,6 +20,9 @@ internLocation(LitmusTest &test, const std::string &name)
         if (test.locations[i] == name)
             return i;
     }
+    if (test.locations.size() >= kMaxLocations)
+        fatal(format("too many locations (max %zu): %s", kMaxLocations,
+                     name.c_str()));
     test.locations.push_back(name);
     test.initValues.push_back(0);
     return static_cast<LocationId>(test.locations.size() - 1);
@@ -28,6 +31,9 @@ internLocation(LitmusTest &test, const std::string &name)
 void
 ensureThread(LitmusTest &test, std::size_t tid)
 {
+    if (tid >= kMaxThreads)
+        fatal(format("thread id %zu out of range (max %zu threads)", tid,
+                     kMaxThreads));
     if (test.threads.size() <= tid)
         test.threads.resize(tid + 1);
 }
@@ -189,6 +195,12 @@ parseLitmus(const std::string &text)
             return;
         ensureThread(test, section_tid);
         isa::Program program = isa::assemble(body);
+        if (program.code.size() > kMaxProgramInstructions) {
+            fatal(format("program of thread %zu too large: %zu "
+                         "instructions (max %zu)",
+                         section_tid, program.code.size(),
+                         kMaxProgramInstructions));
+        }
         if (section == Section::Thread)
             test.threads[section_tid].program = std::move(program);
         else

@@ -28,7 +28,16 @@ TestRegistry::add(const std::string &suite_name, const std::string &text)
     if (_byName.count(test.name))
         fatal("duplicate litmus test name '" + test.name + "'");
     _byName[test.name] = _entries.size();
-    _entries.push_back({suite_name, std::move(test)});
+    _entries.push_back({suite_name, std::move(test), text});
+}
+
+const std::string &
+TestRegistry::sourceText(const std::string &name) const
+{
+    auto it = _byName.find(name);
+    if (it == _byName.end())
+        fatal("unknown litmus test '" + name + "'");
+    return _entries[it->second].text;
 }
 
 const LitmusTest &

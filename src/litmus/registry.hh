@@ -33,6 +33,14 @@ class TestRegistry
     /** Look up a test by name; fatal() when absent. */
     const LitmusTest &get(const std::string &name) const;
 
+    /**
+     * The exact source text @p name was registered from; fatal() when
+     * absent. This is what clients send over the wire to rexd: parsing
+     * it yields a test identical to get(name), including properties a
+     * re-serialisation could lose (e.g. LDP/STP pair expansion flags).
+     */
+    const std::string &sourceText(const std::string &name) const;
+
     /** True when a test with @p name exists. */
     bool has(const std::string &name) const;
 
@@ -54,6 +62,7 @@ class TestRegistry
     struct Entry {
         std::string suite;
         LitmusTest test;
+        std::string text;
     };
 
     std::vector<Entry> _entries;

@@ -1,0 +1,181 @@
+#include "server/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "engine/results.hh"
+#include "server/http.hh"
+
+namespace rex::server {
+
+std::string
+checkRequestJson(const std::string &test_text,
+                 const std::vector<std::string> &variants, int sleepMs)
+{
+    std::string body =
+        "{\"test\":\"" + engine::jsonEscape(test_text) + "\"";
+    if (!variants.empty()) {
+        body += ",\"variants\":[";
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            if (i)
+                body += ",";
+            body += "\"" + engine::jsonEscape(variants[i]) + "\"";
+        }
+        body += "]";
+    }
+    if (sleepMs > 0)
+        body += format(",\"sleep_ms\":%d", sleepMs);
+    body += "}";
+    return body;
+}
+
+ClientResponse
+Client::roundTrip(const std::string &request)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(std::string("client socket: ") + std::strerror(errno));
+
+    if (_timeoutSeconds > 0) {
+        struct timeval tv;
+        tv.tv_sec = _timeoutSeconds;
+        tv.tv_usec = 0;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(_port);
+    if (::inet_pton(AF_INET, _host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        fatal("bad server address '" + _host + "'");
+    }
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        std::string why = std::strerror(errno);
+        ::close(fd);
+        fatal(format("cannot connect to %s:%u: %s", _host.c_str(), _port,
+                     why.c_str()));
+    }
+
+    if (!sendAll(fd, request.data(), request.size())) {
+        ::close(fd);
+        fatal("connection lost while sending request");
+    }
+
+    // The server closes after one response: read to EOF.
+    std::string raw;
+    char chunk[4096];
+    while (true) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            break;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::string why = (errno == EAGAIN || errno == EWOULDBLOCK)
+                ? "timed out waiting for response"
+                : std::strerror(errno);
+            ::close(fd);
+            fatal("client recv: " + why);
+        }
+        raw.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    std::size_t header_end = raw.find("\r\n\r\n");
+    std::size_t body_start = header_end + 4;
+    if (header_end == std::string::npos) {
+        header_end = raw.find("\n\n");
+        body_start = header_end + 2;
+    }
+    if (header_end == std::string::npos)
+        fatal("malformed response: no header terminator");
+
+    ClientResponse response;
+    std::vector<std::string> lines =
+        split(raw.substr(0, header_end), '\n');
+    std::vector<std::string> status_parts =
+        splitWhitespace(trim(lines.empty() ? "" : lines[0]));
+    std::int64_t status = 0;
+    if (status_parts.size() < 2 ||
+            !startsWith(status_parts[0], "HTTP/") ||
+            !parseInteger(status_parts[1], status)) {
+        fatal("malformed response status line");
+    }
+    response.status = static_cast<int>(status);
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::string line = trim(lines[i]);
+        auto colon = line.find(':');
+        if (line.empty() || colon == std::string::npos)
+            continue;
+        response.headers[toLower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+    }
+    response.body = raw.substr(body_start);
+
+    auto length = response.headers.find("content-length");
+    if (length != response.headers.end()) {
+        std::int64_t expected;
+        if (parseInteger(length->second, expected) &&
+                response.body.size() !=
+                    static_cast<std::size_t>(expected)) {
+            fatal(format("truncated response body: %zu of %lld bytes",
+                         response.body.size(),
+                         static_cast<long long>(expected)));
+        }
+    }
+    return response;
+}
+
+ClientResponse
+Client::post(const std::string &path, const std::string &body,
+             const std::string &contentType)
+{
+    std::string request = format("POST %s HTTP/1.1\r\n", path.c_str());
+    request += format("Host: %s:%u\r\n", _host.c_str(), _port);
+    request += "Content-Type: " + contentType + "\r\n";
+    request += format("Content-Length: %zu\r\n", body.size());
+    request += "Connection: close\r\n\r\n";
+    request += body;
+    return roundTrip(request);
+}
+
+ClientResponse
+Client::get(const std::string &path)
+{
+    std::string request = format("GET %s HTTP/1.1\r\n", path.c_str());
+    request += format("Host: %s:%u\r\n", _host.c_str(), _port);
+    request += "Connection: close\r\n\r\n";
+    return roundTrip(request);
+}
+
+ClientResponse
+Client::check(const std::string &test_text,
+              const std::vector<std::string> &variants, int sleepMs)
+{
+    return post("/check",
+                checkRequestJson(test_text, variants, sleepMs));
+}
+
+bool
+Client::healthy()
+{
+    try {
+        return get("/healthz").status == 200;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+} // namespace rex::server

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Blocking HTTP client for rexd — the wire protocol's only other C++
+ * implementation (examples/rex_client.cpp and the integration test
+ * both drive the daemon through this class, so a protocol change
+ * breaks loudly in exactly two places: service.cc and here).
+ *
+ * One request per connection, matching the server's Connection: close
+ * policy. Request bodies for /check are built by checkRequestJson(), a
+ * tiny serialiser kept next to the client so the JSON the server
+ * parses and the JSON clients emit cannot drift apart silently.
+ */
+
+#ifndef REX_SERVER_CLIENT_HH
+#define REX_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rex::server {
+
+/** One response as seen by the client. */
+struct ClientResponse {
+    int status = 0;
+    std::map<std::string, std::string> headers;  //!< keys lowercased
+    std::string body;
+};
+
+/** Serialise a /check request body. @p sleepMs <= 0 omits the hook. */
+std::string checkRequestJson(const std::string &test_text,
+                             const std::vector<std::string> &variants,
+                             int sleepMs = 0);
+
+/** A blocking one-request-per-connection HTTP client. */
+class Client
+{
+  public:
+    Client(std::string host, std::uint16_t port, int timeoutSeconds = 30)
+        : _host(std::move(host)), _port(port),
+          _timeoutSeconds(timeoutSeconds)
+    {}
+
+    /**
+     * POST @p body to @p path.
+     * @throws FatalError when the server is unreachable or the
+     *         response is unparseable (an HTTP error status is NOT a
+     *         throw — callers check response.status).
+     */
+    ClientResponse post(const std::string &path, const std::string &body,
+                        const std::string &contentType =
+                            "application/json");
+
+    /** GET @p path. Throws like post(). */
+    ClientResponse get(const std::string &path);
+
+    /**
+     * Convenience: POST /check for @p test_text under @p variants and
+     * return the response (body: one JSONL verdict record per variant
+     * on success; {"error": ...} otherwise).
+     */
+    ClientResponse check(const std::string &test_text,
+                         const std::vector<std::string> &variants,
+                         int sleepMs = 0);
+
+    /** True when GET /healthz answers 200 (no throw on failure). */
+    bool healthy();
+
+  private:
+    ClientResponse roundTrip(const std::string &request);
+
+    std::string _host;
+    std::uint16_t _port;
+    int _timeoutSeconds;
+};
+
+} // namespace rex::server
+
+#endif // REX_SERVER_CLIENT_HH

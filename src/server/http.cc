@@ -1,0 +1,259 @@
+#include "server/http.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "base/strings.hh"
+#include "engine/results.hh"
+
+namespace rex::server {
+
+namespace {
+
+/** Set send+receive timeouts on @p fd. */
+void
+setIoTimeout(int fd, int seconds)
+{
+    if (seconds <= 0)
+        return;
+    struct timeval tv;
+    tv.tv_sec = seconds;
+    tv.tv_usec = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/** Parse the request line "METHOD /path?query HTTP/1.1". */
+bool
+parseRequestLine(const std::string &line, HttpRequest &out)
+{
+    std::vector<std::string> parts = splitWhitespace(line);
+    if (parts.size() != 3)
+        return false;
+    if (!startsWith(parts[2], "HTTP/1."))
+        return false;
+    out.method = parts[0];
+    std::string target = parts[1];
+    auto question = target.find('?');
+    if (question != std::string::npos) {
+        out.query = target.substr(question + 1);
+        target = target.substr(0, question);
+    }
+    if (target.empty() || target[0] != '/')
+        return false;
+    out.path = target;
+    return true;
+}
+
+} // namespace
+
+HttpResponse
+HttpResponse::text(int status, std::string body)
+{
+    HttpResponse response;
+    response.status = status;
+    response.body = std::move(body);
+    return response;
+}
+
+HttpResponse
+HttpResponse::json(int status, std::string body)
+{
+    HttpResponse response;
+    response.status = status;
+    response.contentType = "application/json";
+    response.body = std::move(body);
+    return response;
+}
+
+HttpResponse
+HttpResponse::error(int status, const std::string &message)
+{
+    return json(status, "{\"error\":\"" + engine::jsonEscape(message) +
+                            "\"}\n");
+}
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 411: return "Length Required";
+      case 413: return "Payload Too Large";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+      case 503: return "Service Unavailable";
+      default:  return "Unknown";
+    }
+}
+
+int
+readHttpRequest(int fd, const HttpLimits &limits, HttpRequest &out,
+                std::string &error_out)
+{
+    setIoTimeout(fd, limits.ioTimeoutSeconds);
+
+    // Read until the blank line ending the header block, byte-capped.
+    std::string buffer;
+    std::size_t header_end = std::string::npos;
+    char chunk[4096];
+    while (header_end == std::string::npos) {
+        if (buffer.size() > limits.maxHeaderBytes) {
+            error_out = "header block too large";
+            return 413;
+        }
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0) {
+            error_out = buffer.empty() ? "" : "truncated request";
+            return 400;
+        }
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                error_out = "timed out reading request";
+                return 408;
+            }
+            error_out = std::string("recv: ") + std::strerror(errno);
+            return 400;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        header_end = buffer.find("\r\n\r\n");
+        // Be liberal: accept bare-LF framing from hand-rolled peers.
+        if (header_end == std::string::npos) {
+            std::size_t bare = buffer.find("\n\n");
+            if (bare != std::string::npos)
+                header_end = bare;
+        }
+    }
+
+    std::size_t body_start = buffer[header_end] == '\r'
+        ? header_end + 4 : header_end + 2;
+    std::string head = buffer.substr(0, header_end);
+    if (head.size() > limits.maxHeaderBytes) {
+        error_out = "header block too large";
+        return 413;
+    }
+
+    std::vector<std::string> lines = split(head, '\n');
+    if (lines.empty() || !parseRequestLine(trim(lines[0]), out)) {
+        error_out = "malformed request line";
+        return 400;
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::string line = trim(lines[i]);
+        if (line.empty())
+            continue;
+        auto colon = line.find(':');
+        if (colon == std::string::npos) {
+            error_out = "malformed header line";
+            return 400;
+        }
+        out.headers[toLower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+    }
+
+    if (out.headers.count("transfer-encoding")) {
+        error_out = "chunked request bodies are not supported";
+        return 501;
+    }
+
+    std::size_t content_length = 0;
+    auto it = out.headers.find("content-length");
+    if (it != out.headers.end()) {
+        std::int64_t parsed;
+        if (!parseInteger(it->second, parsed) || parsed < 0) {
+            error_out = "bad Content-Length";
+            return 400;
+        }
+        content_length = static_cast<std::size_t>(parsed);
+    } else if (out.method == "POST" || out.method == "PUT") {
+        error_out = "POST requires Content-Length";
+        return 411;
+    }
+    if (content_length > limits.maxBodyBytes) {
+        error_out = format("body of %zu bytes exceeds the %zu-byte limit",
+                           content_length, limits.maxBodyBytes);
+        return 413;
+    }
+
+    out.body = buffer.substr(body_start);
+    if (out.body.size() > content_length) {
+        error_out = "body longer than Content-Length";
+        return 400;
+    }
+    while (out.body.size() < content_length) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0) {
+            error_out = "truncated body";
+            return 400;
+        }
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                error_out = "timed out reading body";
+                return 408;
+            }
+            error_out = std::string("recv: ") + std::strerror(errno);
+            return 400;
+        }
+        out.body.append(chunk, static_cast<std::size_t>(n));
+        if (out.body.size() > content_length) {
+            error_out = "body longer than Content-Length";
+            return 400;
+        }
+    }
+    return 0;
+}
+
+bool
+sendAll(int fd, const char *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+drainPeer(int fd, std::size_t maxBytes, int timeoutSeconds)
+{
+    ::shutdown(fd, SHUT_WR);
+    setIoTimeout(fd, timeoutSeconds);
+    char chunk[4096];
+    std::size_t drained = 0;
+    while (drained < maxBytes) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;  // EOF, timeout, or error: nothing more to absorb
+        drained += static_cast<std::size_t>(n);
+    }
+}
+
+void
+writeHttpResponse(int fd, const HttpResponse &response)
+{
+    std::string head = format("HTTP/1.1 %d %s\r\n", response.status,
+                              statusReason(response.status));
+    head += "Content-Type: " + response.contentType + "\r\n";
+    head += format("Content-Length: %zu\r\n", response.body.size());
+    for (const auto &[key, value] : response.extraHeaders)
+        head += key + ": " + value + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    if (sendAll(fd, head.data(), head.size()))
+        sendAll(fd, response.body.data(), response.body.size());
+}
+
+} // namespace rex::server

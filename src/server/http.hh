@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 framing over POSIX sockets for rexd.
+ *
+ * Dependency-free by design: the request parser reads from a connected
+ * socket with strict limits (request-line/header bytes, body bytes via
+ * Content-Length, per-socket I/O timeout) and never allocates
+ * proportionally to anything the peer did not send. Responses always
+ * carry Content-Length and `Connection: close`; every connection serves
+ * exactly one request, which keeps backpressure accounting and graceful
+ * drain trivially correct (a drained queue means no half-served peers).
+ *
+ * Only what rexd needs is implemented: GET/POST, Content-Length bodies
+ * (chunked uploads are rejected with 411/501), no TLS, no keep-alive.
+ */
+
+#ifndef REX_SERVER_HTTP_HH
+#define REX_SERVER_HTTP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rex::server {
+
+/** Limits applied while reading a request from the socket. */
+struct HttpLimits {
+    /** Request line + headers cap (bytes). */
+    std::size_t maxHeaderBytes = 16 * 1024;
+
+    /** Body cap (bytes); larger Content-Lengths are refused with 413. */
+    std::size_t maxBodyBytes = 1024 * 1024;
+
+    /** Socket send/receive timeout (seconds). */
+    int ioTimeoutSeconds = 30;
+};
+
+/** One parsed request. */
+struct HttpRequest {
+    std::string method;
+    std::string path;      //!< path only; the query string is stripped
+    std::string query;     //!< raw query string ("" when absent)
+    std::map<std::string, std::string> headers;  //!< keys lowercased
+    std::string body;
+};
+
+/** One response to serialise. */
+struct HttpResponse {
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+    std::map<std::string, std::string> extraHeaders;
+
+    static HttpResponse text(int status, std::string body);
+    static HttpResponse json(int status, std::string body);
+
+    /** `{"error":"<escaped message>"}` with @p status. */
+    static HttpResponse error(int status, const std::string &message);
+};
+
+/** Reason phrase for @p status ("OK", "Bad Request", ...). */
+const char *statusReason(int status);
+
+/**
+ * Read and parse one request from connected socket @p fd under
+ * @p limits.
+ *
+ * @return 0 on success (filling @p out); on failure, the HTTP status
+ *         the caller should answer with (400 malformed, 408 timeout,
+ *         411 missing length, 413 too large, 501 chunked), with
+ *         @p error_out describing the problem. A peer that closed
+ *         before sending anything yields 0 bytes read and status 400
+ *         with an empty error; callers may just close.
+ */
+int readHttpRequest(int fd, const HttpLimits &limits, HttpRequest &out,
+                    std::string &error_out);
+
+/**
+ * Serialise and send @p response on @p fd (adds Content-Length and
+ * Connection: close). Best-effort: send errors are swallowed, the
+ * caller closes the socket either way.
+ */
+void writeHttpResponse(int fd, const HttpResponse &response);
+
+/**
+ * Half-close @p fd for writing, then read and discard whatever the peer
+ * is still sending (bounded by @p maxBytes and @p timeoutSeconds per
+ * read) until it closes. Use after answering an error on a connection
+ * whose body was never read: closing with unread data in the receive
+ * buffer makes the kernel send RST, which can destroy the response
+ * before the peer reads it. Does NOT close @p fd.
+ */
+void drainPeer(int fd, std::size_t maxBytes, int timeoutSeconds);
+
+/** Blocking full-buffer send; true when every byte was written. */
+bool sendAll(int fd, const char *data, std::size_t size);
+
+} // namespace rex::server
+
+#endif // REX_SERVER_HTTP_HH

@@ -1,0 +1,343 @@
+#include "server/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace rex::server {
+
+namespace {
+
+/** Recursive-descent parser over one in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue value = parseValue(0);
+        skipWhitespace();
+        if (_pos != _text.size())
+            fail("trailing data after JSON value");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        fatal(format("JSON parse error at offset %zu: %s", _pos,
+                     why.c_str()));
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (_pos >= _text.size())
+            fail("unexpected end of input");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(format("expected '%c'", c));
+        ++_pos;
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        std::size_t len = std::char_traits<char>::length(literal);
+        if (_text.compare(_pos, len, literal) != 0)
+            return false;
+        _pos += len;
+        return true;
+    }
+
+    JsonValue
+    parseValue(std::size_t depth)
+    {
+        if (depth >= kMaxJsonDepth)
+            fail("nesting too deep");
+        skipWhitespace();
+        char c = peek();
+        JsonValue value;
+        switch (c) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"':
+            value.kind = JsonValue::Kind::String;
+            value.string = parseString();
+            return value;
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = true;
+            return value;
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = false;
+            return value;
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return value;
+          default:
+            if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+                return parseNumber();
+            fail("unexpected character");
+        }
+    }
+
+    JsonValue
+    parseObject(std::size_t depth)
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Object;
+        expect('{');
+        skipWhitespace();
+        if (peek() == '}') {
+            ++_pos;
+            return value;
+        }
+        while (true) {
+            skipWhitespace();
+            if (peek() != '"')
+                fail("object key must be a string");
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            value.object[key] = parseValue(depth + 1);
+            skipWhitespace();
+            char next = peek();
+            ++_pos;
+            if (next == '}')
+                return value;
+            if (next != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray(std::size_t depth)
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Array;
+        expect('[');
+        skipWhitespace();
+        if (peek() == ']') {
+            ++_pos;
+            return value;
+        }
+        while (true) {
+            value.array.push_back(parseValue(depth + 1));
+            skipWhitespace();
+            char next = peek();
+            ++_pos;
+            if (next == ']')
+                return value;
+            if (next != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (_pos >= _text.size())
+                fail("unterminated string");
+            unsigned char c = static_cast<unsigned char>(_text[_pos++]);
+            if (c == '"')
+                return out;
+            if (c < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                continue;
+            }
+            if (_pos >= _text.size())
+                fail("unterminated escape");
+            char esc = _text[_pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += parseUnicodeEscape(); break;
+              default: fail("bad escape character");
+            }
+        }
+    }
+
+    /** Decode \uXXXX (with surrogate pairs) to UTF-8. */
+    std::string
+    parseUnicodeEscape()
+    {
+        std::uint32_t code = parseHex4();
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            if (_pos + 1 >= _text.size() || _text[_pos] != '\\' ||
+                    _text[_pos + 1] != 'u') {
+                fail("unpaired surrogate");
+            }
+            _pos += 2;
+            std::uint32_t low = parseHex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+                fail("bad low surrogate");
+            code = 0x10000 +
+                ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired surrogate");
+        }
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    std::uint32_t
+    parseHex4()
+    {
+        std::uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (_pos >= _text.size())
+                fail("truncated \\u escape");
+            char c = _text[_pos++];
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                fail("bad hex digit in \\u escape");
+        }
+        return code;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = _pos;
+        if (peek() == '-')
+            ++_pos;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("bad number");
+        std::size_t int_start = _pos;
+        while (_pos < _text.size() &&
+               std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+        }
+        if (_text[int_start] == '0' && _pos - int_start > 1)
+            fail("number has a leading zero");
+        bool integral = true;
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            integral = false;
+            ++_pos;
+            if (_pos >= _text.size() ||
+                    !std::isdigit(static_cast<unsigned char>(_text[_pos])))
+                fail("bad number fraction");
+            while (_pos < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+            }
+        }
+        if (_pos < _text.size() &&
+                (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            integral = false;
+            ++_pos;
+            if (_pos < _text.size() &&
+                    (_text[_pos] == '+' || _text[_pos] == '-')) {
+                ++_pos;
+            }
+            if (_pos >= _text.size() ||
+                    !std::isdigit(static_cast<unsigned char>(_text[_pos])))
+                fail("bad number exponent");
+            while (_pos < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+            }
+        }
+        std::string token = _text.substr(start, _pos - start);
+        JsonValue value;
+        if (integral) {
+            errno = 0;
+            char *end = nullptr;
+            long long parsed = std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0') {
+                value.kind = JsonValue::Kind::Int;
+                value.integer = parsed;
+                value.number = static_cast<double>(parsed);
+                return value;
+            }
+        }
+        value.kind = JsonValue::Kind::Double;
+        value.number = std::strtod(token.c_str(), nullptr);
+        return value;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace rex::server

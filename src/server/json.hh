@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal JSON parser for rexd request bodies.
+ *
+ * Parses the full JSON value grammar (objects, arrays, strings with
+ * escapes, numbers, booleans, null) into an owning tree, with the
+ * strictness a network-facing parser needs: a hard nesting-depth limit,
+ * no trailing garbage, and integer-preserving number handling (values
+ * that fit std::int64_t round-trip exactly; anything else is kept as a
+ * double). Serialisation of *responses* does not go through this module
+ * — response records are rendered by engine::JobRecord::toJson and
+ * friends — so the wire protocol has exactly one writer per direction.
+ */
+
+#ifndef REX_SERVER_JSON_HH
+#define REX_SERVER_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rex::server {
+
+/** Maximum container nesting accepted by parseJson(). */
+inline constexpr std::size_t kMaxJsonDepth = 32;
+
+/** One parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Int,     //!< number that fits std::int64_t exactly
+        Double,  //!< any other number
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::int64_t integer = 0;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isInt() const { return kind == Kind::Int; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one complete JSON document.
+ * @throws FatalError with a position-carrying diagnostic on any syntax
+ *         error, depth overflow, or trailing non-whitespace.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace rex::server
+
+#endif // REX_SERVER_JSON_HH

@@ -1,0 +1,148 @@
+#include "server/metrics.hh"
+
+#include <cinttypes>
+
+#include "base/strings.hh"
+#include "engine/batch.hh"
+
+namespace rex::server {
+
+void
+LatencyHistogram::observe(std::uint64_t micros)
+{
+    double seconds = static_cast<double>(micros) / 1e6;
+    std::size_t bucket = kBuckets.size();  // +Inf
+    for (std::size_t i = 0; i < kBuckets.size(); ++i) {
+        if (seconds <= kBuckets[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    _counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    _sumMicros.fetch_add(micros, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string
+LatencyHistogram::render(const std::string &name,
+                         const std::string &labels) const
+{
+    std::string out;
+    std::uint64_t cumulative = 0;
+    std::string sep = labels.empty() ? "" : ",";
+    for (std::size_t i = 0; i < kBuckets.size(); ++i) {
+        cumulative += _counts[i].load(std::memory_order_relaxed);
+        out += format("%s_bucket{%s%sle=\"%g\"} %" PRIu64 "\n",
+                      name.c_str(), labels.c_str(), sep.c_str(),
+                      kBuckets[i], cumulative);
+    }
+    cumulative += _counts[kBuckets.size()].load(std::memory_order_relaxed);
+    out += format("%s_bucket{%s%sle=\"+Inf\"} %" PRIu64 "\n",
+                  name.c_str(), labels.c_str(), sep.c_str(), cumulative);
+    out += format("%s_sum{%s} %g\n", name.c_str(), labels.c_str(),
+                  static_cast<double>(
+                      _sumMicros.load(std::memory_order_relaxed)) / 1e6);
+    out += format("%s_count{%s} %" PRIu64 "\n", name.c_str(),
+                  labels.c_str(), _count.load(std::memory_order_relaxed));
+    return out;
+}
+
+void
+Metrics::countResponse(int status)
+{
+    switch (status) {
+      case 200: ++responses200; break;
+      case 400: ++responses400; break;
+      case 404: ++responses404; break;
+      case 405: ++responses405; break;
+      case 413: ++responses413; break;
+      case 503: ++responses503; break;
+      default: ++responses500; break;
+    }
+}
+
+std::string
+Metrics::render(engine::Engine &engine) const
+{
+    std::string out;
+    auto counter = [&](const char *name, const char *help,
+                       std::uint64_t value) {
+        out += format("# HELP %s %s\n# TYPE %s counter\n%s %" PRIu64 "\n",
+                      name, help, name, name, value);
+    };
+    auto labelled = [&](const char *name, const char *labels,
+                        std::uint64_t value) {
+        out += format("%s{%s} %" PRIu64 "\n", name, labels, value);
+    };
+
+    out += "# HELP rexd_requests_total Requests handled, by route.\n"
+           "# TYPE rexd_requests_total counter\n";
+    labelled("rexd_requests_total", "route=\"check\"",
+             requestsCheck.load());
+    labelled("rexd_requests_total", "route=\"metrics\"",
+             requestsMetrics.load());
+    labelled("rexd_requests_total", "route=\"healthz\"",
+             requestsHealth.load());
+    labelled("rexd_requests_total", "route=\"other\"",
+             requestsOther.load());
+
+    out += "# HELP rexd_responses_total Responses sent, by status.\n"
+           "# TYPE rexd_responses_total counter\n";
+    labelled("rexd_responses_total", "code=\"200\"", responses200.load());
+    labelled("rexd_responses_total", "code=\"400\"", responses400.load());
+    labelled("rexd_responses_total", "code=\"404\"", responses404.load());
+    labelled("rexd_responses_total", "code=\"405\"", responses405.load());
+    labelled("rexd_responses_total", "code=\"413\"", responses413.load());
+    labelled("rexd_responses_total", "code=\"500\"", responses500.load());
+    labelled("rexd_responses_total", "code=\"503\"", responses503.load());
+
+    out += "# HELP rexd_verdicts_total Verdicts served, by outcome.\n"
+           "# TYPE rexd_verdicts_total counter\n";
+    labelled("rexd_verdicts_total", "verdict=\"allowed\"",
+             verdictsAllowed.load());
+    labelled("rexd_verdicts_total", "verdict=\"forbidden\"",
+             verdictsForbidden.load());
+
+    counter("rexd_cache_hits_total",
+            "Verdict-cache hits across all requests.",
+            engine.cache().hits());
+    counter("rexd_cache_misses_total",
+            "Verdict-cache misses across all requests.",
+            engine.cache().misses());
+    counter("rexd_cache_evictions_total",
+            "On-disk verdict-cache entries evicted by the byte cap.",
+            engine.cache().evictions());
+    counter("rexd_queue_rejected_total",
+            "Connections rejected with 503 by backpressure.",
+            queueRejected.load());
+
+    auto gauge = [&](const char *name, const char *help,
+                     std::int64_t value) {
+        out += format("# HELP %s %s\n# TYPE %s gauge\n%s %" PRId64 "\n",
+                      name, help, name, name, value);
+    };
+    gauge("rexd_queue_depth", "Accepted connections awaiting a handler.",
+          queueDepth.load());
+    gauge("rexd_inflight_requests", "Requests currently being handled.",
+          inflight.load());
+    gauge("rexd_engine_jobs", "Engine worker threads.",
+          static_cast<std::int64_t>(engine.jobs()));
+    gauge("rexd_engine_pool_queue_depth",
+          "Tasks queued in the engine's thread pool.",
+          static_cast<std::int64_t>(engine.poolQueueDepth()));
+    gauge("rexd_cache_entries", "Verdict-cache in-memory entries.",
+          static_cast<std::int64_t>(engine.cache().entryCount()));
+    gauge("rexd_cache_disk_bytes", "Verdict-cache on-disk bytes.",
+          static_cast<std::int64_t>(engine.cache().diskBytes()));
+
+    out += "# HELP rexd_stage_seconds Pipeline-stage latency.\n"
+           "# TYPE rexd_stage_seconds histogram\n";
+    out += stageParse.render("rexd_stage_seconds", "stage=\"parse\"");
+    out += stageEnumerate.render("rexd_stage_seconds",
+                                 "stage=\"enumerate\"");
+    out += stageCheck.render("rexd_stage_seconds", "stage=\"check\"");
+    out += stageRequest.render("rexd_stage_seconds", "stage=\"request\"");
+    return out;
+}
+
+} // namespace rex::server

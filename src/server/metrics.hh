@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Prometheus-style metrics for rexd.
+ *
+ * A fixed, hand-enumerated metric set (no generic registry): counters
+ * for requests/responses/verdicts/queue rejections, gauges for queue
+ * depth and in-flight requests, and one latency histogram per pipeline
+ * stage (parse, enumerate, check, request). Everything is lock-free
+ * atomics, safe to bump from any handler thread while /metrics renders.
+ *
+ * Cache hit/miss counts are not duplicated here — render() reads them
+ * live from the engine's VerdictCache, which is the single source of
+ * truth (the shared cache outlives and spans all requests).
+ *
+ * The exposition format is the Prometheus text format, metric names in
+ * docs/SERVER.md.
+ */
+
+#ifndef REX_SERVER_METRICS_HH
+#define REX_SERVER_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rex::engine { class Engine; }
+
+namespace rex::server {
+
+/**
+ * A fixed-bucket latency histogram (seconds). Buckets are cumulative
+ * when rendered, as Prometheus requires; observations are recorded in
+ * microseconds to avoid floating-point atomics.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Upper bounds in seconds (plus an implicit +Inf bucket). */
+    static constexpr std::array<double, 10> kBuckets = {
+        0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+        0.01,   0.05,    0.25,   1.0,
+    };
+
+    /** Record one observation of @p micros microseconds. */
+    void observe(std::uint64_t micros);
+
+    /** Render `name_bucket`/`name_sum`/`name_count` lines, with
+     *  @p labels ("stage=\"parse\"") spliced into every line. */
+    std::string render(const std::string &name,
+                       const std::string &labels) const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets.size() + 1> _counts{};
+    std::atomic<std::uint64_t> _sumMicros{0};
+    std::atomic<std::uint64_t> _count{0};
+};
+
+/** The rexd metric set. */
+struct Metrics {
+    /** Requests accepted into the handler, by route. */
+    std::atomic<std::uint64_t> requestsCheck{0};
+    std::atomic<std::uint64_t> requestsMetrics{0};
+    std::atomic<std::uint64_t> requestsHealth{0};
+    std::atomic<std::uint64_t> requestsOther{0};
+
+    /** Responses sent, by status class/code of interest. */
+    std::atomic<std::uint64_t> responses200{0};
+    std::atomic<std::uint64_t> responses400{0};
+    std::atomic<std::uint64_t> responses404{0};
+    std::atomic<std::uint64_t> responses405{0};
+    std::atomic<std::uint64_t> responses413{0};
+    std::atomic<std::uint64_t> responses500{0};
+    std::atomic<std::uint64_t> responses503{0};
+
+    /** Verdicts served (one per variant of every /check), by outcome. */
+    std::atomic<std::uint64_t> verdictsAllowed{0};
+    std::atomic<std::uint64_t> verdictsForbidden{0};
+
+    /** Connections rejected by backpressure (503 at accept). */
+    std::atomic<std::uint64_t> queueRejected{0};
+
+    /** Current accept-queue depth (gauge, maintained by the server). */
+    std::atomic<std::int64_t> queueDepth{0};
+
+    /** Requests currently being handled (gauge). */
+    std::atomic<std::int64_t> inflight{0};
+
+    /** Per-stage latency: litmus parsing, cache-miss enumeration+check,
+     *  per-variant verdict (incl. cache hits), whole request. */
+    LatencyHistogram stageParse;
+    LatencyHistogram stageEnumerate;
+    LatencyHistogram stageCheck;
+    LatencyHistogram stageRequest;
+
+    /** Count one response with @p status. */
+    void countResponse(int status);
+
+    /**
+     * Render the Prometheus text exposition. Cache hits/misses/entry
+     * counts and the engine worker count are read from @p engine.
+     */
+    std::string render(engine::Engine &engine) const;
+};
+
+} // namespace rex::server
+
+#endif // REX_SERVER_METRICS_HH

@@ -1,0 +1,257 @@
+#include "server/server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "engine/batch.hh"
+
+namespace rex::server {
+
+namespace {
+
+void
+closeQuietly(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+RexServer::RexServer(engine::Engine &engine, ServerConfig config)
+    : _engine(engine), _config(std::move(config)),
+      _service(engine, _metrics)
+{
+    if (_config.threads == 0)
+        _config.threads = 1;
+}
+
+RexServer::~RexServer()
+{
+    requestDrain();
+    join();
+}
+
+void
+RexServer::start()
+{
+    rexAssert(!_started.load(), "RexServer::start() called twice");
+
+    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listenFd < 0)
+        fatal(std::string("socket: ") + std::strerror(errno));
+    int yes = 1;
+    ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(_config.port);
+    if (::inet_pton(AF_INET, _config.host.c_str(), &addr.sin_addr) != 1) {
+        closeQuietly(_listenFd);
+        fatal("bad bind address '" + _config.host + "'");
+    }
+    if (::bind(_listenFd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        std::string why = std::strerror(errno);
+        closeQuietly(_listenFd);
+        fatal(format("cannot bind %s:%u: %s", _config.host.c_str(),
+                     _config.port, why.c_str()));
+    }
+    if (::listen(_listenFd, 128) < 0) {
+        std::string why = std::strerror(errno);
+        closeQuietly(_listenFd);
+        fatal("listen: " + why);
+    }
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(_listenFd, reinterpret_cast<struct sockaddr *>(&addr),
+                  &len);
+    _port = ntohs(addr.sin_port);
+
+    int pipefds[2];
+    if (::pipe(pipefds) < 0) {
+        std::string why = std::strerror(errno);
+        closeQuietly(_listenFd);
+        fatal("pipe: " + why);
+    }
+    _wakeReadFd = pipefds[0];
+    _wakeWriteFd = pipefds[1];
+
+    _started.store(true);
+    _acceptThread = std::thread([this] { acceptLoop(); });
+    for (unsigned i = 0; i < _config.threads; ++i)
+        _handlers.emplace_back([this] { handlerLoop(); });
+}
+
+void
+RexServer::acceptLoop()
+{
+    while (!_draining.load()) {
+        struct pollfd fds[2];
+        fds[0].fd = _listenFd;
+        fds[0].events = POLLIN;
+        fds[1].fd = _wakeReadFd;
+        fds[1].events = POLLIN;
+        int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn(std::string("rexd accept poll: ") +
+                 std::strerror(errno));
+            break;
+        }
+        if (_draining.load())
+            break;
+        if (!(fds[0].revents & POLLIN))
+            continue;
+
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            warn(std::string("rexd accept: ") + std::strerror(errno));
+            break;
+        }
+
+        bool enqueued = false;
+        {
+            std::lock_guard<std::mutex> lock(_queueMutex);
+            if (_queue.size() < _config.maxQueue) {
+                _queue.push_back(fd);
+                _metrics.queueDepth.store(
+                    static_cast<std::int64_t>(_queue.size()));
+                enqueued = true;
+            }
+        }
+        if (enqueued) {
+            _queueReady.notify_one();
+            continue;
+        }
+
+        // Backpressure: shed load on the accept thread, never a handler.
+        ++_metrics.queueRejected;
+        HttpResponse response = HttpResponse::error(
+            503, "request queue is full; retry later");
+        response.extraHeaders["Retry-After"] =
+            std::to_string(_config.retryAfterSeconds);
+        _metrics.countResponse(503);
+        writeHttpResponse(fd, response);
+        // The request was never read: absorb it (briefly — this runs
+        // on the accept thread) so closing doesn't RST the 503 away.
+        drainPeer(fd, _config.limits.maxBodyBytes, 1);
+        ::close(fd);
+    }
+
+    // Stop accepting immediately; queued connections still get served.
+    // Handlers only exit once _acceptDone is set, so a connection
+    // enqueued in this loop's last iteration is never stranded.
+    closeQuietly(_listenFd);
+    _acceptDone.store(true);
+    _queueReady.notify_all();
+}
+
+void
+RexServer::handlerLoop()
+{
+    while (true) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(_queueMutex);
+            _queueReady.wait(lock, [this] {
+                return !_queue.empty() || _acceptDone.load();
+            });
+            if (_queue.empty()) {
+                if (_acceptDone.load())
+                    return;
+                continue;
+            }
+            fd = _queue.front();
+            _queue.pop_front();
+            _metrics.queueDepth.store(
+                static_cast<std::int64_t>(_queue.size()));
+        }
+        handleConnection(fd);
+    }
+}
+
+void
+RexServer::handleConnection(int fd)
+{
+    ++_metrics.inflight;
+    HttpRequest request;
+    std::string error;
+    int status = readHttpRequest(fd, _config.limits, request, error);
+    if (status != 0) {
+        if (!error.empty()) {
+            _metrics.countResponse(status);
+            writeHttpResponse(fd, HttpResponse::error(status, error));
+            // Refused before the body was read (413/411/...): absorb
+            // the rest so closing doesn't RST the response away.
+            drainPeer(fd, _config.limits.maxBodyBytes,
+                      _config.limits.ioTimeoutSeconds);
+        }
+        // else: peer connected and closed silently; just close.
+    } else {
+        HttpResponse response;
+        try {
+            response = _service.handle(request);
+        } catch (const std::exception &err) {
+            // handle() catches expected errors; this is a backstop so a
+            // handler thread never dies and leaks the connection.
+            response = HttpResponse::error(500, err.what());
+            _metrics.countResponse(500);
+        }
+        writeHttpResponse(fd, response);
+    }
+    ::close(fd);
+    --_metrics.inflight;
+}
+
+void
+RexServer::requestDrain()
+{
+    if (!_started.load() || _draining.exchange(true))
+        return;
+    // Wake the accept poll (write side of the self-pipe) and any idle
+    // handlers; both loops re-check _draining.
+    if (_wakeWriteFd >= 0) {
+        char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(_wakeWriteFd, &byte, 1);
+    }
+    _queueReady.notify_all();
+}
+
+void
+RexServer::join()
+{
+    if (!_started.load() || _joined.exchange(true))
+        return;
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+    // Handlers exit once the queue is empty and draining is set; the
+    // accept thread is already done, so the queue can only shrink.
+    _queueReady.notify_all();
+    for (std::thread &handler : _handlers) {
+        if (handler.joinable())
+            handler.join();
+    }
+    closeQuietly(_wakeReadFd);
+    closeQuietly(_wakeWriteFd);
+    // Whatever the engine buffered for the results sink is on disk now.
+    _engine.results().flush();
+}
+
+} // namespace rex::server

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * rexd's connection machinery: listener, bounded accept queue, handler
+ * threads, backpressure, and graceful drain.
+ *
+ * One accept thread polls the listening socket; accepted connections go
+ * onto a bounded queue drained by N handler threads, each serving one
+ * request per connection through the shared CheckService (and therefore
+ * the one long-lived Engine: one thread pool, one verdict cache, one
+ * results sink across all requests). When the queue is full the accept
+ * thread answers 503 with a Retry-After header inline and closes — the
+ * cheap path, no handler thread is ever consumed by shedding load.
+ *
+ * Drain (requestDrain(), wired to SIGTERM/SIGINT by the rexd binary via
+ * a self-pipe) stops the accept thread first, then lets the handlers
+ * finish the queue and every in-flight request before join() returns;
+ * no accepted connection is ever abandoned, so the JSONL results file
+ * ends on a complete record.
+ */
+
+#ifndef REX_SERVER_SERVER_HH
+#define REX_SERVER_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http.hh"
+#include "server/metrics.hh"
+#include "server/service.hh"
+
+namespace rex::engine { class Engine; }
+
+namespace rex::server {
+
+/** rexd configuration. */
+struct ServerConfig {
+    /** Bind address. */
+    std::string host = "127.0.0.1";
+
+    /** Bind port; 0 asks the kernel for an ephemeral port (see
+     *  RexServer::port() after start()). */
+    std::uint16_t port = 0;
+
+    /** Handler threads (each serves one connection at a time). */
+    unsigned threads = 4;
+
+    /** Accept-queue bound; beyond it, connections get 503. */
+    std::size_t maxQueue = 64;
+
+    /** Retry-After seconds advertised with 503 responses. */
+    int retryAfterSeconds = 1;
+
+    /** HTTP parsing limits. */
+    HttpLimits limits;
+};
+
+/** The rexd daemon core (in-process embeddable, see tests). */
+class RexServer
+{
+  public:
+    /** @param engine the shared engine all requests check on. */
+    RexServer(engine::Engine &engine, ServerConfig config);
+
+    /** Drains and joins if still running. */
+    ~RexServer();
+
+    RexServer(const RexServer &) = delete;
+    RexServer &operator=(const RexServer &) = delete;
+
+    /**
+     * Bind, listen, and spawn the accept + handler threads.
+     * @throws FatalError when the address cannot be bound.
+     */
+    void start();
+
+    /** The bound port (resolves config port 0 after start()). */
+    std::uint16_t port() const { return _port; }
+
+    /**
+     * Begin graceful drain: stop accepting, serve everything already
+     * accepted. Safe to call from any thread, and more than once.
+     */
+    void requestDrain();
+
+    /** Wait for drain to complete and all threads to exit. */
+    void join();
+
+    /** True once requestDrain() has been observed. */
+    bool draining() const { return _draining.load(); }
+
+    Metrics &metrics() { return _metrics; }
+    CheckService &service() { return _service; }
+    const ServerConfig &config() const { return _config; }
+
+  private:
+    void acceptLoop();
+    void handlerLoop();
+    void handleConnection(int fd);
+
+    engine::Engine &_engine;
+    ServerConfig _config;
+    Metrics _metrics;
+    CheckService _service;
+
+    int _listenFd = -1;
+    int _wakeReadFd = -1;   //!< self-pipe: drain wakes the accept poll
+    int _wakeWriteFd = -1;
+    std::uint16_t _port = 0;
+
+    std::thread _acceptThread;
+    std::vector<std::thread> _handlers;
+
+    std::mutex _queueMutex;
+    std::condition_variable _queueReady;
+    std::deque<int> _queue;
+
+    std::atomic<bool> _started{false};
+    std::atomic<bool> _draining{false};
+    std::atomic<bool> _acceptDone{false};
+    std::atomic<bool> _joined{false};
+};
+
+} // namespace rex::server
+
+#endif // REX_SERVER_SERVER_HH

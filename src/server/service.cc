@@ -1,0 +1,189 @@
+#include "server/service.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "axiomatic/params.hh"
+#include "base/logging.hh"
+#include "engine/batch.hh"
+#include "litmus/parser.hh"
+#include "server/json.hh"
+
+namespace rex::server {
+
+namespace {
+
+/** Microseconds elapsed since @p start. */
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+/** The variant names /check accepts, in ModelParams::byName's terms. */
+void
+validateVariant(const std::string &name)
+{
+    // byName() itself fatal()s with a clear message on unknown names;
+    // calling it here surfaces that as a 400 before any work is done.
+    (void)ModelParams::byName(name);
+}
+
+} // namespace
+
+CheckRequest
+CheckRequest::fromJson(const std::string &body)
+{
+    JsonValue root = parseJson(body);
+    if (!root.isObject())
+        fatal("request body must be a JSON object");
+
+    CheckRequest request;
+    const JsonValue *test = root.find("test");
+    if (!test || !test->isString() || test->string.empty())
+        fatal("request needs a non-empty string member \"test\"");
+    request.testText = test->string;
+
+    if (const JsonValue *variants = root.find("variants")) {
+        if (variants->isString()) {
+            if (variants->string == "paper") {
+                for (const ModelParams &params :
+                         ModelParams::paperVariants()) {
+                    request.variants.push_back(params.name());
+                }
+            } else {
+                validateVariant(variants->string);
+                request.variants.push_back(variants->string);
+            }
+        } else if (variants->isArray()) {
+            if (variants->array.size() > 32)
+                fatal("too many variants (max 32)");
+            for (const JsonValue &entry : variants->array) {
+                if (!entry.isString())
+                    fatal("\"variants\" entries must be strings");
+                validateVariant(entry.string);
+                request.variants.push_back(entry.string);
+            }
+        } else {
+            fatal("\"variants\" must be an array of names or \"paper\"");
+        }
+    }
+    if (request.variants.empty())
+        request.variants.push_back("base");
+
+    if (const JsonValue *sleep = root.find("sleep_ms")) {
+        if (!sleep->isInt() || sleep->integer < 0)
+            fatal("\"sleep_ms\" must be a non-negative integer");
+        request.sleepMs =
+            static_cast<int>(std::min<std::int64_t>(sleep->integer, 2000));
+    }
+
+    for (const auto &[key, value] : root.object) {
+        if (key != "test" && key != "variants" && key != "sleep_ms")
+            fatal("unknown request member \"" + key + "\"");
+    }
+    return request;
+}
+
+std::string
+CheckService::runCheck(const CheckRequest &request)
+{
+    if (request.sleepMs > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(request.sleepMs));
+    }
+
+    auto parse_start = std::chrono::steady_clock::now();
+    LitmusTest test = parseLitmus(request.testText);
+    _metrics.stageParse.observe(microsSince(parse_start));
+
+    std::string body;
+    for (const std::string &variant : request.variants) {
+        auto check_start = std::chrono::steady_clock::now();
+        engine::JobRecord record = _engine.verdictRecord(
+            test, ModelParams::byName(variant));
+        _metrics.stageCheck.observe(microsSince(check_start));
+        if (!record.cacheHit)
+            _metrics.stageEnumerate.observe(record.wallMicros);
+        if (record.verdict == "Allowed")
+            ++_metrics.verdictsAllowed;
+        else
+            ++_metrics.verdictsForbidden;
+        body += record.toJson();
+        body += '\n';
+    }
+    return body;
+}
+
+HttpResponse
+CheckService::handleCheck(const HttpRequest &request)
+{
+    auto start = std::chrono::steady_clock::now();
+    CheckRequest check;
+    try {
+        check = CheckRequest::fromJson(request.body);
+    } catch (const FatalError &err) {
+        return HttpResponse::error(400, err.what());
+    }
+
+    HttpResponse response;
+    try {
+        response.body = runCheck(check);
+        response.contentType = "application/x-ndjson";
+    } catch (const FatalError &err) {
+        // Litmus parse/validation errors: the client's fault.
+        return HttpResponse::error(400, err.what());
+    } catch (const std::exception &err) {
+        // Model/internal errors: ours.
+        return HttpResponse::error(500, err.what());
+    }
+    _metrics.stageRequest.observe(microsSince(start));
+    return response;
+}
+
+HttpResponse
+CheckService::handle(const HttpRequest &request)
+{
+    HttpResponse response;
+    if (request.path == "/check") {
+        if (request.method != "POST") {
+            ++_metrics.requestsOther;
+            response = HttpResponse::error(405, "POST /check");
+            response.extraHeaders["Allow"] = "POST";
+        } else {
+            ++_metrics.requestsCheck;
+            response = handleCheck(request);
+        }
+    } else if (request.path == "/metrics") {
+        if (request.method != "GET") {
+            ++_metrics.requestsOther;
+            response = HttpResponse::error(405, "GET /metrics");
+            response.extraHeaders["Allow"] = "GET";
+        } else {
+            ++_metrics.requestsMetrics;
+            response.body = _metrics.render(_engine);
+            response.contentType =
+                "text/plain; version=0.0.4; charset=utf-8";
+        }
+    } else if (request.path == "/healthz") {
+        if (request.method != "GET") {
+            ++_metrics.requestsOther;
+            response = HttpResponse::error(405, "GET /healthz");
+            response.extraHeaders["Allow"] = "GET";
+        } else {
+            ++_metrics.requestsHealth;
+            response = HttpResponse::text(200, "ok\n");
+        }
+    } else {
+        ++_metrics.requestsOther;
+        response = HttpResponse::error(
+            404, "no such route: " + request.path);
+    }
+    _metrics.countResponse(response.status);
+    return response;
+}
+
+} // namespace rex::server

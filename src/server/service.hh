@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The litmus-checking service behind rexd's routes.
+ *
+ * CheckService is pure request → response logic over an
+ * engine::Engine: it owns no sockets, which is what lets the
+ * integration test, the client's --direct mode, and the daemon share
+ * one implementation of the wire protocol (docs/SERVER.md).
+ *
+ * Routes:
+ *   POST /check    JSON {"test": <litmus text>, "variants": [...]} →
+ *                  one JSONL verdict record per variant (the
+ *                  docs/FORMAT.md schema), in request order.
+ *   GET  /metrics  Prometheus text exposition.
+ *   GET  /healthz  "ok".
+ *
+ * Every /check runs through three measured pipeline stages feeding the
+ * metrics histograms: parse (litmus text → test), check (per-variant
+ * verdict on the shared engine, cache hits included), and enumerate
+ * (the cache-miss subset of check: full staged enumeration).
+ */
+
+#ifndef REX_SERVER_SERVICE_HH
+#define REX_SERVER_SERVICE_HH
+
+#include <string>
+#include <vector>
+
+#include "server/http.hh"
+#include "server/metrics.hh"
+
+namespace rex::engine { class Engine; }
+
+namespace rex::server {
+
+/** A validated /check request body. */
+struct CheckRequest {
+    /** The litmus test source (native or classic-herd format). */
+    std::string testText;
+
+    /** Variant names, resolved and validated ("base", "SEA_R", ...). */
+    std::vector<std::string> variants;
+
+    /**
+     * Test hook: handler-thread sleep before checking, capped at
+     * 2000 ms. Lets integration tests and CI pin a request in-flight
+     * to drive the 503 backpressure and drain paths deterministically.
+     */
+    int sleepMs = 0;
+
+    /**
+     * Parse and validate a JSON request body.
+     * @throws FatalError with a client-facing diagnostic on malformed
+     *         JSON, a missing/empty "test" member, or unknown variants.
+     */
+    static CheckRequest fromJson(const std::string &body);
+};
+
+/** The route handler shared by rexd, tests, and `rex_client --direct`. */
+class CheckService
+{
+  public:
+    CheckService(engine::Engine &engine, Metrics &metrics)
+        : _engine(engine), _metrics(metrics)
+    {}
+
+    /** Dispatch one request; never throws (errors become responses). */
+    HttpResponse handle(const HttpRequest &request);
+
+    /**
+     * Run one validated check: the JSONL response body, one
+     * docs/FORMAT.md verdict record per variant in request order.
+     */
+    std::string runCheck(const CheckRequest &request);
+
+    Metrics &metrics() { return _metrics; }
+    engine::Engine &engine() { return _engine; }
+
+  private:
+    HttpResponse handleCheck(const HttpRequest &request);
+
+    engine::Engine &_engine;
+    Metrics &_metrics;
+};
+
+} // namespace rex::server
+
+#endif // REX_SERVER_SERVICE_HH

@@ -268,6 +268,100 @@ TEST(VerdictCache, CorruptDiskEntryIsAMiss)
     EXPECT_FALSE(cache.lookup(key).has_value());
 }
 
+TEST(VerdictCache, ByteCapEvictsOldestOnOverflow)
+{
+    std::string dir = scratchDir("cap_overflow");
+    const TestRegistry &registry = TestRegistry::instance();
+
+    // Three distinct keys (same test, different params). Measure one
+    // entry's on-disk size first so the cap is two entries' worth.
+    engine::VerdictKey keys[3] = {
+        engine::VerdictKey::make(registry.get("SB+pos"),
+                                 ModelParams::base()),
+        engine::VerdictKey::make(registry.get("SB+pos"),
+                                 ModelParams::exs()),
+        engine::VerdictKey::make(registry.get("SB+pos"),
+                                 ModelParams::seaBoth()),
+    };
+    std::uint64_t one_entry;
+    {
+        engine::VerdictCache probe(true, dir);
+        probe.store(keys[0], engine::CachedVerdict{});
+        one_entry = probe.diskBytes();
+        ASSERT_GT(one_entry, 0u);
+    }
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    engine::VerdictCache cache(true, dir, 2 * one_entry + one_entry / 2);
+    for (int i = 0; i < 3; ++i) {
+        cache.store(keys[i], engine::CachedVerdict{});
+        // Distinct mtimes, so oldest-first is deterministic.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_LE(cache.diskBytes(), cache.maxBytes());
+
+    // The oldest entry's file is gone; the newest two survive.
+    EXPECT_FALSE(fs::exists(dir + "/" + keys[0].hashHex() + ".rexv"));
+    EXPECT_TRUE(fs::exists(dir + "/" + keys[1].hashHex() + ".rexv"));
+    EXPECT_TRUE(fs::exists(dir + "/" + keys[2].hashHex() + ".rexv"));
+
+    // A fresh cache over the same directory misses the evicted key and
+    // still hits the surviving ones.
+    engine::VerdictCache reader(true, dir);
+    EXPECT_FALSE(reader.lookup(keys[0]).has_value());
+    EXPECT_TRUE(reader.lookup(keys[1]).has_value());
+    EXPECT_TRUE(reader.lookup(keys[2]).has_value());
+}
+
+TEST(VerdictCache, ByteCapTrimsPreexistingEntriesAtStartup)
+{
+    std::string dir = scratchDir("cap_startup");
+    const TestRegistry &registry = TestRegistry::instance();
+    engine::VerdictKey old_key =
+        engine::VerdictKey::make(registry.get("MP+pos"),
+                                 ModelParams::base());
+    engine::VerdictKey new_key =
+        engine::VerdictKey::make(registry.get("MP+pos"),
+                                 ModelParams::exs());
+    {
+        engine::VerdictCache writer(true, dir);
+        writer.store(old_key, engine::CachedVerdict{});
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        writer.store(new_key, engine::CachedVerdict{});
+        ASSERT_EQ(writer.evictions(), 0u);
+    }
+
+    // Reopen with a cap that only fits one entry: the retroactive trim
+    // deletes the older file during construction.
+    std::uint64_t total;
+    {
+        engine::VerdictCache probe(true, dir);
+        total = probe.diskBytes();
+    }
+    engine::VerdictCache capped(true, dir, total - 1);
+    EXPECT_EQ(capped.evictions(), 1u);
+    EXPECT_FALSE(fs::exists(dir + "/" + old_key.hashHex() + ".rexv"));
+    EXPECT_TRUE(fs::exists(dir + "/" + new_key.hashHex() + ".rexv"));
+    EXPECT_FALSE(capped.lookup(old_key).has_value());
+    EXPECT_TRUE(capped.lookup(new_key).has_value());
+}
+
+TEST(VerdictCache, ZeroCapMeansUnlimited)
+{
+    std::string dir = scratchDir("cap_zero");
+    engine::VerdictCache cache(true, dir, 0);
+    const TestRegistry &registry = TestRegistry::instance();
+    for (const char *name : {"SB+pos", "MP+pos", "LB+pos", "CoRR"}) {
+        cache.store(engine::VerdictKey::make(registry.get(name),
+                                             ModelParams::base()),
+                    engine::CachedVerdict{});
+    }
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_GT(cache.diskBytes(), 0u);
+}
+
 TEST(VerdictCache, DisabledCacheNeverHits)
 {
     engine::VerdictCache cache(false, "");

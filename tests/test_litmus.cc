@@ -126,6 +126,55 @@ TEST(Parser, Errors)
         FatalError);
 }
 
+TEST(Parser, TruncatedInputsDiagnoseCleanly)
+{
+    // Truncated init entries.
+    EXPECT_THROW(parseLitmus(
+        "name: x\ninit: 0:X1=\nthread 0:\n NOP\nallowed: *x=0\n"),
+        FatalError);
+    EXPECT_THROW(parseLitmus(
+        "name: x\ninit: *x\nthread 0:\n NOP\nallowed: *x=0\n"),
+        FatalError);
+    EXPECT_THROW(parseLitmus(
+        "name: x\ninit: 0:\nthread 0:\n NOP\nallowed: *x=0\n"),
+        FatalError);
+    // Unterminated/truncated conditions.
+    EXPECT_THROW(parseLitmus(
+        "name: x\nthread 0:\n NOP\nallowed: 0:X0\n"), FatalError);
+    EXPECT_THROW(parseLitmus(
+        "name: x\nthread 0:\n NOP\nallowed: 0:X0=\n"), FatalError);
+    EXPECT_THROW(parseLitmus(
+        "name: x\nthread 0:\n NOP\nvariant ExS\n"), FatalError);
+}
+
+TEST(Parser, ResourceBoundsAreEnforced)
+{
+    // A huge thread id must be refused, not used as a resize() count.
+    EXPECT_THROW(parseLitmus(
+        "name: x\ninit: 999999999:X1=x\nthread 0:\n NOP\n"
+        "allowed: *x=0\n"), FatalError);
+    EXPECT_THROW(parseLitmus(
+        "name: x\nthread 999999999:\n NOP\nallowed: *x=0\n"),
+        FatalError);
+    EXPECT_THROW(parseLitmus(
+        "name: x\ninterrupt 999999999 at L0\nthread 0:\n NOP\n"
+        "allowed: *x=0\n"), FatalError);
+
+    // Program size cap.
+    std::string big = "name: x\nthread 0:\n";
+    for (std::size_t i = 0; i <= kMaxProgramInstructions; ++i)
+        big += "    MOV X0,#1\n";
+    big += "allowed: *x=0\n";
+    EXPECT_THROW(parseLitmus(big), FatalError);
+
+    // Location count cap.
+    std::string locs = "name: x\ninit:";
+    for (std::size_t i = 0; i <= kMaxLocations; ++i)
+        locs += " *loc" + std::to_string(i) + "=0;";
+    locs += "\nthread 0:\n NOP\nallowed: *loc0=0\n";
+    EXPECT_THROW(parseLitmus(locs), FatalError);
+}
+
 TEST(Parser, UnknownLocationInConditionIsCreated)
 {
     // Referencing a fresh location in the condition interns it with
@@ -198,6 +247,76 @@ TEST(HerdFormat, UnsupportedConstructsRejected)
     EXPECT_THROW(parseLitmus(
         "AArch64 t\n{ x=0; }\n P0 ;\n NOP ;\n"
         "forall (0:X0=0)\n"), FatalError);
+}
+
+TEST(HerdFormat, MalformedInputsDiagnoseCleanly)
+{
+    // Unterminated init block: program rows land in the init phase.
+    EXPECT_THROW(parseLitmus(
+        "AArch64 t\n{ x=0;\n P0 ;\n NOP ;\nexists (0:X0=0)\n"),
+        FatalError);
+    // Garbage between header and init.
+    EXPECT_THROW(parseLitmus(
+        "AArch64 t\nwhat is this\n{ x=0; }\n P0 ;\n NOP ;\n"
+        "exists (0:X0=0)\n"), FatalError);
+    // Unterminated condition parenthesis.
+    EXPECT_THROW(parseLitmus(
+        "AArch64 t\n{ x=0; }\n P0 ;\n NOP ;\nexists (0:X0=0\n"),
+        FatalError);
+    // No condition at all.
+    EXPECT_THROW(parseLitmus(
+        "AArch64 t\n{ x=0; }\n P0 ;\n NOP ;\n"), FatalError);
+    // Huge thread id in init.
+    EXPECT_THROW(parseLitmus(
+        "AArch64 t\n{ 999999999:X1=x; }\n P0 ;\n NOP ;\n"
+        "exists (0:X0=0)\n"), FatalError);
+}
+
+/**
+ * Parsing arbitrary mutilations of valid inputs must either succeed or
+ * throw FatalError — never crash, hang, or throw anything else. This is
+ * the wire-input contract rexd relies on to turn parser complaints into
+ * 400 responses.
+ */
+TEST(ParserFuzz, TruncationsAndCorruptionsNeverCrash)
+{
+    const std::string native =
+        TestRegistry::instance().sourceText("MP+dmb.sy+addr");
+    const std::string herd =
+        "AArch64 MP-fuzz\n"
+        "{ x=0; y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x; }\n"
+        " P0          | P1          ;\n"
+        " MOV X0,#1   | LDR X0,[X1] ;\n"
+        " STR X0,[X1] | LDR X2,[X3] ;\n"
+        "exists (1:X0=1 /\\ 1:X2=0)\n";
+
+    auto parseSafely = [](const std::string &text) {
+        try {
+            parseLitmus(text);
+        } catch (const FatalError &) {
+            // The contract: diagnose, don't crash.
+        }
+    };
+
+    for (const std::string &seed : {native, herd}) {
+        // Every prefix.
+        for (std::size_t len = 0; len <= seed.size(); ++len)
+            parseSafely(seed.substr(0, len));
+        // Single-byte corruption at every offset.
+        for (std::size_t i = 0; i < seed.size(); ++i) {
+            for (char c : {'\0', '\xff', '=', ':', ';', '|', '}'}) {
+                std::string mutated = seed;
+                mutated[i] = c;
+                parseSafely(mutated);
+            }
+        }
+        // Single-byte deletion at every offset.
+        for (std::size_t i = 0; i < seed.size(); ++i) {
+            std::string mutated = seed;
+            mutated.erase(i, 1);
+            parseSafely(mutated);
+        }
+    }
 }
 
 TEST(Registry, LookupAndSuites)

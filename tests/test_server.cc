@@ -1,0 +1,560 @@
+/**
+ * @file
+ * Tests for the rexd litmus-checking service: the request JSON parser,
+ * request validation, route dispatch through CheckService, and — the
+ * acceptance bar — a live RexServer on an ephemeral localhost port
+ * driven by concurrent Client instances: byte-identical verdicts vs the
+ * direct checker, cache-hit rates across rounds via /metrics, 503
+ * backpressure under a pinned queue, and graceful drain with a complete
+ * JSONL results file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "engine/batch.hh"
+#include "litmus/parser.hh"
+#include "litmus/registry.hh"
+#include "server/client.hh"
+#include "server/json.hh"
+#include "server/server.hh"
+#include "server/service.hh"
+
+namespace rex {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) /
+        ("rex_server_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** An engine with no cache, no results file, and a tiny pool. */
+engine::EngineConfig
+plainConfig(unsigned jobs = 2)
+{
+    engine::EngineConfig config;
+    config.jobs = jobs;
+    config.cacheEnabled = false;
+    return config;
+}
+
+/** Extract the value of a single-sample Prometheus metric line. */
+double
+metricValue(const std::string &exposition, const std::string &name)
+{
+    for (const std::string &line : split(exposition, '\n')) {
+        if (startsWith(line, name + " ")) {
+            return std::strtod(line.c_str() + name.size() + 1, nullptr);
+        }
+    }
+    return -1.0;
+}
+
+/** Zero the schedule-dependent fields of one JSONL verdict line. */
+std::string
+stabilise(const std::string &line)
+{
+    server::JsonValue v = server::parseJson(line);
+    auto str = [&](const char *key) {
+        const server::JsonValue *m = v.find(key);
+        return m && m->isString() ? m->string : std::string();
+    };
+    auto num = [&](const char *key) -> std::uint64_t {
+        const server::JsonValue *m = v.find(key);
+        return m && m->isInt() ? static_cast<std::uint64_t>(m->integer)
+                               : 0;
+    };
+    engine::JobRecord record;
+    record.kind = str("kind");
+    record.test = str("test");
+    record.variant = str("variant");
+    record.verdict = str("verdict");
+    record.candidates = num("candidates");
+    record.consistent = num("consistent");
+    record.witnesses = num("witnesses");
+    record.runs = num("runs");
+    record.observed = num("observed");
+    record.forbidding = str("forbidding");
+    return record.toJson();
+}
+
+// ---------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndContainers)
+{
+    server::JsonValue v = server::parseJson(
+        "{\"a\": [1, 2.5, \"x\", true, null], \"b\": {\"c\": -7}}");
+    ASSERT_TRUE(v.isObject());
+    const server::JsonValue *a = v.find("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->array.size(), 5u);
+    EXPECT_EQ(a->array[0].integer, 1);
+    EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+    EXPECT_EQ(a->array[2].string, "x");
+    EXPECT_TRUE(a->array[3].boolean);
+    EXPECT_TRUE(a->array[4].isNull());
+    const server::JsonValue *b = v.find("b");
+    ASSERT_TRUE(b && b->isObject());
+    EXPECT_EQ(b->find("c")->integer, -7);
+}
+
+TEST(Json, DecodesStringEscapes)
+{
+    server::JsonValue v = server::parseJson(
+        "\"a\\n\\t\\\"b\\\\c\\u0041\\u00e9\"");
+    EXPECT_EQ(v.string, "a\n\t\"b\\cA\xc3\xa9");
+}
+
+TEST(Json, DecodesSurrogatePairs)
+{
+    // U+1F600 as a surrogate pair.
+    server::JsonValue v = server::parseJson("\"\\ud83d\\ude00\"");
+    EXPECT_EQ(v.string, "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    for (const char *bad : {
+             "", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "nul",
+             "\"unterminated", "\"bad\\q\"", "\"\\u12\"", "01", "1.",
+             "{\"a\":1} trailing", "[1 2]", "{\"a\":1,}", "+1",
+             "\"\\ud83d\"",  // lone high surrogate
+         }) {
+        EXPECT_THROW(server::parseJson(bad), FatalError) << bad;
+    }
+}
+
+TEST(Json, RejectsExcessiveNesting)
+{
+    std::string deep(server::kMaxJsonDepth + 1, '[');
+    deep += std::string(server::kMaxJsonDepth + 1, ']');
+    EXPECT_THROW(server::parseJson(deep), FatalError);
+    std::string ok(server::kMaxJsonDepth, '[');
+    ok += std::string(server::kMaxJsonDepth, ']');
+    EXPECT_NO_THROW(server::parseJson(ok));
+}
+
+TEST(Json, PreservesInt64Range)
+{
+    EXPECT_EQ(server::parseJson("9223372036854775807").integer,
+              INT64_MAX);
+    EXPECT_EQ(server::parseJson("-9223372036854775808").integer,
+              INT64_MIN);
+    // Out of int64 range falls back to double, not an error.
+    EXPECT_TRUE(server::parseJson("18446744073709551616").kind ==
+                server::JsonValue::Kind::Double);
+}
+
+// ---------------------------------------------------------------------
+// Request validation
+// ---------------------------------------------------------------------
+
+TEST(CheckRequest, ParsesVariantListAndPaperShorthand)
+{
+    server::CheckRequest r = server::CheckRequest::fromJson(
+        "{\"test\": \"name: t\", \"variants\": [\"base\", \"SEA_R\"]}");
+    EXPECT_EQ(r.testText, "name: t");
+    EXPECT_EQ(r.variants,
+              (std::vector<std::string>{"base", "SEA_R"}));
+
+    server::CheckRequest paper = server::CheckRequest::fromJson(
+        "{\"test\": \"x\", \"variants\": \"paper\"}");
+    EXPECT_EQ(paper.variants.size(),
+              ModelParams::paperVariants().size());
+
+    server::CheckRequest defaulted =
+        server::CheckRequest::fromJson("{\"test\": \"x\"}");
+    EXPECT_EQ(defaulted.variants,
+              (std::vector<std::string>{"base"}));
+}
+
+TEST(CheckRequest, RejectsBadBodies)
+{
+    for (const char *bad : {
+             "not json",
+             "[]",                              // not an object
+             "{}",                              // no test
+             "{\"test\": 7}",                   // test not a string
+             "{\"test\": \"\"}",                // empty test
+             "{\"test\": \"x\", \"variants\": 3}",
+             "{\"test\": \"x\", \"variants\": [3]}",
+             "{\"test\": \"x\", \"variants\": [\"nope\"]}",
+             "{\"test\": \"x\", \"variants\": \"everything\"}",
+             "{\"test\": \"x\", \"bogus\": 1}", // unknown member
+             "{\"test\": \"x\", \"sleep_ms\": \"soon\"}",
+         }) {
+        EXPECT_THROW(server::CheckRequest::fromJson(bad), FatalError)
+            << bad;
+    }
+
+    // Variant fan-out is bounded.
+    std::string many = "{\"test\": \"x\", \"variants\": [";
+    for (int i = 0; i < 33; ++i)
+        many += std::string(i ? "," : "") + "\"base\"";
+    many += "]}";
+    EXPECT_THROW(server::CheckRequest::fromJson(many), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Route dispatch (no sockets)
+// ---------------------------------------------------------------------
+
+struct DirectService {
+    engine::Engine engine{plainConfig()};
+    server::Metrics metrics;
+    server::CheckService service{engine, metrics};
+
+    server::HttpResponse
+    request(const std::string &method, const std::string &path,
+            const std::string &body = "")
+    {
+        server::HttpRequest req;
+        req.method = method;
+        req.path = path;
+        req.body = body;
+        return service.handle(req);
+    }
+};
+
+TEST(CheckService, RoutesAndErrors)
+{
+    DirectService d;
+    EXPECT_EQ(d.request("GET", "/healthz").status, 200);
+    EXPECT_EQ(d.request("GET", "/metrics").status, 200);
+    EXPECT_EQ(d.request("GET", "/nope").status, 404);
+    EXPECT_EQ(d.request("GET", "/check").status, 405);
+    EXPECT_EQ(d.request("POST", "/healthz").status, 405);
+    EXPECT_EQ(d.request("PUT", "/check").status, 405);
+    EXPECT_EQ(d.request("POST", "/check", "not json").status, 400);
+    EXPECT_EQ(d.request("POST", "/check", "{\"test\":\"junk\"}").status,
+              400);
+    EXPECT_EQ(d.metrics.responses400.load(), 2u);
+}
+
+TEST(CheckService, ChecksABuiltinTestAcrossVariants)
+{
+    DirectService d;
+    const std::string &text =
+        TestRegistry::instance().sourceText("SB+pos");
+    server::HttpResponse response = d.request(
+        "POST", "/check",
+        server::checkRequestJson(text, {"base", "SEA_RW"}));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(response.contentType, "application/x-ndjson");
+
+    std::vector<std::string> lines;
+    for (const std::string &line : split(response.body, '\n')) {
+        if (!trim(line).empty())
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 2u);
+    server::JsonValue first = server::parseJson(lines[0]);
+    EXPECT_EQ(first.find("test")->string, "SB+pos");
+    EXPECT_EQ(first.find("variant")->string, "base");
+    EXPECT_EQ(first.find("verdict")->string, "Allowed");
+    EXPECT_EQ(server::parseJson(lines[1]).find("variant")->string,
+              "SEA_RW");
+    EXPECT_EQ(d.metrics.verdictsAllowed.load() +
+                  d.metrics.verdictsForbidden.load(),
+              2u);
+}
+
+TEST(CheckService, AcceptsHerdFormatInput)
+{
+    DirectService d;
+    std::string herd =
+        "AArch64 MP+wire\n"
+        "{ x=0; y=0; 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x; }\n"
+        " P0          | P1          ;\n"
+        " MOV W0,#1   | LDR W0,[X1] ;\n"
+        " STR W0,[X1] | LDR W2,[X3] ;\n"
+        " MOV W2,#1   |             ;\n"
+        " STR W2,[X3] |             ;\n"
+        "exists (1:X0=1 /\\ 1:X2=0)\n";
+    server::HttpResponse response = d.request(
+        "POST", "/check", server::checkRequestJson(herd, {"base"}));
+    ASSERT_EQ(response.status, 200);
+    server::JsonValue record =
+        server::parseJson(trim(response.body));
+    EXPECT_EQ(record.find("test")->string, "MP+wire");
+    EXPECT_EQ(record.find("verdict")->string, "Allowed");
+}
+
+// ---------------------------------------------------------------------
+// Live server integration
+// ---------------------------------------------------------------------
+
+/** Tests the acceptance bar drives against one shared live daemon. */
+class LiveServer : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        engine::EngineConfig config;
+        config.jobs = 2;
+        config.cacheEnabled = true;
+        config.cacheDir = "";  // in-memory: hit/miss counters only
+        config.resultsPath = scratchDir("live") + "/rexd.jsonl";
+        _engine = std::make_unique<engine::Engine>(config);
+
+        server::ServerConfig server_config;
+        server_config.threads = 4;
+        server_config.maxQueue = 32;
+        _server = std::make_unique<server::RexServer>(*_engine,
+                                                      server_config);
+        _server->start();
+    }
+
+    void
+    TearDown() override
+    {
+        _server->requestDrain();
+        _server->join();
+    }
+
+    server::Client
+    client()
+    {
+        return server::Client("127.0.0.1", _server->port());
+    }
+
+    std::unique_ptr<engine::Engine> _engine;
+    std::unique_ptr<server::RexServer> _server;
+};
+
+TEST_F(LiveServer, HealthAndMetricsRespond)
+{
+    EXPECT_TRUE(client().healthy());
+    server::ClientResponse metrics = client().get("/metrics");
+    EXPECT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("rexd_requests_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.body.find("rexd_stage_seconds_bucket"),
+              std::string::npos);
+}
+
+TEST_F(LiveServer, ConcurrentClientsGetByteIdenticalVerdicts)
+{
+    // Eight concurrent clients, each checking its own builtin test
+    // under the full paper matrix, twice (second round = cache hits).
+    const std::vector<std::string> tests = {
+        "SB+pos",          "MP+pos",          "SB+dmb.sys",
+        "MP+dmb.sys",      "SB+dmb.sy+eret",  "MP+dmb.sy+addr",
+        "MP+dmb.sy+fault", "LB+pos",
+    };
+    std::vector<std::string> variants;
+    for (const ModelParams &params : ModelParams::paperVariants())
+        variants.push_back(params.name());
+
+    // Expected bodies from a private engine running the same wire
+    // text through the same record renderer — the direct checker.
+    std::vector<std::string> expected(tests.size());
+    engine::Engine direct{plainConfig()};
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        LitmusTest test = parseLitmus(
+            TestRegistry::instance().sourceText(tests[i]));
+        for (const std::string &v : variants) {
+            engine::JobRecord record =
+                direct.verdictRecord(test, ModelParams::byName(v));
+            record.wallMicros = 0;
+            record.cacheHit = false;
+            expected[i] += record.toJson() + "\n";
+        }
+    }
+
+    for (int round = 0; round < 2; ++round) {
+        std::vector<std::string> got(tests.size());
+        std::vector<std::thread> workers;
+        std::atomic<int> failures{0};
+        for (std::size_t i = 0; i < tests.size(); ++i) {
+            workers.emplace_back([&, i] {
+                try {
+                    server::Client c("127.0.0.1", _server->port());
+                    server::ClientResponse r = c.check(
+                        TestRegistry::instance().sourceText(tests[i]),
+                        variants);
+                    if (r.status != 200) {
+                        ++failures;
+                        return;
+                    }
+                    for (const std::string &line : split(r.body, '\n')) {
+                        if (!trim(line).empty())
+                            got[i] += stabilise(line) + "\n";
+                    }
+                } catch (...) {
+                    ++failures;
+                }
+            });
+        }
+        for (std::thread &w : workers)
+            w.join();
+        ASSERT_EQ(failures.load(), 0) << "round " << round;
+        for (std::size_t i = 0; i < tests.size(); ++i)
+            EXPECT_EQ(got[i], expected[i]) << tests[i];
+    }
+
+    // Round two re-checked every (test × variant) pair: at least 90%
+    // of all verdicts must have come from the shared cache.
+    std::string exposition = client().get("/metrics").body;
+    double hits = metricValue(exposition, "rexd_cache_hits_total");
+    double misses = metricValue(exposition, "rexd_cache_misses_total");
+    ASSERT_GE(hits, 0.0);
+    ASSERT_GT(hits + misses, 0.0);
+    EXPECT_GE(hits / (hits + misses), 0.45);  // whole-run ratio
+    // Round 2 alone: every one of its verdicts was a hit.
+    double total = tests.size() * variants.size() * 2.0;
+    EXPECT_GE(hits, 0.9 * (total / 2.0));
+}
+
+TEST_F(LiveServer, OversizedBodyGets413)
+{
+    std::string huge(_server->config().limits.maxBodyBytes + 1, 'x');
+    server::ClientResponse r = client().post("/check", huge);
+    EXPECT_EQ(r.status, 413);
+}
+
+TEST_F(LiveServer, MalformedJsonGets400)
+{
+    server::ClientResponse r = client().post("/check", "{oops");
+    EXPECT_EQ(r.status, 400);
+    EXPECT_NE(r.body.find("error"), std::string::npos);
+}
+
+TEST(ServerBackpressure, FullQueueShedsWith503)
+{
+    engine::Engine engine{plainConfig(1)};
+    server::ServerConfig config;
+    config.threads = 1;
+    config.maxQueue = 1;
+    server::RexServer server(engine, config);
+    server.start();
+
+    const std::string &text =
+        TestRegistry::instance().sourceText("SB+pos");
+
+    // Pin the single handler thread with a sleeping request, then
+    // flood: with one handler busy and a one-slot queue, most of the
+    // flood must be shed with 503 + Retry-After.
+    std::thread pinned([&] {
+        try {
+            server::Client c("127.0.0.1", server.port());
+            c.check(text, {"base"}, 700);
+        } catch (...) {
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    std::atomic<int> shed{0}, served{0};
+    bool saw_retry_after = false;
+    std::mutex retry_mutex;
+    std::vector<std::thread> flood;
+    for (int i = 0; i < 8; ++i) {
+        flood.emplace_back([&] {
+            try {
+                server::Client c("127.0.0.1", server.port());
+                server::ClientResponse r = c.check(text, {"base"}, 300);
+                if (r.status == 503) {
+                    ++shed;
+                    std::lock_guard<std::mutex> lock(retry_mutex);
+                    if (r.headers.count("retry-after"))
+                        saw_retry_after = true;
+                } else if (r.status == 200) {
+                    ++served;
+                }
+            } catch (...) {
+            }
+        });
+    }
+    for (std::thread &w : flood)
+        w.join();
+    pinned.join();
+
+    EXPECT_GT(shed.load(), 0);
+    EXPECT_TRUE(saw_retry_after);
+    EXPECT_GT(served.load(), 0);
+
+    server.requestDrain();
+    server.join();
+    EXPECT_EQ(server.metrics().queueRejected.load(),
+              static_cast<std::uint64_t>(shed.load()));
+}
+
+TEST(ServerDrain, InFlightRequestsFinishAndResultsFileIsComplete)
+{
+    std::string dir = scratchDir("drain");
+    engine::EngineConfig engine_config;
+    engine_config.jobs = 2;
+    engine_config.cacheEnabled = false;
+    engine_config.resultsPath = dir + "/rexd.jsonl";
+    engine::Engine engine{engine_config};
+
+    server::ServerConfig config;
+    config.threads = 2;
+    config.maxQueue = 16;
+    server::RexServer server(engine, config);
+    server.start();
+
+    const std::string &text =
+        TestRegistry::instance().sourceText("MP+dmb.sys");
+
+    // Six slow requests in flight, then drain mid-stream.
+    std::atomic<int> ok{0}, other{0};
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 6; ++i) {
+        workers.emplace_back([&] {
+            server::Client c("127.0.0.1", server.port());
+            server::ClientResponse r =
+                c.check(text, {"base", "SEA_RW"}, 200);
+            (r.status == 200 ? ok : other)++;
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server.requestDrain();
+    server.join();
+    for (std::thread &w : workers)
+        w.join();
+
+    // Everything accepted before the drain was served in full; the
+    // JSONL results file holds only complete, parseable records.
+    EXPECT_EQ(ok.load() + other.load(), 6);
+    EXPECT_GT(ok.load(), 0);
+
+    std::ifstream in(engine_config.resultsPath);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::uint64_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_NO_THROW(server::parseJson(line)) << line;
+        EXPECT_EQ(line.back(), '}');
+    }
+    // One record per served verdict, none truncated, none lost.
+    EXPECT_EQ(lines, static_cast<std::uint64_t>(ok.load()) * 2u);
+    EXPECT_EQ(lines, engine.results().records());
+
+    // A post-drain connection is refused (the listener is closed).
+    server::Client late("127.0.0.1", server.port());
+    EXPECT_FALSE(late.healthy());
+}
+
+} // namespace
+} // namespace rex
