@@ -16,6 +16,14 @@
  *                   paper's five-variant matrix (default: base)
  *   --sleep-ms N    forward the server-side test hook (pins the request
  *                   in a handler thread; used by CI's backpressure test)
+ *   --deadline-ms N       per-request wall-clock budget; the server
+ *                         answers ExhaustedBudget records past it
+ *   --max-candidates N    per-request candidate-count budget
+ *   --retries N           total attempts on 503/transport errors
+ *                         (default 1 = no retries); backoff honours the
+ *                         server's Retry-After, capped exponential
+ *   --retry-deadline-ms N give up retrying past this wall time (default
+ *                         15000)
  *   --stable        normalise the JSONL output for diffing: zero the
  *                   schedule-dependent wall_us and cache_hit fields
  *   --direct        skip the network and run the request through an
@@ -102,6 +110,8 @@ stabiliseLine(const std::string &line)
     record.runs = num("runs");
     record.observed = num("observed");
     record.forbidding = str("forbidding");
+    record.exhaustedAxis = str("exhausted_axis");
+    record.stage = str("stage");
     record.wallMicros = 0;
     record.cacheHit = false;
     return record.toJson();
@@ -135,7 +145,9 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--host H] [--port P] [--variants LIST] "
                  "[--sleep-ms N]\n"
-                 "          [--stable] [--direct] "
+                 "          [--deadline-ms N] [--max-candidates N] "
+                 "[--retries N]\n"
+                 "          [--retry-deadline-ms N] [--stable] [--direct] "
                  "(FILE.litmus | --builtin NAME | -)\n"
                  "       %s [--host H] [--port P] --metrics | --health\n"
                  "       %s [--host H] [--port P] --post PATH   "
@@ -155,6 +167,10 @@ main(int argc, char **argv)
     int port = 8643;
     std::string variantsArg = "base";
     int sleepMs = 0;
+    long long deadlineMs = 0;
+    long long maxCandidates = 0;
+    int retries = 1;
+    int retryDeadlineMs = 15000;
     bool stable = false;
     bool direct = false;
     bool wantMetrics = false;
@@ -178,6 +194,14 @@ main(int argc, char **argv)
             variantsArg = value();
         } else if (arg == "--sleep-ms") {
             sleepMs = std::atoi(value().c_str());
+        } else if (arg == "--deadline-ms") {
+            deadlineMs = std::atoll(value().c_str());
+        } else if (arg == "--max-candidates") {
+            maxCandidates = std::atoll(value().c_str());
+        } else if (arg == "--retries") {
+            retries = std::atoi(value().c_str());
+        } else if (arg == "--retry-deadline-ms") {
+            retryDeadlineMs = std::atoi(value().c_str());
         } else if (arg == "--stable") {
             stable = true;
         } else if (arg == "--direct") {
@@ -202,6 +226,12 @@ main(int argc, char **argv)
 
     try {
         server::Client client(host, static_cast<std::uint16_t>(port));
+        if (retries > 1) {
+            server::RetryPolicy policy;
+            policy.maxAttempts = retries;
+            policy.totalDeadlineMs = retryDeadlineMs;
+            client.setRetryPolicy(policy);
+        }
 
         if (wantHealth) {
             bool ok = client.healthy();
@@ -258,14 +288,14 @@ main(int argc, char **argv)
             server::HttpRequest request;
             request.method = "POST";
             request.path = "/check";
-            request.body =
-                server::checkRequestJson(testText, variants, sleepMs);
+            request.body = server::checkRequestJson(
+                testText, variants, sleepMs, deadlineMs, maxCandidates);
             server::HttpResponse response = service.handle(request);
             status = response.status;
             body = response.body;
         } else {
-            server::ClientResponse r =
-                client.check(testText, variants, sleepMs);
+            server::ClientResponse r = client.check(
+                testText, variants, sleepMs, deadlineMs, maxCandidates);
             status = r.status;
             body = r.body;
         }

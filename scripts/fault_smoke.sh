@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Fault-injection smoke test (docs/SERVER.md, src/engine/faultinject.hh):
+# run the daemon and the engine under a fixed REX_FAULT_SPEC matrix and
+# assert the degradation contract — correct verdicts or clean errors,
+# never a hang, a crash, or a torn artefact.
+#
+# Every scenario runs under a watchdog `timeout`; a hang is the one
+# failure mode fault handling must never introduce, so a watchdog kill
+# fails the script loudly.
+#
+# Usage: scripts/fault_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD=${1:-build}
+REXD="$BUILD/src/rexd"
+CLIENT="$BUILD/examples/example_rex_client"
+PORT=${REXD_FAULT_SMOKE_PORT:-18653}
+WATCHDOG=${REXD_FAULT_SMOKE_TIMEOUT:-120}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+TESTS="SB+pos MP+dmb.sys LB+pos SB+dmb.sy+eret"
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        "$CLIENT" --port "$1" --health >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "rexd on port $1 never became healthy" >&2
+    return 1
+}
+
+metric() {  # metric NAME FILE -> value (0 when absent)
+    awk -v name="$1" '$1 == name { print $2; found = 1 }
+                      END { if (!found) print 0 }' "$2"
+}
+
+# Golden verdicts from a fault-free in-process run.
+for t in $TESTS; do
+    timeout "$WATCHDOG" "$CLIENT" --direct --stable --builtin "$t" \
+        --variants paper > "$WORK/golden.$t"
+done
+
+# --- Scenario 1: every cache write torn, every other read faulted. ---
+# Pass one publishes only torn entries (the in-process memory layer
+# still serves them, so verdicts are unaffected). Pass two restarts on
+# the poisoned directory: every disk load must detect the corruption,
+# evict, count, and fall back to a recomputed verdict — with half the
+# reads additionally I/O-faulted into plain misses. Verdicts stay
+# byte-identical throughout and nothing hangs.
+REX_FAULT_SPEC="cache-write:1.0:7" \
+    "$REXD" --port "$PORT" --cache-dir "$WORK/cache1" \
+    > "$WORK/rexd1.log" 2>&1 &
+PID1=$!
+wait_healthy "$PORT"
+for t in $TESTS; do
+    timeout "$WATCHDOG" "$CLIENT" --port "$PORT" --stable \
+        --builtin "$t" --variants paper > "$WORK/out.$t"
+    diff "$WORK/golden.$t" "$WORK/out.$t" \
+        || { echo "cache-fault verdict mismatch: $t (torn pass)"; exit 1; }
+done
+kill -TERM "$PID1"; wait "$PID1" || true
+REX_FAULT_SPEC="cache-read:0.5:11" \
+    "$REXD" --port "$PORT" --cache-dir "$WORK/cache1" \
+    > "$WORK/rexd1b.log" 2>&1 &
+PID1=$!
+wait_healthy "$PORT"
+for t in $TESTS; do
+    timeout "$WATCHDOG" "$CLIENT" --port "$PORT" --stable \
+        --builtin "$t" --variants paper > "$WORK/out.$t"
+    diff "$WORK/golden.$t" "$WORK/out.$t" \
+        || { echo "cache-fault verdict mismatch: $t (poisoned pass)"
+             exit 1; }
+done
+timeout "$WATCHDOG" "$CLIENT" --port "$PORT" --metrics \
+    > "$WORK/metrics1.txt"
+corrupt=$(metric rexd_cache_corrupt_total "$WORK/metrics1.txt")
+[ "${corrupt%.*}" -ge 1 ] \
+    || { echo "expected corrupt evictions on the poisoned cache"; exit 1; }
+kill -TERM "$PID1"; wait "$PID1" || true
+echo "cache faults: verdicts identical, $corrupt corrupt evictions"
+
+# --- Scenario 2: every pool spawn fails -> tasks run inline. ---------
+# Parallel checks silently degrade to serial; verdicts are unchanged
+# (the shard merge is order-deterministic either way).
+for t in $TESTS; do
+    REX_FAULT_SPEC="pool-spawn:1.0:5" REX_JOBS=4 \
+        timeout "$WATCHDOG" "$CLIENT" --direct --stable --builtin "$t" \
+        --variants paper > "$WORK/inline.$t"
+    diff "$WORK/golden.$t" "$WORK/inline.$t" \
+        || { echo "pool-spawn verdict mismatch: $t"; exit 1; }
+done
+echo "pool-spawn faults: inline degradation, verdicts identical"
+
+# --- Scenario 3: half the JSONL sink writes dropped. -----------------
+# Dropped records are a counted loss; the file must never hold a torn
+# line. A budgeted request also flows through: its exhausted_budget
+# record obeys the same all-or-nothing sink contract.
+REX_FAULT_SPEC="sink-write:0.5:3" \
+    "$REXD" --port "$PORT" --no-cache --results "$WORK/results.jsonl" \
+    > "$WORK/rexd3.log" 2>&1 &
+PID3=$!
+wait_healthy "$PORT"
+for t in $TESTS; do
+    timeout "$WATCHDOG" "$CLIENT" --port "$PORT" --stable \
+        --builtin "$t" --variants paper > /dev/null
+done
+timeout "$WATCHDOG" "$CLIENT" --port "$PORT" --builtin MP+dmb.sys \
+    --max-candidates 1 > /dev/null
+kill -TERM "$PID3"; wait "$PID3" || true
+python3 - "$WORK/results.jsonl" <<'EOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+for line in lines:
+    json.loads(line)  # a torn line would throw
+print(f"sink faults: {len(lines)} intact records (drops are silent)")
+EOF
+
+# --- Scenario 4: flaky sockets + client retry. -----------------------
+# Accepted connections are randomly dropped and sends randomly fail;
+# a retrying client still converges on the correct verdict, and the
+# whole exchange stays inside the watchdog.
+REX_FAULT_SPEC="sock-accept:0.3:9,sock-send:0.3:13" \
+    "$REXD" --port "$PORT" --no-cache > "$WORK/rexd4.log" 2>&1 &
+PID4=$!
+sleep 0.3   # health polls are themselves subject to accept faults
+for t in $TESTS; do
+    timeout "$WATCHDOG" "$CLIENT" --port "$PORT" --stable \
+        --builtin "$t" --variants paper \
+        --retries 8 --retry-deadline-ms 60000 \
+        > "$WORK/flaky.$t" 2>> "$WORK/flaky.err"
+    diff "$WORK/golden.$t" "$WORK/flaky.$t" \
+        || { echo "socket-fault verdict mismatch: $t"; exit 1; }
+done
+kill -TERM "$PID4"; wait "$PID4" || true
+echo "socket faults: retrying client converged on identical verdicts"
+
+echo "fault smoke: OK"

@@ -3,11 +3,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <optional>
 #include <utility>
 
 #include "axiomatic/enumerate.hh"
 #include "base/logging.hh"
+#include "engine/governor.hh"
 #include "engine/pool.hh"
 
 namespace rex {
@@ -49,17 +51,23 @@ struct StagedAccumulator {
     const ModelParams &params;
     bool stopAtFirst;
     bool captureWitness;
+    engine::Governor *governor;  //!< may be null (unlimited)
 
     CheckResult result;
 
     std::optional<SkeletonRelations> skeleton;
     std::uint64_t skeletonCombo = 0;
 
-    /** Visit one candidate; false stops enumeration (witness found). */
+    /** Visit one candidate; false stops enumeration (witness found
+     *  under stop_at_first, or the governor's budget tripped). */
     bool
     consume(CandidateExecution &cand,
             const CandidateEnumerator::StagedInfo &info)
     {
+        // Budget admission first: a rejected candidate is not visited,
+        // so the partial count on a ceiling trip is exact.
+        if (governor && !governor->admit())
+            return false;
         ++result.candidates;
         if (cand.constrainedUnpredictable)
             ++result.constrainedUnpredictable;
@@ -89,7 +97,10 @@ struct StagedAccumulator {
             skeletonCombo = info.comboIndex;
         }
         ModelResult model = checkConsistent(
-            cand, params, *skeleton, /*internal_prechecked=*/true);
+            cand, params, *skeleton, /*internal_prechecked=*/true,
+            governor ? governor->token() : nullptr);
+        if (model.aborted)
+            return false;  // token tripped between clauses: stop here
         if (!model.consistent) {
             if (satisfies && result.forbiddingAxiom.empty()) {
                 result.forbiddingAxiom = model.failedAxiom;
@@ -133,15 +144,18 @@ mergeInto(CheckResult &into, CheckResult &&part)
 CheckResult
 checkSerial(CandidateEnumerator &enumerator, const LitmusTest &test,
             const ModelParams &params, bool stop_at_first,
-            bool capture_witness)
+            bool capture_witness, engine::Governor *governor)
 {
+    if (governor)
+        governor->noteStage("enumerate");
     StagedAccumulator acc{test, params, stop_at_first, capture_witness,
-                          {}, std::nullopt, 0};
+                          governor, {}, std::nullopt, 0};
     enumerator.forEachStaged(
         [&](CandidateExecution &cand,
             const CandidateEnumerator::StagedInfo &info) {
             return acc.consume(cand, info);
-        });
+        },
+        governor ? governor->token() : nullptr);
     acc.result.observable = acc.result.witnesses > 0;
     return std::move(acc.result);
 }
@@ -165,13 +179,17 @@ constexpr std::uint64_t kShardTarget = 256;
 CheckResult
 checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
              const ModelParams &params, bool stop_at_first,
-             bool capture_witness, engine::ThreadPool &pool)
+             bool capture_witness, engine::ThreadPool &pool,
+             engine::Governor *governor)
 {
+    if (governor)
+        governor->noteStage("plan");
     const std::vector<CandidateEnumerator::Shard> shards =
-        enumerator.planShards(kShardTarget);
+        enumerator.planShards(kShardTarget,
+                              governor ? governor->token() : nullptr);
     if (shards.size() <= 1) {
         return checkSerial(enumerator, test, params, stop_at_first,
-                           capture_witness);
+                           capture_witness, governor);
     }
 
     struct ShardOutcome {
@@ -179,7 +197,13 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
         bool witnessed = false;  //!< stopped at a witness
         bool cancelled = false;  //!< aborted/skipped via the cutoff
     };
-    std::vector<ShardOutcome> outcomes(shards.size());
+    // Outcome slots are allocated by the shard tasks themselves, not
+    // eagerly: a CheckResult inlines a ~5 KB witness buffer, and a
+    // large test plans 10^5+ shards, so a by-value vector would fault
+    // in the better part of a gigabyte before any work starts — which
+    // on a budget trip (zero shards run) dominated the wall clock. A
+    // null slot after the drain means the shard was never submitted.
+    std::vector<std::unique_ptr<ShardOutcome>> outcomes(shards.size());
     std::atomic<std::size_t> cutoff{shards.size()};
 
     auto fetchMinCutoff = [&cutoff](std::size_t value) {
@@ -189,17 +213,30 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
         }
     };
 
+    if (governor)
+        governor->noteStage("enumerate");
     std::vector<std::future<void>> futures;
     futures.reserve(shards.size());
     for (std::size_t i = 0; i < shards.size(); ++i) {
+        // A large test submits tens of thousands of shard tasks; once
+        // the budget trips there is no point queueing the rest (their
+        // startup poll would skip them anyway, but submission itself
+        // is not free at this fan-out). Unsubmitted shards merge as
+        // empty partial results.
+        if (governor && governor->tripped())
+            break;
         futures.push_back(pool.submit([&, i] {
-            ShardOutcome &out = outcomes[i];
+            // Each task is the only writer of its slot, and the merge
+            // only reads after the drain barrier below.
+            outcomes[i] = std::make_unique<ShardOutcome>();
+            ShardOutcome &out = *outcomes[i];
             if (stop_at_first && i > cutoff.load()) {
                 out.cancelled = true;  // a lower shard already witnessed
                 return;
             }
             StagedAccumulator acc{test, params, stop_at_first,
-                                  capture_witness, {}, std::nullopt, 0};
+                                  capture_witness, governor,
+                                  {}, std::nullopt, 0};
             const bool completed = enumerator.visitShard(
                 shards[i],
                 [&](CandidateExecution &cand,
@@ -209,8 +246,13 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
                         return false;
                     }
                     return acc.consume(cand, info);
-                });
-            if (!completed && !out.cancelled) {
+                },
+                governor ? governor->token() : nullptr);
+            // A shard stopped by a tripped budget is a partial shard,
+            // not a witnessing one: the distinction keeps a budget stop
+            // from being misread as an Allowed verdict.
+            if (!completed && !out.cancelled &&
+                    !(governor && governor->tripped())) {
                 out.witnessed = true;
                 if (stop_at_first)
                     fetchMinCutoff(i);
@@ -220,10 +262,14 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
     }
     for (std::future<void> &future : futures)
         future.get();
+    if (governor)
+        governor->noteStage("merge");
 
     CheckResult merged;
     for (std::size_t i = 0; i < shards.size(); ++i) {
-        ShardOutcome &out = outcomes[i];
+        if (!outcomes[i])
+            break;  // unsubmitted suffix: the budget tripped first
+        ShardOutcome &out = *outcomes[i];
         rexAssert(!out.cancelled || i > 0,
                   "shard 0 cancelled without a predecessor witness");
         if (out.cancelled)
@@ -249,18 +295,34 @@ envFlag(const char *name)
 CheckResult
 checkTest(const LitmusTest &test, const ModelParams &params,
           bool stop_at_first, bool capture_witness,
-          engine::ThreadPool *pool)
+          engine::ThreadPool *pool, engine::Governor *governor)
 {
-    if (envFlag("REX_NAIVE_ENUM"))
+    // The naive reference path exists for parity testing and does not
+    // speak the governor protocol; budgeted checks always run staged.
+    if (!governor && envFlag("REX_NAIVE_ENUM"))
         return checkTestNaive(test, params, stop_at_first, capture_witness);
-    CandidateEnumerator enumerator(test);
+    if (governor)
+        governor->noteStage("traces");
+    CandidateEnumerator enumerator(test,
+                                   governor ? governor->token() : nullptr);
+    CheckResult result;
     if (pool && pool->threadCount() > 1 &&
             !engine::ThreadPool::onWorkerThread()) {
-        return checkSharded(enumerator, test, params, stop_at_first,
-                            capture_witness, *pool);
+        result = checkSharded(enumerator, test, params, stop_at_first,
+                              capture_witness, *pool, governor);
+    } else {
+        result = checkSerial(enumerator, test, params, stop_at_first,
+                             capture_witness, governor);
     }
-    return checkSerial(enumerator, test, params, stop_at_first,
-                       capture_witness);
+    // A witness found under stop_at_first soundly settles Allowed even
+    // when the budget tripped while other shards were still running;
+    // everything else stopped by a trip is a partial (unsettled) result.
+    if (governor && governor->tripped() &&
+            !(stop_at_first && result.witnesses > 0)) {
+        result.exhaustedAxis =
+            engine::budgetAxisName(governor->trippedAxis());
+    }
+    return result;
 }
 
 CheckResult

@@ -35,7 +35,10 @@
 
 namespace rex {
 
-namespace engine { class ThreadPool; }
+namespace engine {
+class ThreadPool;
+class Governor;
+} // namespace engine
 
 /** Result of checking one litmus test against the model. */
 struct CheckResult {
@@ -67,6 +70,18 @@ struct CheckResult {
 
     /** That candidate's forbidding cycle (cyclicity failures only). */
     std::vector<EventId> forbiddingCycle;
+
+    /**
+     * Budget axis that stopped the check ("deadline", "candidates",
+     * "memory", "cancelled"); empty when the check ran to its normal
+     * conclusion. When set, every count above is a partial statistic —
+     * except under stop_at_first with witnesses > 0, where a found
+     * witness settles the verdict and this stays empty.
+     */
+    std::string exhaustedAxis;
+
+    /** True when this result settles the query (exhaustedAxis empty). */
+    bool complete() const { return exhaustedAxis.empty(); }
 };
 
 /** Does the final condition hold in this candidate? */
@@ -83,11 +98,17 @@ bool condHolds(const CandidateExecution &candidate, const Condition &cond);
  * @param pool when non-null (and not called from one of its workers),
  *        shard the candidate space across the pool; the merged result
  *        is byte-identical to pool == nullptr.
+ * @param governor when non-null, every candidate is admitted against
+ *        its budget and its CancelToken is polled throughout the
+ *        stack; a trip stops the check cooperatively and sets
+ *        result.exhaustedAxis (see engine/governor.hh). Null means
+ *        unlimited — the exact pre-governor code path.
  */
 CheckResult checkTest(const LitmusTest &test, const ModelParams &params,
                       bool stop_at_first = false,
                       bool capture_witness = true,
-                      engine::ThreadPool *pool = nullptr);
+                      engine::ThreadPool *pool = nullptr,
+                      engine::Governor *governor = nullptr);
 
 /** The retained pre-staging reference path: fresh candidate copy per
  *  witness assignment, full (unstaged) model check per candidate.

@@ -4,17 +4,19 @@
 #include <cstdlib>
 
 #include "base/logging.hh"
+#include "engine/governor.hh"
 
 namespace rex {
 
-CandidateEnumerator::CandidateEnumerator(const LitmusTest &test)
+CandidateEnumerator::CandidateEnumerator(const LitmusTest &test,
+                                         const engine::CancelToken *cancel)
     : _test(test), _domain(test)
 {
-    computeTraces();
+    computeTraces(cancel);
 }
 
 void
-CandidateEnumerator::computeTraces()
+CandidateEnumerator::computeTraces(const engine::CancelToken *cancel)
 {
     // Grow the read-value domain to fixpoint: every value any store can
     // write (under the current domain) becomes readable, which can enable
@@ -35,6 +37,16 @@ CandidateEnumerator::computeTraces()
             fatal("value-domain fixpoint did not converge: " + _test.name);
         changed = false;
         for (std::size_t t = 0; t < _test.threads.size(); ++t) {
+            // Per-thread trace enumeration is the one phase before any
+            // candidate exists to admit; poll the budget between
+            // threads and surface a trip as an empty (zero-candidate)
+            // enumerator — the caller's governor epilogue marks the
+            // result partial.
+            if (cancel && cancel->cancelled()) {
+                for (auto &traces : _traces)
+                    traces.clear();
+                return;
+            }
             if (ran_at[t] == version)
                 continue;
             sem::ThreadExecutor executor(
@@ -579,12 +591,18 @@ CandidateEnumerator::comboAt(std::size_t index) const
 }
 
 void
-CandidateEnumerator::forEachStaged(const StagedVisitor &visit) const
+CandidateEnumerator::forEachStaged(const StagedVisitor &visit,
+                                   const engine::CancelToken *cancel) const
 {
     const bool check_prefilter = envFlag("REX_PREFILTER_CHECK");
     const std::size_t combos = combinationCount();
     ComboSpace space;  // reused across combos (storage amortisation)
     for (std::size_t ci = 0; ci < combos; ++ci) {
+        // Cancellation poll before each (potentially expensive)
+        // skeleton build; the per-step poll below keeps the latency
+        // bound within a combination.
+        if (cancel && cancel->cancelled())
+            return;
         space.build(_test, comboAt(ci), /*materialize=*/true);
         if (!space.valid)
             continue;
@@ -595,6 +613,8 @@ CandidateEnumerator::forEachStaged(const StagedVisitor &visit) const
             if (check_prefilter)
                 verifyPrefilter(space.cand, info.coherent);
             if (!visit(space.cand, info))
+                return;
+            if (cancel && cancel->cancelled())
                 return;
             if (!space.step())
                 break;
@@ -612,7 +632,8 @@ CandidateEnumerator::forEach(
 }
 
 std::vector<CandidateEnumerator::Shard>
-CandidateEnumerator::planShards(std::uint64_t target_per_shard) const
+CandidateEnumerator::planShards(std::uint64_t target_per_shard,
+                                const engine::CancelToken *cancel) const
 {
     if (target_per_shard == 0)
         target_per_shard = 1;
@@ -620,6 +641,8 @@ CandidateEnumerator::planShards(std::uint64_t target_per_shard) const
     const std::size_t combos = combinationCount();
     ComboSpace space;
     for (std::size_t ci = 0; ci < combos; ++ci) {
+        if (cancel && cancel->cancelled())
+            break;  // budget gone mid-plan: partial plan, partial result
         space.build(_test, comboAt(ci), /*materialize=*/false);
         if (!space.valid)
             continue;
@@ -635,9 +658,12 @@ CandidateEnumerator::planShards(std::uint64_t target_per_shard) const
 
 bool
 CandidateEnumerator::visitShard(const Shard &shard,
-                                const StagedVisitor &visit) const
+                                const StagedVisitor &visit,
+                                const engine::CancelToken *cancel) const
 {
     const bool check_prefilter = envFlag("REX_PREFILTER_CHECK");
+    if (cancel && cancel->cancelled())
+        return false;  // budget already gone: skip the skeleton build
     ComboSpace space;
     space.build(_test, comboAt(shard.combo), /*materialize=*/true);
     if (!space.valid)

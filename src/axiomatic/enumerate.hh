@@ -37,6 +37,8 @@
 
 namespace rex {
 
+namespace engine { class CancelToken; }
+
 /** Enumerates every candidate execution of a litmus test. */
 class CandidateEnumerator
 {
@@ -70,7 +72,11 @@ class CandidateEnumerator
         std::uint64_t end = 0;     //!< one past the last index
     };
 
-    explicit CandidateEnumerator(const LitmusTest &test);
+    /** @param cancel polled during trace computation; a trip yields an
+     *  empty (zero-candidate) enumerator. */
+    explicit CandidateEnumerator(
+        const LitmusTest &test,
+        const engine::CancelToken *cancel = nullptr);
 
     /**
      * Visit every candidate execution (before any model axiom is
@@ -80,8 +86,14 @@ class CandidateEnumerator
      */
     void forEach(const std::function<bool(CandidateExecution &)> &visit);
 
-    /** Staged visitation: candidates plus their staging facts. */
-    void forEachStaged(const StagedVisitor &visit) const;
+    /**
+     * Staged visitation: candidates plus their staging facts.
+     * @param cancel when non-null, polled in the odometer loop (per
+     *        combination and per witness step); a tripped token stops
+     *        enumeration before the next candidate is assembled.
+     */
+    void forEachStaged(const StagedVisitor &visit,
+                       const engine::CancelToken *cancel = nullptr) const;
 
     /**
      * The retained pre-staging reference path: a fresh candidate is
@@ -101,15 +113,25 @@ class CandidateEnumerator
      * global enumeration order. Concatenating the shards' candidates
      * reproduces forEachStaged() exactly, which makes parallel
      * execution with a deterministic in-order merge possible.
+     * @param cancel polled once per combination; planning stops (and
+     *        returns the shards planned so far) when it trips — on a
+     *        large test the planning sweep alone can outlast a
+     *        deadline budget.
      */
-    std::vector<Shard> planShards(std::uint64_t target_per_shard) const;
+    std::vector<Shard> planShards(
+        std::uint64_t target_per_shard,
+        const engine::CancelToken *cancel = nullptr) const;
 
     /**
      * Visit one shard's candidates (thread-safe: shards build private
      * odometer state; the enumerator itself is only read).
+     * @param cancel when non-null and already tripped, the shard's
+     *        skeleton build is skipped entirely; the per-candidate
+     *        stop is the visitor's job (see the checker).
      * @return false when the visitor stopped early.
      */
-    bool visitShard(const Shard &shard, const StagedVisitor &visit) const;
+    bool visitShard(const Shard &shard, const StagedVisitor &visit,
+                    const engine::CancelToken *cancel = nullptr) const;
 
     /** Number of candidate executions. */
     std::size_t count();
@@ -124,7 +146,7 @@ class CandidateEnumerator
     }
 
   private:
-    void computeTraces();
+    void computeTraces(const engine::CancelToken *cancel);
 
     /** The legacy copy-per-candidate combination walk (naive path). */
     void visitCombinationNaive(

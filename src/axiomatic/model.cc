@@ -1,5 +1,7 @@
 #include "axiomatic/model.hh"
 
+#include "engine/governor.hh"
+
 namespace rex {
 
 namespace {
@@ -234,7 +236,8 @@ computeRelations(const CandidateExecution &cand, const ModelParams &params)
 
 ModelResult
 checkConsistent(const CandidateExecution &cand, const ModelParams &,
-                const SkeletonRelations &skel, bool internal_prechecked)
+                const SkeletonRelations &skel, bool internal_prechecked,
+                const engine::CancelToken *cancel)
 {
     ModelResult result;
 
@@ -251,6 +254,14 @@ checkConsistent(const CandidateExecution &cand, const ModelParams &,
             result.cycle = std::move(cycle);
             return result;
         }
+    }
+
+    // Cancellation poll between the staged clauses: the ob transitive
+    // closure below is the expensive step, so a tripped budget stops
+    // before paying for it.
+    if (cancel && cancel->cancelled()) {
+        result.aborted = true;
+        return result;
     }
 
     // External visibility requirement: rebuild only the

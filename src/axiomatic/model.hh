@@ -27,6 +27,8 @@
 
 namespace rex {
 
+namespace engine { class CancelToken; }
+
 /** Outcome of checking one candidate against the model. */
 struct ModelResult {
     /** True when every axiom holds. */
@@ -38,6 +40,10 @@ struct ModelResult {
 
     /** The cycle witnessing an acyclicity/irreflexivity failure. */
     std::optional<std::vector<EventId>> cycle;
+
+    /** True when a CancelToken stopped the check between clauses: the
+     *  other fields say nothing about this candidate. */
+    bool aborted = false;
 };
 
 /** All derived relations of the model, exposed for tests/diagnostics. */
@@ -123,11 +129,16 @@ ModelResult checkConsistent(const CandidateExecution &candidate,
  * @param internal_prechecked skip the internal (SC-per-location) axiom;
  *        the caller has already established it, e.g. via the
  *        enumerator's coherence pre-filter.
+ * @param cancel when non-null, polled between the staged clauses (the
+ *        ob closure is the expensive step); a tripped token returns a
+ *        result with aborted = true and says nothing about the
+ *        candidate.
  */
 ModelResult checkConsistent(const CandidateExecution &candidate,
                             const ModelParams &params,
                             const SkeletonRelations &skeleton,
-                            bool internal_prechecked = false);
+                            bool internal_prechecked = false,
+                            const engine::CancelToken *cancel = nullptr);
 
 } // namespace rex
 

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Process-wide approximate heap accounting for budget enforcement.
+ *
+ * A single relaxed atomic byte counter, bumped by the few allocation
+ * sites that dominate candidate-checking memory: WordBuf's heap
+ * fallback (the storage behind every Relation/EventSet once a universe
+ * outgrows the inline buffer — candidate relations, skeleton clauses,
+ * closure temporaries all live there). Litmus-sized tests never leave
+ * the inline path, so the counter stays at zero and the hooks cost
+ * nothing; the counter only moves for the large universes that are
+ * exactly what a memory budget exists to bound.
+ *
+ * The count is deliberately approximate: it tracks the dominant
+ * bitset storage, not every std::string or vector. The resource
+ * governor (engine/governor.hh) compares the counter against a
+ * baseline taken at job start, so concurrent jobs perturb each other's
+ * readings — a budget axis documented as approximate, never a ledger.
+ */
+
+#ifndef REX_BASE_MEMTRACK_HH
+#define REX_BASE_MEMTRACK_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace rex::memtrack {
+
+namespace detail {
+inline std::atomic<std::uint64_t> &
+counter()
+{
+    static std::atomic<std::uint64_t> bytes{0};
+    return bytes;
+}
+} // namespace detail
+
+/** Record @p bytes of tracked heap allocation. */
+inline void
+add(std::uint64_t bytes)
+{
+    detail::counter().fetch_add(bytes, std::memory_order_relaxed);
+}
+
+/** Record @p bytes of tracked heap release. */
+inline void
+sub(std::uint64_t bytes)
+{
+    detail::counter().fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+/** Tracked heap bytes currently live (approximate, process-wide). */
+inline std::uint64_t
+currentBytes()
+{
+    return detail::counter().load(std::memory_order_relaxed);
+}
+
+} // namespace rex::memtrack
+
+#endif // REX_BASE_MEMTRACK_HH

@@ -81,9 +81,30 @@ Engine::verdictRecord(const LitmusTest &test, const ModelParams &params)
     return record;
 }
 
+JobRecord
+Engine::verdictRecord(const LitmusTest &test, const ModelParams &params,
+                      const Budget &budget)
+{
+    JobRecord record;
+    verdictCommon(test, params, record, &budget);
+    return record;
+}
+
+CheckResult
+Engine::verdict(const LitmusTest &test, const ModelParams &params,
+                const Budget &budget)
+{
+    JobRecord record;
+    CheckResult result = verdictCommon(test, params, record,
+                                       &budget).toResult();
+    result.exhaustedAxis = record.exhaustedAxis;
+    result.observable = result.observable && result.complete();
+    return result;
+}
+
 CachedVerdict
 Engine::verdictCommon(const LitmusTest &test, const ModelParams &params,
-                      JobRecord &record)
+                      JobRecord &record, const Budget *budget)
 {
     auto start = std::chrono::steady_clock::now();
     VerdictKey key =
@@ -94,7 +115,10 @@ Engine::verdictCommon(const LitmusTest &test, const ModelParams &params,
 
     std::optional<CachedVerdict> cached = _cache.lookup(key);
     CachedVerdict verdict;
+    bool exhausted = false;
     if (cached) {
+        // A cached verdict is a completed one, so it satisfies any
+        // budget: budgeted requests are served from the cache too.
         verdict = *cached;
         record.cacheHit = true;
     } else {
@@ -105,14 +129,39 @@ Engine::verdictCommon(const LitmusTest &test, const ModelParams &params,
         // its futures); a direct caller gets intra-test sharding.
         ThreadPool *pool =
             ThreadPool::onWorkerThread() ? nullptr : _pool.get();
-        CheckResult result = checkTest(test, params,
-                                       /*stop_at_first=*/true,
-                                       /*capture_witness=*/false, pool);
+        CheckResult result;
+        if (budget && !budget->unlimited()) {
+            Governor governor(*budget, nullptr, &_liveCandidates);
+            result = checkTest(test, params,
+                               /*stop_at_first=*/true,
+                               /*capture_witness=*/false, pool, &governor);
+            const std::uint64_t visited = governor.candidatesVisited();
+            _liveCandidates.fetch_sub(visited, std::memory_order_relaxed);
+            _candidatesTotal.fetch_add(visited, std::memory_order_relaxed);
+            if (!result.complete()) {
+                exhausted = true;
+                record.exhaustedAxis = result.exhaustedAxis;
+                record.stage = governor.stageReached();
+            }
+        } else {
+            result = checkTest(test, params,
+                               /*stop_at_first=*/true,
+                               /*capture_witness=*/false, pool);
+            _candidatesTotal.fetch_add(result.candidates,
+                                       std::memory_order_relaxed);
+        }
         verdict = CachedVerdict::fromResult(result);
-        _cache.store(key, verdict);
+        // A partial result is not a verdict: caching it would poison
+        // every future lookup of this key. A check that completed
+        // within its budget is identical to an unbudgeted one and is
+        // cached normally.
+        if (!exhausted)
+            _cache.store(key, verdict);
     }
 
-    record.verdict = verdict.observable ? "Allowed" : "Forbidden";
+    record.verdict = exhausted
+                         ? "ExhaustedBudget"
+                         : (verdict.observable ? "Allowed" : "Forbidden");
     record.candidates = verdict.candidates;
     record.consistent = verdict.consistent;
     record.witnesses = verdict.witnesses;

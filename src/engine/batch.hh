@@ -24,6 +24,7 @@
 #ifndef REX_ENGINE_BATCH_HH
 #define REX_ENGINE_BATCH_HH
 
+#include <atomic>
 #include <cstddef>
 #include <future>
 #include <memory>
@@ -34,6 +35,7 @@
 #include "axiomatic/checker.hh"
 #include "axiomatic/params.hh"
 #include "engine/cache.hh"
+#include "engine/governor.hh"
 #include "engine/pool.hh"
 #include "engine/results.hh"
 #include "litmus/litmus.hh"
@@ -121,11 +123,47 @@ class Engine
     JobRecord verdictRecord(const LitmusTest &test,
                             const ModelParams &params);
 
+    /**
+     * Budgeted verdict check: like verdictRecord(), but enforced by a
+     * Governor built from @p budget. When the budget trips, the record
+     * carries verdict "ExhaustedBudget" with partial statistics (the
+     * tripped axis, the stage reached, candidates visited so far) and
+     * is NOT stored in the verdict cache; a check that completes within
+     * budget is indistinguishable from — and cached exactly like — an
+     * unbudgeted one. An unlimited budget takes the legacy path.
+     */
+    JobRecord verdictRecord(const LitmusTest &test,
+                            const ModelParams &params,
+                            const Budget &budget);
+
+    /** Budgeted variant of verdict(); see the budgeted verdictRecord(). */
+    CheckResult verdict(const LitmusTest &test, const ModelParams &params,
+                        const Budget &budget);
+
     /** Tasks queued (not yet running) in the pool; 0 when serial. */
     std::size_t
     poolQueueDepth() const
     {
         return _pool ? _pool->queueDepth() : 0;
+    }
+
+    /**
+     * Candidates enumerated over the engine's lifetime, including those
+     * of checks still in flight — monotonic, for the /metrics counter.
+     */
+    std::uint64_t
+    candidatesEnumerated() const
+    {
+        return _candidatesTotal.load(std::memory_order_relaxed) +
+               _liveCandidates.load(std::memory_order_relaxed);
+    }
+
+    /** Candidates admitted by budgeted checks currently in flight —
+     *  the enumeration-progress gauge. */
+    std::uint64_t
+    liveCandidates() const
+    {
+        return _liveCandidates.load(std::memory_order_relaxed);
     }
 
     /** Convenience wrapper over verdict(). */
@@ -143,16 +181,20 @@ class Engine
     static Engine &shared();
 
   private:
-    /** Shared lookup/compute/record path behind verdict[Record](). */
+    /** Shared lookup/compute/record path behind verdict[Record]().
+     *  @p budget may be null (or unlimited): the legacy path. */
     CachedVerdict verdictCommon(const LitmusTest &test,
                                 const ModelParams &params,
-                                JobRecord &record);
+                                JobRecord &record,
+                                const Budget *budget = nullptr);
 
     EngineConfig _config;
     unsigned _jobs = 1;
     std::unique_ptr<ThreadPool> _pool;
     VerdictCache _cache;
     ResultsSink _sink;
+    std::atomic<std::uint64_t> _liveCandidates{0};
+    std::atomic<std::uint64_t> _candidatesTotal{0};
 };
 
 } // namespace rex::engine

@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
+#include <string_view>
 
 #include "base/logging.hh"
 #include "base/strings.hh"
+#include "engine/faultinject.hh"
 #include "isa/register.hh"
 
 namespace rex::engine {
@@ -289,18 +292,65 @@ VerdictCache::store(const VerdictKey &key, const CachedVerdict &value)
         writeToDisk(key, value);
 }
 
+void
+VerdictCache::evictCorrupt(const std::string &path)
+{
+    ++_corrupt;
+    warn("verdict cache: corrupt entry '" + path + "'; evicting");
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    std::lock_guard<std::mutex> lock(_diskMutex);
+    for (auto it = _diskEntries.begin(); it != _diskEntries.end(); ++it) {
+        if (it->path == path) {
+            _diskBytes -= std::min(_diskBytes, it->bytes);
+            _diskEntries.erase(it);
+            break;
+        }
+    }
+}
+
 std::optional<CachedVerdict>
 VerdictCache::loadFromDisk(const VerdictKey &key)
 {
-    std::ifstream in(entryPath(key), std::ios::binary);
+    if (faultInjector().shouldFail(FaultPoint::CacheRead))
+        return std::nullopt;  // injected read failure: plain miss
+    const std::string path = entryPath(key);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         return std::nullopt;
-    std::string line;
-    if (!std::getline(in, line) || line != "rex-verdict-v1")
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+
+    // Header: magic line + checksum line; everything after them is the
+    // checksummed payload. Any deviation (old format, torn tail, bit
+    // rot) is corruption: count it, delete the entry, miss.
+    constexpr std::string_view magic = "rex-verdict-v2\n";
+    std::size_t pos = magic.size();
+    if (content.size() < pos ||
+            std::string_view(content).substr(0, pos) != magic) {
+        evictCorrupt(path);
         return std::nullopt;
+    }
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) {
+        evictCorrupt(path);
+        return std::nullopt;
+    }
+    const std::string checksumLine = content.substr(pos, eol - pos);
+    const std::string payload = content.substr(eol + 1);
+    if (checksumLine.rfind("checksum ", 0) != 0 ||
+            checksumLine != format("checksum %016" PRIx64,
+                                   fnv1a(kFnvOffset, payload))) {
+        evictCorrupt(path);
+        return std::nullopt;
+    }
+
+    std::istringstream stream(payload);
+    std::string line;
     CachedVerdict verdict;
     std::size_t keylen = 0;
-    while (std::getline(in, line)) {
+    while (std::getline(stream, line)) {
         std::size_t space = line.find(' ');
         std::string field = line.substr(0, space);
         std::string rest =
@@ -330,16 +380,25 @@ VerdictCache::loadFromDisk(const VerdictKey &key)
             keylen = std::strtoull(rest.c_str(), nullptr, 10);
             break;
         } else {
-            return std::nullopt;  // unknown field: treat as corrupt
+            evictCorrupt(path);  // unknown field despite a good checksum
+            return std::nullopt;
         }
     }
-    if (keylen == 0)
+    if (keylen == 0) {
+        evictCorrupt(path);
         return std::nullopt;
-    std::string stored(keylen, '\0');
-    in.read(stored.data(), static_cast<std::streamsize>(keylen));
-    if (static_cast<std::size_t>(in.gcount()) != keylen ||
-            stored != key.text) {
-        // Corrupt entry or a content-hash collision: miss, never lie.
+    }
+    const std::streampos keyStart = stream.tellg();
+    if (keyStart == std::streampos(-1) ||
+            payload.size() - static_cast<std::size_t>(keyStart) != keylen) {
+        evictCorrupt(path);
+        return std::nullopt;
+    }
+    // The checksum already vouches for integrity; a key-text mismatch
+    // here is a content-hash collision, not corruption — miss without
+    // deleting the (valid) colliding entry.
+    if (payload.compare(static_cast<std::size_t>(keyStart), keylen,
+                        key.text) != 0) {
         return std::nullopt;
     }
     return verdict;
@@ -353,29 +412,46 @@ VerdictCache::writeToDisk(const VerdictKey &key,
     std::string path = entryPath(key);
     std::string tmp =
         path + format(".tmp%" PRIu64, counter.fetch_add(1) + 1);
+
+    std::string payload;
+    payload += format("observable %d\n", value.observable ? 1 : 0);
+    payload += format("candidates %" PRIu64 "\n", value.candidates);
+    payload += format("consistent %" PRIu64 "\n", value.consistent);
+    payload += format("witnesses %" PRIu64 "\n", value.witnesses);
+    payload += format("cu %" PRIu64 "\n", value.constrainedUnpredictable);
+    payload += format("unknown %" PRIu64 "\n", value.unknownSideEffects);
+    if (!value.forbiddingAxiom.empty())
+        payload += "axiom " + value.forbiddingAxiom + "\n";
+    if (!value.forbiddingCycle.empty()) {
+        payload += "cycle";
+        for (EventId id : value.forbiddingCycle)
+            payload += " " + std::to_string(id);
+        payload += "\n";
+    }
+    payload += format("keylen %zu\n", key.text.size());
+    payload += key.text;
+
+    // The checksum covers the payload exactly, so a write cut short
+    // anywhere (crash mid-write, injected fault below) is detected on
+    // the next load and the entry self-evicts.
+    std::string entry = "rex-verdict-v2\n";
+    entry += format("checksum %016" PRIx64 "\n",
+                    fnv1a(kFnvOffset, payload));
+    entry += payload;
+    if (faultInjector().shouldFail(FaultPoint::CacheWrite)) {
+        // Injected torn write: publish only half the entry. The rename
+        // below still happens — exactly what a crash between write and
+        // fsync can leave behind.
+        entry.resize(entry.size() / 2);
+    }
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) {
             warn("verdict cache: cannot write '" + tmp + "'");
             return;
         }
-        out << "rex-verdict-v1\n";
-        out << "observable " << (value.observable ? 1 : 0) << "\n";
-        out << "candidates " << value.candidates << "\n";
-        out << "consistent " << value.consistent << "\n";
-        out << "witnesses " << value.witnesses << "\n";
-        out << "cu " << value.constrainedUnpredictable << "\n";
-        out << "unknown " << value.unknownSideEffects << "\n";
-        if (!value.forbiddingAxiom.empty())
-            out << "axiom " << value.forbiddingAxiom << "\n";
-        if (!value.forbiddingCycle.empty()) {
-            out << "cycle";
-            for (EventId id : value.forbiddingCycle)
-                out << " " << id;
-            out << "\n";
-        }
-        out << "keylen " << key.text.size() << "\n";
-        out << key.text;
+        out.write(entry.data(),
+                  static_cast<std::streamsize>(entry.size()));
     }
     // Atomic publication: concurrent writers of the same key race
     // benignly (identical content), and readers never see a torn file.

@@ -23,6 +23,13 @@
  * verified on load, so a (vanishingly unlikely) hash collision degrades
  * to a miss, never to a wrong verdict.
  *
+ * Disk entries are crash-safe in both directions: writes publish via
+ * rename so readers never see a half-written file, and each entry
+ * carries a checksum over its payload, so an entry torn by a crash (or
+ * corrupted on disk) is detected on load, counted, deleted, and served
+ * as a miss — a damaged cache costs re-checks, never wrong verdicts or
+ * a stuck poisoned entry.
+ *
  * The on-disk footprint is bounded: a configurable byte cap (0 =
  * unlimited) trims oldest-mtime entries at construction (so a cap
  * applies retroactively to a directory grown by earlier runs) and
@@ -133,6 +140,9 @@ class VerdictCache
     /** On-disk entries evicted by the byte cap so far. */
     std::uint64_t evictions() const { return _evictions.load(); }
 
+    /** Corrupt/torn on-disk entries detected and deleted so far. */
+    std::uint64_t corruptEvictions() const { return _corrupt.load(); }
+
     /** In-memory entries currently held. */
     std::size_t entryCount();
 
@@ -143,6 +153,9 @@ class VerdictCache
     std::optional<CachedVerdict> loadFromDisk(const VerdictKey &key);
     void writeToDisk(const VerdictKey &key, const CachedVerdict &value);
     std::string entryPath(const VerdictKey &key) const;
+
+    /** Delete a corrupt entry and drop it from the eviction index. */
+    void evictCorrupt(const std::string &path);
 
     /** Build the (path, mtime, size) index by scanning dir(). */
     void scanDisk();
@@ -171,6 +184,7 @@ class VerdictCache
     std::atomic<std::uint64_t> _hits{0};
     std::atomic<std::uint64_t> _misses{0};
     std::atomic<std::uint64_t> _evictions{0};
+    std::atomic<std::uint64_t> _corrupt{0};
 };
 
 } // namespace rex::engine

@@ -1,5 +1,7 @@
 #include "engine/pool.hh"
 
+#include "engine/faultinject.hh"
+
 namespace rex::engine {
 
 namespace {
@@ -38,6 +40,14 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
+    if (faultInjector().shouldFail(FaultPoint::PoolSpawn)) {
+        // Degraded spawn: run the task inline on the caller instead of
+        // dispatching it. Slower (no parallelism for this task) but
+        // fully correct — the packaged_task future completes as usual.
+        ++_submitted;
+        task();
+        return;
+    }
     // Round-robin placement; load imbalance is corrected by stealing.
     std::size_t target = _nextWorker.fetch_add(1) % _workers.size();
     {

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/strings.hh"
+#include "engine/faultinject.hh"
 
 namespace rex::engine {
 
@@ -43,16 +44,25 @@ jsonEscape(std::string_view text)
 std::string
 JobRecord::toJson() const
 {
-    return format(
+    std::string json = format(
         "{\"kind\":\"%s\",\"test\":\"%s\",\"variant\":\"%s\","
         "\"verdict\":\"%s\",\"candidates\":%" PRIu64
         ",\"consistent\":%" PRIu64 ",\"witnesses\":%" PRIu64
         ",\"runs\":%" PRIu64 ",\"observed\":%" PRIu64
-        ",\"wall_us\":%" PRIu64 ",\"cache_hit\":%s,\"forbidding\":\"%s\"}",
+        ",\"wall_us\":%" PRIu64 ",\"cache_hit\":%s,\"forbidding\":\"%s\"",
         jsonEscape(kind).c_str(), jsonEscape(test).c_str(),
         jsonEscape(variant).c_str(), jsonEscape(verdict).c_str(),
         candidates, consistent, witnesses, runs, observed, wallMicros,
         cacheHit ? "true" : "false", jsonEscape(forbidding).c_str());
+    // Budget fields only when a budget tripped: completed records stay
+    // byte-identical to the pre-governor schema.
+    if (!exhaustedAxis.empty()) {
+        json += format(",\"exhausted_axis\":\"%s\",\"stage\":\"%s\"",
+                       jsonEscape(exhaustedAxis).c_str(),
+                       jsonEscape(stage).c_str());
+    }
+    json += "}";
+    return json;
 }
 
 ResultsSink::~ResultsSink()
@@ -128,10 +138,24 @@ ResultsSink::append(const JobRecord &record)
 {
     if (!_out)
         return;
+    if (faultInjector().shouldFail(FaultPoint::SinkWrite)) {
+        ++_dropped;
+        return;
+    }
     std::string line = record.toJson() + "\n";
     std::lock_guard<std::mutex> lock(_mutex);
-    std::fwrite(line.data(), 1, line.size(), _out);
+    const std::size_t wrote =
+        std::fwrite(line.data(), 1, line.size(), _out);
     std::fflush(_out);
+    if (wrote != line.size()) {
+        ++_dropped;
+        if (!_warnedDrop) {
+            _warnedDrop = true;
+            warn("results sink: short write to '" + _path +
+                 "'; counting dropped records");
+        }
+        return;
+    }
     ++_records;
 }
 

@@ -82,7 +82,26 @@ struct JobRecord {
     /** "axiom:3->7->12" summary for forbidden verdicts. */
     std::string forbidding;
 
-    /** Render as a single JSON object (no trailing newline). */
+    /**
+     * Budget axis that stopped the job ("deadline", "candidates",
+     * "memory", "cancelled"); empty for completed jobs. Non-empty goes
+     * with verdict "ExhaustedBudget", and the count fields above become
+     * partial statistics.
+     */
+    std::string exhaustedAxis;
+
+    /** Pipeline stage reached when the budget tripped ("plan",
+     *  "enumerate", "merge"); empty for completed jobs. */
+    std::string stage;
+
+    /**
+     * Render as a single JSON object (no trailing newline).
+     *
+     * The budget fields (exhausted_axis, stage) are the one exception
+     * to the every-record-carries-every-field rule: they are emitted
+     * only when exhaustedAxis is non-empty, so unbudgeted runs render
+     * byte-identically to the pre-governor schema.
+     */
     std::string toJson() const;
 };
 
@@ -114,11 +133,16 @@ class ResultsSink
     /** Records appended so far. */
     std::uint64_t records() const { return _records.load(); }
 
+    /** Records lost to short writes or injected sink faults. */
+    std::uint64_t droppedRecords() const { return _dropped.load(); }
+
   private:
     std::mutex _mutex;
     std::FILE *_out = nullptr;
     std::string _path;
     std::atomic<std::uint64_t> _records{0};
+    std::atomic<std::uint64_t> _dropped{0};
+    bool _warnedDrop = false;  //!< guarded by _mutex
 };
 
 } // namespace rex::engine

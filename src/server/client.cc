@@ -1,7 +1,10 @@
 #include "server/client.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -18,7 +21,8 @@ namespace rex::server {
 
 std::string
 checkRequestJson(const std::string &test_text,
-                 const std::vector<std::string> &variants, int sleepMs)
+                 const std::vector<std::string> &variants, int sleepMs,
+                 std::int64_t deadlineMs, std::int64_t maxCandidates)
 {
     std::string body =
         "{\"test\":\"" + engine::jsonEscape(test_text) + "\"";
@@ -33,8 +37,45 @@ checkRequestJson(const std::string &test_text,
     }
     if (sleepMs > 0)
         body += format(",\"sleep_ms\":%d", sleepMs);
+    if (deadlineMs > 0) {
+        body += format(",\"deadline_ms\":%lld",
+                       static_cast<long long>(deadlineMs));
+    }
+    if (maxCandidates > 0) {
+        body += format(",\"max_candidates\":%lld",
+                       static_cast<long long>(maxCandidates));
+    }
     body += "}";
     return body;
+}
+
+int
+retryDelayMs(const RetryPolicy &policy, int attempt, int retryAfterSeconds)
+{
+    // Capped exponential: initialDelayMs * 2^(attempt-1).
+    std::int64_t delay = policy.initialDelayMs;
+    for (int i = 1; i < attempt && delay < policy.maxDelayMs; ++i)
+        delay *= 2;
+    delay = std::min<std::int64_t>(delay, policy.maxDelayMs);
+    // Deterministic +-25% jitter (splitmix64 over seed + attempt), so
+    // synchronized clients fan out but tests stay reproducible.
+    std::uint64_t z = policy.jitterSeed + static_cast<std::uint64_t>(
+                                              attempt) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const std::int64_t quarter = delay / 4;
+    if (quarter > 0) {
+        delay += static_cast<std::int64_t>(
+                     z % (2 * static_cast<std::uint64_t>(quarter) + 1)) -
+                 quarter;
+    }
+    // The server's Retry-After is a floor, never shortened by jitter.
+    if (retryAfterSeconds > 0) {
+        delay = std::max<std::int64_t>(
+            delay, static_cast<std::int64_t>(retryAfterSeconds) * 1000);
+    }
+    return static_cast<int>(delay);
 }
 
 ClientResponse
@@ -139,6 +180,52 @@ Client::roundTrip(const std::string &request)
 }
 
 ClientResponse
+Client::roundTripWithRetry(const std::string &request)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const int attempts = std::max(1, _retry.maxAttempts);
+    // True when sleeping `delay` more milliseconds would overrun the
+    // total-attempt deadline — give up and surface the last failure.
+    auto outOfBudget = [&](int delay) {
+        if (_retry.totalDeadlineMs <= 0)
+            return false;
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        return elapsed + delay > _retry.totalDeadlineMs;
+    };
+    for (int attempt = 1;; ++attempt) {
+        int delay = 0;
+        try {
+            ClientResponse response = roundTrip(request);
+            if (response.status != 503 || attempt == attempts)
+                return response;
+            // Shed by backpressure: honour Retry-After as a floor on
+            // the backoff.
+            int retryAfterSeconds = 0;
+            auto header = response.headers.find("retry-after");
+            std::int64_t parsed = 0;
+            if (header != response.headers.end() &&
+                    parseInteger(header->second, parsed)) {
+                retryAfterSeconds = static_cast<int>(parsed);
+            }
+            delay = retryDelayMs(_retry, attempt, retryAfterSeconds);
+            if (outOfBudget(delay))
+                return response;
+        } catch (const FatalError &) {
+            // Transport failure (refused, reset, timed out): retryable.
+            if (attempt == attempts)
+                throw;
+            delay = retryDelayMs(_retry, attempt, 0);
+            if (outOfBudget(delay))
+                throw;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+}
+
+ClientResponse
 Client::post(const std::string &path, const std::string &body,
              const std::string &contentType)
 {
@@ -148,7 +235,7 @@ Client::post(const std::string &path, const std::string &body,
     request += format("Content-Length: %zu\r\n", body.size());
     request += "Connection: close\r\n\r\n";
     request += body;
-    return roundTrip(request);
+    return roundTripWithRetry(request);
 }
 
 ClientResponse
@@ -157,15 +244,17 @@ Client::get(const std::string &path)
     std::string request = format("GET %s HTTP/1.1\r\n", path.c_str());
     request += format("Host: %s:%u\r\n", _host.c_str(), _port);
     request += "Connection: close\r\n\r\n";
-    return roundTrip(request);
+    return roundTripWithRetry(request);
 }
 
 ClientResponse
 Client::check(const std::string &test_text,
-              const std::vector<std::string> &variants, int sleepMs)
+              const std::vector<std::string> &variants, int sleepMs,
+              std::int64_t deadlineMs, std::int64_t maxCandidates)
 {
     return post("/check",
-                checkRequestJson(test_text, variants, sleepMs));
+                checkRequestJson(test_text, variants, sleepMs,
+                                 deadlineMs, maxCandidates));
 }
 
 bool

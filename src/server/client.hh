@@ -28,10 +28,46 @@ struct ClientResponse {
     std::string body;
 };
 
-/** Serialise a /check request body. @p sleepMs <= 0 omits the hook. */
+/** Serialise a /check request body. @p sleepMs <= 0 omits the hook;
+ *  @p deadlineMs / @p maxCandidates <= 0 omit the budget members. */
 std::string checkRequestJson(const std::string &test_text,
                              const std::vector<std::string> &variants,
-                             int sleepMs = 0);
+                             int sleepMs = 0,
+                             std::int64_t deadlineMs = 0,
+                             std::int64_t maxCandidates = 0);
+
+/**
+ * Client-side retry policy for transient failures: 503 shed responses
+ * (honouring the server's Retry-After) and transport errors (connect
+ * refused/reset, send/recv failures). HTTP errors other than 503 are
+ * never retried — they are answers, not congestion.
+ */
+struct RetryPolicy {
+    /** Total tries including the first; 1 = retries disabled. */
+    int maxAttempts = 1;
+
+    /** Backoff before retry k (1-based) is initialDelayMs * 2^(k-1),
+     *  capped at maxDelayMs — unless the server's Retry-After asks for
+     *  more, which wins. */
+    int initialDelayMs = 100;
+    int maxDelayMs = 2000;
+
+    /** Give up when the next sleep would pass this budget (wall time
+     *  across all attempts, 0 = unbounded). */
+    int totalDeadlineMs = 15000;
+
+    /** Seed for the deterministic +-25% backoff jitter. */
+    std::uint64_t jitterSeed = 0;
+};
+
+/**
+ * Backoff before retry @p attempt (1-based): capped exponential with
+ * deterministic jitter, overridden upward by @p retryAfterSeconds (the
+ * server's Retry-After header; <= 0 = absent). Pure — exposed for
+ * tests.
+ */
+int retryDelayMs(const RetryPolicy &policy, int attempt,
+                 int retryAfterSeconds);
 
 /** A blocking one-request-per-connection HTTP client. */
 class Client
@@ -42,9 +78,15 @@ class Client
           _timeoutSeconds(timeoutSeconds)
     {}
 
+    /** Enable retries; the default policy (maxAttempts 1) disables
+     *  them, preserving single-shot semantics. */
+    void setRetryPolicy(RetryPolicy policy) { _retry = policy; }
+    const RetryPolicy &retryPolicy() const { return _retry; }
+
     /**
-     * POST @p body to @p path.
-     * @throws FatalError when the server is unreachable or the
+     * POST @p body to @p path. Retries per the policy on 503 and on
+     * transport errors.
+     * @throws FatalError when the server stays unreachable or the
      *         response is unparseable (an HTTP error status is NOT a
      *         throw — callers check response.status).
      */
@@ -52,7 +94,7 @@ class Client
                         const std::string &contentType =
                             "application/json");
 
-    /** GET @p path. Throws like post(). */
+    /** GET @p path. Throws and retries like post(). */
     ClientResponse get(const std::string &path);
 
     /**
@@ -62,7 +104,8 @@ class Client
      */
     ClientResponse check(const std::string &test_text,
                          const std::vector<std::string> &variants,
-                         int sleepMs = 0);
+                         int sleepMs = 0, std::int64_t deadlineMs = 0,
+                         std::int64_t maxCandidates = 0);
 
     /** True when GET /healthz answers 200 (no throw on failure). */
     bool healthy();
@@ -70,9 +113,13 @@ class Client
   private:
     ClientResponse roundTrip(const std::string &request);
 
+    /** roundTrip plus the retry loop. */
+    ClientResponse roundTripWithRetry(const std::string &request);
+
     std::string _host;
     std::uint16_t _port;
     int _timeoutSeconds;
+    RetryPolicy _retry;
 };
 
 } // namespace rex::server

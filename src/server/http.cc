@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "base/strings.hh"
+#include "engine/faultinject.hh"
 #include "engine/results.hh"
 
 namespace rex::server {
@@ -214,6 +215,8 @@ readHttpRequest(int fd, const HttpLimits &limits, HttpRequest &out,
 bool
 sendAll(int fd, const char *data, std::size_t size)
 {
+    if (engine::faultInjector().shouldFail(engine::FaultPoint::SockSend))
+        return false;  // injected send failure: peer sees a dropped reply
     std::size_t sent = 0;
     while (sent < size) {
         ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);

@@ -55,10 +55,24 @@ Metrics::countResponse(int status)
       case 400: ++responses400; break;
       case 404: ++responses404; break;
       case 405: ++responses405; break;
+      case 408: ++responses408; break;
       case 413: ++responses413; break;
       case 503: ++responses503; break;
       default: ++responses500; break;
     }
+}
+
+void
+Metrics::countBudgetTrip(const std::string &axis)
+{
+    if (axis == "deadline")
+        ++budgetTripsDeadline;
+    else if (axis == "candidates")
+        ++budgetTripsCandidates;
+    else if (axis == "memory")
+        ++budgetTripsMemory;
+    else if (axis == "cancelled")
+        ++budgetTripsCancelled;
 }
 
 std::string
@@ -92,6 +106,7 @@ Metrics::render(engine::Engine &engine) const
     labelled("rexd_responses_total", "code=\"400\"", responses400.load());
     labelled("rexd_responses_total", "code=\"404\"", responses404.load());
     labelled("rexd_responses_total", "code=\"405\"", responses405.load());
+    labelled("rexd_responses_total", "code=\"408\"", responses408.load());
     labelled("rexd_responses_total", "code=\"413\"", responses413.load());
     labelled("rexd_responses_total", "code=\"500\"", responses500.load());
     labelled("rexd_responses_total", "code=\"503\"", responses503.load());
@@ -102,6 +117,20 @@ Metrics::render(engine::Engine &engine) const
              verdictsAllowed.load());
     labelled("rexd_verdicts_total", "verdict=\"forbidden\"",
              verdictsForbidden.load());
+    labelled("rexd_verdicts_total", "verdict=\"exhausted_budget\"",
+             verdictsExhausted.load());
+
+    out += "# HELP rexd_budget_trips_total Per-job budget trips, "
+           "by axis.\n"
+           "# TYPE rexd_budget_trips_total counter\n";
+    labelled("rexd_budget_trips_total", "axis=\"deadline\"",
+             budgetTripsDeadline.load());
+    labelled("rexd_budget_trips_total", "axis=\"candidates\"",
+             budgetTripsCandidates.load());
+    labelled("rexd_budget_trips_total", "axis=\"memory\"",
+             budgetTripsMemory.load());
+    labelled("rexd_budget_trips_total", "axis=\"cancelled\"",
+             budgetTripsCancelled.load());
 
     counter("rexd_cache_hits_total",
             "Verdict-cache hits across all requests.",
@@ -112,9 +141,23 @@ Metrics::render(engine::Engine &engine) const
     counter("rexd_cache_evictions_total",
             "On-disk verdict-cache entries evicted by the byte cap.",
             engine.cache().evictions());
+    counter("rexd_cache_corrupt_total",
+            "Corrupt on-disk verdict-cache entries detected and "
+            "evicted.",
+            engine.cache().corruptEvictions());
     counter("rexd_queue_rejected_total",
             "Connections rejected with 503 by backpressure.",
             queueRejected.load());
+    counter("rexd_read_timeouts_total",
+            "Connections that timed out mid-request (the 408 path).",
+            readTimeouts.load());
+    counter("rexd_enumerated_candidates_total",
+            "Candidate executions enumerated by the engine, including "
+            "in-flight checks.",
+            engine.candidatesEnumerated());
+    counter("rexd_results_dropped_total",
+            "JSONL results records lost to sink write failures.",
+            engine.results().droppedRecords());
 
     auto gauge = [&](const char *name, const char *help,
                      std::int64_t value) {
@@ -134,6 +177,9 @@ Metrics::render(engine::Engine &engine) const
           static_cast<std::int64_t>(engine.cache().entryCount()));
     gauge("rexd_cache_disk_bytes", "Verdict-cache on-disk bytes.",
           static_cast<std::int64_t>(engine.cache().diskBytes()));
+    gauge("rexd_enumeration_live_candidates",
+          "Candidates admitted so far by budgeted checks in flight.",
+          static_cast<std::int64_t>(engine.liveCandidates()));
 
     out += "# HELP rexd_stage_seconds Pipeline-stage latency.\n"
            "# TYPE rexd_stage_seconds histogram\n";

@@ -69,6 +69,7 @@ struct Metrics {
     std::atomic<std::uint64_t> responses400{0};
     std::atomic<std::uint64_t> responses404{0};
     std::atomic<std::uint64_t> responses405{0};
+    std::atomic<std::uint64_t> responses408{0};
     std::atomic<std::uint64_t> responses413{0};
     std::atomic<std::uint64_t> responses500{0};
     std::atomic<std::uint64_t> responses503{0};
@@ -76,9 +77,23 @@ struct Metrics {
     /** Verdicts served (one per variant of every /check), by outcome. */
     std::atomic<std::uint64_t> verdictsAllowed{0};
     std::atomic<std::uint64_t> verdictsForbidden{0};
+    std::atomic<std::uint64_t> verdictsExhausted{0};
+
+    /** Budget trips behind ExhaustedBudget verdicts, by axis. */
+    std::atomic<std::uint64_t> budgetTripsDeadline{0};
+    std::atomic<std::uint64_t> budgetTripsCandidates{0};
+    std::atomic<std::uint64_t> budgetTripsMemory{0};
+    std::atomic<std::uint64_t> budgetTripsCancelled{0};
 
     /** Connections rejected by backpressure (503 at accept). */
     std::atomic<std::uint64_t> queueRejected{0};
+
+    /**
+     * Per-socket read timeouts (the 408 path). Distinct from the 400
+     * malformed-input counter so slow-loris peers and broken clients
+     * are distinguishable on /metrics.
+     */
+    std::atomic<std::uint64_t> readTimeouts{0};
 
     /** Current accept-queue depth (gauge, maintained by the server). */
     std::atomic<std::int64_t> queueDepth{0};
@@ -95,6 +110,10 @@ struct Metrics {
 
     /** Count one response with @p status. */
     void countResponse(int status);
+
+    /** Count one budget trip on @p axis ("deadline", "candidates",
+     *  "memory", "cancelled"). */
+    void countBudgetTrip(const std::string &axis);
 
     /**
      * Render the Prometheus text exposition. Cache hits/misses/entry

@@ -12,13 +12,18 @@
  * Usage:
  *   rexd [--host H] [--port P] [--threads N] [--queue N] [--jobs N]
  *        [--cache-dir DIR] [--cache-max-bytes N] [--no-cache]
- *        [--results PATH] [--max-body BYTES]
+ *        [--results PATH] [--max-body BYTES] [--io-timeout SECONDS]
+ *        [--max-deadline-ms N] [--max-candidates N]
  *
  * Defaults: 127.0.0.1:8643, 4 handler threads, queue bound 64, engine
  * jobs from REX_JOBS (else hardware concurrency), cache settings from
  * REX_CACHE / REX_CACHE_DIR / REX_CACHE_MAX_BYTES, results from
  * REX_RESULTS. Prints "rexd listening on H:P" once ready (scripts wait
  * for it), and a final stats line after drain.
+ *
+ * --max-deadline-ms / --max-candidates cap every /check's resource
+ * budget server-side: requests asking for more (or for no budget at
+ * all) are clamped down to the caps. 0 (the default) imposes nothing.
  */
 
 #include <cerrno>
@@ -51,7 +56,9 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--host H] [--port P] [--threads N] [--queue N]\n"
         "            [--jobs N] [--cache-dir DIR] [--cache-max-bytes N]\n"
-        "            [--no-cache] [--results PATH] [--max-body BYTES]\n",
+        "            [--no-cache] [--results PATH] [--max-body BYTES]\n"
+        "            [--io-timeout SECONDS] [--max-deadline-ms N]\n"
+        "            [--max-candidates N]\n",
         argv0);
     std::exit(2);
 }
@@ -111,6 +118,13 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[arg], "--max-body") == 0) {
             config.limits.maxBodyBytes =
                 numberArg(argc, argv, arg, argv[0]);
+        } else if (std::strcmp(argv[arg], "--io-timeout") == 0) {
+            config.limits.ioTimeoutSeconds = static_cast<int>(
+                numberArg(argc, argv, arg, argv[0]));
+        } else if (std::strcmp(argv[arg], "--max-deadline-ms") == 0) {
+            config.maxDeadlineMs = numberArg(argc, argv, arg, argv[0]);
+        } else if (std::strcmp(argv[arg], "--max-candidates") == 0) {
+            config.maxCandidates = numberArg(argc, argv, arg, argv[0]);
         } else {
             usage(argv[0]);
         }

@@ -14,6 +14,7 @@
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "engine/batch.hh"
+#include "engine/faultinject.hh"
 
 namespace rex::server {
 
@@ -32,7 +33,8 @@ closeQuietly(int &fd)
 
 RexServer::RexServer(engine::Engine &engine, ServerConfig config)
     : _engine(engine), _config(std::move(config)),
-      _service(engine, _metrics)
+      _service(engine, _metrics, _config.maxDeadlineMs,
+               _config.maxCandidates)
 {
     if (_config.threads == 0)
         _config.threads = 1;
@@ -125,6 +127,14 @@ RexServer::acceptLoop()
             warn(std::string("rexd accept: ") + std::strerror(errno));
             break;
         }
+        if (engine::faultInjector().shouldFail(
+                engine::FaultPoint::SockAccept)) {
+            // Injected accept failure: drop the connection on the floor,
+            // as a transient kernel error would. The peer sees a reset
+            // and retries; the server must not hang or leak the fd.
+            ::close(fd);
+            continue;
+        }
 
         bool enqueued = false;
         {
@@ -195,6 +205,8 @@ RexServer::handleConnection(int fd)
     std::string error;
     int status = readHttpRequest(fd, _config.limits, request, error);
     if (status != 0) {
+        if (status == 408)
+            ++_metrics.readTimeouts;
         if (!error.empty()) {
             _metrics.countResponse(status);
             writeHttpResponse(fd, HttpResponse::error(status, error));

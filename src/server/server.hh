@@ -58,6 +58,13 @@ struct ServerConfig {
 
     /** HTTP parsing limits. */
     HttpLimits limits;
+
+    /** Wall-clock budget cap applied to every /check (clamps the
+     *  request's deadline_ms); 0 = no server-imposed deadline. */
+    std::uint64_t maxDeadlineMs = 0;
+
+    /** Candidate-count budget cap (clamps max_candidates); 0 = none. */
+    std::uint64_t maxCandidates = 0;
 };
 
 /** The rexd daemon core (in-process embeddable, see tests). */

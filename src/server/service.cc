@@ -81,12 +81,42 @@ CheckRequest::fromJson(const std::string &body)
             static_cast<int>(std::min<std::int64_t>(sleep->integer, 2000));
     }
 
+    if (const JsonValue *deadline = root.find("deadline_ms")) {
+        if (!deadline->isInt() || deadline->integer < 0)
+            fatal("\"deadline_ms\" must be a non-negative integer");
+        request.deadlineMs = deadline->integer;
+    }
+    if (const JsonValue *ceiling = root.find("max_candidates")) {
+        if (!ceiling->isInt() || ceiling->integer < 0)
+            fatal("\"max_candidates\" must be a non-negative integer");
+        request.maxCandidates = ceiling->integer;
+    }
+
     for (const auto &[key, value] : root.object) {
-        if (key != "test" && key != "variants" && key != "sleep_ms")
+        if (key != "test" && key != "variants" && key != "sleep_ms" &&
+                key != "deadline_ms" && key != "max_candidates") {
             fatal("unknown request member \"" + key + "\"");
+        }
     }
     return request;
 }
+
+namespace {
+
+/** Clamp a requested per-job limit against a server cap (0 = none on
+ *  either side): the effective limit is the tighter of the two. */
+std::uint64_t
+clampLimit(std::int64_t requested, std::uint64_t cap)
+{
+    std::uint64_t value = requested > 0
+                              ? static_cast<std::uint64_t>(requested)
+                              : 0;
+    if (cap != 0 && (value == 0 || value > cap))
+        value = cap;
+    return value;
+}
+
+} // namespace
 
 std::string
 CheckService::runCheck(const CheckRequest &request)
@@ -100,18 +130,31 @@ CheckService::runCheck(const CheckRequest &request)
     LitmusTest test = parseLitmus(request.testText);
     _metrics.stageParse.observe(microsSince(parse_start));
 
+    engine::Budget budget;
+    budget.deadlineMicros =
+        clampLimit(request.deadlineMs, _maxDeadlineMs) * 1000;
+    budget.maxCandidates =
+        clampLimit(request.maxCandidates, _maxCandidates);
+
     std::string body;
     for (const std::string &variant : request.variants) {
         auto check_start = std::chrono::steady_clock::now();
-        engine::JobRecord record = _engine.verdictRecord(
-            test, ModelParams::byName(variant));
+        engine::JobRecord record =
+            budget.unlimited()
+                ? _engine.verdictRecord(test, ModelParams::byName(variant))
+                : _engine.verdictRecord(test, ModelParams::byName(variant),
+                                        budget);
         _metrics.stageCheck.observe(microsSince(check_start));
         if (!record.cacheHit)
             _metrics.stageEnumerate.observe(record.wallMicros);
-        if (record.verdict == "Allowed")
+        if (record.verdict == "Allowed") {
             ++_metrics.verdictsAllowed;
-        else
+        } else if (record.verdict == "ExhaustedBudget") {
+            ++_metrics.verdictsExhausted;
+            _metrics.countBudgetTrip(record.exhaustedAxis);
+        } else {
             ++_metrics.verdictsForbidden;
+        }
         body += record.toJson();
         body += '\n';
     }

@@ -48,6 +48,14 @@ struct CheckRequest {
      */
     int sleepMs = 0;
 
+    /** Per-request wall-clock budget in milliseconds; 0 = none. The
+     *  server clamps it to its --max-deadline-ms cap. */
+    std::int64_t deadlineMs = 0;
+
+    /** Per-request candidate-count budget; 0 = none. Clamped to the
+     *  server's --max-candidates cap. */
+    std::int64_t maxCandidates = 0;
+
     /**
      * Parse and validate a JSON request body.
      * @throws FatalError with a client-facing diagnostic on malformed
@@ -60,8 +68,17 @@ struct CheckRequest {
 class CheckService
 {
   public:
-    CheckService(engine::Engine &engine, Metrics &metrics)
-        : _engine(engine), _metrics(metrics)
+    /**
+     * @param maxDeadlineMs  server-side wall-clock budget cap applied
+     *        to every /check: requests asking for more (or for nothing)
+     *        are clamped down to it; 0 = no server-imposed deadline.
+     * @param maxCandidates  likewise for the candidate-count budget.
+     */
+    CheckService(engine::Engine &engine, Metrics &metrics,
+                 std::uint64_t maxDeadlineMs = 0,
+                 std::uint64_t maxCandidates = 0)
+        : _engine(engine), _metrics(metrics),
+          _maxDeadlineMs(maxDeadlineMs), _maxCandidates(maxCandidates)
     {}
 
     /** Dispatch one request; never throws (errors become responses). */
@@ -81,6 +98,8 @@ class CheckService
 
     engine::Engine &_engine;
     Metrics &_metrics;
+    std::uint64_t _maxDeadlineMs = 0;
+    std::uint64_t _maxCandidates = 0;
 };
 
 } // namespace rex::server

@@ -1,0 +1,646 @@
+/**
+ * @file
+ * Tests for the resource governor and the fault-injection harness: the
+ * budget axes (candidate ceilings exact and schedule-independent,
+ * deadlines, memory caps, external cancellation), the ExhaustedBudget
+ * path through the engine (partial statistics, never cached, budget
+ * fields only on exhausted records), crash-safe cache entries
+ * (checksummed, torn/corrupt entries evicted as misses), degraded-mode
+ * behaviour at every fault point, and the client's retry backoff
+ * arithmetic. This file runs under TSan in CI: the governor's whole
+ * job is cross-thread cooperative cancellation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "axiomatic/checker.hh"
+#include "base/memtrack.hh"
+#include "engine/batch.hh"
+#include "engine/cache.hh"
+#include "engine/faultinject.hh"
+#include "engine/governor.hh"
+#include "engine/pool.hh"
+#include "engine/results.hh"
+#include "litmus/registry.hh"
+#include "server/client.hh"
+
+namespace rex {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh, empty scratch directory for one test. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) /
+        ("rex_governor_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+engine::EngineConfig
+plainConfig(unsigned jobs)
+{
+    engine::EngineConfig config;
+    config.jobs = jobs;
+    config.cacheEnabled = false;
+    return config;
+}
+
+/** Disarm the process-wide injector when a test body exits. */
+struct FaultGuard {
+    ~FaultGuard() { engine::faultInjector().configure(""); }
+};
+
+/** The builtin test with the largest candidate space (scanned once). */
+const LitmusTest &
+bigTest()
+{
+    static const std::string name = [] {
+        const TestRegistry &registry = TestRegistry::instance();
+        std::string best;
+        std::size_t most = 0;
+        for (const std::string &candidate : registry.names()) {
+            CheckResult full = checkTest(registry.get(candidate),
+                                         ModelParams::base(), false,
+                                         false);
+            if (full.candidates > most) {
+                most = full.candidates;
+                best = candidate;
+            }
+        }
+        return best;
+    }();
+    return TestRegistry::instance().get(name);
+}
+
+// ---------------------------------------------------------------------
+// Governor: axes
+// ---------------------------------------------------------------------
+
+TEST(Governor, CandidateCeilingIsExact)
+{
+    engine::Budget budget;
+    budget.maxCandidates = 3;
+    engine::Governor governor(budget);
+    EXPECT_TRUE(governor.admit());
+    EXPECT_TRUE(governor.admit());
+    EXPECT_TRUE(governor.admit());
+    EXPECT_FALSE(governor.tripped());
+    // The fourth candidate trips the ceiling and is NOT counted.
+    EXPECT_FALSE(governor.admit());
+    EXPECT_TRUE(governor.tripped());
+    EXPECT_EQ(governor.trippedAxis(), engine::BudgetAxis::Candidates);
+    EXPECT_EQ(governor.candidatesVisited(), 3u);
+    // Once tripped, every later admit is rejected without counting.
+    EXPECT_FALSE(governor.admit());
+    EXPECT_EQ(governor.candidatesVisited(), 3u);
+}
+
+TEST(Governor, CeilingTripIsDeterministicAcrossJobCounts)
+{
+    const LitmusTest &test = bigTest();
+    const ModelParams params = ModelParams::base();
+    CheckResult full = checkTest(test, params, false, false);
+    ASSERT_GT(full.candidates, 8u);
+    const std::uint64_t ceiling = full.candidates / 2;
+
+    engine::Budget budget;
+    budget.maxCandidates = ceiling;
+
+    // Serial.
+    engine::Governor serial(budget);
+    CheckResult one =
+        checkTest(test, params, false, false, nullptr, &serial);
+    EXPECT_EQ(one.exhaustedAxis, "candidates");
+    EXPECT_FALSE(one.complete());
+    EXPECT_EQ(one.candidates, ceiling);
+
+    // Sharded over four workers: the shared-atomic admission admits
+    // exactly min(total, ceiling) regardless of the schedule.
+    engine::ThreadPool pool(4);
+    engine::Governor sharded(budget);
+    CheckResult four =
+        checkTest(test, params, false, false, &pool, &sharded);
+    EXPECT_EQ(four.exhaustedAxis, "candidates");
+    EXPECT_EQ(four.candidates, ceiling);
+    EXPECT_EQ(sharded.candidatesVisited(), ceiling);
+}
+
+TEST(Governor, CompletesUntouchedWhenBudgetIsRoomy)
+{
+    const LitmusTest &test = bigTest();
+    const ModelParams params = ModelParams::base();
+    CheckResult full = checkTest(test, params, false, false);
+
+    engine::Budget budget;
+    budget.maxCandidates = full.candidates + 10;
+    engine::Governor governor(budget);
+    CheckResult res =
+        checkTest(test, params, false, false, nullptr, &governor);
+    EXPECT_TRUE(res.complete());
+    EXPECT_EQ(res.exhaustedAxis, "");
+    EXPECT_EQ(res.candidates, full.candidates);
+    EXPECT_EQ(res.consistent, full.consistent);
+    EXPECT_EQ(res.witnesses, full.witnesses);
+    EXPECT_EQ(res.observable, full.observable);
+}
+
+TEST(Governor, DeadlineTripsAndReportsPartialProgress)
+{
+    const LitmusTest &test = bigTest();
+    const ModelParams params = ModelParams::base();
+    engine::Budget budget = engine::Budget::withDeadlineMs(20);
+    engine::Governor governor(budget);
+    // Re-check in a loop until the deadline lands: a single check may
+    // complete inside 20ms, but the governor's clock keeps running.
+    CheckResult res;
+    while (!governor.tripped())
+        res = checkTest(test, params, false, false, nullptr, &governor);
+    EXPECT_EQ(governor.trippedAxis(), engine::BudgetAxis::Deadline);
+    EXPECT_EQ(res.exhaustedAxis, "deadline");
+    EXPECT_GE(governor.elapsedMicros(), 20000u);
+    EXPECT_GT(governor.candidatesVisited(), 0u);
+}
+
+TEST(Governor, MemoryAxisComparesAgainstConstructionBaseline)
+{
+    engine::Budget budget;
+    budget.maxHeapBytes = 1024;
+    engine::Governor governor(budget);
+    EXPECT_TRUE(governor.admit());
+    memtrack::add(1 << 20);
+    EXPECT_FALSE(governor.admit());
+    EXPECT_EQ(governor.trippedAxis(), engine::BudgetAxis::Memory);
+    memtrack::sub(1 << 20);
+    // Latched: releasing the memory does not un-trip the budget.
+    EXPECT_FALSE(governor.admit());
+}
+
+TEST(Governor, ExternalCancelStopsWithinFiftyMs)
+{
+    const LitmusTest &test = bigTest();
+    const ModelParams params = ModelParams::base();
+    engine::CancelToken external;
+    engine::Governor governor(engine::Budget{}, &external);
+
+    CheckResult res;
+    std::thread worker([&] {
+        while (!governor.tripped())
+            res = checkTest(test, params, false, false, nullptr,
+                            &governor);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const auto tripTime = std::chrono::steady_clock::now();
+    external.trip(engine::BudgetAxis::Cancelled);
+    worker.join();
+    const auto latency =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - tripTime);
+    EXPECT_LT(latency.count(), 50);
+    EXPECT_EQ(res.exhaustedAxis, "cancelled");
+    EXPECT_EQ(governor.trippedAxis(), engine::BudgetAxis::Cancelled);
+}
+
+TEST(Governor, StageIsRecorded)
+{
+    const LitmusTest &test = bigTest();
+    engine::Budget budget;
+    budget.maxCandidates = 1;
+    engine::Governor governor(budget);
+    checkTest(test, ModelParams::base(), false, false, nullptr,
+              &governor);
+    EXPECT_STREQ(governor.stageReached(), "enumerate");
+}
+
+// ---------------------------------------------------------------------
+// Engine: the ExhaustedBudget path
+// ---------------------------------------------------------------------
+
+TEST(EngineBudget, ExhaustedRecordCarriesPartialStats)
+{
+    engine::Engine engine(plainConfig(1));
+    engine::Budget budget;
+    budget.maxCandidates = 2;
+    engine::JobRecord record =
+        engine.verdictRecord(bigTest(), ModelParams::base(), budget);
+    EXPECT_EQ(record.verdict, "ExhaustedBudget");
+    EXPECT_EQ(record.exhaustedAxis, "candidates");
+    EXPECT_EQ(record.stage, "enumerate");
+    EXPECT_EQ(record.candidates, 2u);
+    const std::string json = record.toJson();
+    EXPECT_NE(json.find("\"exhausted_axis\":\"candidates\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"stage\":\"enumerate\""), std::string::npos);
+}
+
+TEST(EngineBudget, UnbudgetedRecordHasNoBudgetFields)
+{
+    engine::Engine engine(plainConfig(1));
+    engine::JobRecord record =
+        engine.verdictRecord(bigTest(), ModelParams::base());
+    EXPECT_TRUE(record.exhaustedAxis.empty());
+    const std::string json = record.toJson();
+    EXPECT_EQ(json.find("exhausted_axis"), std::string::npos);
+    EXPECT_EQ(json.find("\"stage\""), std::string::npos);
+}
+
+TEST(EngineBudget, ExhaustedVerdictsAreNeverCached)
+{
+    engine::EngineConfig config;
+    config.jobs = 1;
+    config.cacheEnabled = true;  // in-memory only: no cacheDir
+    engine::Engine engine(config);
+
+    engine::Budget tiny;
+    tiny.maxCandidates = 1;
+    engine::JobRecord partial =
+        engine.verdictRecord(bigTest(), ModelParams::base(), tiny);
+    EXPECT_EQ(partial.verdict, "ExhaustedBudget");
+    EXPECT_EQ(engine.cache().entryCount(), 0u);
+
+    // A complete check populates the cache as usual...
+    engine::JobRecord complete =
+        engine.verdictRecord(bigTest(), ModelParams::base());
+    EXPECT_NE(complete.verdict, "ExhaustedBudget");
+    EXPECT_EQ(engine.cache().entryCount(), 1u);
+
+    // ...and a cached complete verdict satisfies any later budget:
+    // same verdict, cache hit, no ExhaustedBudget even under a budget
+    // the fresh check could never meet.
+    engine::JobRecord served =
+        engine.verdictRecord(bigTest(), ModelParams::base(), tiny);
+    EXPECT_EQ(served.verdict, complete.verdict);
+    EXPECT_EQ(served.candidates, complete.candidates);
+    EXPECT_TRUE(served.cacheHit);
+}
+
+TEST(EngineBudget, CandidateCountersAreMonotonic)
+{
+    engine::Engine engine(plainConfig(1));
+    engine::Budget budget;
+    budget.maxCandidates = 4;
+    engine.verdictRecord(bigTest(), ModelParams::base(), budget);
+    EXPECT_EQ(engine.liveCandidates(), 0u);
+    EXPECT_EQ(engine.candidatesEnumerated(), 4u);
+    engine.verdictRecord(bigTest(), ModelParams::base(), budget);
+    EXPECT_EQ(engine.candidatesEnumerated(), 8u);
+}
+
+TEST(EngineBudget, BudgetedVerdictMatchesRecord)
+{
+    engine::Engine engine(plainConfig(1));
+    engine::Budget budget;
+    budget.maxCandidates = 2;
+    CheckResult res =
+        engine.verdict(bigTest(), ModelParams::base(), budget);
+    EXPECT_FALSE(res.complete());
+    EXPECT_EQ(res.exhaustedAxis, "candidates");
+    EXPECT_FALSE(res.observable);
+}
+
+// ---------------------------------------------------------------------
+// Verdict cache: crash safety
+// ---------------------------------------------------------------------
+
+engine::VerdictKey
+sampleKey()
+{
+    return engine::VerdictKey::make(bigTest(), ModelParams::base());
+}
+
+engine::CachedVerdict
+sampleVerdict()
+{
+    engine::CachedVerdict value;
+    value.observable = true;
+    value.candidates = 123;
+    value.consistent = 45;
+    value.witnesses = 6;
+    return value;
+}
+
+/** Path of the one on-disk entry under @p dir. */
+fs::path
+onlyEntry(const std::string &dir)
+{
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() == ".rexv")
+            return entry.path();
+    }
+    return {};
+}
+
+TEST(CacheCrashSafety, FlippedByteIsDetectedEvictedAndMissed)
+{
+    const std::string dir = scratchDir("corrupt");
+    {
+        engine::VerdictCache cache(true, dir);
+        cache.store(sampleKey(), sampleVerdict());
+    }
+    fs::path path = onlyEntry(dir);
+    ASSERT_FALSE(path.empty());
+
+    // Flip one byte in the payload.
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    ASSERT_GT(bytes.size(), 40u);
+    bytes[bytes.size() - 5] ^= 0x20;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    engine::VerdictCache fresh(true, dir);
+    EXPECT_FALSE(fresh.lookup(sampleKey()).has_value());
+    EXPECT_EQ(fresh.corruptEvictions(), 1u);
+    EXPECT_EQ(fresh.misses(), 1u);
+    // The damaged entry is deleted, not retried forever.
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(CacheCrashSafety, TruncatedEntryIsDetectedAndEvicted)
+{
+    const std::string dir = scratchDir("torn");
+    {
+        engine::VerdictCache cache(true, dir);
+        cache.store(sampleKey(), sampleVerdict());
+    }
+    fs::path path = onlyEntry(dir);
+    ASSERT_FALSE(path.empty());
+    fs::resize_file(path, fs::file_size(path) / 2);
+
+    engine::VerdictCache fresh(true, dir);
+    EXPECT_FALSE(fresh.lookup(sampleKey()).has_value());
+    EXPECT_EQ(fresh.corruptEvictions(), 1u);
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(CacheCrashSafety, InjectedTornWriteIsRejectedOnLoad)
+{
+    FaultGuard guard;
+    const std::string dir = scratchDir("fault_write");
+    {
+        engine::VerdictCache cache(true, dir);
+        engine::faultInjector().configure("cache-write:1.0:7");
+        cache.store(sampleKey(), sampleVerdict());
+        EXPECT_GT(engine::faultInjector().injected(
+                      engine::FaultPoint::CacheWrite),
+                  0u);
+        engine::faultInjector().configure("");  // resets the counters
+        // The writer's own in-memory table still serves the verdict.
+        EXPECT_TRUE(cache.lookup(sampleKey()).has_value());
+    }
+
+    // A later process sees the torn file: checksum rejects it.
+    engine::VerdictCache fresh(true, dir);
+    EXPECT_FALSE(fresh.lookup(sampleKey()).has_value());
+    EXPECT_EQ(fresh.corruptEvictions(), 1u);
+}
+
+TEST(CacheCrashSafety, InjectedReadFaultIsAMissNotAnEviction)
+{
+    FaultGuard guard;
+    const std::string dir = scratchDir("fault_read");
+    {
+        engine::VerdictCache cache(true, dir);
+        cache.store(sampleKey(), sampleVerdict());
+    }
+    fs::path path = onlyEntry(dir);
+    ASSERT_FALSE(path.empty());
+
+    engine::VerdictCache fresh(true, dir);
+    engine::faultInjector().configure("cache-read:1.0:7");
+    EXPECT_FALSE(fresh.lookup(sampleKey()).has_value());
+    engine::faultInjector().configure("");
+    // A transient read failure must not delete the (healthy) entry.
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_EQ(fresh.corruptEvictions(), 0u);
+    std::optional<engine::CachedVerdict> value =
+        fresh.lookup(sampleKey());
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->candidates, 123u);
+}
+
+// ---------------------------------------------------------------------
+// Degraded modes: sink, pool
+// ---------------------------------------------------------------------
+
+TEST(FaultDegradation, SinkWriteFaultDropsAndCounts)
+{
+    FaultGuard guard;
+    const std::string path =
+        scratchDir("sink") + "/results.jsonl";
+    engine::ResultsSink sink;
+    sink.open(path);
+    engine::JobRecord record;
+    record.test = "t";
+    record.variant = "base";
+    record.verdict = "Allowed";
+
+    engine::faultInjector().configure("sink-write:1.0:3");
+    sink.append(record);
+    engine::faultInjector().configure("");
+    sink.append(record);
+    sink.close();
+
+    EXPECT_EQ(sink.droppedRecords(), 1u);
+    EXPECT_EQ(sink.records(), 1u);
+    std::ifstream in(path);
+    std::string line, last;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        if (!line.empty()) {
+            ++lines;
+            last = line;
+        }
+    }
+    // The dropped record never reached the file, and the survivor is a
+    // whole line — no torn output.
+    EXPECT_EQ(lines, 1u);
+    EXPECT_NE(last.find("\"verdict\":\"Allowed\""), std::string::npos);
+}
+
+TEST(FaultDegradation, PoolSpawnFaultRunsTasksInline)
+{
+    FaultGuard guard;
+    engine::faultInjector().configure("pool-spawn:1.0:5");
+    engine::ThreadPool pool(2);
+    std::atomic<int> sum{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 1; i <= 50; ++i)
+        futures.push_back(pool.submit([&sum, i] { sum += i; return i; }));
+    for (int i = 1; i <= 50; ++i)
+        EXPECT_EQ(futures[i - 1].get(), i);
+    EXPECT_EQ(sum.load(), 50 * 51 / 2);
+    EXPECT_GT(
+        engine::faultInjector().injected(engine::FaultPoint::PoolSpawn),
+        0u);
+}
+
+TEST(FaultDegradation, BudgetedCheckSurvivesPoolSpawnFault)
+{
+    FaultGuard guard;
+    const LitmusTest &test = bigTest();
+    const ModelParams params = ModelParams::base();
+    CheckResult full = checkTest(test, params, false, false);
+
+    engine::faultInjector().configure("pool-spawn:0.5:11");
+    engine::ThreadPool pool(4);
+    CheckResult degraded =
+        checkTest(test, params, false, false, &pool);
+    engine::faultInjector().configure("");
+    EXPECT_EQ(degraded.candidates, full.candidates);
+    EXPECT_EQ(degraded.consistent, full.consistent);
+    EXPECT_EQ(degraded.observable, full.observable);
+}
+
+// ---------------------------------------------------------------------
+// The fault injector itself
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, UnarmedNeverFails)
+{
+    FaultGuard guard;
+    engine::faultInjector().configure("");
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(engine::faultInjector().shouldFail(
+            engine::FaultPoint::SinkWrite));
+    }
+}
+
+TEST(FaultInjector, DecisionSequenceIsDeterministic)
+{
+    FaultGuard guard;
+    auto sequence = [] {
+        std::vector<bool> out;
+        for (int i = 0; i < 64; ++i) {
+            out.push_back(engine::faultInjector().shouldFail(
+                engine::FaultPoint::SockSend));
+        }
+        return out;
+    };
+    engine::faultInjector().configure("sock-send:0.5:42");
+    std::vector<bool> first = sequence();
+    engine::faultInjector().configure("sock-send:0.5:42");
+    std::vector<bool> second = sequence();
+    EXPECT_EQ(first, second);
+    // ~0.5 probability: both outcomes appear in 64 draws.
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+    EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+    // A different seed yields a different sequence.
+    engine::faultInjector().configure("sock-send:0.5:43");
+    EXPECT_NE(sequence(), first);
+}
+
+TEST(FaultInjector, ProbabilityOneAlwaysProbabilityZeroNever)
+{
+    FaultGuard guard;
+    engine::faultInjector().configure("cache-read:1.0:1");
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_TRUE(engine::faultInjector().shouldFail(
+            engine::FaultPoint::CacheRead));
+    }
+    EXPECT_EQ(
+        engine::faultInjector().checked(engine::FaultPoint::CacheRead),
+        32u);
+    EXPECT_EQ(
+        engine::faultInjector().injected(engine::FaultPoint::CacheRead),
+        32u);
+    engine::faultInjector().configure("cache-read:0.0:1");
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_FALSE(engine::faultInjector().shouldFail(
+            engine::FaultPoint::CacheRead));
+    }
+}
+
+TEST(FaultInjector, MalformedClausesAreSkipped)
+{
+    FaultGuard guard;
+    engine::faultInjector().configure(
+        "nonsense:1.0:1,cache-write:not-a-number:2,sock-send:1.0:3");
+    EXPECT_FALSE(
+        engine::faultInjector().armed(engine::FaultPoint::CacheWrite));
+    EXPECT_TRUE(
+        engine::faultInjector().armed(engine::FaultPoint::SockSend));
+}
+
+// ---------------------------------------------------------------------
+// Client retry backoff arithmetic
+// ---------------------------------------------------------------------
+
+TEST(RetryBackoff, GrowsExponentiallyWithinJitterBounds)
+{
+    server::RetryPolicy policy;
+    policy.initialDelayMs = 100;
+    policy.maxDelayMs = 2000;
+    // Attempt k's nominal delay is 100 * 2^(k-1), +-25% jitter.
+    for (int attempt = 1; attempt <= 4; ++attempt) {
+        const int nominal = 100 << (attempt - 1);
+        const int delay = server::retryDelayMs(policy, attempt, 0);
+        EXPECT_GE(delay, nominal * 3 / 4);
+        EXPECT_LE(delay, nominal * 5 / 4);
+    }
+}
+
+TEST(RetryBackoff, CapsAtMaxDelay)
+{
+    server::RetryPolicy policy;
+    policy.initialDelayMs = 100;
+    policy.maxDelayMs = 500;
+    const int delay = server::retryDelayMs(policy, 10, 0);
+    EXPECT_LE(delay, 500 * 5 / 4);
+    EXPECT_GE(delay, 500 * 3 / 4);
+}
+
+TEST(RetryBackoff, RetryAfterIsAFloorNeverShortened)
+{
+    server::RetryPolicy policy;
+    policy.initialDelayMs = 100;
+    EXPECT_GE(server::retryDelayMs(policy, 1, 10), 10000);
+    // A Retry-After below the computed backoff changes nothing.
+    const int base = server::retryDelayMs(policy, 5, 0);
+    EXPECT_EQ(server::retryDelayMs(policy, 5, 0), base);
+    EXPECT_GE(server::retryDelayMs(policy, 5, 1), base);
+}
+
+TEST(RetryBackoff, JitterIsDeterministicPerSeed)
+{
+    server::RetryPolicy a;
+    a.jitterSeed = 7;
+    server::RetryPolicy b;
+    b.jitterSeed = 7;
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+        EXPECT_EQ(server::retryDelayMs(a, attempt, 0),
+                  server::retryDelayMs(b, attempt, 0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory tracking
+// ---------------------------------------------------------------------
+
+TEST(MemTrack, AddAndSubBalance)
+{
+    const std::uint64_t before = memtrack::currentBytes();
+    memtrack::add(4096);
+    EXPECT_EQ(memtrack::currentBytes(), before + 4096);
+    memtrack::sub(4096);
+    EXPECT_EQ(memtrack::currentBytes(), before);
+}
+
+} // namespace
+} // namespace rex

@@ -14,10 +14,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "base/logging.hh"
 #include "base/strings.hh"
@@ -91,8 +97,35 @@ stabilise(const std::string &line)
     record.runs = num("runs");
     record.observed = num("observed");
     record.forbidding = str("forbidding");
+    record.exhaustedAxis = str("exhausted_axis");
+    record.stage = str("stage");
     return record.toJson();
 }
+
+/**
+ * An adversarial litmus test: twelve independent loads over four
+ * locations with two writers each blow the candidate space up to
+ * ~8.5M, several seconds of full enumeration — the shape of request a
+ * deadline budget exists to bound. The condition is unsatisfiable, so
+ * stop_at_first never short-circuits the enumeration.
+ */
+const char *kAdversarialTest =
+    "AArch64 BigRF\n"
+    "{ x=0; y=0; z=0; w=0;\n"
+    "  0:X1=x; 0:X3=y; 0:X5=z; 0:X7=w;\n"
+    "  1:X1=x; 1:X3=y; 1:X5=z; 1:X7=w;\n"
+    "  2:X1=x; 2:X3=y; 2:X5=z; 2:X7=w;\n"
+    "  3:X1=x; 3:X3=y; 3:X5=z; 3:X7=w; }\n"
+    " P0          | P1          | P2          | P3          ;\n"
+    " MOV W0,#1   | MOV W0,#2   | LDR W0,[X1] | LDR W0,[X7] ;\n"
+    " STR W0,[X1] | STR W0,[X1] | LDR W2,[X3] | LDR W2,[X5] ;\n"
+    " MOV W2,#1   | MOV W2,#2   | LDR W4,[X5] | LDR W4,[X3] ;\n"
+    " STR W2,[X3] | STR W2,[X3] | LDR W6,[X7] | LDR W6,[X1] ;\n"
+    " MOV W4,#1   | MOV W4,#2   | LDR W8,[X1] | LDR W8,[X3] ;\n"
+    " STR W4,[X5] | STR W4,[X5] | LDR W9,[X3] | LDR W9,[X5] ;\n"
+    " MOV W6,#1   | MOV W6,#2   |             |             ;\n"
+    " STR W6,[X7] | STR W6,[X7] |             |             ;\n"
+    "exists (2:X0=7 /\\ 2:X2=7)\n";
 
 // ---------------------------------------------------------------------
 // JSON parser
@@ -211,6 +244,30 @@ TEST(CheckRequest, RejectsBadBodies)
         many += std::string(i ? "," : "") + "\"base\"";
     many += "]}";
     EXPECT_THROW(server::CheckRequest::fromJson(many), FatalError);
+}
+
+TEST(CheckRequest, ParsesAndValidatesBudgets)
+{
+    server::CheckRequest r = server::CheckRequest::fromJson(
+        "{\"test\": \"x\", \"deadline_ms\": 250, "
+        "\"max_candidates\": 9}");
+    EXPECT_EQ(r.deadlineMs, 250);
+    EXPECT_EQ(r.maxCandidates, 9);
+
+    server::CheckRequest none =
+        server::CheckRequest::fromJson("{\"test\": \"x\"}");
+    EXPECT_EQ(none.deadlineMs, 0);
+    EXPECT_EQ(none.maxCandidates, 0);
+
+    for (const char *bad : {
+             "{\"test\": \"x\", \"deadline_ms\": \"soon\"}",
+             "{\"test\": \"x\", \"deadline_ms\": -1}",
+             "{\"test\": \"x\", \"max_candidates\": 1.5}",
+             "{\"test\": \"x\", \"max_candidates\": -3}",
+         }) {
+        EXPECT_THROW(server::CheckRequest::fromJson(bad), FatalError)
+            << bad;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -437,6 +494,223 @@ TEST_F(LiveServer, MalformedJsonGets400)
     server::ClientResponse r = client().post("/check", "{oops");
     EXPECT_EQ(r.status, 400);
     EXPECT_NE(r.body.find("error"), std::string::npos);
+}
+
+TEST_F(LiveServer, AdversarialDeadlineIsBoundedWhileOthersUnaffected)
+{
+    // The acceptance bar: one client posts the adversarial test with a
+    // 200ms deadline and gets a structured exhausted_budget verdict in
+    // well under a second, while concurrent unbudgeted clients keep
+    // getting byte-identical verdicts throughout.
+    const std::vector<std::string> tests = {"SB+pos", "MP+dmb.sys",
+                                            "LB+pos", "SB+dmb.sys"};
+    std::vector<std::string> expected(tests.size());
+    engine::Engine direct{plainConfig()};
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        LitmusTest test = parseLitmus(
+            TestRegistry::instance().sourceText(tests[i]));
+        engine::JobRecord record =
+            direct.verdictRecord(test, ModelParams::base());
+        record.wallMicros = 0;
+        record.cacheHit = false;
+        expected[i] = record.toJson() + "\n";
+    }
+
+    std::atomic<int> failures{0};
+    std::vector<std::string> got(tests.size());
+    std::vector<std::thread> bystanders;
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        bystanders.emplace_back([&, i] {
+            try {
+                server::Client c("127.0.0.1", _server->port());
+                server::ClientResponse r = c.check(
+                    TestRegistry::instance().sourceText(tests[i]),
+                    {"base"});
+                if (r.status != 200) {
+                    ++failures;
+                    return;
+                }
+                got[i] = stabilise(trim(r.body)) + "\n";
+            } catch (...) {
+                ++failures;
+            }
+        });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    server::ClientResponse adversarial =
+        client().check(kAdversarialTest, {"base"}, 0, /*deadlineMs=*/200);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    for (std::thread &w : bystanders)
+        w.join();
+
+    ASSERT_EQ(adversarial.status, 200);
+    server::JsonValue record =
+        server::parseJson(trim(adversarial.body));
+    EXPECT_EQ(record.find("verdict")->string, "ExhaustedBudget");
+    ASSERT_NE(record.find("exhausted_axis"), nullptr);
+    EXPECT_EQ(record.find("exhausted_axis")->string, "deadline");
+    const std::string stage = record.find("stage")->string;
+    EXPECT_TRUE(stage == "traces" || stage == "plan" ||
+                stage == "enumerate" || stage == "merge")
+        << stage;
+    EXPECT_LT(elapsed.count(), 500);
+
+    ASSERT_EQ(failures.load(), 0);
+    for (std::size_t i = 0; i < tests.size(); ++i)
+        EXPECT_EQ(got[i], expected[i]) << tests[i];
+
+    std::string exposition = client().get("/metrics").body;
+    EXPECT_GE(metricValue(exposition,
+                          "rexd_budget_trips_total{axis=\"deadline\"}"),
+              1.0);
+    EXPECT_GE(
+        metricValue(exposition,
+                    "rexd_verdicts_total{verdict=\"exhausted_budget\"}"),
+        1.0);
+}
+
+TEST_F(LiveServer, CandidateCeilingTripIsDeterministicAndUncached)
+{
+    // max_candidates is the exactly-deterministic axis: the same
+    // budgeted request yields the same partial record every time, and
+    // exhausted verdicts never come from (or poison) the cache.
+    const std::string &text =
+        TestRegistry::instance().sourceText("MP+dmb.sys");
+    std::string first, second;
+    for (std::string *out : {&first, &second}) {
+        server::ClientResponse r = client().check(
+            text, {"base"}, 0, 0, /*maxCandidates=*/1);
+        ASSERT_EQ(r.status, 200);
+        server::JsonValue record = server::parseJson(trim(r.body));
+        EXPECT_EQ(record.find("verdict")->string, "ExhaustedBudget");
+        EXPECT_EQ(record.find("exhausted_axis")->string, "candidates");
+        EXPECT_EQ(record.find("candidates")->integer, 1);
+        EXPECT_FALSE(record.find("cache_hit")->boolean);
+        *out = stabilise(trim(r.body));
+    }
+    EXPECT_EQ(first, second);
+
+    // An unbudgeted check of the same test is unaffected by the
+    // exhausted runs and serves the full verdict.
+    server::ClientResponse full = client().check(text, {"base"});
+    ASSERT_EQ(full.status, 200);
+    EXPECT_EQ(server::parseJson(trim(full.body)).find("verdict")->string,
+              "Forbidden");
+}
+
+TEST(ServerBudgetCaps, CapsClampEveryRequestIncludingUnbudgeted)
+{
+    engine::Engine engine{plainConfig(1)};
+    server::ServerConfig config;
+    config.threads = 2;
+    config.maxCandidates = 1;  // server-wide ceiling
+    server::RexServer server(engine, config);
+    server.start();
+
+    const std::string &text =
+        TestRegistry::instance().sourceText("MP+dmb.sys");
+    server::Client c("127.0.0.1", server.port());
+
+    // A request asking for no budget at all is still capped...
+    server::ClientResponse unbudgeted = c.check(text, {"base"});
+    ASSERT_EQ(unbudgeted.status, 200);
+    server::JsonValue record =
+        server::parseJson(trim(unbudgeted.body));
+    EXPECT_EQ(record.find("verdict")->string, "ExhaustedBudget");
+    EXPECT_EQ(record.find("candidates")->integer, 1);
+
+    // ...and a request asking for more than the cap is clamped down.
+    server::ClientResponse greedy =
+        c.check(text, {"base"}, 0, 0, /*maxCandidates=*/100);
+    ASSERT_EQ(greedy.status, 200);
+    EXPECT_EQ(server::parseJson(trim(greedy.body))
+                  .find("candidates")
+                  ->integer,
+              1);
+
+    server.requestDrain();
+    server.join();
+}
+
+TEST(ServerReadTimeout, SlowLorisGets408AndIsCountedDistinctly)
+{
+    engine::Engine engine{plainConfig(1)};
+    server::ServerConfig config;
+    config.threads = 1;
+    config.limits.ioTimeoutSeconds = 1;
+    server::RexServer server(engine, config);
+    server.start();
+
+    // Open a connection, send half a request line, and stall: the
+    // per-socket read timeout must answer 408 (not 400) and count it
+    // in both the response and read-timeout counters.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char *partial = "POST /check HT";
+    ASSERT_EQ(::send(fd, partial, std::strlen(partial), 0),
+              static_cast<ssize_t>(std::strlen(partial)));
+
+    std::string reply;
+    char chunk[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        reply.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+    EXPECT_NE(reply.find("HTTP/1.1 408"), std::string::npos) << reply;
+
+    server.requestDrain();
+    server.join();
+    EXPECT_EQ(server.metrics().responses408.load(), 1u);
+    EXPECT_EQ(server.metrics().readTimeouts.load(), 1u);
+    EXPECT_EQ(server.metrics().responses400.load(), 0u);
+}
+
+TEST(ClientRetry, TransportErrorsAreRetriedWithBackoff)
+{
+    // Port 1 refuses immediately; three attempts must sleep through
+    // two backoff rounds (~40ms + ~80ms, +-25% jitter) before the
+    // final failure surfaces.
+    server::Client c("127.0.0.1", 1);
+    server::RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.initialDelayMs = 40;
+    policy.totalDeadlineMs = 10000;
+    c.setRetryPolicy(policy);
+
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(c.get("/healthz"), FatalError);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    EXPECT_GE(elapsed.count(), 90);  // 30 + 60: both floors of the jitter
+}
+
+TEST(ClientRetry, TotalDeadlineShortCircuitsTheSleep)
+{
+    server::Client c("127.0.0.1", 1);
+    server::RetryPolicy policy;
+    policy.maxAttempts = 10;
+    policy.initialDelayMs = 500;
+    policy.totalDeadlineMs = 100;  // first backoff would overrun it
+    c.setRetryPolicy(policy);
+
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(c.get("/healthz"), FatalError);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    EXPECT_LT(elapsed.count(), 400);
 }
 
 TEST(ServerBackpressure, FullQueueShedsWith503)
