@@ -16,10 +16,15 @@
  *
  * Usage:
  *   bench_suite_matrix [--jobs N] [--results PATH] [--cache-dir DIR]
- *                      [--no-cache]
+ *                      [--no-cache] [--isolate N]
  *
  * Defaults: --jobs from REX_JOBS (else hardware concurrency), results
  * to suite_matrix.jsonl, cache under .rex-cache/.
+ *
+ * --isolate N runs each cache-missing check in one of N supervised
+ * worker processes (engine/supervisor.hh): a crash in one test's
+ * enumeration becomes a CrashedWorker record instead of killing the
+ * whole matrix run. Verdicts are identical either way.
  */
 
 #include <cstdio>
@@ -34,6 +39,8 @@ main(int argc, char **argv)
 
     // An interrupted matrix run keeps the verdict records proved so far.
     engine::installFlushOnExitSignals();
+    // A fatal signal names the test/variant/stage it hit on stderr.
+    engine::installCrashAttributionHandler();
 
     engine::EngineConfig config = engine::EngineConfig::fromEnv();
     if (config.resultsPath.empty())
@@ -55,10 +62,15 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[arg], "--no-cache") == 0) {
             config.cacheEnabled = false;
             config.cacheDir.clear();
+        } else if (std::strcmp(argv[arg], "--isolate") == 0 &&
+                   arg + 1 < argc) {
+            config.workers =
+                static_cast<unsigned>(std::strtoul(argv[++arg], nullptr,
+                                                   10));
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--results PATH] "
-                         "[--cache-dir DIR] [--no-cache]\n",
+                         "[--cache-dir DIR] [--no-cache] [--isolate N]\n",
                          argv[0]);
             return 2;
         }

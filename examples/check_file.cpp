@@ -87,6 +87,8 @@ main(int argc, char **argv)
 
     // ^C mid-run keeps the JSONL records already proved.
     engine::installFlushOnExitSignals();
+    // A fatal signal names the test/variant/stage it hit on stderr.
+    engine::installCrashAttributionHandler();
 
     if (argc < 2) {
         std::fprintf(stderr,

@@ -24,6 +24,9 @@
  *                         server's Retry-After, capped exponential
  *   --retry-deadline-ms N give up retrying past this wall time (default
  *                         15000)
+ *   --retry-crashed also retry 200 responses carrying a CrashedWorker
+ *                   verdict (the respawned worker gets a fresh chance);
+ *                   Quarantined responses are never retried
  *   --stable        normalise the JSONL output for diffing: zero the
  *                   schedule-dependent wall_us and cache_hit fields
  *   --direct        skip the network and run the request through an
@@ -112,6 +115,8 @@ stabiliseLine(const std::string &line)
     record.forbidding = str("forbidding");
     record.exhaustedAxis = str("exhausted_axis");
     record.stage = str("stage");
+    record.workerSignal = str("signal");
+    record.crashes = num("crashes");
     record.wallMicros = 0;
     record.cacheHit = false;
     return record.toJson();
@@ -147,8 +152,9 @@ usage(const char *argv0)
                  "[--sleep-ms N]\n"
                  "          [--deadline-ms N] [--max-candidates N] "
                  "[--retries N]\n"
-                 "          [--retry-deadline-ms N] [--stable] [--direct] "
-                 "(FILE.litmus | --builtin NAME | -)\n"
+                 "          [--retry-deadline-ms N] [--retry-crashed] "
+                 "[--stable] [--direct]\n"
+                 "          (FILE.litmus | --builtin NAME | -)\n"
                  "       %s [--host H] [--port P] --metrics | --health\n"
                  "       %s [--host H] [--port P] --post PATH   "
                  "(body on stdin)\n",
@@ -171,6 +177,7 @@ main(int argc, char **argv)
     long long maxCandidates = 0;
     int retries = 1;
     int retryDeadlineMs = 15000;
+    bool retryCrashed = false;
     bool stable = false;
     bool direct = false;
     bool wantMetrics = false;
@@ -202,6 +209,8 @@ main(int argc, char **argv)
             retries = std::atoi(value().c_str());
         } else if (arg == "--retry-deadline-ms") {
             retryDeadlineMs = std::atoi(value().c_str());
+        } else if (arg == "--retry-crashed") {
+            retryCrashed = true;
         } else if (arg == "--stable") {
             stable = true;
         } else if (arg == "--direct") {
@@ -230,6 +239,7 @@ main(int argc, char **argv)
             server::RetryPolicy policy;
             policy.maxAttempts = retries;
             policy.totalDeadlineMs = retryDeadlineMs;
+            policy.retryCrashed = retryCrashed;
             client.setRetryPolicy(policy);
         }
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Crash-containment smoke test (docs/SERVER.md, src/engine/supervisor.hh):
+# run rexd with process-isolated workers, kill -9 the worker processes
+# mid-burst from outside, and assert the daemon keeps serving — every
+# non-crashed verdict byte-identical to the golden records, every killed
+# worker accounted for as a CrashedWorker record and on /metrics, and
+# the slots respawned.
+#
+# Every step runs under a watchdog `timeout`; a supervision bug that
+# wedges a request is exactly what this script exists to catch.
+#
+# Usage: scripts/crash_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD=${1:-build}
+REXD="$BUILD/src/rexd"
+CLIENT="$BUILD/examples/example_rex_client"
+PORT=${REXD_CRASH_SMOKE_PORT:-18673}
+WATCHDOG=${REXD_CRASH_SMOKE_TIMEOUT:-120}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+TESTS="SB+pos MP+dmb.sys LB+pos SB+dmb.sy+eret"
+ROUNDS=${REXD_CRASH_SMOKE_ROUNDS:-6}
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        "$CLIENT" --port "$1" --health >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "rexd on port $1 never became healthy" >&2
+    return 1
+}
+
+metric() {  # metric NAME FILE -> value (0 when absent)
+    awk -v name="$1" '$1 == name { print $2; found = 1 }
+                      END { if (!found) print 0 }' "$2"
+}
+
+# Golden verdicts from an in-process, unsupervised run.
+for t in $TESTS; do
+    timeout "$WATCHDOG" "$CLIENT" --direct --stable --builtin "$t" \
+        --variants paper > "$WORK/golden.$t"
+done
+
+# The daemon under test: supervised workers, no cache (every request
+# must actually reach a worker for the kills to have a target).
+"$REXD" --port "$PORT" --no-cache --workers 3 \
+    > "$WORK/rexd.log" 2>&1 &
+REXD_PID=$!
+wait_healthy "$PORT"
+
+workers() { pgrep -P "$REXD_PID" || true; }
+
+[ "$(workers | wc -l)" -eq 3 ] \
+    || { echo "expected 3 worker processes under rexd"; exit 1; }
+
+# --- The burst: clients hammer the daemon while workers are shot. ----
+# A killed worker may eat one in-flight request (an honest
+# CrashedWorker/SIGKILL record); everything answered with a real
+# verdict must match the golden bytes. The killer SIGKILLs every
+# current worker several times over, so respawn is exercised
+# repeatedly, mid-burst, not just once.
+for round in $(seq 1 "$ROUNDS"); do
+    for t in $TESTS; do
+        timeout "$WATCHDOG" "$CLIENT" --port "$PORT" --stable \
+            --builtin "$t" --variants paper \
+            --retries 6 --retry-crashed --retry-deadline-ms 60000 \
+            > "$WORK/burst.$round.$t" &
+    done
+    sleep 0.05
+    # shellcheck disable=SC2046
+    kill -9 $(workers) 2>/dev/null || true
+    wait $(jobs -p | grep -v "^$REXD_PID$") 2>/dev/null || true
+done
+
+kill -0 "$REXD_PID" || { echo "rexd died during the burst"; exit 1; }
+wait_healthy "$PORT"
+
+crashed=0
+for round in $(seq 1 "$ROUNDS"); do
+    for t in $TESTS; do
+        out="$WORK/burst.$round.$t"
+        if grep -q '"verdict":"CrashedWorker"' "$out"; then
+            # The retrying client exhausted its attempts into a kill
+            # each time: allowed, but it must say SIGKILL, not wedge.
+            grep -q '"signal":"SIGKILL"' "$out" \
+                || { echo "crashed record without SIGKILL: $out"
+                     cat "$out"; exit 1; }
+            crashed=$((crashed + 1))
+        else
+            diff "$WORK/golden.$t" "$out" \
+                || { echo "verdict mismatch after kills: $out"; exit 1; }
+        fi
+    done
+done
+
+# --- Afterwards: fresh workers serve every verdict correctly. --------
+for t in $TESTS; do
+    timeout "$WATCHDOG" "$CLIENT" --port "$PORT" --stable \
+        --builtin "$t" --variants paper > "$WORK/after.$t"
+    diff "$WORK/golden.$t" "$WORK/after.$t" \
+        || { echo "verdict mismatch after recovery: $t"; exit 1; }
+done
+
+timeout "$WATCHDOG" "$CLIENT" --port "$PORT" --metrics \
+    > "$WORK/metrics.txt"
+crashes=$(metric rexd_worker_crashes_total "$WORK/metrics.txt")
+respawns=$(metric rexd_worker_respawns_total "$WORK/metrics.txt")
+live=$(metric rexd_workers_live "$WORK/metrics.txt")
+[ "${crashes%.*}" -ge "$ROUNDS" ] \
+    || { echo "expected >= $ROUNDS worker crashes, saw $crashes"; exit 1; }
+[ "${respawns%.*}" -ge "$ROUNDS" ] \
+    || { echo "expected >= $ROUNDS respawns, saw $respawns"; exit 1; }
+[ "${live%.*}" -eq 3 ] \
+    || { echo "expected 3 live workers after recovery, saw $live"; exit 1; }
+
+kill -TERM "$REXD_PID"; wait "$REXD_PID" || true
+
+echo "crash smoke: daemon survived $crashes worker kills" \
+     "($respawns respawns, $crashed requests answered CrashedWorker)," \
+     "verdicts identical"
+echo "crash smoke: OK"

@@ -9,6 +9,7 @@
 
 #include "axiomatic/enumerate.hh"
 #include "base/logging.hh"
+#include "engine/crashctx.hh"
 #include "engine/governor.hh"
 #include "engine/pool.hh"
 
@@ -146,6 +147,7 @@ checkSerial(CandidateEnumerator &enumerator, const LitmusTest &test,
             const ModelParams &params, bool stop_at_first,
             bool capture_witness, engine::Governor *governor)
 {
+    engine::crashContextSetStage("enumerate");
     if (governor)
         governor->noteStage("enumerate");
     StagedAccumulator acc{test, params, stop_at_first, capture_witness,
@@ -182,6 +184,7 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
              bool capture_witness, engine::ThreadPool &pool,
              engine::Governor *governor)
 {
+    engine::crashContextSetStage("plan");
     if (governor)
         governor->noteStage("plan");
     const std::vector<CandidateEnumerator::Shard> shards =
@@ -213,6 +216,7 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
         }
     };
 
+    engine::crashContextSetStage("enumerate");
     if (governor)
         governor->noteStage("enumerate");
     std::vector<std::future<void>> futures;
@@ -262,6 +266,7 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
     }
     for (std::future<void> &future : futures)
         future.get();
+    engine::crashContextSetStage("merge");
     if (governor)
         governor->noteStage("merge");
 
@@ -301,6 +306,7 @@ checkTest(const LitmusTest &test, const ModelParams &params,
     // speak the governor protocol; budgeted checks always run staged.
     if (!governor && envFlag("REX_NAIVE_ENUM"))
         return checkTestNaive(test, params, stop_at_first, capture_witness);
+    engine::crashContextSetStage("traces");
     if (governor)
         governor->noteStage("traces");
     CandidateEnumerator enumerator(test,

@@ -5,10 +5,27 @@
 #include <thread>
 
 #include "base/logging.hh"
+#include "engine/crashctx.hh"
 
 namespace rex::engine {
 
 namespace {
+
+/** Parse a non-negative integer env var; @p fallback on absence or
+ *  malformation (with a warning). */
+std::uint64_t
+envUnsigned(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end && *end == '\0')
+        return parsed;
+    warn(std::string("ignoring malformed ") + name + "='" + env + "'");
+    return fallback;
+}
 
 unsigned
 resolveJobs(unsigned requested)
@@ -49,6 +66,12 @@ EngineConfig::fromEnv()
     }
     if (const char *results = std::getenv("REX_RESULTS"))
         config.resultsPath = results;
+    config.workers = static_cast<unsigned>(
+        envUnsigned("REX_WORKERS", config.workers));
+    config.crashQuarantine = static_cast<unsigned>(
+        envUnsigned("REX_CRASH_QUARANTINE", config.crashQuarantine));
+    config.killGraceMs = envUnsigned("REX_KILL_GRACE_MS",
+                                     config.killGraceMs);
     // jobs stays 0: resolved (REX_JOBS, then hardware concurrency) at
     // engine construction, so explicit EngineConfig{.jobs = n} wins.
     return config;
@@ -60,6 +83,15 @@ Engine::Engine(EngineConfig config)
       _cache(_config.cacheEnabled, _config.cacheDir,
              _config.cacheMaxBytes)
 {
+    // Workers fork before the pool spawns threads: the initial worker
+    // processes are forked from a single-threaded engine.
+    if (_config.workers > 0) {
+        SupervisorConfig supervision;
+        supervision.workers = _config.workers;
+        supervision.crashQuarantine = _config.crashQuarantine;
+        supervision.killGraceMs = _config.killGraceMs;
+        _supervisor = std::make_unique<Supervisor>(supervision);
+    }
     if (_jobs > 1)
         _pool = std::make_unique<ThreadPool>(_jobs);
     if (!_config.resultsPath.empty())
@@ -116,11 +148,57 @@ Engine::verdictCommon(const LitmusTest &test, const ModelParams &params,
     std::optional<CachedVerdict> cached = _cache.lookup(key);
     CachedVerdict verdict;
     bool exhausted = false;
+    std::string verdictOverride;
     if (cached) {
         // A cached verdict is a completed one, so it satisfies any
         // budget: budgeted requests are served from the cache too.
         verdict = *cached;
         record.cacheHit = true;
+    } else if (_supervisor && !test.sourceText.empty()) {
+        // Supervised mode: the check runs in a worker process, so a
+        // crash in enumeration costs this job, not this process. Only
+        // tests carrying their source text can ship across the process
+        // boundary; programmatic tests fall through to in-thread.
+        const SupervisedOutcome outcome =
+            _supervisor->run(test.sourceText, test.name, params.name(),
+                             key.hashHex(), budget);
+        verdict = outcome.verdict;
+        switch (outcome.kind) {
+          case SupervisedOutcome::Kind::Ok:
+            _candidatesTotal.fetch_add(verdict.candidates,
+                                       std::memory_order_relaxed);
+            // Worker verdicts are real verdicts: cached like in-thread
+            // ones (the worker re-derives the same pure function).
+            _cache.store(key, verdict);
+            break;
+          case SupervisedOutcome::Kind::Exhausted:
+            exhausted = true;
+            record.exhaustedAxis = outcome.exhaustedAxis;
+            record.stage = outcome.stage;
+            _candidatesTotal.fetch_add(verdict.candidates,
+                                       std::memory_order_relaxed);
+            break;
+          case SupervisedOutcome::Kind::Crashed:
+            // The worker died (or broke protocol) mid-job: a verdict
+            // for this request only, carrying the fatal signal and the
+            // partial progress read from the worker's status page.
+            verdictOverride = "CrashedWorker";
+            record.workerSignal = outcome.signal;
+            record.stage = outcome.stage;
+            record.crashes = outcome.crashes;
+            _candidatesTotal.fetch_add(verdict.candidates,
+                                       std::memory_order_relaxed);
+            break;
+          case SupervisedOutcome::Kind::Quarantined:
+            // The ledger refused to dispatch a repeat crasher; no
+            // worker was burned on it.
+            verdictOverride = "Quarantined";
+            record.workerSignal = outcome.signal;
+            record.crashes = outcome.crashes;
+            break;
+        }
+        // Crashed/Quarantined (like Exhausted) are never cached: they
+        // describe this execution, not the test's semantics.
     } else {
         // Witness-less, short-circuiting check: Allowed verdicts stop at
         // the first witnessing candidate. From the engine's own worker
@@ -129,6 +207,10 @@ Engine::verdictCommon(const LitmusTest &test, const ModelParams &params,
         // its futures); a direct caller gets intra-test sharding.
         ThreadPool *pool =
             ThreadPool::onWorkerThread() ? nullptr : _pool.get();
+        // Crash attribution for the in-thread path: if this check
+        // takes the process down, the fatal-signal handler (when the
+        // harness installed it) names the test it died in.
+        crashContextSetJob(test.name.c_str(), params.name().c_str());
         CheckResult result;
         if (budget && !budget->unlimited()) {
             Governor governor(*budget, nullptr, &_liveCandidates);
@@ -150,6 +232,7 @@ Engine::verdictCommon(const LitmusTest &test, const ModelParams &params,
             _candidatesTotal.fetch_add(result.candidates,
                                        std::memory_order_relaxed);
         }
+        crashContextClearJob();
         verdict = CachedVerdict::fromResult(result);
         // A partial result is not a verdict: caching it would poison
         // every future lookup of this key. A check that completed
@@ -159,9 +242,11 @@ Engine::verdictCommon(const LitmusTest &test, const ModelParams &params,
             _cache.store(key, verdict);
     }
 
-    record.verdict = exhausted
-                         ? "ExhaustedBudget"
-                         : (verdict.observable ? "Allowed" : "Forbidden");
+    record.verdict =
+        !verdictOverride.empty()
+            ? verdictOverride
+            : exhausted ? "ExhaustedBudget"
+                        : (verdict.observable ? "Allowed" : "Forbidden");
     record.candidates = verdict.candidates;
     record.consistent = verdict.consistent;
     record.witnesses = verdict.witnesses;

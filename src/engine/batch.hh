@@ -19,6 +19,12 @@
  *   REX_CACHE_DIR        on-disk persistence directory (".rex-cache")
  *   REX_CACHE_MAX_BYTES  on-disk cache byte cap; 0/unset = unlimited
  *   REX_RESULTS          JSONL results path
+ *   REX_WORKERS          supervised worker processes; 0/unset = run
+ *                        checks in-thread (the legacy path, default)
+ *   REX_CRASH_QUARANTINE crashes before a (test, variant) key is
+ *                        quarantined; 0 disables quarantine
+ *   REX_KILL_GRACE_MS    grace past the cooperative deadline before a
+ *                        supervised worker is SIGKILLed
  */
 
 #ifndef REX_ENGINE_BATCH_HH
@@ -38,6 +44,7 @@
 #include "engine/governor.hh"
 #include "engine/pool.hh"
 #include "engine/results.hh"
+#include "engine/supervisor.hh"
 #include "litmus/litmus.hh"
 
 namespace rex::engine {
@@ -62,7 +69,25 @@ struct EngineConfig {
     /** Model revision baked into cache keys. */
     std::string modelRevision = kModelRevision;
 
-    /** Defaults from REX_JOBS / REX_CACHE / REX_CACHE_DIR / REX_RESULTS. */
+    /**
+     * Supervised worker processes (engine/supervisor.hh): 0 = disabled,
+     * every check runs in-thread (the legacy path — byte-identical
+     * output to engines predating supervision). With workers > 0, each
+     * cache-missing check of a test that carries its source text runs
+     * in a pre-forked worker process; a worker crash yields a
+     * CrashedWorker verdict for that job only.
+     */
+    unsigned workers = 0;
+
+    /** Crashes of one (test, variant) key before quarantine; 0 = off.
+     *  Only meaningful with workers > 0. */
+    unsigned crashQuarantine = 3;
+
+    /** Grace past the cooperative deadline before SIGKILL (workers). */
+    std::uint64_t killGraceMs = 2000;
+
+    /** Defaults from REX_JOBS / REX_CACHE / REX_CACHE_DIR / REX_RESULTS
+     *  / REX_WORKERS / REX_CRASH_QUARANTINE / REX_KILL_GRACE_MS. */
     static EngineConfig fromEnv();
 };
 
@@ -78,6 +103,10 @@ class Engine
     const EngineConfig &config() const { return _config; }
     VerdictCache &cache() { return _cache; }
     ResultsSink &results() { return _sink; }
+
+    /** The worker-process supervisor; null when workers are disabled. */
+    Supervisor *supervisor() { return _supervisor.get(); }
+    const Supervisor *supervisor() const { return _supervisor.get(); }
 
     /**
      * Ordered parallel map: run fn(0) .. fn(count-1) across the pool and
@@ -155,15 +184,17 @@ class Engine
     candidatesEnumerated() const
     {
         return _candidatesTotal.load(std::memory_order_relaxed) +
-               _liveCandidates.load(std::memory_order_relaxed);
+               liveCandidates();
     }
 
-    /** Candidates admitted by budgeted checks currently in flight —
-     *  the enumeration-progress gauge. */
+    /** Candidates admitted by checks currently in flight — in-thread
+     *  budgeted checks plus busy supervised workers (their shared
+     *  status-page counters) — the enumeration-progress gauge. */
     std::uint64_t
     liveCandidates() const
     {
-        return _liveCandidates.load(std::memory_order_relaxed);
+        return _liveCandidates.load(std::memory_order_relaxed) +
+               (_supervisor ? _supervisor->liveCandidates() : 0);
     }
 
     /** Convenience wrapper over verdict(). */
@@ -190,6 +221,8 @@ class Engine
 
     EngineConfig _config;
     unsigned _jobs = 1;
+    /** Created before (so forked before) any engine thread exists. */
+    std::unique_ptr<Supervisor> _supervisor;
     std::unique_ptr<ThreadPool> _pool;
     VerdictCache _cache;
     ResultsSink _sink;

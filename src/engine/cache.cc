@@ -1,6 +1,7 @@
 #include "engine/cache.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -8,6 +9,10 @@
 #include <iterator>
 #include <sstream>
 #include <string_view>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include "base/logging.hh"
 #include "base/strings.hh"
@@ -30,6 +35,45 @@ fnv1a(std::uint64_t hash, std::string_view text)
 }
 
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/**
+ * RAII flock(2) on `<dir>/.lock`, serialising eviction scans and
+ * cap-trim deletions across *processes* sharing one cache directory
+ * (supervised workers, parallel harness invocations, the cache-hammer
+ * test). Entry reads and writes need no lock — O_EXCL temp files plus
+ * atomic rename already make them safe — but two processes scanning
+ * and deleting concurrently could double-delete or tally phantom
+ * bytes. Never nested (flock with a second fd would self-deadlock):
+ * take it before _diskMutex, at the call sites of scanDisk /
+ * trimToCapLocked only.
+ */
+class FlockGuard
+{
+  public:
+    explicit FlockGuard(const std::string &dir)
+    {
+        if (dir.empty())
+            return;
+        _fd = ::open((dir + "/.lock").c_str(),
+                     O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (_fd < 0)
+            return;
+        while (::flock(_fd, LOCK_EX) < 0 && errno == EINTR) {
+        }
+    }
+
+    ~FlockGuard()
+    {
+        if (_fd >= 0)
+            ::close(_fd);  // closing the fd releases the lock
+    }
+
+    FlockGuard(const FlockGuard &) = delete;
+    FlockGuard &operator=(const FlockGuard &) = delete;
+
+  private:
+    int _fd = -1;
+};
 
 void
 appendProgram(std::string &out, const char *tag, int tid,
@@ -177,6 +221,7 @@ VerdictCache::VerdictCache(bool enabled, std::string dir,
         }
     }
     if (_enabled && !_dir.empty()) {
+        FlockGuard dirLock(_dir);
         std::lock_guard<std::mutex> lock(_diskMutex);
         scanDisk();
         trimToCapLocked();
@@ -207,7 +252,7 @@ VerdictCache::scanDisk()
              std::filesystem::directory_iterator(_dir, ec)) {
         if (!entry.is_regular_file() ||
                 entry.path().extension() != ".rexv") {
-            continue;
+            continue;  // skips .lock and any in-flight .tmp files too
         }
         DiskEntry tracked;
         tracked.path = entry.path().string();
@@ -410,8 +455,6 @@ VerdictCache::writeToDisk(const VerdictKey &key,
 {
     static std::atomic<std::uint64_t> counter{0};
     std::string path = entryPath(key);
-    std::string tmp =
-        path + format(".tmp%" PRIu64, counter.fetch_add(1) + 1);
 
     std::string payload;
     payload += format("observable %d\n", value.observable ? 1 : 0);
@@ -444,15 +487,44 @@ VerdictCache::writeToDisk(const VerdictKey &key,
         // fsync can leave behind.
         entry.resize(entry.size() / 2);
     }
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
+    // The temp file is created O_EXCL under a name no other writer —
+    // thread OR process — can hold: pid disambiguates across processes
+    // (supervised workers, parallel harness runs on one directory),
+    // the counter across threads, and O_EXCL turns any residual
+    // collision (pid reuse over a crashed run's leftovers) into a
+    // retry instead of two writers interleaving into one file.
+    std::string tmp;
+    int fd = -1;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        tmp = path + format(".tmp%d.%" PRIu64,
+                            static_cast<int>(::getpid()),
+                            counter.fetch_add(1) + 1);
+        fd = ::open(tmp.c_str(),
+                    O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+        if (fd >= 0 || errno != EEXIST)
+            break;
+    }
+    if (fd < 0) {
+        warn("verdict cache: cannot write '" + tmp + "'");
+        return;
+    }
+    const char *data = entry.data();
+    std::size_t remaining = entry.size();
+    while (remaining > 0) {
+        const ssize_t wrote = ::write(fd, data, remaining);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
             warn("verdict cache: cannot write '" + tmp + "'");
             return;
         }
-        out.write(entry.data(),
-                  static_cast<std::streamsize>(entry.size()));
+        data += wrote;
+        remaining -= static_cast<std::size_t>(wrote);
     }
+    ::close(fd);
     // Atomic publication: concurrent writers of the same key race
     // benignly (identical content), and readers never see a torn file.
     std::error_code ec;
@@ -463,6 +535,11 @@ VerdictCache::writeToDisk(const VerdictKey &key,
         return;
     }
 
+    // Lock order: the cross-process flock strictly before _diskMutex
+    // (matching the constructor), only when a cap can actually trim.
+    std::optional<FlockGuard> dirLock;
+    if (_maxBytes != 0)
+        dirLock.emplace(_dir);
     std::lock_guard<std::mutex> lock(_diskMutex);
     DiskEntry tracked;
     tracked.path = path;

@@ -1,0 +1,178 @@
+#include "engine/crashctx.hh"
+
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <unistd.h>
+
+namespace rex::engine {
+
+namespace {
+
+thread_local CrashContext t_defaultContext;
+thread_local CrashContext *t_target = &t_defaultContext;
+
+/** Bounded, always-NUL-terminated copy into a fixed context field. */
+template <std::size_t N>
+void
+copyField(char (&dst)[N], const char *src)
+{
+    if (!src)
+        src = "";
+    std::size_t i = 0;
+    for (; i < N - 1 && src[i]; ++i)
+        dst[i] = src[i];
+    dst[i] = '\0';
+}
+
+/** Append @p text to the handler's stack buffer (async-signal-safe). */
+void
+append(char *buf, std::size_t cap, std::size_t &len, const char *text)
+{
+    while (*text && len < cap - 1)
+        buf[len++] = *text++;
+    buf[len] = '\0';
+}
+
+/** Append @p value in decimal (async-signal-safe, no snprintf). */
+void
+appendU64(char *buf, std::size_t cap, std::size_t &len,
+          std::uint64_t value)
+{
+    char digits[24];
+    std::size_t n = 0;
+    do {
+        digits[n++] = static_cast<char>('0' + value % 10);
+        value /= 10;
+    } while (value);
+    while (n && len < cap - 1)
+        buf[len++] = digits[--n];
+    buf[len] = '\0';
+}
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGILL,
+                                 SIGFPE};
+
+extern "C" void
+crashAttributionHandler(int sig)
+{
+    const CrashContext *ctx = t_target;
+    char line[320];
+    std::size_t len = 0;
+    append(line, sizeof(line), len, "rex: fatal ");
+    const char *name = fatalSignalName(sig);
+    if (name) {
+        append(line, sizeof(line), len, name);
+    } else {
+        append(line, sizeof(line), len, "signal ");
+        appendU64(line, sizeof(line), len,
+                  static_cast<std::uint64_t>(sig));
+    }
+    if (ctx->test[0]) {
+        append(line, sizeof(line), len, " in test '");
+        append(line, sizeof(line), len, ctx->test);
+        append(line, sizeof(line), len, "' variant '");
+        append(line, sizeof(line), len, ctx->variant);
+        append(line, sizeof(line), len, "'");
+    } else {
+        append(line, sizeof(line), len, " (no active engine job"
+                                        " on this thread)");
+    }
+    if (ctx->stage[0]) {
+        append(line, sizeof(line), len, " stage '");
+        append(line, sizeof(line), len, ctx->stage);
+        append(line, sizeof(line), len, "'");
+    }
+    const std::uint64_t candidates =
+        ctx->candidates.load(std::memory_order_relaxed);
+    if (candidates) {
+        append(line, sizeof(line), len, " after ");
+        appendU64(line, sizeof(line), len, candidates);
+        append(line, sizeof(line), len, " candidates");
+    }
+    append(line, sizeof(line), len, "\n");
+    [[maybe_unused]] ssize_t wrote =
+        ::write(STDERR_FILENO, line, len);
+
+    // Die for real: default disposition, unblocked, re-raised, so the
+    // exit status (and any supervisor's WTERMSIG) names this signal.
+    ::signal(sig, SIG_DFL);
+    sigset_t unblock;
+    sigemptyset(&unblock);
+    sigaddset(&unblock, sig);
+    ::sigprocmask(SIG_UNBLOCK, &unblock, nullptr);
+    ::raise(sig);
+}
+
+} // namespace
+
+CrashContext *
+crashContext()
+{
+    return t_target;
+}
+
+CrashContext *
+setCrashContextTarget(CrashContext *target)
+{
+    CrashContext *previous = t_target;
+    t_target = target ? target : &t_defaultContext;
+    return previous;
+}
+
+void
+crashContextSetJob(const char *test, const char *variant)
+{
+    CrashContext *ctx = t_target;
+    copyField(ctx->test, test);
+    copyField(ctx->variant, variant);
+    copyField(ctx->stage, "");
+    ctx->candidates.store(0, std::memory_order_relaxed);
+}
+
+void
+crashContextClearJob()
+{
+    crashContextSetJob("", "");
+}
+
+void
+crashContextSetStage(const char *stage)
+{
+    copyField(t_target->stage, stage);
+}
+
+const char *
+fatalSignalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGABRT: return "SIGABRT";
+      case SIGBUS:  return "SIGBUS";
+      case SIGILL:  return "SIGILL";
+      case SIGFPE:  return "SIGFPE";
+      case SIGKILL: return "SIGKILL";
+      case SIGTERM: return "SIGTERM";
+      case SIGINT:  return "SIGINT";
+      default:      return nullptr;
+    }
+}
+
+void
+installCrashAttributionHandler()
+{
+    static std::once_flag installed;
+    std::call_once(installed, [] {
+        struct sigaction action;
+        std::memset(&action, 0, sizeof(action));
+        action.sa_handler = crashAttributionHandler;
+        // SA_NODEFER is unnecessary: we re-raise after restoring
+        // SIG_DFL and explicitly unblocking, so the second delivery
+        // terminates even from inside the handler.
+        for (int sig : kFatalSignals)
+            ::sigaction(sig, &action, nullptr);
+    });
+}
+
+} // namespace rex::engine

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Crash attribution: which test was the process working on when it
+ * died?
+ *
+ * A segfault deep in candidate enumeration is useless without knowing
+ * which litmus test, variant, and pipeline stage triggered it. This
+ * module keeps a small plain-old-data CrashContext per thread — test
+ * name, variant, stage, and a live candidate counter — updated by the
+ * engine at job boundaries and by the checker at stage transitions,
+ * and provides a fatal-signal handler that prints it to stderr before
+ * re-raising, so even a non-isolated harness/CLI crash names its
+ * killer in the core dump's last stderr line.
+ *
+ * The context is deliberately a fixed-size POD with a lock-free
+ * counter: the supervised worker mode (engine/supervisor.hh) redirects
+ * a worker's context into a MAP_SHARED page, so the *parent* process
+ * can read the crash context post-mortem — the same struct serves the
+ * in-process handler and the cross-process supervisor.
+ *
+ * Attribution is per-thread: the thread that calls the engine knows
+ * test and variant; a pool worker thread sharding the same check only
+ * records the stage it reached. In the single-threaded supervised
+ * worker all updates land in one (shared) context, so attribution
+ * there is exact.
+ */
+
+#ifndef REX_ENGINE_CRASHCTX_HH
+#define REX_ENGINE_CRASHCTX_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace rex::engine {
+
+/**
+ * One thread's crash-attribution state. POD layout (fixed char
+ * arrays, a lock-free atomic counter) so an instance can live in a
+ * shared anonymous mapping written by a child process and read by its
+ * supervisor.
+ */
+struct CrashContext {
+    char test[128];
+    char variant[32];
+    char stage[16];
+
+    /** Candidates admitted so far; the Governor's live pointer target
+     *  in supervised workers. */
+    std::atomic<std::uint64_t> candidates{0};
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "CrashContext must work across a process boundary");
+
+/** The calling thread's active context (never null). */
+CrashContext *crashContext();
+
+/**
+ * Redirect this thread's context to @p target (e.g. a shared status
+ * page); null restores the thread's own default context. Returns the
+ * previous target.
+ */
+CrashContext *setCrashContextTarget(CrashContext *target);
+
+/** Record the active job: copies (truncating) test and variant, clears
+ *  stage, zeroes the candidate counter. */
+void crashContextSetJob(const char *test, const char *variant);
+
+/** Clear the active job (between engine jobs). */
+void crashContextClearJob();
+
+/** Record the pipeline stage ("traces", "plan", "enumerate", "merge");
+ *  bounded copy, cheap enough for per-shard calls. */
+void crashContextSetStage(const char *stage);
+
+/** Static name of a fatal signal ("SIGSEGV", ...); null if unknown. */
+const char *fatalSignalName(int sig);
+
+/**
+ * Install handlers for SIGSEGV/SIGABRT/SIGBUS/SIGILL/SIGFPE that write
+ * the crashing thread's context to stderr (async-signal-safe: a single
+ * write(2) of a stack-composed line) and then re-raise with the
+ * default disposition, so the process still dies with the conventional
+ * signal status (and supervisors still see WTERMSIG). Installing with
+ * sigaction also takes precedence over a sanitizer's own SEGV
+ * interception, which keeps death-by-signal observable under ASan.
+ * Idempotent.
+ */
+void installCrashAttributionHandler();
+
+} // namespace rex::engine
+
+#endif // REX_ENGINE_CRASHCTX_HH

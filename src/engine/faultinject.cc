@@ -25,6 +25,7 @@ constexpr std::size_t kPointCount =
 const char *const kPointNames[kPointCount] = {
     "cache-read", "cache-write", "sink-write",
     "pool-spawn", "sock-accept", "sock-send",
+    "worker-crash", "worker-hang",
 };
 
 int

@@ -16,7 +16,8 @@
  * e.g. REX_FAULT_SPEC="cache-write:1.0:7,sock-send:0.25:42"
  *
  * Points: cache-read, cache-write, sink-write, pool-spawn,
- * sock-accept, sock-send. Probability is in [0, 1]; seed is a uint64.
+ * sock-accept, sock-send, worker-crash, worker-hang. Probability is in
+ * [0, 1]; seed is a uint64.
  *
  * Determinism: each point keeps its own call counter k, and the k-th
  * call fails iff splitmix64(seed + k) maps below probability — the
@@ -37,6 +38,18 @@
  *   pool-spawn    task runs inline on the submitting thread
  *   sock-accept   accepted connection closed immediately
  *   sock-send     send fails -> peer sees a truncated response
+ *   worker-crash  supervised worker raises SIGSEGV mid-job ->
+ *                 CrashedWorker verdict, daemon unharmed
+ *   worker-hang   supervised worker spins without polling -> SIGKILLed
+ *                 at the hard deadline (deadline + kill grace)
+ *
+ * The worker-* points are consulted in the supervising PARENT at
+ * dispatch time (src/engine/supervisor.cc), and the decision travels to
+ * the worker in the job frame. Consulting them in the workers would
+ * break determinism: each fork()ed worker would carry its own copy of
+ * the injector with counters frozen at fork time, so every respawned
+ * worker would replay decision k=0 and the global decision sequence
+ * would depend on crash/respawn timing.
  */
 
 #ifndef REX_ENGINE_FAULTINJECT_HH
@@ -57,6 +70,8 @@ enum class FaultPoint : std::size_t {
     PoolSpawn,
     SockAccept,
     SockSend,
+    WorkerCrash,
+    WorkerHang,
     kCount,
 };
 

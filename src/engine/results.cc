@@ -61,6 +61,14 @@ JobRecord::toJson() const
                        jsonEscape(exhaustedAxis).c_str(),
                        jsonEscape(stage).c_str());
     }
+    // Supervision fields only when a worker crashed (CrashedWorker /
+    // Quarantined records): unsupervised runs keep the legacy schema.
+    if (!workerSignal.empty()) {
+        json += format(",\"signal\":\"%s\",\"stage\":\"%s\","
+                       "\"crashes\":%" PRIu64,
+                       jsonEscape(workerSignal).c_str(),
+                       jsonEscape(stage).c_str(), crashes);
+    }
     json += "}";
     return json;
 }

@@ -90,17 +90,32 @@ struct JobRecord {
      */
     std::string exhaustedAxis;
 
-    /** Pipeline stage reached when the budget tripped ("plan",
-     *  "enumerate", "merge"); empty for completed jobs. */
+    /** Pipeline stage reached when the budget tripped or the worker
+     *  crashed ("plan", "enumerate", "merge"); empty for completed
+     *  jobs. */
     std::string stage;
+
+    /**
+     * Fatal signal that killed the supervised worker ("SIGSEGV",
+     * "SIGKILL", "exit:N"); empty unless the verdict is CrashedWorker
+     * or Quarantined (then: the last crash's signal). Goes with
+     * partial count fields, like exhaustedAxis.
+     */
+    std::string workerSignal;
+
+    /** Crash-ledger count for this job's (test, variant) key; non-zero
+     *  only with verdict CrashedWorker or Quarantined. */
+    std::uint64_t crashes = 0;
 
     /**
      * Render as a single JSON object (no trailing newline).
      *
-     * The budget fields (exhausted_axis, stage) are the one exception
-     * to the every-record-carries-every-field rule: they are emitted
-     * only when exhaustedAxis is non-empty, so unbudgeted runs render
-     * byte-identically to the pre-governor schema.
+     * The budget fields (exhausted_axis, stage) and the supervision
+     * fields (signal, stage, crashes) are the exceptions to the
+     * every-record-carries-every-field rule: they are emitted only
+     * when exhaustedAxis / workerSignal is non-empty, so runs that
+     * never trip a budget or crash a worker render byte-identically
+     * to the pre-governor, pre-supervision schema.
      */
     std::string toJson() const;
 };

@@ -121,6 +121,15 @@ struct LitmusTest {
     std::string name;
     std::string description;
 
+    /**
+     * The verbatim text this test was parsed from (either format);
+     * empty for tests constructed programmatically. This is what makes
+     * a test re-parseable in another process: the engine's supervised
+     * (worker-pool) mode ships it over the job IPC instead of trying to
+     * serialise the parsed structure.
+     */
+    std::string sourceText;
+
     std::vector<LitmusThread> threads;
 
     /** Location names, indexed by LocationId. */

@@ -179,10 +179,14 @@ parseLitmus(const std::string &text)
     // Classic herdtools files ("AArch64 <name>" header) are dispatched
     // to the herd-format parser; everything else uses the native
     // sectioned format documented in this header.
-    if (looksLikeHerdFormat(text))
-        return parseHerdLitmus(text);
+    if (looksLikeHerdFormat(text)) {
+        LitmusTest herd = parseHerdLitmus(text);
+        herd.sourceText = text;
+        return herd;
+    }
 
     LitmusTest test;
+    test.sourceText = text;
 
     enum class Section { None, Thread, Handler };
     Section section = Section::None;

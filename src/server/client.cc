@@ -199,8 +199,22 @@ Client::roundTripWithRetry(const std::string &request)
         int delay = 0;
         try {
             ClientResponse response = roundTrip(request);
-            if (response.status != 503 || attempt == attempts)
+            // A 200 whose body reports a worker crash is retryable
+            // when the policy opts in: the respawned worker gets a
+            // fresh chance. Quarantined is final — the server will
+            // answer the same without running anything, so retrying
+            // only burns attempts (and the check below keeps a record
+            // mentioning both from looping: Quarantined wins).
+            const bool crashedBody =
+                _retry.retryCrashed && response.status == 200 &&
+                response.body.find("\"verdict\":\"CrashedWorker\"") !=
+                    std::string::npos &&
+                response.body.find("\"verdict\":\"Quarantined\"") ==
+                    std::string::npos;
+            if ((response.status != 503 && !crashedBody) ||
+                    attempt == attempts) {
                 return response;
+            }
             // Shed by backpressure: honour Retry-After as a floor on
             // the backoff.
             int retryAfterSeconds = 0;

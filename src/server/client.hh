@@ -58,6 +58,16 @@ struct RetryPolicy {
 
     /** Seed for the deterministic +-25% backoff jitter. */
     std::uint64_t jitterSeed = 0;
+
+    /**
+     * Also retry 200 responses whose body carries a CrashedWorker
+     * verdict (a supervised worker died mid-job — the respawned worker
+     * may well succeed). Off by default: a crash is an answer, and
+     * retrying it costs another worker. Quarantined verdicts are never
+     * retried — the server has already decided to stop dispatching
+     * that key, so a retry can only get the same answer back.
+     */
+    bool retryCrashed = false;
 };
 
 /**

@@ -119,6 +119,10 @@ Metrics::render(engine::Engine &engine) const
              verdictsForbidden.load());
     labelled("rexd_verdicts_total", "verdict=\"exhausted_budget\"",
              verdictsExhausted.load());
+    labelled("rexd_verdicts_total", "verdict=\"crashed_worker\"",
+             verdictsCrashed.load());
+    labelled("rexd_verdicts_total", "verdict=\"quarantined\"",
+             verdictsQuarantined.load());
 
     out += "# HELP rexd_budget_trips_total Per-job budget trips, "
            "by axis.\n"
@@ -159,6 +163,31 @@ Metrics::render(engine::Engine &engine) const
             "JSONL results records lost to sink write failures.",
             engine.results().droppedRecords());
 
+    // Supervision series render unconditionally (zeros with workers
+    // disabled) so dashboards need not branch on server configuration;
+    // only the per-signal breakdown is limited to observed signals.
+    const engine::Supervisor *supervisor = engine.supervisor();
+    out += "# HELP rexd_worker_crashes_total Supervised worker "
+           "crashes, by fatal signal.\n"
+           "# TYPE rexd_worker_crashes_total counter\n";
+    out += format("rexd_worker_crashes_total %" PRIu64 "\n",
+                  supervisor ? supervisor->crashes() : 0);
+    if (supervisor) {
+        for (const auto &[signal, count] :
+                 supervisor->crashesBySignal()) {
+            out += format("rexd_worker_crashes_total{signal=\"%s\"} %"
+                          PRIu64 "\n",
+                          signal.c_str(), count);
+        }
+    }
+    counter("rexd_worker_respawns_total",
+            "Worker processes re-forked after a death.",
+            supervisor ? supervisor->respawns() : 0);
+    counter("rexd_quarantined_total",
+            "Quarantined verdicts served without dispatching a "
+            "worker.",
+            supervisor ? supervisor->quarantinedServed() : 0);
+
     auto gauge = [&](const char *name, const char *help,
                      std::int64_t value) {
         out += format("# HELP %s %s\n# TYPE %s gauge\n%s %" PRId64 "\n",
@@ -180,6 +209,21 @@ Metrics::render(engine::Engine &engine) const
     gauge("rexd_enumeration_live_candidates",
           "Candidates admitted so far by budgeted checks in flight.",
           static_cast<std::int64_t>(engine.liveCandidates()));
+    gauge("rexd_workers_configured",
+          "Supervised worker slots (0 = supervision disabled).",
+          supervisor ? static_cast<std::int64_t>(supervisor->workers())
+                     : 0);
+    gauge("rexd_workers_live",
+          "Supervised worker processes currently alive.",
+          supervisor
+              ? static_cast<std::int64_t>(supervisor->liveWorkers())
+              : 0);
+    gauge("rexd_quarantined_keys",
+          "(test, variant) keys currently at the quarantine "
+          "threshold.",
+          supervisor
+              ? static_cast<std::int64_t>(supervisor->quarantinedKeys())
+              : 0);
 
     out += "# HELP rexd_stage_seconds Pipeline-stage latency.\n"
            "# TYPE rexd_stage_seconds histogram\n";

@@ -78,6 +78,8 @@ struct Metrics {
     std::atomic<std::uint64_t> verdictsAllowed{0};
     std::atomic<std::uint64_t> verdictsForbidden{0};
     std::atomic<std::uint64_t> verdictsExhausted{0};
+    std::atomic<std::uint64_t> verdictsCrashed{0};
+    std::atomic<std::uint64_t> verdictsQuarantined{0};
 
     /** Budget trips behind ExhaustedBudget verdicts, by axis. */
     std::atomic<std::uint64_t> budgetTripsDeadline{0};

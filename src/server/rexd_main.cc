@@ -14,6 +14,7 @@
  *        [--cache-dir DIR] [--cache-max-bytes N] [--no-cache]
  *        [--results PATH] [--max-body BYTES] [--io-timeout SECONDS]
  *        [--max-deadline-ms N] [--max-candidates N]
+ *        [--workers N] [--crash-quarantine N] [--kill-grace-ms N]
  *
  * Defaults: 127.0.0.1:8643, 4 handler threads, queue bound 64, engine
  * jobs from REX_JOBS (else hardware concurrency), cache settings from
@@ -24,6 +25,15 @@
  * --max-deadline-ms / --max-candidates cap every /check's resource
  * budget server-side: requests asking for more (or for no budget at
  * all) are clamped down to the caps. 0 (the default) imposes nothing.
+ *
+ * --workers N runs each cache-missing check in one of N supervised
+ * worker processes (engine/supervisor.hh): a crash in enumeration
+ * yields a CrashedWorker verdict for that request only, the daemon and
+ * concurrent requests unharmed. --crash-quarantine sets how many
+ * crashes a (test, variant) key survives before being answered
+ * Quarantined without dispatch; --kill-grace-ms how far past its
+ * cooperative deadline a worker may run before SIGKILL. Pair --workers
+ * with --max-deadline-ms so every job has a hard deadline.
  */
 
 #include <cerrno>
@@ -58,7 +68,8 @@ usage(const char *argv0)
         "            [--jobs N] [--cache-dir DIR] [--cache-max-bytes N]\n"
         "            [--no-cache] [--results PATH] [--max-body BYTES]\n"
         "            [--io-timeout SECONDS] [--max-deadline-ms N]\n"
-        "            [--max-candidates N]\n",
+        "            [--max-candidates N] [--workers N]\n"
+        "            [--crash-quarantine N] [--kill-grace-ms N]\n",
         argv0);
     std::exit(2);
 }
@@ -125,6 +136,15 @@ main(int argc, char **argv)
             config.maxDeadlineMs = numberArg(argc, argv, arg, argv[0]);
         } else if (std::strcmp(argv[arg], "--max-candidates") == 0) {
             config.maxCandidates = numberArg(argc, argv, arg, argv[0]);
+        } else if (std::strcmp(argv[arg], "--workers") == 0) {
+            engine_config.workers = static_cast<unsigned>(
+                numberArg(argc, argv, arg, argv[0]));
+        } else if (std::strcmp(argv[arg], "--crash-quarantine") == 0) {
+            engine_config.crashQuarantine = static_cast<unsigned>(
+                numberArg(argc, argv, arg, argv[0]));
+        } else if (std::strcmp(argv[arg], "--kill-grace-ms") == 0) {
+            engine_config.killGraceMs =
+                numberArg(argc, argv, arg, argv[0]);
         } else {
             usage(argv[0]);
         }
@@ -146,10 +166,10 @@ main(int argc, char **argv)
         server::RexServer server(engine, config);
         server.start();
         std::printf("rexd listening on %s:%u (threads=%u queue=%zu "
-                    "jobs=%u)\n",
+                    "jobs=%u workers=%u)\n",
                     server.config().host.c_str(), server.port(),
                     server.config().threads, server.config().maxQueue,
-                    engine.jobs());
+                    engine.jobs(), engine_config.workers);
         std::fflush(stdout);
 
         // Block until a drain signal arrives.

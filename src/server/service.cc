@@ -152,6 +152,10 @@ CheckService::runCheck(const CheckRequest &request)
         } else if (record.verdict == "ExhaustedBudget") {
             ++_metrics.verdictsExhausted;
             _metrics.countBudgetTrip(record.exhaustedAxis);
+        } else if (record.verdict == "CrashedWorker") {
+            ++_metrics.verdictsCrashed;
+        } else if (record.verdict == "Quarantined") {
+            ++_metrics.verdictsQuarantined;
         } else {
             ++_metrics.verdictsForbidden;
         }

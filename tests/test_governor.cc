@@ -15,19 +15,25 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "axiomatic/checker.hh"
 #include "base/memtrack.hh"
 #include "engine/batch.hh"
 #include "engine/cache.hh"
+#include "engine/crashctx.hh"
 #include "engine/faultinject.hh"
 #include "engine/governor.hh"
 #include "engine/pool.hh"
 #include "engine/results.hh"
+#include "engine/supervisor.hh"
 #include "litmus/registry.hh"
 #include "server/client.hh"
 
@@ -627,6 +633,318 @@ TEST(RetryBackoff, JitterIsDeterministicPerSeed)
         EXPECT_EQ(server::retryDelayMs(a, attempt, 0),
                   server::retryDelayMs(b, attempt, 0));
     }
+}
+
+// ---------------------------------------------------------------------
+// Supervised workers: crash containment, quarantine, hard deadlines
+// ---------------------------------------------------------------------
+
+/** A small builtin carrying its source text (any registry test does —
+ *  the registry parses them all from text). */
+const LitmusTest &
+smallTest()
+{
+    const LitmusTest &test = TestRegistry::instance().names().empty()
+        ? bigTest()
+        : TestRegistry::instance().get(
+              TestRegistry::instance().names().front());
+    EXPECT_FALSE(test.sourceText.empty());
+    return test;
+}
+
+engine::SupervisorConfig
+supervisorConfig(unsigned workers)
+{
+    engine::SupervisorConfig config;
+    config.workers = workers;
+    config.respawnBackoffMs = 5;  // keep crash-loop tests fast
+    config.respawnBackoffMaxMs = 50;
+    return config;
+}
+
+TEST(Supervisor, WorkerVerdictMatchesInThreadCheck)
+{
+    const LitmusTest &test = smallTest();
+    const ModelParams params = ModelParams::base();
+    const CheckResult direct = checkTest(test, params, true, false);
+
+    engine::Supervisor supervisor(supervisorConfig(2));
+    const engine::SupervisedOutcome outcome = supervisor.run(
+        test.sourceText, test.name, params.name(), "key-parity", nullptr);
+    ASSERT_EQ(outcome.kind, engine::SupervisedOutcome::Kind::Ok);
+    EXPECT_EQ(outcome.verdict.observable, direct.observable);
+    EXPECT_EQ(outcome.verdict.candidates, direct.candidates);
+    EXPECT_EQ(outcome.verdict.consistent, direct.consistent);
+    EXPECT_EQ(outcome.verdict.witnesses, direct.witnesses);
+    EXPECT_EQ(supervisor.crashes(), 0u);
+    EXPECT_EQ(supervisor.liveWorkers(), 2u);
+}
+
+TEST(Supervisor, InjectedCrashIsContainedAndTheSlotRespawns)
+{
+    FaultGuard guard;
+    const LitmusTest &test = smallTest();
+    engine::Supervisor supervisor(supervisorConfig(1));
+
+    engine::faultInjector().configure("worker-crash:1.0:7");
+    const engine::SupervisedOutcome crashed = supervisor.run(
+        test.sourceText, test.name, "base", "key-crash", nullptr);
+    engine::faultInjector().configure("");
+
+    ASSERT_EQ(crashed.kind, engine::SupervisedOutcome::Kind::Crashed);
+    EXPECT_EQ(crashed.signal, "SIGSEGV");
+    EXPECT_EQ(crashed.crashes, 1u);
+    EXPECT_EQ(supervisor.crashes(), 1u);
+
+    // The supervisor (this process) survived; the slot respawns and
+    // the next job of the same key succeeds.
+    const engine::SupervisedOutcome retried = supervisor.run(
+        test.sourceText, test.name, "base", "key-crash", nullptr);
+    ASSERT_EQ(retried.kind, engine::SupervisedOutcome::Kind::Ok);
+    EXPECT_GE(supervisor.respawns(), 1u);
+    const auto bySignal = supervisor.crashesBySignal();
+    ASSERT_EQ(bySignal.size(), 1u);
+    EXPECT_EQ(bySignal[0].first, "SIGSEGV");
+    EXPECT_EQ(bySignal[0].second, 1u);
+}
+
+TEST(Supervisor, QuarantineTripsAfterThresholdCrashes)
+{
+    FaultGuard guard;
+    const LitmusTest &test = smallTest();
+    engine::SupervisorConfig config = supervisorConfig(1);
+    config.crashQuarantine = 2;
+    engine::Supervisor supervisor(config);
+
+    engine::faultInjector().configure("worker-crash:1.0:7");
+    for (int crash = 0; crash < 2; ++crash) {
+        const engine::SupervisedOutcome outcome = supervisor.run(
+            test.sourceText, test.name, "base", "key-quar", nullptr);
+        ASSERT_EQ(outcome.kind,
+                  engine::SupervisedOutcome::Kind::Crashed);
+    }
+    // Third time: refused without dispatch — still refused after the
+    // injector is disarmed, because quarantine is about the ledger,
+    // not the fault.
+    engine::faultInjector().configure("");
+    const engine::SupervisedOutcome refused = supervisor.run(
+        test.sourceText, test.name, "base", "key-quar", nullptr);
+    ASSERT_EQ(refused.kind,
+              engine::SupervisedOutcome::Kind::Quarantined);
+    EXPECT_EQ(refused.signal, "SIGSEGV");
+    EXPECT_EQ(refused.crashes, 2u);
+    EXPECT_EQ(supervisor.quarantinedServed(), 1u);
+    EXPECT_EQ(supervisor.quarantinedKeys(), 1u);
+
+    // Other keys are unaffected.
+    const engine::SupervisedOutcome other = supervisor.run(
+        test.sourceText, test.name, "base", "key-other", nullptr);
+    EXPECT_EQ(other.kind, engine::SupervisedOutcome::Kind::Ok);
+}
+
+TEST(Supervisor, HangingWorkerIsKilledAtTheHardDeadline)
+{
+    FaultGuard guard;
+    const LitmusTest &test = smallTest();
+    engine::SupervisorConfig config = supervisorConfig(1);
+    config.killGraceMs = 300;
+    engine::Supervisor supervisor(config);
+
+    engine::Budget budget;
+    budget.deadlineMicros = 200 * 1000;
+
+    engine::faultInjector().configure("worker-hang:1.0:7");
+    const auto start = std::chrono::steady_clock::now();
+    const engine::SupervisedOutcome outcome = supervisor.run(
+        test.sourceText, test.name, "base", "key-hang", &budget);
+    engine::faultInjector().configure("");
+    const auto elapsedMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    ASSERT_EQ(outcome.kind, engine::SupervisedOutcome::Kind::Crashed);
+    EXPECT_EQ(outcome.signal, "SIGKILL");
+    // Killed no earlier than the cooperative deadline, and well within
+    // deadline + grace (plus slack for a loaded CI box).
+    EXPECT_GE(elapsedMs, 200);
+    EXPECT_LT(elapsedMs, 5000);
+    // A hang SIGKILL charges the ledger like any other crash.
+    EXPECT_EQ(outcome.crashes, 1u);
+}
+
+TEST(Supervisor, EngineEmitsCrashedWorkerRecordAndRecovers)
+{
+    FaultGuard guard;
+    const LitmusTest &test = smallTest();
+    engine::EngineConfig config = plainConfig(1);
+    config.workers = 1;
+    engine::Engine engine(config);
+
+    engine::faultInjector().configure("worker-crash:1.0:7");
+    engine::JobRecord crashed =
+        engine.verdictRecord(test, ModelParams::base());
+    engine::faultInjector().configure("");
+
+    EXPECT_EQ(crashed.verdict, "CrashedWorker");
+    EXPECT_EQ(crashed.workerSignal, "SIGSEGV");
+    EXPECT_EQ(crashed.crashes, 1u);
+    const std::string json = crashed.toJson();
+    EXPECT_NE(json.find("\"verdict\":\"CrashedWorker\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"signal\":\"SIGSEGV\""), std::string::npos);
+    EXPECT_NE(json.find("\"crashes\":1"), std::string::npos);
+
+    // Crashed results are never cached: the retry really re-checks,
+    // in a respawned worker, and succeeds.
+    engine::JobRecord retried =
+        engine.verdictRecord(test, ModelParams::base());
+    EXPECT_FALSE(retried.cacheHit);
+    EXPECT_TRUE(retried.verdict == "Allowed" ||
+                retried.verdict == "Forbidden");
+    EXPECT_TRUE(retried.workerSignal.empty());
+    EXPECT_EQ(retried.toJson().find("\"signal\""), std::string::npos);
+}
+
+TEST(Supervisor, SupervisedVerdictsMatchInThreadVerdictsAcrossRegistry)
+{
+    // A slice of the registry through both paths; records must agree
+    // field-for-field (JSONL modulo wall time and cache flag).
+    engine::EngineConfig inThread = plainConfig(1);
+    engine::Engine plain(inThread);
+    engine::EngineConfig isolated = plainConfig(1);
+    isolated.workers = 2;
+    engine::Engine supervised(isolated);
+
+    const TestRegistry &registry = TestRegistry::instance();
+    std::vector<std::string> names = registry.names();
+    names.resize(std::min<std::size_t>(names.size(), 10));
+    for (const std::string &name : names) {
+        const LitmusTest &test = registry.get(name);
+        engine::JobRecord a =
+            plain.verdictRecord(test, ModelParams::base());
+        engine::JobRecord b =
+            supervised.verdictRecord(test, ModelParams::base());
+        a.wallMicros = b.wallMicros = 0;
+        EXPECT_EQ(a.toJson(), b.toJson()) << name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash attribution (the fatal-signal handler)
+// ---------------------------------------------------------------------
+
+TEST(CrashContext, HandlerNamesTestVariantAndStageOnFatalSignal)
+{
+    int pipeFds[2];
+    ASSERT_EQ(::pipe(pipeFds), 0);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: route stderr into the pipe, set up attribution as the
+        // engine would, and die the way a checker bug would.
+        ::close(pipeFds[0]);
+        ::dup2(pipeFds[1], STDERR_FILENO);
+        engine::installCrashAttributionHandler();
+        engine::crashContextSetJob("MP+dmb+svc", "base");
+        engine::crashContextSetStage("enumerate");
+        std::raise(SIGSEGV);
+        ::_exit(0);  // unreachable
+    }
+    ::close(pipeFds[1]);
+    std::string stderrText;
+    char buffer[512];
+    ssize_t got = 0;
+    while ((got = ::read(pipeFds[0], buffer, sizeof(buffer))) > 0)
+        stderrText.append(buffer, static_cast<std::size_t>(got));
+    ::close(pipeFds[0]);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+    EXPECT_NE(stderrText.find("rex: fatal SIGSEGV"), std::string::npos)
+        << stderrText;
+    EXPECT_NE(stderrText.find("test 'MP+dmb+svc'"), std::string::npos);
+    EXPECT_NE(stderrText.find("variant 'base'"), std::string::npos);
+    EXPECT_NE(stderrText.find("stage 'enumerate'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Verdict cache: concurrent multi-process writers
+// ---------------------------------------------------------------------
+
+TEST(CacheMultiProcess, ConcurrentWritersProduceNoTornEntries)
+{
+    const std::string dir = scratchDir("hammer");
+    constexpr int kKeys = 48;
+    constexpr int kRounds = 40;
+
+    // Hand-built keys with deterministic per-key content, so whichever
+    // process wins any write race publishes identical bytes.
+    auto keyFor = [](int i) {
+        engine::VerdictKey key;
+        key.text = "hammer-key-" + std::to_string(i) + "\n";
+        key.hash = 0x1000 + static_cast<std::uint64_t>(i);
+        return key;
+    };
+    auto verdictFor = [](int i) {
+        engine::CachedVerdict value;
+        value.observable = (i % 2) == 0;
+        value.candidates = static_cast<std::uint64_t>(100 + i);
+        value.consistent = static_cast<std::uint64_t>(i);
+        return value;
+    };
+
+    // Two child processes hammer the same directory — with a byte cap
+    // low enough that both run the eviction trim continuously, the
+    // worst case for cross-process index races.
+    pid_t children[2];
+    for (pid_t &child : children) {
+        child = ::fork();
+        ASSERT_GE(child, 0);
+        if (child == 0) {
+            engine::VerdictCache mine(true, dir, 16 * 1024);
+            for (int round = 0; round < kRounds; ++round) {
+                for (int i = 0; i < kKeys; ++i)
+                    mine.store(keyFor(i), verdictFor(i));
+            }
+            ::_exit(0);
+        }
+    }
+    for (pid_t child : children) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(child, &status, 0), child);
+        ASSERT_TRUE(WIFEXITED(status));
+        ASSERT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    // A fresh cache over the survivors: every entry present must load
+    // clean (correct checksum AND correct content); evicted ones are
+    // plain misses. Zero corruption is the contract.
+    engine::VerdictCache fresh(true, dir);
+    int present = 0;
+    for (int i = 0; i < kKeys; ++i) {
+        std::optional<engine::CachedVerdict> loaded =
+            fresh.lookup(keyFor(i));
+        if (!loaded)
+            continue;
+        ++present;
+        EXPECT_EQ(loaded->observable, (i % 2) == 0);
+        EXPECT_EQ(loaded->candidates,
+                  static_cast<std::uint64_t>(100 + i));
+    }
+    EXPECT_EQ(fresh.corruptEvictions(), 0u);
+    EXPECT_GT(present, 0);
+    // No temp files leaked past the final rename.
+    int leftovers = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().filename().string().find(".tmp") !=
+                std::string::npos) {
+            ++leftovers;
+        }
+    }
+    EXPECT_EQ(leftovers, 0);
 }
 
 // ---------------------------------------------------------------------

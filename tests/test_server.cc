@@ -28,6 +28,7 @@
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "engine/batch.hh"
+#include "engine/faultinject.hh"
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
 #include "server/client.hh"
@@ -99,6 +100,8 @@ stabilise(const std::string &line)
     record.forbidding = str("forbidding");
     record.exhaustedAxis = str("exhausted_axis");
     record.stage = str("stage");
+    record.workerSignal = str("signal");
+    record.crashes = num("crashes");
     return record.toJson();
 }
 
@@ -828,6 +831,285 @@ TEST(ServerDrain, InFlightRequestsFinishAndResultsFileIsComplete)
     // A post-drain connection is refused (the listener is closed).
     server::Client late("127.0.0.1", server.port());
     EXPECT_FALSE(late.healthy());
+}
+
+// ---------------------------------------------------------------------
+// Supervised workers: crash containment, hard deadlines, quarantine
+// ---------------------------------------------------------------------
+
+/** Disarm the process-wide fault injector on scope exit, pass or fail. */
+struct FaultGuard {
+    ~FaultGuard() { engine::faultInjector().configure(""); }
+};
+
+/** A rexd stack with process-isolated workers, torn down in order. */
+struct SupervisedStack {
+    explicit SupervisedStack(unsigned workers, unsigned quarantine = 3,
+                             std::uint64_t killGraceMs = 2000)
+    {
+        engine::EngineConfig config;
+        config.jobs = 2;
+        config.cacheEnabled = false;
+        config.workers = workers;
+        config.crashQuarantine = quarantine;
+        config.killGraceMs = killGraceMs;
+        engine = std::make_unique<engine::Engine>(config);
+
+        server::ServerConfig server_config;
+        server_config.threads = 4;
+        server_config.maxQueue = 32;
+        server = std::make_unique<server::RexServer>(*engine,
+                                                     server_config);
+        server->start();
+    }
+
+    ~SupervisedStack()
+    {
+        server->requestDrain();
+        server->join();
+    }
+
+    server::ClientResponse
+    check(const std::string &name, std::int64_t deadlineMs = 0)
+    {
+        server::Client c("127.0.0.1", server->port());
+        return c.check(TestRegistry::instance().sourceText(name),
+                       {"base"}, 0, deadlineMs);
+    }
+
+    std::string
+    metricsBody()
+    {
+        server::Client c("127.0.0.1", server->port());
+        return c.get("/metrics").body;
+    }
+
+    std::unique_ptr<engine::Engine> engine;
+    std::unique_ptr<server::RexServer> server;
+};
+
+TEST(SupervisedServer, HungWorkerIsKilledWhileConcurrentVerdictsMatch)
+{
+    // The acceptance bar: one request's worker wedges mid-job; it is
+    // SIGKILLed at the hard deadline and answered with a CrashedWorker
+    // record, while requests served concurrently — during the hang —
+    // come back byte-identical to a direct, unsupervised engine.
+    FaultGuard disarm;
+    SupervisedStack stack(/*workers=*/2, /*quarantine=*/3,
+                          /*killGraceMs=*/400);
+
+    const std::vector<std::string> tests = {"SB+pos", "MP+dmb.sys",
+                                            "LB+pos", "SB+dmb.sys"};
+    std::vector<std::string> expected(tests.size());
+    engine::Engine direct{plainConfig()};
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        LitmusTest test = parseLitmus(
+            TestRegistry::instance().sourceText(tests[i]));
+        engine::JobRecord record =
+            direct.verdictRecord(test, ModelParams::base());
+        record.wallMicros = 0;
+        record.cacheHit = false;
+        expected[i] = record.toJson() + "\n";
+    }
+
+    engine::faultInjector().configure("worker-hang:1.0:7");
+    std::string victimBody;
+    const auto start = std::chrono::steady_clock::now();
+    std::thread victim([&] {
+        victimBody = stack.check("MP+pos", /*deadlineMs=*/400).body;
+    });
+    // The hang decision is made in the parent at dispatch: once one is
+    // injected the victim's worker is wedged, and disarming leaves the
+    // bystanders' dispatches clean while it still spins.
+    while (engine::faultInjector().injected(
+               engine::FaultPoint::WorkerHang) == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    engine::faultInjector().configure("");
+
+    std::atomic<int> failures{0};
+    std::vector<std::string> got(tests.size());
+    std::vector<std::thread> bystanders;
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        bystanders.emplace_back([&, i] {
+            try {
+                server::ClientResponse r = stack.check(tests[i]);
+                if (r.status != 200) {
+                    ++failures;
+                    return;
+                }
+                got[i] = stabilise(trim(r.body)) + "\n";
+            } catch (...) {
+                ++failures;
+            }
+        });
+    }
+    for (std::thread &w : bystanders)
+        w.join();
+    victim.join();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+
+    // The spinning worker was SIGKILLed within deadline + grace (plus
+    // scheduling slack), not left to wedge the slot forever.
+    server::JsonValue record = server::parseJson(trim(victimBody));
+    ASSERT_NE(record.find("verdict"), nullptr) << victimBody;
+    EXPECT_EQ(record.find("verdict")->string, "CrashedWorker");
+    ASSERT_NE(record.find("signal"), nullptr);
+    EXPECT_EQ(record.find("signal")->string, "SIGKILL");
+    EXPECT_GE(elapsed.count(), 400);
+    EXPECT_LT(elapsed.count(), 5000);
+
+    ASSERT_EQ(failures.load(), 0);
+    for (std::size_t i = 0; i < tests.size(); ++i)
+        EXPECT_EQ(got[i], expected[i]) << tests[i];
+
+    std::string exposition = stack.metricsBody();
+    EXPECT_GE(metricValue(exposition,
+                          "rexd_worker_crashes_total{signal=\"SIGKILL\"}"),
+              1.0);
+    EXPECT_GE(
+        metricValue(exposition,
+                    "rexd_verdicts_total{verdict=\"crashed_worker\"}"),
+        1.0);
+}
+
+TEST(SupervisedServer, CrashedWorkerRespawnsAndTheNextVerdictIsClean)
+{
+    FaultGuard disarm;
+    SupervisedStack stack(/*workers=*/1);
+
+    engine::faultInjector().configure("worker-crash:1.0:7");
+    server::ClientResponse crashed = stack.check("MP+dmb.sys");
+    ASSERT_EQ(crashed.status, 200);
+    server::JsonValue record = server::parseJson(trim(crashed.body));
+    EXPECT_EQ(record.find("verdict")->string, "CrashedWorker");
+    EXPECT_EQ(record.find("signal")->string, "SIGSEGV");
+    ASSERT_NE(record.find("crashes"), nullptr);
+    EXPECT_EQ(record.find("crashes")->integer, 1);
+
+    // Disarmed, the same request rides the respawned worker to the
+    // verdict a direct engine computes — no supervision fields.
+    engine::faultInjector().configure("");
+    server::ClientResponse clean = stack.check("MP+dmb.sys");
+    ASSERT_EQ(clean.status, 200);
+    engine::Engine direct{plainConfig()};
+    LitmusTest test = parseLitmus(
+        TestRegistry::instance().sourceText("MP+dmb.sys"));
+    engine::JobRecord expected =
+        direct.verdictRecord(test, ModelParams::base());
+    expected.wallMicros = 0;
+    expected.cacheHit = false;
+    EXPECT_EQ(stabilise(trim(clean.body)), expected.toJson());
+    EXPECT_EQ(clean.body.find("\"signal\""), std::string::npos);
+
+    std::string exposition = stack.metricsBody();
+    EXPECT_GE(metricValue(exposition, "rexd_worker_crashes_total"), 1.0);
+    EXPECT_GE(metricValue(exposition, "rexd_worker_respawns_total"),
+              1.0);
+    EXPECT_EQ(metricValue(exposition, "rexd_workers_configured"), 1.0);
+    EXPECT_EQ(metricValue(exposition, "rexd_workers_live"), 1.0);
+}
+
+TEST(SupervisedServer, QuarantineTripsAfterRepeatCrashesAndIsMetered)
+{
+    FaultGuard disarm;
+    SupervisedStack stack(/*workers=*/1, /*quarantine=*/2);
+
+    engine::faultInjector().configure("worker-crash:1.0:7");
+    for (int round = 0; round < 2; ++round) {
+        server::ClientResponse r = stack.check("MP+pos");
+        ASSERT_EQ(r.status, 200);
+        EXPECT_EQ(server::parseJson(trim(r.body))
+                      .find("verdict")->string,
+                  "CrashedWorker")
+            << "round " << round;
+    }
+
+    // Two crashes reached the threshold: even disarmed, the key is
+    // answered from the ledger without dispatching a worker.
+    engine::faultInjector().configure("");
+    server::ClientResponse quarantined = stack.check("MP+pos");
+    ASSERT_EQ(quarantined.status, 200);
+    server::JsonValue record =
+        server::parseJson(trim(quarantined.body));
+    EXPECT_EQ(record.find("verdict")->string, "Quarantined");
+    EXPECT_EQ(record.find("signal")->string, "SIGSEGV");
+    EXPECT_EQ(record.find("crashes")->integer, 2);
+
+    // Other keys are untouched by the quarantine.
+    server::ClientResponse other = stack.check("SB+pos");
+    ASSERT_EQ(other.status, 200);
+    engine::Engine direct{plainConfig()};
+    LitmusTest sb = parseLitmus(
+        TestRegistry::instance().sourceText("SB+pos"));
+    engine::JobRecord expected =
+        direct.verdictRecord(sb, ModelParams::base());
+    expected.wallMicros = 0;
+    expected.cacheHit = false;
+    EXPECT_EQ(stabilise(trim(other.body)), expected.toJson());
+
+    std::string exposition = stack.metricsBody();
+    EXPECT_GE(metricValue(exposition, "rexd_quarantined_total"), 1.0);
+    EXPECT_EQ(metricValue(exposition, "rexd_quarantined_keys"), 1.0);
+    EXPECT_GE(metricValue(exposition,
+                          "rexd_worker_crashes_total{signal=\"SIGSEGV\"}"),
+              2.0);
+    EXPECT_GE(
+        metricValue(exposition,
+                    "rexd_verdicts_total{verdict=\"quarantined\"}"),
+        1.0);
+}
+
+TEST(SupervisedServer, RetryCrashedPolicyRidesTheRespawnToAVerdict)
+{
+    // Find a seed whose first worker-crash draw fails and whose next
+    // few pass, replicating the injector's splitmix64 mapping: the
+    // first attempt crashes, the client's retry lands on the respawned
+    // worker and gets the real verdict.
+    auto draw = [](std::uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return static_cast<double>(x >> 11) * 0x1.0p-53;
+    };
+    const double p = 0.5;
+    std::uint64_t seed = 0;
+    for (;; ++seed) {
+        if (draw(seed) >= p)
+            continue;
+        bool clean = true;
+        for (std::uint64_t k = 1; k <= 8 && clean; ++k)
+            clean = draw(seed + k) >= p;
+        if (clean)
+            break;
+    }
+
+    FaultGuard disarm;
+    SupervisedStack stack(/*workers=*/1);
+    engine::faultInjector().configure(
+        format("worker-crash:0.5:%llu",
+               static_cast<unsigned long long>(seed)));
+
+    server::Client c("127.0.0.1", stack.server->port());
+    server::RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.initialDelayMs = 10;
+    policy.retryCrashed = true;
+    c.setRetryPolicy(policy);
+    server::ClientResponse r = c.check(
+        TestRegistry::instance().sourceText("MP+dmb.sys"), {"base"});
+    ASSERT_EQ(r.status, 200);
+    EXPECT_EQ(server::parseJson(trim(r.body)).find("verdict")->string,
+              "Forbidden");
+    EXPECT_EQ(engine::faultInjector().injected(
+                  engine::FaultPoint::WorkerCrash),
+              1u);
+    EXPECT_GE(engine::faultInjector().checked(
+                  engine::FaultPoint::WorkerCrash),
+              2u);
 }
 
 } // namespace
