@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "catc/cache.hh"
+#include "catc/exec.hh"
 #include "rex/rex.hh"
 
 namespace {
@@ -135,6 +137,84 @@ BM_NativeModelPerCandidate(benchmark::State &state)
                                   candidates.size()));
 }
 BENCHMARK(BM_NativeModelPerCandidate);
+
+/** Coherent staged candidates of @p test (deep copies) with their
+ *  combination indices, for per-candidate check benchmarks. */
+std::vector<std::pair<CandidateExecution, std::uint64_t>>
+stagedCandidates(const LitmusTest &test)
+{
+    std::vector<std::pair<CandidateExecution, std::uint64_t>> out;
+    CandidateEnumerator enumerator(test);
+    enumerator.forEachStaged(
+        [&](CandidateExecution &cand,
+            const CandidateEnumerator::StagedInfo &info) {
+            if (info.coherent)
+                out.emplace_back(cand, info.comboIndex);
+            return true;
+        });
+    return out;
+}
+
+void
+BM_StagedCheckSweep(benchmark::State &state)
+{
+    // The PR 2 staged interpreter, isolated per candidate: skeleton
+    // recomputed once per trace combination, checkConsistent on every
+    // coherent candidate. The compiled sweep below runs the identical
+    // workload through the catc fold + dispatch loop; their ratio is
+    // the per-candidate win of compilation.
+    const LitmusTest &test =
+        TestRegistry::instance().get("MP.EL1+dmb.sy+dataesrsvc");
+    const ModelParams params = ModelParams::base();
+    const auto candidates = stagedCandidates(test);
+    for (auto _ : state) {
+        std::optional<SkeletonRelations> skeleton;
+        std::uint64_t combo = 0;
+        for (const auto &[cand, comboIndex] : candidates) {
+            if (!skeleton || combo != comboIndex) {
+                skeleton = computeSkeleton(cand, params);
+                combo = comboIndex;
+            }
+            benchmark::DoNotOptimize(
+                checkConsistent(cand, params, *skeleton, true)
+                    .consistent);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() *
+                                  candidates.size()));
+}
+BENCHMARK(BM_StagedCheckSweep);
+
+void
+BM_CompiledCheckSweep(benchmark::State &state)
+{
+    const LitmusTest &test =
+        TestRegistry::instance().get("MP.EL1+dmb.sy+dataesrsvc");
+    const ModelParams params = ModelParams::base();
+    const auto candidates = stagedCandidates(test);
+    // Compiled once per (variant, revision) — outside the timed loop,
+    // exactly like the checker's per-check program fetch.
+    const auto program = catc::nativeStaged(params);
+    std::optional<catc::FoldedProgram> folded;
+    for (auto _ : state) {
+        std::uint64_t combo = ~std::uint64_t{0};
+        for (const auto &[cand, comboIndex] : candidates) {
+            if (!folded) {
+                folded.emplace(*program, cand);
+                combo = comboIndex;
+            } else if (combo != comboIndex) {
+                folded->refold(cand);
+                combo = comboIndex;
+            }
+            benchmark::DoNotOptimize(folded->runFast(cand).consistent);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() *
+                                  candidates.size()));
+}
+BENCHMARK(BM_CompiledCheckSweep);
 
 void
 BM_OperationalRun(benchmark::State &state)

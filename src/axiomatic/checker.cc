@@ -9,6 +9,8 @@
 
 #include "axiomatic/enumerate.hh"
 #include "base/logging.hh"
+#include "catc/cache.hh"
+#include "catc/exec.hh"
 #include "engine/crashctx.hh"
 #include "engine/governor.hh"
 #include "engine/pool.hh"
@@ -43,9 +45,10 @@ namespace {
  * Folds staged candidates into a CheckResult.
  *
  * One accumulator per (serial run | shard); the per-combination
- * skeleton is cached lazily so verdict checks that never reach the
- * model (stop_at_first with a non-satisfying candidate, or pre-filter
- * rejection) pay nothing for it.
+ * skeleton (or compiled-program fold) is cached lazily so verdict
+ * checks that never reach the model (stop_at_first with a
+ * non-satisfying candidate, or pre-filter rejection) pay nothing for
+ * it.
  */
 struct StagedAccumulator {
     const LitmusTest &test;
@@ -53,11 +56,17 @@ struct StagedAccumulator {
     bool stopAtFirst;
     bool captureWitness;
     engine::Governor *governor;  //!< may be null (unlimited)
+    /** Compiled model's shared fold plan; null falls back to
+     *  checkConsistent(). The caller keeps it alive for the whole
+     *  check. */
+    const catc::FoldPlan *plan;
 
     CheckResult result;
 
     std::optional<SkeletonRelations> skeleton;
     std::uint64_t skeletonCombo = 0;
+    std::optional<catc::FoldedProgram> folded;
+    std::uint64_t foldedCombo = 0;
 
     /** Visit one candidate; false stops enumeration (witness found
      *  under stop_at_first, or the governor's budget tripped). */
@@ -93,13 +102,34 @@ struct StagedAccumulator {
             }
             return true;
         }
-        if (!skeleton || skeletonCombo != info.comboIndex) {
-            skeleton = computeSkeleton(cand, params);
-            skeletonCombo = info.comboIndex;
+        const engine::CancelToken *token =
+            governor ? governor->token() : nullptr;
+        ModelResult model;
+        if (plan) {
+            if (!folded) {
+                folded.emplace(*plan, cand);
+                foldedCombo = info.comboIndex;
+            } else if (foldedCombo != info.comboIndex) {
+                folded->refold(cand);
+                foldedCombo = info.comboIndex;
+            }
+            // The fast mode reorders checks and skips cycle
+            // extraction; only a failure that would actually be
+            // reported (first satisfying rejection) needs the
+            // program-order attributed run.
+            if (satisfies && result.forbiddingAxiom.empty())
+                model = folded->runAttributed(cand, token);
+            else
+                model = folded->runFast(cand, token);
+        } else {
+            if (!skeleton || skeletonCombo != info.comboIndex) {
+                skeleton = computeSkeleton(cand, params);
+                skeletonCombo = info.comboIndex;
+            }
+            model = checkConsistent(
+                cand, params, *skeleton, /*internal_prechecked=*/true,
+                token);
         }
-        ModelResult model = checkConsistent(
-            cand, params, *skeleton, /*internal_prechecked=*/true,
-            governor ? governor->token() : nullptr);
         if (model.aborted)
             return false;  // token tripped between clauses: stop here
         if (!model.consistent) {
@@ -145,13 +175,15 @@ mergeInto(CheckResult &into, CheckResult &&part)
 CheckResult
 checkSerial(CandidateEnumerator &enumerator, const LitmusTest &test,
             const ModelParams &params, bool stop_at_first,
-            bool capture_witness, engine::Governor *governor)
+            bool capture_witness, engine::Governor *governor,
+            const catc::FoldPlan *plan)
 {
     engine::crashContextSetStage("enumerate");
     if (governor)
         governor->noteStage("enumerate");
     StagedAccumulator acc{test, params, stop_at_first, capture_witness,
-                          governor, {}, std::nullopt, 0};
+                          governor, plan,
+                          {}, std::nullopt, 0, std::nullopt, 0};
     enumerator.forEachStaged(
         [&](CandidateExecution &cand,
             const CandidateEnumerator::StagedInfo &info) {
@@ -182,7 +214,7 @@ CheckResult
 checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
              const ModelParams &params, bool stop_at_first,
              bool capture_witness, engine::ThreadPool &pool,
-             engine::Governor *governor)
+             engine::Governor *governor, const catc::FoldPlan *plan)
 {
     engine::crashContextSetStage("plan");
     if (governor)
@@ -192,7 +224,7 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
                               governor ? governor->token() : nullptr);
     if (shards.size() <= 1) {
         return checkSerial(enumerator, test, params, stop_at_first,
-                           capture_witness, governor);
+                           capture_witness, governor, plan);
     }
 
     struct ShardOutcome {
@@ -239,8 +271,8 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
                 return;
             }
             StagedAccumulator acc{test, params, stop_at_first,
-                                  capture_witness, governor,
-                                  {}, std::nullopt, 0};
+                                  capture_witness, governor, plan,
+                                  {}, std::nullopt, 0, std::nullopt, 0};
             const bool completed = enumerator.visitShard(
                 shards[i],
                 [&](CandidateExecution &cand,
@@ -306,6 +338,11 @@ checkTest(const LitmusTest &test, const ModelParams &params,
     // speak the governor protocol; budgeted checks always run staged.
     if (!governor && envFlag("REX_NAIVE_ENUM"))
         return checkTestNaive(test, params, stop_at_first, capture_witness);
+    // Compile (or fetch from the process-wide cache) the variant's
+    // program and its fold plan once per check; every shard folds the
+    // same plan. The shared_ptr outlives the shard tasks below.
+    const std::shared_ptr<const catc::FoldPlan> plan =
+        catc::planForCheck(params);
     engine::crashContextSetStage("traces");
     if (governor)
         governor->noteStage("traces");
@@ -315,10 +352,11 @@ checkTest(const LitmusTest &test, const ModelParams &params,
     if (pool && pool->threadCount() > 1 &&
             !engine::ThreadPool::onWorkerThread()) {
         result = checkSharded(enumerator, test, params, stop_at_first,
-                              capture_witness, *pool, governor);
+                              capture_witness, *pool, governor,
+                              plan.get());
     } else {
         result = checkSerial(enumerator, test, params, stop_at_first,
-                             capture_witness, governor);
+                             capture_witness, governor, plan.get());
     }
     // A witness found under stop_at_first soundly settles Allowed even
     // when the budget tripped while other shards were still running;

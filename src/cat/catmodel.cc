@@ -30,6 +30,33 @@ dirnameOf(const std::string &path)
     return path.substr(0, slash);
 }
 
+/**
+ * Splice included files' statements in place of each `include`, in
+ * order, recursively. Flattening once at load time means evaluation
+ * (and compilation) never touches the disk again — previously every
+ * evaluate() re-read and re-parsed the includes per candidate.
+ */
+void
+flattenIncludes(CatFile &file, const std::string &dir, int depth)
+{
+    if (depth > 16)
+        fatal("cat include nesting too deep (include cycle?)");
+    std::vector<Statement> flat;
+    flat.reserve(file.statements.size());
+    for (Statement &stmt : file.statements) {
+        if (stmt.kind != Statement::Kind::Include) {
+            flat.push_back(std::move(stmt));
+            continue;
+        }
+        CatFile included =
+            parseCat(readFile(dir + "/" + stmt.includePath));
+        flattenIncludes(included, dir, depth + 1);
+        for (Statement &inner : included.statements)
+            flat.push_back(std::move(inner));
+    }
+    file.statements = std::move(flat);
+}
+
 } // namespace
 
 std::map<std::string, bool>
@@ -74,6 +101,7 @@ CatModel::fromSource(const std::string &source,
 {
     CatModel model;
     model._file = parseCat(source);
+    flattenIncludes(model._file, include_dir, 0);
     model._includeDir = include_dir;
     return model;
 }
@@ -90,6 +118,8 @@ EvalResult
 CatModel::evaluate(const CandidateExecution &candidate,
                    const ModelParams &params) const
 {
+    // Includes were flattened at load time; keep a resolver anyway so
+    // a file handed to us with stray includes still evaluates.
     std::string dir = _includeDir;
     IncludeResolver resolver = [dir](const std::string &name) {
         return readFile(dir + "/" + name);

@@ -48,6 +48,9 @@ class CatModel
     /** Model name from the leading string of the file. */
     const std::string &name() const { return _file.modelName; }
 
+    /** The parsed (include-flattened) AST — what compilers consume. */
+    const CatFile &file() const { return _file; }
+
     /**
      * Check one candidate, producing the same ModelResult shape as the
      * native checkConsistent (failedAxiom = first failed check's name).

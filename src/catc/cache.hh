@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The process-wide compiled-program cache.
+ *
+ * Programs are keyed by programId() — "catc1:<model-revision>:<variant>"
+ * — so a program is compiled once per (variant, model revision) and
+ * shared by every test, shard, and rexd request in the process. rexd's
+ * supervised workers are separate processes: the parent ships the id in
+ * the rex-job-v1 frame and each worker satisfies it from its own cache
+ * (compiling on first use), so the id doubles as the cross-process
+ * cache key.
+ *
+ * The compiled path is on by default; REX_COMPILED_MODEL=0 is the
+ * escape hatch back to the staged interpreter (re-read on every call so
+ * tests can toggle it).
+ */
+
+#ifndef REX_CATC_CACHE_HH
+#define REX_CATC_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "axiomatic/params.hh"
+#include "catc/bytecode.hh"
+
+namespace rex::catc {
+
+/** Process-wide compile/cache counters (rexd_model_compiles_total and
+ *  friends). */
+struct CompileStats {
+    std::uint64_t compiles = 0; //!< compileNative() runs
+    std::uint64_t hits = 0;     //!< cache lookups served without compiling
+    std::uint64_t misses = 0;   //!< cache lookups that had to compile
+};
+
+CompileStats compileStats();
+
+/** Cache key / rex-job-v1 program id for @p params' native staged
+ *  program. Embeds engine::kModelRevision so revisions never collide. */
+std::string programId(const ModelParams &params);
+
+/** False iff REX_COMPILED_MODEL is exactly "0" (re-read every call). */
+bool compiledModelEnabled();
+
+/**
+ * The native staged program (no internal check — the enumerator's
+ * coherence pre-filter covers it) for @p params, compiled on first use.
+ * Never returns null; ignores REX_COMPILED_MODEL.
+ */
+std::shared_ptr<const Program> nativeStaged(const ModelParams &params);
+
+/** nativeStaged(), or nullptr when the compiled path is disabled —
+ *  the checker's single entry point. */
+std::shared_ptr<const Program> programForCheck(const ModelParams &params);
+
+class FoldPlan;
+
+/**
+ * The shared structural fold analysis (catc/exec.hh) of
+ * nativeStaged(@p params), built on first use and cached beside the
+ * program, or nullptr when the compiled path is disabled. Sharing the
+ * plan keeps per-shard fold setup proportional to the constant ops, not
+ * the whole program analysis.
+ */
+std::shared_ptr<const FoldPlan> planForCheck(const ModelParams &params);
+
+} // namespace rex::catc
+
+#endif // REX_CATC_CACHE_HH

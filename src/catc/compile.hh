@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The cat-model compilers: lower either the native Figure 9 clause
+ * structure or a parsed .cat AST into clause bytecode (bytecode.hh).
+ *
+ * Both compilers bake the model parameters in at compile time — `if
+ * "FLAG"` expressions and params-conditioned clauses are resolved
+ * during lowering, never dispatched at runtime — and CSE-deduplicate
+ * identical ops, so a program is compiled once per (variant,
+ * model-revision) and reused across every test and candidate.
+ */
+
+#ifndef REX_CATC_COMPILE_HH
+#define REX_CATC_COMPILE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "axiomatic/params.hh"
+#include "cat/ast.hh"
+#include "catc/bytecode.hh"
+
+namespace rex::catc {
+
+/**
+ * Compile the native model (src/axiomatic/model.cc's clause structure)
+ * for @p params. The resulting program's checks are named exactly like
+ * checkConsistent's axioms ("internal", "external", "atomic") and
+ * produce the same verdicts and the same cycles.
+ *
+ * @param include_internal emit the internal (SC-per-location) check;
+ *        the staged checker omits it because the enumerator's coherence
+ *        pre-filter already established it (internal_prechecked).
+ */
+Program compileNative(const ModelParams &params, bool include_internal);
+
+/** Outcome of compiling a cat AST: a verified program, or the reason
+ *  the file is outside the compilable subset. */
+struct CatCompileResult {
+    std::optional<Program> program;
+    std::string error;
+};
+
+/**
+ * Lower a parsed cat file to bytecode under a fixed flag assignment.
+ *
+ * The compilable subset is everything the shipped models use:
+ * non-recursive lets, all expression forms, and acyclic / irreflexive /
+ * empty checks. `let rec`, `include` (flatten first — CatModel does at
+ * load), and `flag` diagnostics are rejected with an explanatory error;
+ * callers fall back to the interpreter.
+ */
+CatCompileResult compileCat(const cat::CatFile &file,
+                            const std::map<std::string, bool> &flags);
+
+} // namespace rex::catc
+
+#endif // REX_CATC_COMPILE_HH

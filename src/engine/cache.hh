@@ -64,7 +64,7 @@ namespace rex::engine {
  * src/axiomatic/model.cc (or anything feeding it: enumeration, thread
  * semantics) changes behaviour, so persisted verdicts are invalidated.
  */
-inline constexpr const char *kModelRevision = "fig9-native-r1";
+inline constexpr const char *kModelRevision = "fig9-catc-r2";
 
 /** Full, stable serialisation of a parsed litmus test. */
 std::string canonicalTestText(const LitmusTest &test);

@@ -345,6 +345,61 @@ Relation::acyclic() const
     return transitiveClosure().irreflexive();
 }
 
+bool
+Relation::hasCycle() const
+{
+    // Same tricolor DFS as findCycle(), but successors come straight
+    // from the row words (countr_zero over the remaining bits) and no
+    // cycle is reconstructed: this is the verdict-only fast path.
+    enum class Colour : std::uint8_t { White, Grey, Black };
+    std::vector<Colour> colour(_size, Colour::White);
+
+    // Per frame: the node and the not-yet-tried tail of its row,
+    // as (current word index, remaining bits of that word).
+    struct Frame { EventId node; std::size_t word; std::uint64_t bits; };
+    std::vector<Frame> frames;
+    const std::size_t words = rowWords();
+    // Rows keep bits past _size clear, but be defensive (findCycle's
+    // contains() scan is immune to them; this walker is not).
+    const std::uint64_t lastMask =
+        _size % 64 ? (~std::uint64_t{0} >> (64 - _size % 64))
+                   : ~std::uint64_t{0};
+    auto word = [&](EventId node, std::size_t w) {
+        const std::uint64_t bits = row(node)[w];
+        return w + 1 == words ? bits & lastMask : bits;
+    };
+
+    for (EventId root = 0; root < _size; ++root) {
+        if (colour[root] != Colour::White)
+            continue;
+        colour[root] = Colour::Grey;
+        frames.push_back({root, 0, word(root, 0)});
+        while (!frames.empty()) {
+            Frame &frame = frames.back();
+            while (frame.bits == 0 && frame.word + 1 < words) {
+                ++frame.word;
+                frame.bits = word(frame.node, frame.word);
+            }
+            if (frame.bits == 0) {
+                colour[frame.node] = Colour::Black;
+                frames.pop_back();
+                continue;
+            }
+            const auto succ = static_cast<EventId>(
+                frame.word * 64 +
+                static_cast<std::size_t>(std::countr_zero(frame.bits)));
+            frame.bits &= frame.bits - 1;
+            if (colour[succ] == Colour::Grey)
+                return true;
+            if (colour[succ] == Colour::White) {
+                colour[succ] = Colour::Grey;
+                frames.push_back({succ, 0, word(succ, 0)});
+            }
+        }
+    }
+    return false;
+}
+
 std::optional<std::vector<EventId>>
 Relation::findCycle() const
 {

@@ -126,6 +126,14 @@ class Relation
     bool acyclic() const;
 
     /**
+     * True when the relation has a cycle: exactly !acyclic(), but via a
+     * word-level DFS instead of computing the transitive closure, so
+     * verdict-only callers (the compiled model's fast path) skip both
+     * the closure and cycle extraction. Use findCycle() to report why.
+     */
+    bool hasCycle() const;
+
+    /**
      * Find some cycle, as the sequence of events around it (first event
      * not repeated at the end). Used to report *why* an axiom failed.
      * @return std::nullopt when the relation is acyclic.

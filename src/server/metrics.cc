@@ -3,6 +3,7 @@
 #include <cinttypes>
 
 #include "base/strings.hh"
+#include "catc/cache.hh"
 #include "engine/batch.hh"
 
 namespace rex::server {
@@ -163,6 +164,20 @@ Metrics::render(engine::Engine &engine) const
             "JSONL results records lost to sink write failures.",
             engine.results().droppedRecords());
 
+    // Compiled-model (catc) series. Daemon-process scope: supervised
+    // workers keep their own per-process compile caches, whose
+    // activity is not aggregated here.
+    const catc::CompileStats compiles = catc::compileStats();
+    counter("rexd_model_compiles_total",
+            "Cat-model bytecode compilations in this process.",
+            compiles.compiles);
+    counter("rexd_compile_cache_hits_total",
+            "Compiled-program cache hits in this process.",
+            compiles.hits);
+    counter("rexd_compile_cache_misses_total",
+            "Compiled-program cache misses in this process.",
+            compiles.misses);
+
     // Supervision series render unconditionally (zeros with workers
     // disabled) so dashboards need not branch on server configuration;
     // only the per-signal breakdown is limited to observed signals.
@@ -228,6 +243,7 @@ Metrics::render(engine::Engine &engine) const
     out += "# HELP rexd_stage_seconds Pipeline-stage latency.\n"
            "# TYPE rexd_stage_seconds histogram\n";
     out += stageParse.render("rexd_stage_seconds", "stage=\"parse\"");
+    out += stageCompile.render("rexd_stage_seconds", "stage=\"compile\"");
     out += stageEnumerate.render("rexd_stage_seconds",
                                  "stage=\"enumerate\"");
     out += stageCheck.render("rexd_stage_seconds", "stage=\"check\"");

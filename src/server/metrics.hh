@@ -103,9 +103,11 @@ struct Metrics {
     /** Requests currently being handled (gauge). */
     std::atomic<std::int64_t> inflight{0};
 
-    /** Per-stage latency: litmus parsing, cache-miss enumeration+check,
+    /** Per-stage latency: litmus parsing, model compilation (cache
+     *  misses of the compiled path), cache-miss enumeration+check,
      *  per-variant verdict (incl. cache hits), whole request. */
     LatencyHistogram stageParse;
+    LatencyHistogram stageCompile;
     LatencyHistogram stageEnumerate;
     LatencyHistogram stageCheck;
     LatencyHistogram stageRequest;
