@@ -1,0 +1,156 @@
+/**
+ * @file
+ * HTTP serving-path benchmarks for rexd, driven against an EXTERNAL
+ * daemon: set REXD_HOST / REXD_PORT (scripts/http_bench.sh does) and
+ * each benchmark measures one request round-trip on the wire. Without
+ * the env vars every benchmark skips, so a bare run is harmless.
+ *
+ * The three benchmarks cover the traffic classes the event loop is
+ * optimised for:
+ *
+ *   BM_Healthz       loop-answered probe, keep-alive — pure event-loop
+ *                    overhead, no engine, no handler thread.
+ *   BM_CheckCacheHit POST /check answered from the verdict cache —
+ *                    the CDN-miss-but-verdict-cached steady state.
+ *   BM_Check304      conditional GET /check/<builtin> revalidation —
+ *                    the cheapest possible answer (skipped when the
+ *                    server predates ETags, e.g. the PR6 baseline).
+ *
+ * The client asks for keep-alive but transparently reconnects when the
+ * server closes per-request (the pre-event-loop daemon), so the same
+ * binary benches both generations: the measured gap between those two
+ * behaviours IS the keep-alive win.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "litmus/registry.hh"
+#include "server/client.hh"
+
+namespace {
+
+using namespace rex;
+
+const char *kBuiltin = "SB+pos";
+
+/** The benched daemon's address, or empty host when unconfigured. */
+std::pair<std::string, std::uint16_t>
+targetFromEnv()
+{
+    const char *host = std::getenv("REXD_HOST");
+    const char *port = std::getenv("REXD_PORT");
+    if (!host || !*host || !port || !*port)
+        return {"", 0};
+    return {host, static_cast<std::uint16_t>(std::atoi(port))};
+}
+
+std::unique_ptr<server::Client>
+makeClient(benchmark::State &state)
+{
+    auto [host, port] = targetFromEnv();
+    if (host.empty()) {
+        state.SkipWithError("set REXD_HOST and REXD_PORT "
+                            "(see scripts/http_bench.sh)");
+        return nullptr;
+    }
+    auto client = std::make_unique<server::Client>(host, port);
+    client->setKeepAlive(true);
+    return client;
+}
+
+void
+BM_Healthz(benchmark::State &state)
+{
+    auto client = makeClient(state);
+    if (!client)
+        return;
+    for (auto _ : state) {
+        server::ClientResponse r = client->get("/healthz");
+        if (r.status != 200) {
+            state.SkipWithError("healthz did not answer 200");
+            return;
+        }
+        benchmark::DoNotOptimize(r.body.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Healthz)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Healthz)
+    ->Unit(benchmark::kMicrosecond)
+    ->Threads(8)
+    ->UseRealTime();
+
+void
+BM_CheckCacheHit(benchmark::State &state)
+{
+    auto client = makeClient(state);
+    if (!client)
+        return;
+    const std::string &text =
+        TestRegistry::instance().sourceText(kBuiltin);
+    // Warm the verdict cache so the measured loop serves pure hits.
+    server::ClientResponse warm = client->check(text, {"base"});
+    if (warm.status != 200) {
+        state.SkipWithError("warm-up check failed");
+        return;
+    }
+    for (auto _ : state) {
+        server::ClientResponse r = client->check(text, {"base"});
+        if (r.status != 200) {
+            state.SkipWithError("cache-hit check did not answer 200");
+            return;
+        }
+        benchmark::DoNotOptimize(r.body.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckCacheHit)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CheckCacheHit)
+    ->Unit(benchmark::kMicrosecond)
+    ->Threads(8)
+    ->UseRealTime();
+
+void
+BM_Check304(benchmark::State &state)
+{
+    auto client = makeClient(state);
+    if (!client)
+        return;
+    const std::string target =
+        std::string("/check/") + kBuiltin + "?variants=base";
+    server::ClientResponse warm = client->get(target);
+    if (warm.status != 200) {
+        state.SkipWithError("GET /check/<builtin> unavailable "
+                            "(pre-event-loop server?)");
+        return;
+    }
+    const std::string etag = warm.headers["etag"];
+    if (etag.empty()) {
+        state.SkipWithError("server sent no ETag "
+                            "(pre-event-loop server?)");
+        return;
+    }
+    for (auto _ : state) {
+        server::ClientResponse r =
+            client->get(target, {{"If-None-Match", etag}});
+        if (r.status != 304) {
+            state.SkipWithError("revalidation did not answer 304");
+            return;
+        }
+        benchmark::DoNotOptimize(r.status);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Check304)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Check304)
+    ->Unit(benchmark::kMicrosecond)
+    ->Threads(8)
+    ->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

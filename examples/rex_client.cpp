@@ -27,6 +27,11 @@
  *   --retry-crashed also retry 200 responses carrying a CrashedWorker
  *                   verdict (the respawned worker gets a fresh chance);
  *                   Quarantined responses are never retried
+ *   --keep-alive    reuse one pooled HTTP/1.1 connection across
+ *                   requests instead of one connection per request
+ *   --repeat N      send the /check request N times (pairs with
+ *                   --keep-alive to exercise connection reuse); the
+ *                   body of every response is printed in order
  *   --stable        normalise the JSONL output for diffing: zero the
  *                   schedule-dependent wall_us and cache_hit fields
  *   --direct        skip the network and run the request through an
@@ -40,6 +45,7 @@
  * stdout either way; the status line goes to stderr when not 200.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -154,6 +160,7 @@ usage(const char *argv0)
                  "[--retries N]\n"
                  "          [--retry-deadline-ms N] [--retry-crashed] "
                  "[--stable] [--direct]\n"
+                 "          [--keep-alive] [--repeat N]\n"
                  "          (FILE.litmus | --builtin NAME | -)\n"
                  "       %s [--host H] [--port P] --metrics | --health\n"
                  "       %s [--host H] [--port P] --post PATH   "
@@ -178,6 +185,8 @@ main(int argc, char **argv)
     int retries = 1;
     int retryDeadlineMs = 15000;
     bool retryCrashed = false;
+    bool keepAlive = false;
+    int repeat = 1;
     bool stable = false;
     bool direct = false;
     bool wantMetrics = false;
@@ -211,6 +220,10 @@ main(int argc, char **argv)
             retryDeadlineMs = std::atoi(value().c_str());
         } else if (arg == "--retry-crashed") {
             retryCrashed = true;
+        } else if (arg == "--keep-alive") {
+            keepAlive = true;
+        } else if (arg == "--repeat") {
+            repeat = std::atoi(value().c_str());
         } else if (arg == "--stable") {
             stable = true;
         } else if (arg == "--direct") {
@@ -240,8 +253,10 @@ main(int argc, char **argv)
             policy.maxAttempts = retries;
             policy.totalDeadlineMs = retryDeadlineMs;
             policy.retryCrashed = retryCrashed;
+            policy.keepAlive = keepAlive;
             client.setRetryPolicy(policy);
         }
+        client.setKeepAlive(keepAlive);
 
         if (wantHealth) {
             bool ok = client.healthy();
@@ -304,8 +319,21 @@ main(int argc, char **argv)
             status = response.status;
             body = response.body;
         } else {
-            server::ClientResponse r = client.check(
-                testText, variants, sleepMs, deadlineMs, maxCandidates);
+            server::ClientResponse r;
+            for (int shot = 0; shot < std::max(1, repeat); ++shot) {
+                r = client.check(testText, variants, sleepMs,
+                                 deadlineMs, maxCandidates);
+                if (r.status != 200)
+                    break;
+                if (shot + 1 < std::max(1, repeat)) {
+                    // Print every body but the last now; the last goes
+                    // through the shared status/stabilise path below.
+                    std::string rendered =
+                        stable ? stabiliseBody(r.body) : r.body;
+                    std::fwrite(rendered.data(), 1, rendered.size(),
+                                stdout);
+                }
+            }
             status = r.status;
             body = r.body;
         }

@@ -27,6 +27,11 @@ def load(path):
     for entry in data.get("benchmarks", []):
         if entry.get("run_type", "iteration") != "iteration":
             continue
+        if entry.get("error_occurred"):
+            # e.g. a benchmark the benched server cannot serve (the
+            # PR6 baseline has no conditional-GET support); real_time
+            # is 0 and would poison every ratio.
+            continue
         out[entry["name"]] = float(entry["real_time"])
     return out
 

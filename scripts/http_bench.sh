@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Benchmark one rexd binary's HTTP serving path (bench_http_load) and
+# write google-benchmark JSON. Start the daemon, wait for readiness,
+# warm the verdict cache, bench, SIGTERM.
+#
+# Usage: scripts/http_bench.sh REXD_BINARY OUT.json [BUILD_DIR]
+#
+# BUILD_DIR (default: build) supplies bench_http_load and
+# example_rex_client — deliberately decoupled from REXD_BINARY so one
+# bench client can measure both the current daemon and a stashed
+# baseline binary on the same machine, interleaved.
+set -euo pipefail
+
+REXD=${1:?usage: http_bench.sh REXD_BINARY OUT.json [BUILD_DIR]}
+OUT=${2:?usage: http_bench.sh REXD_BINARY OUT.json [BUILD_DIR]}
+BUILD=${3:-build}
+BENCH="$BUILD/bench/bench_http_load"
+CLIENT="$BUILD/examples/example_rex_client"
+PORT=${REXD_BENCH_PORT:-18653}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$REXD" --port "$PORT" --threads 4 \
+        --results "$WORK/rexd.jsonl" > "$WORK/rexd.log" 2>&1 &
+
+for _ in $(seq 1 100); do
+    "$CLIENT" --port "$PORT" --health >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"$CLIENT" --port "$PORT" --health >/dev/null 2>&1 || {
+    echo "rexd ($REXD) never became healthy" >&2
+    cat "$WORK/rexd.log" >&2
+    exit 1
+}
+
+# Warm the verdict cache so every measured /check is a cache hit.
+"$CLIENT" --port "$PORT" --builtin SB+pos --variants base \
+    > /dev/null
+
+REXD_HOST=127.0.0.1 REXD_PORT="$PORT" "$BENCH" \
+    --benchmark_out="$OUT" --benchmark_out_format=json \
+    --benchmark_min_time="${REXD_BENCH_MIN_TIME:-1}"
+
+kill %1 2>/dev/null || true
+wait 2>/dev/null || true
+echo "http bench written: $OUT"

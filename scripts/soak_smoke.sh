@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# c10k soak smoke for rexd's event loop (docs/SERVER.md):
+#   - ramp SOAK_CONNS concurrent keep-alive connections against one
+#     daemon and pump pipelined GET /check/<builtin> requests;
+#   - every response must be 200 with a byte-identical verdict body
+#     (the soak driver enforces this; zero 5xx, zero transport errors);
+#   - verdicts under load must equal `rex_client --direct --stable`;
+#   - the whole run is under a hard watchdog deadline;
+#   - SIGTERM afterwards must still drain cleanly.
+#
+# Usage: scripts/soak_smoke.sh [BUILD_DIR]
+# Tuning: SOAK_CONNS (default 10000), SOAK_REQUESTS (per conn, default
+# 3), SOAK_PIPELINE (default 3), SOAK_DEADLINE (seconds, default 300).
+set -euo pipefail
+
+BUILD=${1:-build}
+REXD="$BUILD/src/rexd"
+CLIENT="$BUILD/examples/example_rex_client"
+SOAK="$BUILD/examples/example_rex_soak"
+PORT=${REXD_SOAK_PORT:-18663}
+CONNS=${SOAK_CONNS:-10000}
+REQUESTS=${SOAK_REQUESTS:-3}
+PIPELINE=${SOAK_PIPELINE:-3}
+DEADLINE=${SOAK_DEADLINE:-300}
+BUILTIN=${SOAK_BUILTIN:-SB+pos}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# c10k needs c10k+ file descriptors on both sides of the loopback;
+# the limit is per-process (daemon and driver each get their own).
+ulimit -n 65536 2>/dev/null || true
+FD_CAP=$(( $(ulimit -n) - 1000 ))
+if [ "$CONNS" -gt "$FD_CAP" ]; then
+    echo "warning: ulimit -n $(ulimit -n) caps the soak at $FD_CAP" \
+         "connections (wanted $CONNS)" >&2
+    CONNS=$FD_CAP
+fi
+
+# The job queue must absorb the full pipelined burst: every connection
+# fires its batch at once the moment the ramp completes.
+"$REXD" --port "$PORT" --threads 4 --max-conns $((CONNS + 2000)) \
+        --queue $((CONNS * PIPELINE + 1000)) \
+        --results "$WORK/rexd.jsonl" > "$WORK/rexd.log" 2>&1 &
+REXD_PID=$!
+
+for _ in $(seq 1 100); do
+    "$CLIENT" --port "$PORT" --health >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"$CLIENT" --port "$PORT" --health >/dev/null 2>&1 || {
+    echo "rexd never became healthy" >&2
+    cat "$WORK/rexd.log" >&2
+    exit 1
+}
+
+# The soak proper, under a hard watchdog: a hung event loop must fail
+# the job, not hang CI.
+timeout --signal=KILL "$DEADLINE" \
+    "$SOAK" --port "$PORT" --conns "$CONNS" \
+            --requests-per-conn "$REQUESTS" --pipeline "$PIPELINE" \
+            --builtin "$BUILTIN" | tee "$WORK/soak.out"
+grep -q "transport_errors=0" "$WORK/soak.out"
+grep -q "mismatches=0" "$WORK/soak.out"
+
+# Verdicts served under load equal the in-process direct checker.
+"$CLIENT" --port "$PORT" --builtin "$BUILTIN" --variants paper \
+    --stable > "$WORK/server.out"
+"$CLIENT" --builtin "$BUILTIN" --variants paper --stable --direct \
+    > "$WORK/direct.out"
+diff "$WORK/server.out" "$WORK/direct.out" \
+    || { echo "verdict mismatch after soak"; exit 1; }
+echo "post-soak verdicts: byte-identical with the direct checker"
+
+# No 5xx anywhere (the soak allows none; the counters must agree).
+"$CLIENT" --port "$PORT" --metrics > "$WORK/metrics.txt"
+python3 - "$WORK/metrics.txt" <<'EOF'
+import sys
+metrics = {}
+for line in open(sys.argv[1]):
+    parts = line.split()
+    if not line.startswith('#') and len(parts) == 2:
+        metrics[parts[0]] = float(parts[1])
+for code in ("500", "503"):
+    count = metrics.get('rexd_responses_total{code="%s"}' % code, 0)
+    assert count == 0, f"unexpected {code}s: {count}"
+conns = metrics.get("rexd_keepalive_requests_per_connection_count", 0)
+assert conns > 0, "keep-alive histogram never observed a connection"
+print("metrics: zero 5xx; %d keep-alive connections closed" % conns)
+EOF
+
+# Graceful drain still works after the stampede.
+kill -TERM "$REXD_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$REXD_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$REXD_PID" 2>/dev/null && {
+    echo "rexd failed to drain after soak" >&2
+    exit 1
+}
+grep -q "rexd drained:" "$WORK/rexd.log" || {
+    echo "missing drain stats line" >&2
+    cat "$WORK/rexd.log" >&2
+    exit 1
+}
+
+echo "soak smoke: OK ($CONNS connections)"

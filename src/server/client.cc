@@ -8,6 +8,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -78,8 +79,37 @@ retryDelayMs(const RetryPolicy &policy, int attempt, int retryAfterSeconds)
     return static_cast<int>(delay);
 }
 
-ClientResponse
-Client::roundTrip(const std::string &request)
+Client::~Client()
+{
+    dropPooled();
+}
+
+void
+Client::setRetryPolicy(RetryPolicy policy)
+{
+    _retry = policy;
+    setKeepAlive(policy.keepAlive);
+}
+
+void
+Client::setKeepAlive(bool keepAlive)
+{
+    _keepAlive = keepAlive;
+    if (!keepAlive)
+        dropPooled();
+}
+
+void
+Client::dropPooled()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+int
+Client::connectFd() const
 {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
@@ -92,6 +122,8 @@ Client::roundTrip(const std::string &request)
         ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
+    int yes = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
 
     struct sockaddr_in addr;
     std::memset(&addr, 0, sizeof(addr));
@@ -108,40 +140,99 @@ Client::roundTrip(const std::string &request)
         fatal(format("cannot connect to %s:%u: %s", _host.c_str(), _port,
                      why.c_str()));
     }
+    return fd;
+}
 
-    if (!sendAll(fd, request.data(), request.size())) {
-        ::close(fd);
-        fatal("connection lost while sending request");
+std::string
+Client::buildRequest(
+    const char *method, const std::string &path, const std::string &body,
+    const std::string &contentType,
+    const std::map<std::string, std::string> &extraHeaders) const
+{
+    std::string request =
+        format("%s %s HTTP/1.1\r\n", method, path.c_str());
+    request += format("Host: %s:%u\r\n", _host.c_str(), _port);
+    for (const auto &[key, value] : extraHeaders)
+        request += key + ": " + value + "\r\n";
+    if (!body.empty() || std::strcmp(method, "POST") == 0) {
+        request += "Content-Type: " + contentType + "\r\n";
+        request += format("Content-Length: %zu\r\n", body.size());
     }
+    request += _keepAlive ? "Connection: keep-alive\r\n\r\n"
+                          : "Connection: close\r\n\r\n";
+    request += body;
+    return request;
+}
 
-    // The server closes after one response: read to EOF.
+namespace {
+
+/** Read exactly @p n more bytes into @p out; false on EOF/error. */
+bool
+recvExact(int fd, std::string &out, std::size_t n, std::string &why)
+{
+    char chunk[4096];
+    while (n > 0) {
+        ssize_t got = ::recv(
+            fd, chunk, std::min(n, sizeof(chunk)), 0);
+        if (got == 0) {
+            why = "connection closed mid-response";
+            return false;
+        }
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            why = (errno == EAGAIN || errno == EWOULDBLOCK)
+                      ? "timed out waiting for response"
+                      : std::strerror(errno);
+            return false;
+        }
+        out.append(chunk, static_cast<std::size_t>(got));
+        n -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+/**
+ * Read one framed response off @p fd: headers, then Content-Length
+ * body (304/204 are body-less). With no Content-Length and no
+ * keep-alive the body runs to EOF, matching pre-keep-alive servers.
+ * @return false with @p why set on transport failure (retryable);
+ *         fatal()s on protocol violations (not retryable).
+ */
+bool
+readResponse(int fd, ClientResponse &out, std::string &why)
+{
     std::string raw;
+    std::size_t header_end = std::string::npos;
+    std::size_t body_start = 0;
     char chunk[4096];
     while (true) {
+        std::size_t scan = raw.size() >= 3 ? raw.size() - 3 : 0;
         ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n == 0)
-            break;
+        if (n == 0) {
+            why = raw.empty() ? "connection closed before response"
+                              : "connection closed mid-response";
+            return false;
+        }
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            std::string why = (errno == EAGAIN || errno == EWOULDBLOCK)
-                ? "timed out waiting for response"
-                : std::strerror(errno);
-            ::close(fd);
-            fatal("client recv: " + why);
+            why = (errno == EAGAIN || errno == EWOULDBLOCK)
+                      ? "timed out waiting for response"
+                      : std::strerror(errno);
+            return false;
         }
         raw.append(chunk, static_cast<std::size_t>(n));
+        std::size_t crlf = raw.find("\r\n\r\n", scan);
+        std::size_t lf = raw.find("\n\n", scan);
+        header_end = std::min(crlf, lf);
+        if (header_end != std::string::npos) {
+            body_start = header_end + (header_end == crlf ? 4 : 2);
+            break;
+        }
+        if (raw.size() > 256 * 1024)
+            fatal("malformed response: no header terminator");
     }
-    ::close(fd);
-
-    std::size_t header_end = raw.find("\r\n\r\n");
-    std::size_t body_start = header_end + 4;
-    if (header_end == std::string::npos) {
-        header_end = raw.find("\n\n");
-        body_start = header_end + 2;
-    }
-    if (header_end == std::string::npos)
-        fatal("malformed response: no header terminator");
 
     ClientResponse response;
     std::vector<std::string> lines =
@@ -165,18 +256,95 @@ Client::roundTrip(const std::string &request)
     }
     response.body = raw.substr(body_start);
 
+    const bool bodyless =
+        response.status == 204 || response.status == 304;
     auto length = response.headers.find("content-length");
-    if (length != response.headers.end()) {
+    if (bodyless) {
+        response.body.clear();
+    } else if (length != response.headers.end()) {
         std::int64_t expected;
-        if (parseInteger(length->second, expected) &&
-                response.body.size() !=
+        if (!parseInteger(length->second, expected) || expected < 0)
+            fatal("malformed Content-Length in response");
+        if (response.body.size() <
+                static_cast<std::size_t>(expected)) {
+            if (!recvExact(fd, response.body,
+                           static_cast<std::size_t>(expected) -
+                               response.body.size(),
+                           why)) {
+                return false;
+            }
+        } else {
+            // Keep-alive: anything past Content-Length belongs to the
+            // next response; this client never pipelines, so it is a
+            // protocol violation.
+            if (response.body.size() >
                     static_cast<std::size_t>(expected)) {
-            fatal(format("truncated response body: %zu of %lld bytes",
-                         response.body.size(),
-                         static_cast<long long>(expected)));
+                fatal(format(
+                    "overlong response body: %zu of %lld bytes",
+                    response.body.size(),
+                    static_cast<long long>(expected)));
+            }
+        }
+    } else {
+        // No Content-Length: body runs to EOF (Connection: close
+        // framing).
+        while (true) {
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n == 0)
+                break;
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                why = (errno == EAGAIN || errno == EWOULDBLOCK)
+                          ? "timed out waiting for response"
+                          : std::strerror(errno);
+                return false;
+            }
+            response.body.append(chunk, static_cast<std::size_t>(n));
         }
     }
-    return response;
+    out = std::move(response);
+    return true;
+}
+
+} // namespace
+
+ClientResponse
+Client::roundTrip(const std::string &request)
+{
+    // A pooled connection may have been closed by the server (idle
+    // timeout, restart) since the last response: that surfaces as a
+    // send failure or EOF-before-status here, and earns exactly one
+    // clean reconnect that does not consume a retry attempt. Fresh
+    // connections fail for real.
+    bool reused = _keepAlive && _fd >= 0;
+    while (true) {
+        if (_fd < 0)
+            _fd = connectFd();
+        std::string why;
+        ClientResponse response;
+        bool ok = sendAll(_fd, request.data(), request.size());
+        if (!ok)
+            why = "connection lost while sending request";
+        else
+            ok = readResponse(_fd, response, why);
+        if (ok) {
+            auto connection = response.headers.find("connection");
+            bool server_closes =
+                connection != response.headers.end() &&
+                toLower(connection->second).find("close") !=
+                    std::string::npos;
+            if (!_keepAlive || server_closes)
+                dropPooled();
+            return response;
+        }
+        dropPooled();
+        if (reused) {
+            reused = false;
+            continue;
+        }
+        fatal("client transport: " + why);
+    }
 }
 
 ClientResponse
@@ -241,24 +409,19 @@ Client::roundTripWithRetry(const std::string &request)
 
 ClientResponse
 Client::post(const std::string &path, const std::string &body,
-             const std::string &contentType)
+             const std::string &contentType,
+             const std::map<std::string, std::string> &extraHeaders)
 {
-    std::string request = format("POST %s HTTP/1.1\r\n", path.c_str());
-    request += format("Host: %s:%u\r\n", _host.c_str(), _port);
-    request += "Content-Type: " + contentType + "\r\n";
-    request += format("Content-Length: %zu\r\n", body.size());
-    request += "Connection: close\r\n\r\n";
-    request += body;
-    return roundTripWithRetry(request);
+    return roundTripWithRetry(
+        buildRequest("POST", path, body, contentType, extraHeaders));
 }
 
 ClientResponse
-Client::get(const std::string &path)
+Client::get(const std::string &path,
+            const std::map<std::string, std::string> &extraHeaders)
 {
-    std::string request = format("GET %s HTTP/1.1\r\n", path.c_str());
-    request += format("Host: %s:%u\r\n", _host.c_str(), _port);
-    request += "Connection: close\r\n\r\n";
-    return roundTripWithRetry(request);
+    return roundTripWithRetry(
+        buildRequest("GET", path, "", "application/json", extraHeaders));
 }
 
 ClientResponse

@@ -5,10 +5,17 @@
  * both drive the daemon through this class, so a protocol change
  * breaks loudly in exactly two places: service.cc and here).
  *
- * One request per connection, matching the server's Connection: close
- * policy. Request bodies for /check are built by checkRequestJson(), a
- * tiny serialiser kept next to the client so the JSON the server
- * parses and the JSON clients emit cannot drift apart silently.
+ * By default each request opens a fresh connection and asks for
+ * `Connection: close` (one-shot semantics, matching the pre-event-loop
+ * server). setKeepAlive(true) pools one connection across requests and
+ * frames responses by Content-Length; a pooled connection the server
+ * has since dropped (idle timeout, restart) is detected on the next
+ * request and replaced with one clean reconnect that does NOT consume
+ * a retry attempt — only a failure on a fresh connection counts.
+ *
+ * Request bodies for /check are built by checkRequestJson(), a tiny
+ * serialiser kept next to the client so the JSON the server parses and
+ * the JSON clients emit cannot drift apart silently.
  */
 
 #ifndef REX_SERVER_CLIENT_HH
@@ -68,6 +75,10 @@ struct RetryPolicy {
      * that key, so a retry can only get the same answer back.
      */
     bool retryCrashed = false;
+
+    /** Reuse one pooled connection across requests (HTTP keep-alive)
+     *  instead of one connection per request. */
+    bool keepAlive = false;
 };
 
 /**
@@ -79,7 +90,7 @@ struct RetryPolicy {
 int retryDelayMs(const RetryPolicy &policy, int attempt,
                  int retryAfterSeconds);
 
-/** A blocking one-request-per-connection HTTP client. */
+/** A blocking HTTP client (optionally keep-alive, see file header). */
 class Client
 {
   public:
@@ -88,10 +99,21 @@ class Client
           _timeoutSeconds(timeoutSeconds)
     {}
 
+    /** Closes the pooled connection, if any. */
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
     /** Enable retries; the default policy (maxAttempts 1) disables
-     *  them, preserving single-shot semantics. */
-    void setRetryPolicy(RetryPolicy policy) { _retry = policy; }
+     *  them, preserving single-shot semantics. Policy keepAlive is
+     *  adopted too (equivalent to setKeepAlive). */
+    void setRetryPolicy(RetryPolicy policy);
     const RetryPolicy &retryPolicy() const { return _retry; }
+
+    /** Pool one connection across requests (HTTP/1.1 keep-alive). */
+    void setKeepAlive(bool keepAlive);
+    bool keepAlive() const { return _keepAlive; }
 
     /**
      * POST @p body to @p path. Retries per the policy on 503 and on
@@ -100,12 +122,16 @@ class Client
      *         response is unparseable (an HTTP error status is NOT a
      *         throw — callers check response.status).
      */
-    ClientResponse post(const std::string &path, const std::string &body,
-                        const std::string &contentType =
-                            "application/json");
+    ClientResponse
+    post(const std::string &path, const std::string &body,
+         const std::string &contentType = "application/json",
+         const std::map<std::string, std::string> &extraHeaders = {});
 
-    /** GET @p path. Throws and retries like post(). */
-    ClientResponse get(const std::string &path);
+    /** GET @p path. Throws and retries like post(). @p extraHeaders
+     *  lets callers send conditionals (If-None-Match). */
+    ClientResponse
+    get(const std::string &path,
+        const std::map<std::string, std::string> &extraHeaders = {});
 
     /**
      * Convenience: POST /check for @p test_text under @p variants and
@@ -121,15 +147,27 @@ class Client
     bool healthy();
 
   private:
+    /** The one place requests are serialised. */
+    std::string
+    buildRequest(const char *method, const std::string &path,
+                 const std::string &body, const std::string &contentType,
+                 const std::map<std::string, std::string> &extraHeaders)
+        const;
+
     ClientResponse roundTrip(const std::string &request);
 
     /** roundTrip plus the retry loop. */
     ClientResponse roundTripWithRetry(const std::string &request);
 
+    int connectFd() const;
+    void dropPooled();
+
     std::string _host;
     std::uint16_t _port;
     int _timeoutSeconds;
     RetryPolicy _retry;
+    bool _keepAlive = false;
+    int _fd = -1;  //!< pooled keep-alive connection (-1 = none)
 };
 
 } // namespace rex::server

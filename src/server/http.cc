@@ -4,7 +4,6 @@
 #include <cstring>
 
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include "base/strings.hh"
@@ -15,28 +14,17 @@ namespace rex::server {
 
 namespace {
 
-/** Set send+receive timeouts on @p fd. */
-void
-setIoTimeout(int fd, int seconds)
-{
-    if (seconds <= 0)
-        return;
-    struct timeval tv;
-    tv.tv_sec = seconds;
-    tv.tv_usec = 0;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
 /** Parse the request line "METHOD /path?query HTTP/1.1". */
 bool
-parseRequestLine(const std::string &line, HttpRequest &out)
+parseRequestLine(const std::string &line, HttpRequest &out,
+                 int &minor_out)
 {
     std::vector<std::string> parts = splitWhitespace(line);
     if (parts.size() != 3)
         return false;
     if (!startsWith(parts[2], "HTTP/1."))
         return false;
+    minor_out = parts[2].size() == 8 && parts[2][7] == '0' ? 0 : 1;
     out.method = parts[0];
     std::string target = parts[1];
     auto question = target.find('?');
@@ -83,12 +71,15 @@ statusReason(int status)
 {
     switch (status) {
       case 200: return "OK";
+      case 204: return "No Content";
+      case 304: return "Not Modified";
       case 400: return "Bad Request";
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
       case 408: return "Request Timeout";
       case 411: return "Length Required";
       case 413: return "Payload Too Large";
+      case 431: return "Request Header Fields Too Large";
       case 500: return "Internal Server Error";
       case 501: return "Not Implemented";
       case 503: return "Service Unavailable";
@@ -96,120 +87,191 @@ statusReason(int status)
     }
 }
 
-int
-readHttpRequest(int fd, const HttpLimits &limits, HttpRequest &out,
-                std::string &error_out)
+void
+HttpParser::feed(const char *data, std::size_t n)
 {
-    setIoTimeout(fd, limits.ioTimeoutSeconds);
+    // Compact before growing: once a prefix of completed requests has
+    // been consumed, drop it so the buffer tracks only in-flight bytes.
+    if (_consumed > 0 &&
+            (_consumed >= 4096 || _consumed == _buffer.size())) {
+        _buffer.erase(0, _consumed);
+        _scanHint -= std::min(_scanHint, _consumed);
+        _consumed = 0;
+    }
+    _buffer.append(data, n);
+}
 
-    // Read until the blank line ending the header block, byte-capped.
-    std::string buffer;
-    std::size_t header_end = std::string::npos;
-    char chunk[4096];
-    while (header_end == std::string::npos) {
-        if (buffer.size() > limits.maxHeaderBytes) {
-            error_out = "header block too large";
-            return 413;
+HttpParser::Result
+HttpParser::fail(int status, std::string message)
+{
+    _errorStatus = status;
+    _error = std::move(message);
+    _result = Result::Error;
+    return _result;
+}
+
+HttpParser::Result
+HttpParser::next(HttpRequest &out)
+{
+    if (_result == Result::Error)
+        return Result::Error;
+
+    if (_phase == Phase::Headers) {
+        // RFC 9112 §2.2: ignore blank lines between requests (some
+        // peers terminate bodies with a stray CRLF).
+        while (_consumed < _buffer.size() &&
+               (_buffer[_consumed] == '\r' || _buffer[_consumed] == '\n')) {
+            ++_consumed;
         }
-        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n == 0) {
-            error_out = buffer.empty() ? "" : "truncated request";
-            return 400;
-        }
-        if (n < 0) {
-            if (errno == EAGAIN || errno == EWOULDBLOCK) {
-                error_out = "timed out reading request";
-                return 408;
-            }
-            error_out = std::string("recv: ") + std::strerror(errno);
-            return 400;
-        }
-        buffer.append(chunk, static_cast<std::size_t>(n));
-        header_end = buffer.find("\r\n\r\n");
-        // Be liberal: accept bare-LF framing from hand-rolled peers.
+
+        // Find the header terminator, tolerating bare-LF framing from
+        // hand-rolled peers. Prefer whichever terminator comes first so
+        // a bare-LF head followed by CRLFCRLF binary noise still frames
+        // at the right boundary. The scan resumes where the last
+        // attempt left off (minus the longest partial terminator), so
+        // byte-at-a-time delivery stays linear, not quadratic.
+        std::size_t from = std::max(
+            _consumed, _scanHint >= 3 ? _scanHint - 3 : std::size_t(0));
+        std::size_t crlf = _buffer.find("\r\n\r\n", from);
+        std::size_t lf = _buffer.find("\n\n", from);
+        std::size_t header_end = std::min(crlf, lf);
         if (header_end == std::string::npos) {
-            std::size_t bare = buffer.find("\n\n");
-            if (bare != std::string::npos)
-                header_end = bare;
+            _scanHint = _buffer.size();
+            if (_buffer.size() - _consumed > _limits.maxHeaderBytes)
+                return fail(431, "header block too large");
+            _result = Result::NeedMore;
+            return _result;
         }
-    }
+        _scanHint = 0;
+        std::size_t body_start =
+            header_end + (header_end == crlf ? 4 : 2);
 
-    std::size_t body_start = buffer[header_end] == '\r'
-        ? header_end + 4 : header_end + 2;
-    std::string head = buffer.substr(0, header_end);
-    if (head.size() > limits.maxHeaderBytes) {
-        error_out = "header block too large";
-        return 413;
-    }
+        std::string head =
+            _buffer.substr(_consumed, header_end - _consumed);
+        if (head.size() > _limits.maxHeaderBytes)
+            return fail(431, "header block too large");
 
-    std::vector<std::string> lines = split(head, '\n');
-    if (lines.empty() || !parseRequestLine(trim(lines[0]), out)) {
-        error_out = "malformed request line";
-        return 400;
-    }
-    for (std::size_t i = 1; i < lines.size(); ++i) {
-        std::string line = trim(lines[i]);
-        if (line.empty())
-            continue;
-        auto colon = line.find(':');
-        if (colon == std::string::npos) {
-            error_out = "malformed header line";
-            return 400;
+        _pending = HttpRequest();
+        int minor = 1;
+        std::vector<std::string> lines = split(head, '\n');
+        if (lines.empty() ||
+                !parseRequestLine(trim(lines[0]), _pending, minor)) {
+            return fail(400, "malformed request line");
         }
-        out.headers[toLower(trim(line.substr(0, colon)))] =
-            trim(line.substr(colon + 1));
-    }
-
-    if (out.headers.count("transfer-encoding")) {
-        error_out = "chunked request bodies are not supported";
-        return 501;
-    }
-
-    std::size_t content_length = 0;
-    auto it = out.headers.find("content-length");
-    if (it != out.headers.end()) {
-        std::int64_t parsed;
-        if (!parseInteger(it->second, parsed) || parsed < 0) {
-            error_out = "bad Content-Length";
-            return 400;
+        for (std::size_t i = 1; i < lines.size(); ++i) {
+            std::string line = trim(lines[i]);
+            if (line.empty())
+                continue;
+            auto colon = line.find(':');
+            if (colon == std::string::npos)
+                return fail(400, "malformed header line");
+            _pending.headers[toLower(trim(line.substr(0, colon)))] =
+                trim(line.substr(colon + 1));
         }
-        content_length = static_cast<std::size_t>(parsed);
-    } else if (out.method == "POST" || out.method == "PUT") {
-        error_out = "POST requires Content-Length";
-        return 411;
-    }
-    if (content_length > limits.maxBodyBytes) {
-        error_out = format("body of %zu bytes exceeds the %zu-byte limit",
-                           content_length, limits.maxBodyBytes);
-        return 413;
+
+        // Connection semantics: HTTP/1.1 defaults to keep-alive,
+        // HTTP/1.0 to close; an explicit Connection header wins.
+        _pending.keepAlive = minor >= 1;
+        auto connection = _pending.headers.find("connection");
+        if (connection != _pending.headers.end()) {
+            std::string value = toLower(connection->second);
+            if (value.find("close") != std::string::npos)
+                _pending.keepAlive = false;
+            else if (value.find("keep-alive") != std::string::npos)
+                _pending.keepAlive = true;
+        }
+
+        if (_pending.headers.count("transfer-encoding"))
+            return fail(501, "chunked request bodies are not supported");
+
+        std::size_t content_length = 0;
+        auto it = _pending.headers.find("content-length");
+        if (it != _pending.headers.end()) {
+            std::int64_t parsed;
+            if (!parseInteger(it->second, parsed) || parsed < 0)
+                return fail(400, "bad Content-Length");
+            content_length = static_cast<std::size_t>(parsed);
+        } else if (_pending.method == "POST" ||
+                   _pending.method == "PUT") {
+            return fail(411, "POST requires Content-Length");
+        }
+        // The whole point of framing by declared length: an oversized
+        // body is refused here, before a single body byte is buffered.
+        if (content_length > _limits.maxBodyBytes) {
+            return fail(413,
+                        format("body of %zu bytes exceeds the %zu-byte "
+                               "limit",
+                               content_length, _limits.maxBodyBytes));
+        }
+
+        _consumed = body_start;
+        _bodyNeeded = content_length;
+        _phase = Phase::Body;
     }
 
-    out.body = buffer.substr(body_start);
-    if (out.body.size() > content_length) {
-        error_out = "body longer than Content-Length";
-        return 400;
+    if (_buffer.size() - _consumed < _bodyNeeded) {
+        _result = Result::NeedMore;
+        return _result;
     }
-    while (out.body.size() < content_length) {
-        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n == 0) {
-            error_out = "truncated body";
-            return 400;
-        }
-        if (n < 0) {
-            if (errno == EAGAIN || errno == EWOULDBLOCK) {
-                error_out = "timed out reading body";
-                return 408;
+
+    out = std::move(_pending);
+    out.body = _buffer.substr(_consumed, _bodyNeeded);
+    _consumed += _bodyNeeded;
+    _pending = HttpRequest();
+    _bodyNeeded = 0;
+    _phase = Phase::Headers;
+    _result = Result::Ready;
+    return _result;
+}
+
+std::string
+serializeHttpResponse(const HttpResponse &response, bool keepAlive)
+{
+    std::string out = format("HTTP/1.1 %d %s\r\n", response.status,
+                             statusReason(response.status));
+    // 304/204 are body-less by definition; emitting a Content-Length
+    // would make caches update the stored representation's length.
+    const bool bodyless =
+        response.status == 304 || response.status == 204;
+    if (!bodyless) {
+        out += "Content-Type: " + response.contentType + "\r\n";
+        out += format("Content-Length: %zu\r\n", response.body.size());
+    }
+    for (const auto &[key, value] : response.extraHeaders)
+        out += key + ": " + value + "\r\n";
+    out += keepAlive ? "Connection: keep-alive\r\n\r\n"
+                     : "Connection: close\r\n\r\n";
+    if (!bodyless)
+        out += response.body;
+    return out;
+}
+
+std::string
+urlDecode(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '%' && i + 2 < text.size()) {
+            auto hex = [](char c) -> int {
+                if (c >= '0' && c <= '9')
+                    return c - '0';
+                if (c >= 'a' && c <= 'f')
+                    return c - 'a' + 10;
+                if (c >= 'A' && c <= 'F')
+                    return c - 'A' + 10;
+                return -1;
+            };
+            int hi = hex(text[i + 1]), lo = hex(text[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out += static_cast<char>(hi * 16 + lo);
+                i += 2;
+                continue;
             }
-            error_out = std::string("recv: ") + std::strerror(errno);
-            return 400;
         }
-        out.body.append(chunk, static_cast<std::size_t>(n));
-        if (out.body.size() > content_length) {
-            error_out = "body longer than Content-Length";
-            return 400;
-        }
+        out += text[i];
     }
-    return 0;
+    return out;
 }
 
 bool
@@ -228,35 +290,6 @@ sendAll(int fd, const char *data, std::size_t size)
         sent += static_cast<std::size_t>(n);
     }
     return true;
-}
-
-void
-drainPeer(int fd, std::size_t maxBytes, int timeoutSeconds)
-{
-    ::shutdown(fd, SHUT_WR);
-    setIoTimeout(fd, timeoutSeconds);
-    char chunk[4096];
-    std::size_t drained = 0;
-    while (drained < maxBytes) {
-        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n <= 0)
-            break;  // EOF, timeout, or error: nothing more to absorb
-        drained += static_cast<std::size_t>(n);
-    }
-}
-
-void
-writeHttpResponse(int fd, const HttpResponse &response)
-{
-    std::string head = format("HTTP/1.1 %d %s\r\n", response.status,
-                              statusReason(response.status));
-    head += "Content-Type: " + response.contentType + "\r\n";
-    head += format("Content-Length: %zu\r\n", response.body.size());
-    for (const auto &[key, value] : response.extraHeaders)
-        head += key + ": " + value + "\r\n";
-    head += "Connection: close\r\n\r\n";
-    if (sendAll(fd, head.data(), head.size()))
-        sendAll(fd, response.body.data(), response.body.size());
 }
 
 } // namespace rex::server

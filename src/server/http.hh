@@ -1,17 +1,22 @@
 /**
  * @file
- * Minimal HTTP/1.1 framing over POSIX sockets for rexd.
+ * HTTP/1.1 framing for rexd: a resumable request parser and response
+ * serialisation, dependency-free by design.
  *
- * Dependency-free by design: the request parser reads from a connected
- * socket with strict limits (request-line/header bytes, body bytes via
- * Content-Length, per-socket I/O timeout) and never allocates
- * proportionally to anything the peer did not send. Responses always
- * carry Content-Length and `Connection: close`; every connection serves
- * exactly one request, which keeps backpressure accounting and graceful
- * drain trivially correct (a drained queue means no half-served peers).
+ * HttpParser is an incremental state machine made for a non-blocking
+ * event loop: bytes are feed()ed as they arrive off the socket and
+ * next() yields complete requests as soon as they are framed, including
+ * several pipelined requests from one read. It never allocates
+ * proportionally to anything the peer did not send: the request
+ * line + header block is capped (431 beyond it), a body is refused by
+ * its declared Content-Length (413) *before* any of it is buffered, and
+ * chunked uploads are rejected (501). Bare-LF framing from hand-rolled
+ * peers is tolerated.
  *
- * Only what rexd needs is implemented: GET/POST, Content-Length bodies
- * (chunked uploads are rejected with 411/501), no TLS, no keep-alive.
+ * Responses carry Content-Length and an explicit `Connection:
+ * keep-alive` / `close` header; 304/204 responses are serialised
+ * body-less as HTTP requires. Only what rexd needs is implemented:
+ * GET/POST, Content-Length bodies, no TLS, no chunked coding.
  */
 
 #ifndef REX_SERVER_HTTP_HH
@@ -23,15 +28,17 @@
 
 namespace rex::server {
 
-/** Limits applied while reading a request from the socket. */
+/** Limits applied while parsing a request. */
 struct HttpLimits {
-    /** Request line + headers cap (bytes). */
+    /** Request line + headers cap (bytes); 431 beyond it. */
     std::size_t maxHeaderBytes = 16 * 1024;
 
-    /** Body cap (bytes); larger Content-Lengths are refused with 413. */
+    /** Body cap (bytes); larger Content-Lengths are refused with 413
+     *  before any body byte is buffered. */
     std::size_t maxBodyBytes = 1024 * 1024;
 
-    /** Socket send/receive timeout (seconds). */
+    /** Read deadline (seconds) for a connection mid-request; a stalled
+     *  peer is answered 408. Also the write-stall deadline. */
     int ioTimeoutSeconds = 30;
 };
 
@@ -42,6 +49,10 @@ struct HttpRequest {
     std::string query;     //!< raw query string ("" when absent)
     std::map<std::string, std::string> headers;  //!< keys lowercased
     std::string body;
+
+    /** Peer wants the connection kept open after the response: HTTP/1.1
+     *  default unless `Connection: close`; HTTP/1.0 opt-in. */
+    bool keepAlive = true;
 };
 
 /** One response to serialise. */
@@ -58,41 +69,89 @@ struct HttpResponse {
     static HttpResponse error(int status, const std::string &message);
 };
 
-/** Reason phrase for @p status ("OK", "Bad Request", ...). */
+/** Reason phrase for @p status ("OK", "Not Modified", ...). */
 const char *statusReason(int status);
 
 /**
- * Read and parse one request from connected socket @p fd under
- * @p limits.
+ * Resumable HTTP/1.1 request parser.
  *
- * @return 0 on success (filling @p out); on failure, the HTTP status
- *         the caller should answer with (400 malformed, 408 timeout,
- *         411 missing length, 413 too large, 501 chunked), with
- *         @p error_out describing the problem. A peer that closed
- *         before sending anything yields 0 bytes read and status 400
- *         with an empty error; callers may just close.
+ * Usage, per connection:
+ *
+ *     parser.feed(data, n);              // bytes off the socket
+ *     HttpRequest request;
+ *     while (parser.next(request) == HttpParser::Result::Ready)
+ *         handle(request);               // may yield several (pipelining)
+ *     if (parser.result() == Result::Error)
+ *         answer(parser.errorStatus(), parser.errorMessage());
+ *
+ * Errors are sticky: a connection whose byte stream went wrong cannot
+ * be re-framed, so the caller answers once and closes.
  */
-int readHttpRequest(int fd, const HttpLimits &limits, HttpRequest &out,
-                    std::string &error_out);
+class HttpParser
+{
+  public:
+    enum class Result {
+        NeedMore,  //!< no complete request buffered yet
+        Ready,     //!< one request extracted; call next() again
+        Error,     //!< stream unframeable; see errorStatus()
+    };
+
+    explicit HttpParser(HttpLimits limits = {}) : _limits(limits) {}
+
+    /** Append @p n bytes received from the peer. */
+    void feed(const char *data, std::size_t n);
+
+    /** Try to extract the next complete request into @p out. */
+    Result next(HttpRequest &out);
+
+    /** The last next() outcome (Error is sticky). */
+    Result result() const { return _result; }
+
+    /** HTTP status to answer with after Result::Error (400/411/413/
+     *  431/501). */
+    int errorStatus() const { return _errorStatus; }
+    const std::string &errorMessage() const { return _error; }
+
+    /** True when no partial request is buffered — the connection is
+     *  between requests and may idle or be closed cleanly. */
+    bool idle() const { return _buffer.size() == _consumed; }
+
+    /** Bytes buffered but not yet consumed by a complete request. */
+    std::size_t bufferedBytes() const { return _buffer.size() - _consumed; }
+
+  private:
+    Result fail(int status, std::string message);
+
+    HttpLimits _limits;
+    std::string _buffer;
+    std::size_t _consumed = 0;  //!< parse offset into _buffer
+
+    enum class Phase { Headers, Body };
+    Phase _phase = Phase::Headers;
+    HttpRequest _pending;         //!< headers parsed, awaiting body
+    std::size_t _bodyNeeded = 0;  //!< Content-Length of _pending
+
+    std::size_t _scanHint = 0;  //!< terminator search resumes here
+
+    Result _result = Result::NeedMore;
+    int _errorStatus = 0;
+    std::string _error;
+};
 
 /**
- * Serialise and send @p response on @p fd (adds Content-Length and
- * Connection: close). Best-effort: send errors are swallowed, the
- * caller closes the socket either way.
+ * Serialise @p response: status line, Content-Type/-Length, extra
+ * headers, and `Connection: keep-alive` / `close` per @p keepAlive.
+ * 304 and 204 responses are serialised without a body or
+ * Content-Length, as HTTP requires.
  */
-void writeHttpResponse(int fd, const HttpResponse &response);
+std::string serializeHttpResponse(const HttpResponse &response,
+                                  bool keepAlive);
 
-/**
- * Half-close @p fd for writing, then read and discard whatever the peer
- * is still sending (bounded by @p maxBytes and @p timeoutSeconds per
- * read) until it closes. Use after answering an error on a connection
- * whose body was never read: closing with unread data in the receive
- * buffer makes the kernel send RST, which can destroy the response
- * before the peer reads it. Does NOT close @p fd.
- */
-void drainPeer(int fd, std::size_t maxBytes, int timeoutSeconds);
+/** Decode %XX escapes in a URL path/query component ('+' is literal). */
+std::string urlDecode(std::string_view text);
 
-/** Blocking full-buffer send; true when every byte was written. */
+/** Blocking full-buffer send; true when every byte was written. Used by
+ *  the client (the server writes through its event loop instead). */
 bool sendAll(int fd, const char *data, std::size_t size);
 
 } // namespace rex::server

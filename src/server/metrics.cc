@@ -49,15 +49,52 @@ LatencyHistogram::render(const std::string &name,
 }
 
 void
+CountHistogram::observe(std::uint64_t value)
+{
+    std::size_t bucket = kBuckets.size();  // +Inf
+    for (std::size_t i = 0; i < kBuckets.size(); ++i) {
+        if (value <= kBuckets[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    _counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(value, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string
+CountHistogram::render(const std::string &name) const
+{
+    std::string out;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets.size(); ++i) {
+        cumulative += _counts[i].load(std::memory_order_relaxed);
+        out += format("%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                      name.c_str(), kBuckets[i], cumulative);
+    }
+    cumulative += _counts[kBuckets.size()].load(std::memory_order_relaxed);
+    out += format("%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+                  cumulative);
+    out += format("%s_sum %" PRIu64 "\n", name.c_str(),
+                  _sum.load(std::memory_order_relaxed));
+    out += format("%s_count %" PRIu64 "\n", name.c_str(),
+                  _count.load(std::memory_order_relaxed));
+    return out;
+}
+
+void
 Metrics::countResponse(int status)
 {
     switch (status) {
       case 200: ++responses200; break;
+      case 304: ++responses304; break;
       case 400: ++responses400; break;
       case 404: ++responses404; break;
       case 405: ++responses405; break;
       case 408: ++responses408; break;
       case 413: ++responses413; break;
+      case 431: ++responses431; break;
       case 503: ++responses503; break;
       default: ++responses500; break;
     }
@@ -104,11 +141,13 @@ Metrics::render(engine::Engine &engine) const
     out += "# HELP rexd_responses_total Responses sent, by status.\n"
            "# TYPE rexd_responses_total counter\n";
     labelled("rexd_responses_total", "code=\"200\"", responses200.load());
+    labelled("rexd_responses_total", "code=\"304\"", responses304.load());
     labelled("rexd_responses_total", "code=\"400\"", responses400.load());
     labelled("rexd_responses_total", "code=\"404\"", responses404.load());
     labelled("rexd_responses_total", "code=\"405\"", responses405.load());
     labelled("rexd_responses_total", "code=\"408\"", responses408.load());
     labelled("rexd_responses_total", "code=\"413\"", responses413.load());
+    labelled("rexd_responses_total", "code=\"431\"", responses431.load());
     labelled("rexd_responses_total", "code=\"500\"", responses500.load());
     labelled("rexd_responses_total", "code=\"503\"", responses503.load());
 
@@ -156,6 +195,13 @@ Metrics::render(engine::Engine &engine) const
     counter("rexd_read_timeouts_total",
             "Connections that timed out mid-request (the 408 path).",
             readTimeouts.load());
+    counter("rexd_http_304_total",
+            "Conditional requests answered 304 on the event loop, "
+            "engine untouched.",
+            http304.load());
+    counter("rexd_idle_timeouts_total",
+            "Keep-alive connections closed by the idle deadline.",
+            idleTimeouts.load());
     counter("rexd_enumerated_candidates_total",
             "Candidate executions enumerated by the engine, including "
             "in-flight checks.",
@@ -212,6 +258,9 @@ Metrics::render(engine::Engine &engine) const
           queueDepth.load());
     gauge("rexd_inflight_requests", "Requests currently being handled.",
           inflight.load());
+    gauge("rexd_open_connections",
+          "Connections currently open on the event loop.",
+          openConnections.load());
     gauge("rexd_engine_jobs", "Engine worker threads.",
           static_cast<std::int64_t>(engine.jobs()));
     gauge("rexd_engine_pool_queue_depth",
@@ -239,6 +288,12 @@ Metrics::render(engine::Engine &engine) const
           supervisor
               ? static_cast<std::int64_t>(supervisor->quarantinedKeys())
               : 0);
+
+    out += "# HELP rexd_keepalive_requests_per_connection Requests "
+           "served per keep-alive connection, recorded at close.\n"
+           "# TYPE rexd_keepalive_requests_per_connection histogram\n";
+    out += keepaliveRequests.render(
+        "rexd_keepalive_requests_per_connection");
 
     out += "# HELP rexd_stage_seconds Pipeline-stage latency.\n"
            "# TYPE rexd_stage_seconds histogram\n";

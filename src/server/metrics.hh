@@ -56,6 +56,31 @@ class LatencyHistogram
     std::atomic<std::uint64_t> _count{0};
 };
 
+/**
+ * A fixed-bucket histogram over plain counts (requests served on one
+ * keep-alive connection, say), rendered cumulatively like
+ * LatencyHistogram but with integral bucket bounds.
+ */
+class CountHistogram
+{
+  public:
+    /** Upper bounds (plus an implicit +Inf bucket). */
+    static constexpr std::array<std::uint64_t, 9> kBuckets = {
+        1, 2, 5, 10, 25, 50, 100, 250, 1000,
+    };
+
+    /** Record one observation of @p value. */
+    void observe(std::uint64_t value);
+
+    /** Render `name_bucket`/`name_sum`/`name_count` lines. */
+    std::string render(const std::string &name) const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets.size() + 1> _counts{};
+    std::atomic<std::uint64_t> _sum{0};
+    std::atomic<std::uint64_t> _count{0};
+};
+
 /** The rexd metric set. */
 struct Metrics {
     /** Requests accepted into the handler, by route. */
@@ -66,11 +91,13 @@ struct Metrics {
 
     /** Responses sent, by status class/code of interest. */
     std::atomic<std::uint64_t> responses200{0};
+    std::atomic<std::uint64_t> responses304{0};
     std::atomic<std::uint64_t> responses400{0};
     std::atomic<std::uint64_t> responses404{0};
     std::atomic<std::uint64_t> responses405{0};
     std::atomic<std::uint64_t> responses408{0};
     std::atomic<std::uint64_t> responses413{0};
+    std::atomic<std::uint64_t> responses431{0};
     std::atomic<std::uint64_t> responses500{0};
     std::atomic<std::uint64_t> responses503{0};
 
@@ -97,11 +124,26 @@ struct Metrics {
      */
     std::atomic<std::uint64_t> readTimeouts{0};
 
+    /** Conditional requests answered 304 Not Modified on the event
+     *  loop, without touching the engine or its pool. */
+    std::atomic<std::uint64_t> http304{0};
+
+    /** Keep-alive connections closed by the idle deadline (distinct
+     *  from readTimeouts: an idle peer owes us nothing, so no 408). */
+    std::atomic<std::uint64_t> idleTimeouts{0};
+
     /** Current accept-queue depth (gauge, maintained by the server). */
     std::atomic<std::int64_t> queueDepth{0};
 
     /** Requests currently being handled (gauge). */
     std::atomic<std::int64_t> inflight{0};
+
+    /** Connections currently open on the event loop (gauge). */
+    std::atomic<std::int64_t> openConnections{0};
+
+    /** Requests served per keep-alive connection, recorded when the
+     *  connection closes. */
+    CountHistogram keepaliveRequests;
 
     /** Per-stage latency: litmus parsing, model compilation (cache
      *  misses of the compiled path), cache-miss enumeration+check,

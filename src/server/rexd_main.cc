@@ -15,6 +15,7 @@
  *        [--results PATH] [--max-body BYTES] [--io-timeout SECONDS]
  *        [--max-deadline-ms N] [--max-candidates N]
  *        [--workers N] [--crash-quarantine N] [--kill-grace-ms N]
+ *        [--max-conns N] [--idle-timeout SECONDS] [--max-age SECONDS]
  *
  * Defaults: 127.0.0.1:8643, 4 handler threads, queue bound 64, engine
  * jobs from REX_JOBS (else hardware concurrency), cache settings from
@@ -34,6 +35,11 @@
  * Quarantined without dispatch; --kill-grace-ms how far past its
  * cooperative deadline a worker may run before SIGKILL. Pair --workers
  * with --max-deadline-ms so every job has a hard deadline.
+ *
+ * --max-conns caps concurrently open connections (beyond it, accepts
+ * are answered 503 + Retry-After and closed); --idle-timeout closes
+ * keep-alive connections idle that long; --max-age sets the
+ * Cache-Control max-age advertised on deterministic /check 200s.
  */
 
 #include <cerrno>
@@ -69,7 +75,9 @@ usage(const char *argv0)
         "            [--no-cache] [--results PATH] [--max-body BYTES]\n"
         "            [--io-timeout SECONDS] [--max-deadline-ms N]\n"
         "            [--max-candidates N] [--workers N]\n"
-        "            [--crash-quarantine N] [--kill-grace-ms N]\n",
+        "            [--crash-quarantine N] [--kill-grace-ms N]\n"
+        "            [--max-conns N] [--idle-timeout SECONDS]\n"
+        "            [--max-age SECONDS]\n",
         argv0);
     std::exit(2);
 }
@@ -145,6 +153,14 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[arg], "--kill-grace-ms") == 0) {
             engine_config.killGraceMs =
                 numberArg(argc, argv, arg, argv[0]);
+        } else if (std::strcmp(argv[arg], "--max-conns") == 0) {
+            config.maxConnections = numberArg(argc, argv, arg, argv[0]);
+        } else if (std::strcmp(argv[arg], "--idle-timeout") == 0) {
+            config.idleTimeoutSeconds = static_cast<int>(
+                numberArg(argc, argv, arg, argv[0]));
+        } else if (std::strcmp(argv[arg], "--max-age") == 0) {
+            config.cacheMaxAgeSeconds = static_cast<int>(
+                numberArg(argc, argv, arg, argv[0]));
         } else {
             usage(argv[0]);
         }
@@ -166,10 +182,11 @@ main(int argc, char **argv)
         server::RexServer server(engine, config);
         server.start();
         std::printf("rexd listening on %s:%u (threads=%u queue=%zu "
-                    "jobs=%u workers=%u)\n",
+                    "jobs=%u workers=%u max-conns=%zu)\n",
                     server.config().host.c_str(), server.port(),
                     server.config().threads, server.config().maxQueue,
-                    engine.jobs(), engine_config.workers);
+                    engine.jobs(), engine_config.workers,
+                    server.config().maxConnections);
         std::fflush(stdout);
 
         // Block until a drain signal arrives.

@@ -1,21 +1,37 @@
 /**
  * @file
- * rexd's connection machinery: listener, bounded accept queue, handler
- * threads, backpressure, and graceful drain.
+ * rexd's connection machinery: a non-blocking event loop (epoll on
+ * Linux, poll(2) elsewhere or under REX_POLL=1) serving HTTP/1.1
+ * keep-alive with pipelining, plus N handler threads for engine work.
  *
- * One accept thread polls the listening socket; accepted connections go
- * onto a bounded queue drained by N handler threads, each serving one
- * request per connection through the shared CheckService (and therefore
- * the one long-lived Engine: one thread pool, one verdict cache, one
- * results sink across all requests). When the queue is full the accept
- * thread answers 503 with a Retry-After header inline and closes — the
- * cheap path, no handler thread is ever consumed by shedding load.
+ * One loop thread owns every connection: it accepts (until EAGAIN),
+ * reads into per-connection buffers, frames requests incrementally
+ * through HttpParser, and writes responses strictly in request order
+ * (per-connection response slots keyed by a monotonic sequence number,
+ * so pipelined requests answered out of order by the handlers still
+ * flush in arrival order). Cheap routes — /metrics, /healthz, 404/405,
+ * framing errors, backpressure 503s, and `If-None-Match` → 304 — are
+ * answered on the loop; /check work is never run there. Cache-missing
+ * checks go onto a bounded job queue drained by handler threads, which
+ * run the shared CheckService (and therefore the one long-lived
+ * Engine), streaming each verdict record back to the loop through a
+ * wakeup-pipe completion queue as soon as it exists.
  *
- * Drain (requestDrain(), wired to SIGTERM/SIGINT by the rexd binary via
- * a self-pipe) stops the accept thread first, then lets the handlers
- * finish the queue and every in-flight request before join() returns;
- * no accepted connection is ever abandoned, so the JSONL results file
- * ends on a complete record.
+ * Deadlines hang off a one-second-granularity timer wheel with lazy
+ * deletion: a connection stalled mid-request gets 408 (the slow-loris
+ * path), an idle keep-alive connection past idleTimeoutSeconds is
+ * closed (counted separately), a stalled write or error-response
+ * linger-drain is bounded by ioTimeoutSeconds. A connection ceiling
+ * (maxConnections) sheds with 503 + Retry-After before memory does,
+ * and a full job queue sheds the same way — both on the loop, never
+ * consuming a handler thread.
+ *
+ * Drain (requestDrain(), wired to SIGTERM/SIGINT by the rexd binary
+ * via a self-pipe) closes the listener, stops reading new bytes, then
+ * serves every fully-received request — queued, in-flight, or still
+ * buffered on a connection — before join() returns; no framed request
+ * is ever abandoned, so the JSONL results file ends on a complete
+ * record.
  */
 
 #ifndef REX_SERVER_SERVER_HH
@@ -25,9 +41,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "server/http.hh"
@@ -38,6 +56,8 @@ namespace rex::engine { class Engine; }
 
 namespace rex::server {
 
+class Poller;
+
 /** rexd configuration. */
 struct ServerConfig {
     /** Bind address. */
@@ -47,16 +67,17 @@ struct ServerConfig {
      *  RexServer::port() after start()). */
     std::uint16_t port = 0;
 
-    /** Handler threads (each serves one connection at a time). */
+    /** Handler threads (engine work off the loop; each runs one
+     *  request at a time). */
     unsigned threads = 4;
 
-    /** Accept-queue bound; beyond it, connections get 503. */
+    /** Job-queue bound; /check requests beyond it get 503. */
     std::size_t maxQueue = 64;
 
     /** Retry-After seconds advertised with 503 responses. */
     int retryAfterSeconds = 1;
 
-    /** HTTP parsing limits. */
+    /** HTTP parsing limits (also the read/write-stall deadline). */
     HttpLimits limits;
 
     /** Wall-clock budget cap applied to every /check (clamps the
@@ -65,6 +86,18 @@ struct ServerConfig {
 
     /** Candidate-count budget cap (clamps max_candidates); 0 = none. */
     std::uint64_t maxCandidates = 0;
+
+    /** Open-connection ceiling; beyond it, accepts get 503 +
+     *  Retry-After and close. */
+    std::size_t maxConnections = 10240;
+
+    /** Idle keep-alive connections past this are closed (no 408: an
+     *  idle peer owes us nothing). */
+    int idleTimeoutSeconds = 60;
+
+    /** `Cache-Control: public, max-age=...` advertised on
+     *  deterministic /check 200s. */
+    int cacheMaxAgeSeconds = 86400;
 };
 
 /** The rexd daemon core (in-process embeddable, see tests). */
@@ -81,7 +114,7 @@ class RexServer
     RexServer &operator=(const RexServer &) = delete;
 
     /**
-     * Bind, listen, and spawn the accept + handler threads.
+     * Bind, listen, and spawn the loop + handler threads.
      * @throws FatalError when the address cannot be bound.
      */
     void start();
@@ -90,8 +123,8 @@ class RexServer
     std::uint16_t port() const { return _port; }
 
     /**
-     * Begin graceful drain: stop accepting, serve everything already
-     * accepted. Safe to call from any thread, and more than once.
+     * Begin graceful drain: stop accepting, serve every fully-received
+     * request. Safe to call from any thread, and more than once.
      */
     void requestDrain();
 
@@ -106,9 +139,82 @@ class RexServer
     const ServerConfig &config() const { return _config; }
 
   private:
-    void acceptLoop();
+    /** Why a connection deadline is armed. */
+    enum class Deadline : std::uint8_t {
+        None,    //!< engine work in flight; the governor bounds it
+        Read,    //!< partial request buffered → 408 on expiry
+        Idle,    //!< keep-alive between requests → close on expiry
+        Write,   //!< response bytes stalled in our buffer → close
+        Linger,  //!< discarding an error-response body → close
+    };
+
+    /** One in-order response slot (seq-keyed, deque position). */
+    struct ResponseSlot {
+        bool done = false;       //!< response complete, may flush
+        bool keepAlive = true;   //!< the request's Connection wish
+        HttpResponse response;   //!< head; body streams into `body`
+        std::string body;        //!< accumulated JSONL chunks
+        bool headHasBody = false;  //!< response.body is authoritative
+    };
+
+    /** Per-connection state, owned by the loop thread. */
+    struct Conn {
+        std::uint64_t id = 0;
+        int fd = -1;
+        HttpParser parser;
+        std::string out;             //!< serialized bytes to write
+        std::size_t outOff = 0;
+        std::uint64_t baseSeq = 0;   //!< seq of slots.front()
+        std::uint64_t nextSeq = 0;
+        std::deque<ResponseSlot> slots;
+        std::uint64_t requestsServed = 0;
+        bool noMoreReads = false;    //!< stop framing new requests
+        bool closeAfterFlush = false;
+        bool lingering = false;      //!< discarding an unread body
+        int lingerSeconds = 0;       //!< 0 = limits.ioTimeoutSeconds
+        bool wantRead = true;        //!< current poller interest
+        bool wantWrite = false;
+        Deadline deadline = Deadline::None;
+        std::uint64_t deadlineTick = 0;
+    };
+
+    /** One /check dispatched to a handler thread. */
+    struct Job {
+        std::uint64_t connId = 0;
+        std::uint64_t seq = 0;
+        HttpRequest request;
+    };
+
+    /** One handler → loop message (a streamed chunk or the final
+     *  response head). */
+    struct Completion {
+        std::uint64_t connId = 0;
+        std::uint64_t seq = 0;
+        std::string chunk;
+        bool final = false;
+        HttpResponse head;        //!< valid when final
+        bool headHasBody = false; //!< head.body is the whole body
+    };
+
+    void loop();
     void handlerLoop();
-    void handleConnection(int fd);
+
+    void acceptReady();
+    void handleConnEvent(Conn &conn, bool readable, bool writable);
+    void readInto(Conn &conn);
+    void pumpRequests(Conn &conn);
+    void dispatch(Conn &conn, HttpRequest request);
+    void enqueueSynthetic(Conn &conn, HttpResponse response,
+                          bool countIt);
+    void flushSlots(Conn &conn);
+    void writeOut(Conn &conn);
+    void updateInterest(Conn &conn);
+    void armDeadline(Conn &conn);
+    void fireTimers(std::uint64_t upToTick);
+    void closeConn(Conn &conn);
+    void applyCompletions();
+    void beginDrainOnLoop();
+    bool drainComplete();
 
     engine::Engine &_engine;
     ServerConfig _config;
@@ -116,21 +222,35 @@ class RexServer
     CheckService _service;
 
     int _listenFd = -1;
-    int _wakeReadFd = -1;   //!< self-pipe: drain wakes the accept poll
+    int _wakeReadFd = -1;   //!< self-pipe: completions/drain wake the loop
     int _wakeWriteFd = -1;
     std::uint16_t _port = 0;
 
-    std::thread _acceptThread;
+    std::unique_ptr<Poller> _poller;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> _conns;
+    std::uint64_t _nextConnId = 1;
+
+    /** Timer wheel: slot = tick % size, entries are conn ids checked
+     *  lazily against the conn's current (kind, tick) when fired. */
+    std::vector<std::vector<std::uint64_t>> _wheel;
+    std::uint64_t _tick = 0;
+
+    std::thread _loopThread;
     std::vector<std::thread> _handlers;
 
-    std::mutex _queueMutex;
-    std::condition_variable _queueReady;
-    std::deque<int> _queue;
+    std::mutex _jobMutex;
+    std::condition_variable _jobReady;
+    std::deque<Job> _jobs;
+    std::size_t _jobsInFlight = 0;  //!< guarded by _jobMutex
+    bool _stopHandlers = false;     //!< guarded by _jobMutex
+
+    std::mutex _completionMutex;
+    std::vector<Completion> _completions;
 
     std::atomic<bool> _started{false};
     std::atomic<bool> _draining{false};
-    std::atomic<bool> _acceptDone{false};
     std::atomic<bool> _joined{false};
+    bool _loopDraining = false;  //!< loop-thread view of _draining
 };
 
 } // namespace rex::server

@@ -1,13 +1,17 @@
 #include "server/service.hh"
 
 #include <chrono>
+#include <cinttypes>
 #include <thread>
 
 #include "axiomatic/params.hh"
 #include "base/logging.hh"
+#include "base/strings.hh"
 #include "catc/cache.hh"
 #include "engine/batch.hh"
+#include "engine/cache.hh"
 #include "litmus/parser.hh"
+#include "litmus/registry.hh"
 #include "server/json.hh"
 
 namespace rex::server {
@@ -102,6 +106,43 @@ CheckRequest::fromJson(const std::string &body)
     return request;
 }
 
+std::string
+CheckRequest::canonicalKey() const
+{
+    // Length-prefix every free-form field so no crafted litmus text can
+    // collide with another request's serialisation.
+    std::string key = format("check1:test:%zu:", testText.size());
+    key += testText;
+    key += format(":variants:%zu", variants.size());
+    for (const std::string &variant : variants) {
+        key += format(":%zu:", variant.size());
+        key += variant;
+    }
+    key += format(":deadline_ms:%" PRId64 ":max_candidates:%" PRId64,
+                  deadlineMs, maxCandidates);
+    return key;
+}
+
+std::string
+verdictETag(const std::string &canonicalKey, const std::string &revision)
+{
+    // FNV-1a, same function the verdict cache uses for content
+    // addresses: cheap, stable across builds, collision-safe enough
+    // for a cache validator.
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    auto mix = [&hash](const std::string &text) {
+        for (unsigned char c : text) {
+            hash ^= c;
+            hash *= 0x100000001b3ull;
+        }
+    };
+    mix(revision);
+    hash ^= 0xff;
+    hash *= 0x100000001b3ull;
+    mix(canonicalKey);
+    return format("\"%016" PRIx64 "\"", hash);
+}
+
 namespace {
 
 /** Clamp a requested per-job limit against a server cap (0 = none on
@@ -122,6 +163,14 @@ clampLimit(std::int64_t requested, std::uint64_t cap)
 std::string
 CheckService::runCheck(const CheckRequest &request)
 {
+    return runCheckStreaming(request).body;
+}
+
+CheckOutcome
+CheckService::runCheckStreaming(
+    const CheckRequest &request,
+    const std::function<void(const std::string &)> &onChunk)
+{
     if (request.sleepMs > 0) {
         std::this_thread::sleep_for(
             std::chrono::milliseconds(request.sleepMs));
@@ -137,7 +186,7 @@ CheckService::runCheck(const CheckRequest &request)
     budget.maxCandidates =
         clampLimit(request.maxCandidates, _maxCandidates);
 
-    std::string body;
+    CheckOutcome outcome;
     for (const std::string &variant : request.variants) {
         // Warm the variant's compiled program before the check is
         // timed; after the first request per variant this is a cache
@@ -161,34 +210,190 @@ CheckService::runCheck(const CheckRequest &request)
         } else if (record.verdict == "ExhaustedBudget") {
             ++_metrics.verdictsExhausted;
             _metrics.countBudgetTrip(record.exhaustedAxis);
+            outcome.deterministic = false;
         } else if (record.verdict == "CrashedWorker") {
             ++_metrics.verdictsCrashed;
+            outcome.deterministic = false;
         } else if (record.verdict == "Quarantined") {
             ++_metrics.verdictsQuarantined;
+            outcome.deterministic = false;
         } else {
             ++_metrics.verdictsForbidden;
         }
-        body += record.toJson();
-        body += '\n';
+        std::string chunk = record.toJson();
+        chunk += '\n';
+        if (onChunk)
+            onChunk(chunk);
+        outcome.body += chunk;
     }
-    return body;
+    return outcome;
+}
+
+namespace {
+
+/** True when an If-None-Match header value matches @p etag (strong
+ *  comparison; tolerates a comma-separated validator list and `*`). */
+bool
+etagMatches(const std::string &headerValue, const std::string &etag)
+{
+    if (trim(headerValue) == "*")
+        return true;
+    return headerValue.find(etag) != std::string::npos;
+}
+
+} // namespace
+
+bool
+CheckService::isCheckRoute(const HttpRequest &request)
+{
+    return request.path == "/check" ||
+           startsWith(request.path, "/check/");
+}
+
+bool
+CheckService::buildCheckRequest(const HttpRequest &request,
+                                CheckRequest &out,
+                                HttpResponse &error) const
+{
+    if (request.path == "/check") {
+        try {
+            out = CheckRequest::fromJson(request.body);
+        } catch (const FatalError &err) {
+            error = HttpResponse::error(400, err.what());
+            return false;
+        }
+        return true;
+    }
+
+    // GET /check/<builtin>?variants=...&deadline_ms=...: the registry
+    // test's exact source text, so the alias shares verdict-cache
+    // entries and ETags with a POST of the same builtin.
+    std::string name = urlDecode(request.path.substr(7));
+    const TestRegistry &registry = TestRegistry::instance();
+    if (name.empty() || !registry.has(name)) {
+        error = HttpResponse::error(404, "no such builtin test: " + name);
+        return false;
+    }
+    CheckRequest check;
+    check.testText = registry.sourceText(name);
+    try {
+        for (const std::string &pair : split(request.query, '&')) {
+            if (pair.empty())
+                continue;
+            auto equals = pair.find('=');
+            std::string key = urlDecode(pair.substr(0, equals));
+            std::string value =
+                equals == std::string::npos
+                    ? ""
+                    : urlDecode(pair.substr(equals + 1));
+            if (key == "variants") {
+                if (value == "paper") {
+                    for (const ModelParams &params :
+                             ModelParams::paperVariants()) {
+                        check.variants.push_back(params.name());
+                    }
+                } else {
+                    for (const std::string &variant : split(value, ',')) {
+                        (void)ModelParams::byName(variant);
+                        check.variants.push_back(variant);
+                    }
+                }
+                if (check.variants.size() > 32)
+                    fatal("too many variants (max 32)");
+            } else if (key == "deadline_ms" || key == "max_candidates") {
+                std::int64_t parsed;
+                if (!parseInteger(value, parsed) || parsed < 0) {
+                    fatal("\"" + key +
+                          "\" must be a non-negative integer");
+                }
+                (key == "deadline_ms" ? check.deadlineMs
+                                      : check.maxCandidates) = parsed;
+            } else {
+                fatal("unknown query parameter \"" + key + "\"");
+            }
+        }
+    } catch (const FatalError &err) {
+        error = HttpResponse::error(400, err.what());
+        return false;
+    }
+    if (check.variants.empty())
+        check.variants.push_back("base");
+    out = std::move(check);
+    return true;
+}
+
+bool
+CheckService::tryNotModified(const HttpRequest &request,
+                             HttpResponse &out)
+{
+    if (!isCheckRoute(request))
+        return false;
+    if (request.path == "/check" ? request.method != "POST"
+                                 : request.method != "GET")
+        return false;
+    auto validator = request.headers.find("if-none-match");
+    if (validator == request.headers.end())
+        return false;
+
+    CheckRequest check;
+    HttpResponse error;
+    if (!buildCheckRequest(request, check, error))
+        return false;  // the full handler path reproduces the error
+    std::string etag =
+        verdictETag(check.canonicalKey(), engine::kModelRevision);
+    if (!etagMatches(validator->second, etag))
+        return false;
+
+    ++_metrics.requestsCheck;
+    ++_metrics.http304;
+    out = HttpResponse();
+    out.status = 304;
+    out.extraHeaders["ETag"] = etag;
+    out.extraHeaders["Cache-Control"] =
+        format("public, max-age=%d", _cacheMaxAgeSeconds);
+    _metrics.countResponse(304);
+    return true;
 }
 
 HttpResponse
-CheckService::handleCheck(const HttpRequest &request)
+CheckService::handleCheck(
+    const HttpRequest &request,
+    const std::function<void(const std::string &)> &onChunk)
 {
     auto start = std::chrono::steady_clock::now();
     CheckRequest check;
-    try {
-        check = CheckRequest::fromJson(request.body);
-    } catch (const FatalError &err) {
-        return HttpResponse::error(400, err.what());
+    HttpResponse error;
+    if (!buildCheckRequest(request, check, error))
+        return error;
+
+    std::string etag =
+        verdictETag(check.canonicalKey(), engine::kModelRevision);
+    std::string cacheable =
+        format("public, max-age=%d", _cacheMaxAgeSeconds);
+
+    // Conditional request whose validator still matches: answer from
+    // the ETag alone. (The daemon short-circuits this on its event
+    // loop via tryNotModified(); this covers --direct and tests that
+    // call handle() straight.)
+    auto validator = request.headers.find("if-none-match");
+    if (validator != request.headers.end() &&
+            etagMatches(validator->second, etag)) {
+        ++_metrics.http304;
+        HttpResponse response;
+        response.status = 304;
+        response.extraHeaders["ETag"] = etag;
+        response.extraHeaders["Cache-Control"] = cacheable;
+        return response;
     }
 
     HttpResponse response;
     try {
-        response.body = runCheck(check);
+        CheckOutcome outcome = runCheckStreaming(check, onChunk);
+        response.body = std::move(outcome.body);
         response.contentType = "application/x-ndjson";
+        response.extraHeaders["ETag"] = etag;
+        response.extraHeaders["Cache-Control"] =
+            outcome.deterministic ? cacheable : "no-store";
     } catch (const FatalError &err) {
         // Litmus parse/validation errors: the client's fault.
         return HttpResponse::error(400, err.what());
@@ -201,19 +406,34 @@ CheckService::handleCheck(const HttpRequest &request)
 }
 
 HttpResponse
-CheckService::handle(const HttpRequest &request)
+CheckService::handleCheckRoute(
+    const HttpRequest &request,
+    const std::function<void(const std::string &)> &onChunk)
 {
     HttpResponse response;
-    if (request.path == "/check") {
-        if (request.method != "POST") {
-            ++_metrics.requestsOther;
-            response = HttpResponse::error(405, "POST /check");
-            response.extraHeaders["Allow"] = "POST";
-        } else {
-            ++_metrics.requestsCheck;
-            response = handleCheck(request);
-        }
-    } else if (request.path == "/metrics") {
+    const bool alias = request.path != "/check";
+    const char *wanted = alias ? "GET" : "POST";
+    if (request.method != wanted) {
+        ++_metrics.requestsOther;
+        response = HttpResponse::error(
+            405, std::string(wanted) + " " + request.path);
+        response.extraHeaders["Allow"] = wanted;
+    } else {
+        ++_metrics.requestsCheck;
+        response = handleCheck(request, onChunk);
+    }
+    _metrics.countResponse(response.status);
+    return response;
+}
+
+HttpResponse
+CheckService::handle(const HttpRequest &request)
+{
+    if (isCheckRoute(request))
+        return handleCheckRoute(request);
+
+    HttpResponse response;
+    if (request.path == "/metrics") {
         if (request.method != "GET") {
             ++_metrics.requestsOther;
             response = HttpResponse::error(405, "GET /metrics");

@@ -8,11 +8,23 @@
  * one implementation of the wire protocol (docs/SERVER.md).
  *
  * Routes:
- *   POST /check    JSON {"test": <litmus text>, "variants": [...]} →
- *                  one JSONL verdict record per variant (the
- *                  docs/FORMAT.md schema), in request order.
- *   GET  /metrics  Prometheus text exposition.
- *   GET  /healthz  "ok".
+ *   POST /check          JSON {"test": <litmus text>, "variants": [...]}
+ *                        → one JSONL verdict record per variant (the
+ *                        docs/FORMAT.md schema), in request order.
+ *   GET  /check/<name>   cache/CDN-friendly alias: run the builtin
+ *                        registry test <name> (query: variants=a,b or
+ *                        "paper", deadline_ms=, max_candidates=).
+ *   GET  /metrics        Prometheus text exposition.
+ *   GET  /healthz        "ok".
+ *
+ * Verdicts are externally cacheable: every successful /check answer
+ * carries a deterministic strong ETag — FNV-1a over the canonical
+ * request key (litmus text, variant set, budgets) and the model
+ * revision (engine::kModelRevision) — plus `Cache-Control: public,
+ * max-age=...` when every verdict in the response is deterministic.
+ * Responses containing ExhaustedBudget/CrashedWorker/Quarantined
+ * records are `no-store`: they depend on machine state, not content.
+ * `If-None-Match` hits answer 304 without touching the engine.
  *
  * Every /check runs through three measured pipeline stages feeding the
  * metrics histograms: parse (litmus text → test), check (per-variant
@@ -23,6 +35,7 @@
 #ifndef REX_SERVER_SERVICE_HH
 #define REX_SERVER_SERVICE_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +75,35 @@ struct CheckRequest {
      *         JSON, a missing/empty "test" member, or unknown variants.
      */
     static CheckRequest fromJson(const std::string &body);
+
+    /**
+     * The canonical content key this request hashes to for caching:
+     * a length-prefixed serialisation of the litmus text, the variant
+     * set, and the budgets. Two bodies differing only in JSON key
+     * order or whitespace share a key; sleep_ms (a test hook that
+     * cannot change verdicts) is excluded.
+     */
+    std::string canonicalKey() const;
+};
+
+/**
+ * Deterministic strong ETag for a canonical request key under
+ * @p revision: `"<16 hex digits>"`, quotes included as HTTP requires.
+ * Bumping engine::kModelRevision changes every ETag, which is what
+ * invalidates external caches when model semantics change.
+ */
+std::string verdictETag(const std::string &canonicalKey,
+                        const std::string &revision);
+
+/** A /check run's body plus its cacheability. */
+struct CheckOutcome {
+    /** Full JSONL response body, one record per variant. */
+    std::string body;
+
+    /** False when any record is ExhaustedBudget/CrashedWorker/
+     *  Quarantined — those depend on machine state, not request
+     *  content, so the response must not be cached. */
+    bool deterministic = true;
 };
 
 /** The route handler shared by rexd, tests, and `rex_client --direct`. */
@@ -73,16 +115,32 @@ class CheckService
      *        to every /check: requests asking for more (or for nothing)
      *        are clamped down to it; 0 = no server-imposed deadline.
      * @param maxCandidates  likewise for the candidate-count budget.
+     * @param cacheMaxAgeSeconds  `max-age` advertised on deterministic
+     *        200s (how long a CDN/reverse proxy may serve the verdict
+     *        without revalidating).
      */
     CheckService(engine::Engine &engine, Metrics &metrics,
                  std::uint64_t maxDeadlineMs = 0,
-                 std::uint64_t maxCandidates = 0)
+                 std::uint64_t maxCandidates = 0,
+                 int cacheMaxAgeSeconds = 86400)
         : _engine(engine), _metrics(metrics),
-          _maxDeadlineMs(maxDeadlineMs), _maxCandidates(maxCandidates)
+          _maxDeadlineMs(maxDeadlineMs), _maxCandidates(maxCandidates),
+          _cacheMaxAgeSeconds(cacheMaxAgeSeconds)
     {}
 
     /** Dispatch one request; never throws (errors become responses). */
     HttpResponse handle(const HttpRequest &request);
+
+    /**
+     * Dispatch a check-route request (POST /check or GET /check/<name>,
+     * wrong-method 405s included), with verdict records streamed to
+     * @p onChunk as they are produced. Metrics are fully counted here;
+     * the returned response always carries the complete body.
+     */
+    HttpResponse
+    handleCheckRoute(const HttpRequest &request,
+                     const std::function<void(const std::string &)>
+                         &onChunk = {});
 
     /**
      * Run one validated check: the JSONL response body, one
@@ -90,16 +148,53 @@ class CheckService
      */
     std::string runCheck(const CheckRequest &request);
 
+    /**
+     * runCheck plus cacheability: @p onChunk (when set) receives each
+     * verdict record as soon as it exists — this is what lets a handler
+     * thread stream records through the event loop's completion queue
+     * while later variants are still being checked.
+     */
+    CheckOutcome
+    runCheckStreaming(const CheckRequest &request,
+                      const std::function<void(const std::string &)>
+                          &onChunk = {});
+
+    /**
+     * Event-loop fast path: when @p request targets the check route
+     * and carries an `If-None-Match` matching its ETag, fill @p out
+     * with the 304 (metrics counted) and return true — the engine and
+     * its pool are never touched. Any other request (no validator, a
+     * stale one, or a body that fails validation) returns false and
+     * takes the full handler-thread path.
+     */
+    bool tryNotModified(const HttpRequest &request, HttpResponse &out);
+
+    /** True when @p request targets /check or /check/<name> (any
+     *  method — 405s are the check route's too). */
+    static bool isCheckRoute(const HttpRequest &request);
+
     Metrics &metrics() { return _metrics; }
     engine::Engine &engine() { return _engine; }
 
   private:
-    HttpResponse handleCheck(const HttpRequest &request);
+    HttpResponse
+    handleCheck(const HttpRequest &request,
+                const std::function<void(const std::string &)> &onChunk);
+
+    /**
+     * Build the validated CheckRequest for POST /check (JSON body) or
+     * GET /check/<name> (registry lookup + query string). On failure
+     * fills @p error (400 bad input / 404 unknown builtin) and returns
+     * false.
+     */
+    bool buildCheckRequest(const HttpRequest &request, CheckRequest &out,
+                           HttpResponse &error) const;
 
     engine::Engine &_engine;
     Metrics &_metrics;
     std::uint64_t _maxDeadlineMs = 0;
     std::uint64_t _maxCandidates = 0;
+    int _cacheMaxAgeSeconds = 86400;
 };
 
 } // namespace rex::server

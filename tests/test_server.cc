@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -28,6 +29,7 @@
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "engine/batch.hh"
+#include "engine/cache.hh"
 #include "engine/faultinject.hh"
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
@@ -71,6 +73,35 @@ metricValue(const std::string &exposition, const std::string &name)
         }
     }
     return -1.0;
+}
+
+/** Connect a blocking TCP socket to 127.0.0.1:@p port or die. */
+int
+connectTo(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+}
+
+/** Read from @p fd until the peer closes; every byte received. */
+std::string
+recvToEof(int fd)
+{
+    std::string reply;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        reply.append(chunk, static_cast<std::size_t>(n));
+    return reply;
 }
 
 /** Zero the schedule-dependent fields of one JSONL verdict line. */
@@ -359,6 +390,327 @@ TEST(CheckService, AcceptsHerdFormatInput)
 }
 
 // ---------------------------------------------------------------------
+// Resumable HTTP parser
+// ---------------------------------------------------------------------
+
+using ParseResult = server::HttpParser::Result;
+
+TEST(HttpParser, ByteAtATimeDeliveryFramesOneRequest)
+{
+    const std::string wire =
+        "POST /check?x=1 HTTP/1.1\r\nHost: t\r\n"
+        "Content-Length: 5\r\n\r\nhello";
+    server::HttpParser parser;
+    server::HttpRequest request;
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        parser.feed(wire.data() + i, 1);
+        ASSERT_EQ(parser.next(request), ParseResult::NeedMore)
+            << "byte " << i;
+    }
+    parser.feed(wire.data() + wire.size() - 1, 1);
+    ASSERT_EQ(parser.next(request), ParseResult::Ready);
+    EXPECT_EQ(request.method, "POST");
+    EXPECT_EQ(request.path, "/check");
+    EXPECT_EQ(request.query, "x=1");
+    EXPECT_EQ(request.body, "hello");
+    EXPECT_EQ(request.headers.at("host"), "t");
+    EXPECT_TRUE(request.keepAlive);
+    EXPECT_TRUE(parser.idle());
+}
+
+TEST(HttpParser, PipelinedRequestsShareOneReadBuffer)
+{
+    const std::string wire =
+        "POST /check HTTP/1.1\r\nContent-Length: 2\r\n\r\nab"
+        "GET /healthz HTTP/1.1\r\n\r\n"
+        "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+    server::HttpParser parser;
+    // Deliver everything but the last request's final byte in one
+    // feed(): the first two must frame, the third must wait.
+    parser.feed(wire.data(), wire.size() - 1);
+    server::HttpRequest request;
+    ASSERT_EQ(parser.next(request), ParseResult::Ready);
+    EXPECT_EQ(request.body, "ab");
+    ASSERT_EQ(parser.next(request), ParseResult::Ready);
+    EXPECT_EQ(request.path, "/healthz");
+    EXPECT_TRUE(request.keepAlive);
+    ASSERT_EQ(parser.next(request), ParseResult::NeedMore);
+    EXPECT_FALSE(parser.idle());
+    parser.feed(wire.data() + wire.size() - 1, 1);
+    ASSERT_EQ(parser.next(request), ParseResult::Ready);
+    EXPECT_EQ(request.path, "/metrics");
+    EXPECT_FALSE(request.keepAlive);  // explicit close
+    EXPECT_TRUE(parser.idle());
+}
+
+TEST(HttpParser, BareLfAndHttp10FramingAreHandled)
+{
+    // Hand-rolled peers send bare-LF line endings; HTTP/1.0 peers
+    // default to one-shot connections unless they opt in.
+    server::HttpParser parser;
+    const std::string wire =
+        "GET /healthz HTTP/1.0\nHost: t\n\n"
+        "GET /healthz HTTP/1.0\nConnection: keep-alive\n\n";
+    parser.feed(wire.data(), wire.size());
+    server::HttpRequest request;
+    ASSERT_EQ(parser.next(request), ParseResult::Ready);
+    EXPECT_EQ(request.path, "/healthz");
+    EXPECT_FALSE(request.keepAlive);  // 1.0 default
+    ASSERT_EQ(parser.next(request), ParseResult::Ready);
+    EXPECT_TRUE(request.keepAlive);   // 1.0 opt-in
+}
+
+TEST(HttpParser, OversizedHeaderBlockGets431AndSticks)
+{
+    server::HttpLimits limits;
+    limits.maxHeaderBytes = 128;
+    server::HttpParser parser(limits);
+    std::string wire = "GET / HTTP/1.1\r\nX-Pad: ";
+    wire += std::string(256, 'a');  // never terminated
+    parser.feed(wire.data(), wire.size());
+    server::HttpRequest request;
+    ASSERT_EQ(parser.next(request), ParseResult::Error);
+    EXPECT_EQ(parser.errorStatus(), 431);
+    // Errors are sticky: more bytes cannot revive the stream.
+    parser.feed("\r\n\r\n", 4);
+    EXPECT_EQ(parser.next(request), ParseResult::Error);
+    EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParser, OversizedBodyIsRefusedBeforeBuffering)
+{
+    server::HttpLimits limits;
+    limits.maxBodyBytes = 64;
+    server::HttpParser parser(limits);
+    // The declared Content-Length alone must trigger the 413 — no
+    // body byte has been delivered, and none is ever buffered.
+    const std::string head =
+        "POST /check HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+    parser.feed(head.data(), head.size());
+    server::HttpRequest request;
+    ASSERT_EQ(parser.next(request), ParseResult::Error);
+    EXPECT_EQ(parser.errorStatus(), 413);
+    EXPECT_LT(parser.bufferedBytes(), limits.maxBodyBytes);
+}
+
+TEST(HttpParser, ProtocolErrorsGetTheRightStatus)
+{
+    struct Case { const char *wire; int status; };
+    const Case cases[] = {
+        {"POST /check HTTP/1.1\r\n"
+         "Transfer-Encoding: chunked\r\n\r\n", 501},
+        {"POST /check HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400},
+        {"POST /check HTTP/1.1\r\n\r\n", 411},
+        {"NOT-HTTP\r\n\r\n", 400},
+    };
+    for (const Case &c : cases) {
+        server::HttpParser parser;
+        parser.feed(c.wire, std::strlen(c.wire));
+        server::HttpRequest request;
+        ASSERT_EQ(parser.next(request), ParseResult::Error) << c.wire;
+        EXPECT_EQ(parser.errorStatus(), c.status) << c.wire;
+    }
+}
+
+TEST(HttpParser, RandomChunkingNeverChangesTheFrames)
+{
+    // Fuzz-style determinism check: one byte stream of several
+    // pipelined requests must parse to the same frames no matter how
+    // the transport slices it.
+    std::string wire;
+    std::vector<std::string> bodies;
+    for (int i = 0; i < 8; ++i) {
+        std::string body = "body-" + std::to_string(i) +
+            std::string(static_cast<std::size_t>(i * 7), 'x');
+        bodies.push_back(body);
+        wire += "POST /check HTTP/1.1\r\nHost: fuzz\r\nContent-Length: " +
+            std::to_string(body.size()) + "\r\n\r\n" + body;
+    }
+
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    for (int round = 0; round < 32; ++round) {
+        server::HttpParser parser;
+        std::vector<std::string> got;
+        std::size_t off = 0;
+        while (off < wire.size()) {
+            rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+            std::size_t n = 1 + (rng >> 33) % 37;
+            n = std::min(n, wire.size() - off);
+            parser.feed(wire.data() + off, n);
+            off += n;
+            server::HttpRequest request;
+            while (parser.next(request) == ParseResult::Ready)
+                got.push_back(request.body);
+            ASSERT_NE(parser.result(), ParseResult::Error);
+        }
+        ASSERT_EQ(got, bodies) << "round " << round;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cacheability: canonical keys, ETags, conditional requests
+// ---------------------------------------------------------------------
+
+TEST(Cacheability, EquivalentBodiesModuloKeyOrderShareAnETag)
+{
+    // Same request content, different JSON key order and whitespace.
+    const std::string a =
+        "{\"test\":\"T\",\"variants\":[\"base\"],\"deadline_ms\":5000}";
+    const std::string b =
+        "{ \"deadline_ms\" : 5000 ,\n  \"variants\" : [ \"base\" ],\n"
+        "  \"test\" : \"T\" }";
+    std::string keyA = server::CheckRequest::fromJson(a).canonicalKey();
+    std::string keyB = server::CheckRequest::fromJson(b).canonicalKey();
+    EXPECT_EQ(keyA, keyB);
+    EXPECT_EQ(server::verdictETag(keyA, engine::kModelRevision),
+              server::verdictETag(keyB, engine::kModelRevision));
+
+    // sleep_ms is a test hook that cannot change verdicts — excluded.
+    std::string keyHook =
+        server::CheckRequest::fromJson(
+                   "{\"test\":\"T\",\"variants\":[\"base\"],"
+                   "\"deadline_ms\":5000,\"sleep_ms\":50}")
+            .canonicalKey();
+    EXPECT_EQ(keyA, keyHook);
+
+    // Anything that can change the answer must change the key.
+    EXPECT_NE(keyA, server::CheckRequest::fromJson(
+                        "{\"test\":\"U\",\"variants\":[\"base\"],"
+                        "\"deadline_ms\":5000}")
+                        .canonicalKey());
+    EXPECT_NE(keyA, server::CheckRequest::fromJson(
+                        "{\"test\":\"T\",\"variants\":[\"SEA_RW\"],"
+                        "\"deadline_ms\":5000}")
+                        .canonicalKey());
+    EXPECT_NE(keyA, server::CheckRequest::fromJson(
+                        "{\"test\":\"T\",\"variants\":[\"base\"],"
+                        "\"deadline_ms\":6000}")
+                        .canonicalKey());
+}
+
+TEST(Cacheability, RevisionBumpChangesTheETag)
+{
+    const std::string key =
+        server::CheckRequest::fromJson(
+            "{\"test\":\"T\",\"variants\":[\"base\"]}")
+            .canonicalKey();
+    EXPECT_EQ(server::verdictETag(key, "r1"),
+              server::verdictETag(key, "r1"));
+    EXPECT_NE(server::verdictETag(key, "r1"),
+              server::verdictETag(key, "r2"));
+
+    // Shape: a quoted 16-hex-digit strong validator.
+    std::string etag = server::verdictETag(key, engine::kModelRevision);
+    ASSERT_EQ(etag.size(), 18u);
+    EXPECT_EQ(etag.front(), '"');
+    EXPECT_EQ(etag.back(), '"');
+    for (std::size_t i = 1; i + 1 < etag.size(); ++i)
+        EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(etag[i])));
+}
+
+TEST(Cacheability, DeterministicChecksAdvertisePublicCaching)
+{
+    DirectService d;
+    server::HttpResponse r = d.request(
+        "POST", "/check",
+        server::checkRequestJson(
+            TestRegistry::instance().sourceText("SB+pos"), {"base"}));
+    ASSERT_EQ(r.status, 200);
+    EXPECT_EQ(r.extraHeaders["Cache-Control"], "public, max-age=86400");
+    EXPECT_FALSE(r.extraHeaders["ETag"].empty());
+}
+
+TEST(Cacheability, BudgetTrippedChecksAreNoStore)
+{
+    DirectService d;
+    server::HttpResponse r = d.request(
+        "POST", "/check",
+        server::checkRequestJson(
+            TestRegistry::instance().sourceText("MP+dmb.sys"), {"base"},
+            0, 0, /*maxCandidates=*/1));
+    ASSERT_EQ(r.status, 200);
+    EXPECT_NE(r.body.find("ExhaustedBudget"), std::string::npos);
+    EXPECT_EQ(r.extraHeaders["Cache-Control"], "no-store");
+    EXPECT_FALSE(r.extraHeaders["ETag"].empty());
+}
+
+TEST(Cacheability, GetAliasMatchesThePostRoute)
+{
+    DirectService d;
+    server::HttpResponse post = d.request(
+        "POST", "/check",
+        server::checkRequestJson(
+            TestRegistry::instance().sourceText("SB+pos"),
+            {"base", "SEA_RW"}));
+    ASSERT_EQ(post.status, 200);
+
+    server::HttpRequest req;
+    req.method = "GET";
+    req.path = "/check/SB+pos";
+    req.query = "variants=base,SEA_RW";
+    server::HttpResponse get = d.service.handle(req);
+    ASSERT_EQ(get.status, 200);
+    EXPECT_EQ(get.extraHeaders["ETag"], post.extraHeaders["ETag"]);
+
+    // Bodies match modulo schedule-dependent fields.
+    auto stableBody = [](const std::string &body) {
+        std::string out;
+        for (const std::string &line : split(body, '\n'))
+            if (!trim(line).empty())
+                out += stabilise(trim(line)) + "\n";
+        return out;
+    };
+    EXPECT_EQ(stableBody(get.body), stableBody(post.body));
+
+    // Unknown builtins 404; unknown query parameters 400.
+    req.path = "/check/NoSuchTest";
+    req.query = "";
+    EXPECT_EQ(d.service.handle(req).status, 404);
+    req.path = "/check/SB+pos";
+    req.query = "bogus=1";
+    EXPECT_EQ(d.service.handle(req).status, 400);
+    // POSTing to the alias is a method error, with Allow.
+    req.method = "POST";
+    req.query = "";
+    server::HttpResponse wrong = d.service.handle(req);
+    EXPECT_EQ(wrong.status, 405);
+    EXPECT_EQ(wrong.extraHeaders["Allow"], "GET");
+}
+
+TEST(Cacheability, IfNoneMatchHitAnswers304WithoutTheEngine)
+{
+    DirectService d;
+    const std::string body = server::checkRequestJson(
+        TestRegistry::instance().sourceText("SB+pos"), {"base"});
+    server::HttpResponse first = d.request("POST", "/check", body);
+    ASSERT_EQ(first.status, 200);
+    const std::string etag = first.extraHeaders["ETag"];
+    ASSERT_FALSE(etag.empty());
+
+    server::HttpRequest req;
+    req.method = "POST";
+    req.path = "/check";
+    req.body = body;
+    req.headers["if-none-match"] = etag;
+    server::HttpResponse out;
+    ASSERT_TRUE(d.service.tryNotModified(req, out));
+    EXPECT_EQ(out.status, 304);
+    EXPECT_EQ(out.extraHeaders["ETag"], etag);
+    EXPECT_EQ(d.metrics.http304.load(), 1u);
+    EXPECT_EQ(d.metrics.responses304.load(), 1u);
+
+    // A stale validator falls through to the full path...
+    req.headers["if-none-match"] = "\"0000000000000000\"";
+    EXPECT_FALSE(d.service.tryNotModified(req, out));
+    // ...as does a request with no validator at all.
+    req.headers.erase("if-none-match");
+    EXPECT_FALSE(d.service.tryNotModified(req, out));
+    // A wildcard matches anything, as RFC 9110 requires.
+    req.headers["if-none-match"] = "*";
+    EXPECT_TRUE(d.service.tryNotModified(req, out));
+}
+
+// ---------------------------------------------------------------------
 // Live server integration
 // ---------------------------------------------------------------------
 
@@ -497,6 +849,172 @@ TEST_F(LiveServer, MalformedJsonGets400)
     server::ClientResponse r = client().post("/check", "{oops");
     EXPECT_EQ(r.status, 400);
     EXPECT_NE(r.body.find("error"), std::string::npos);
+}
+
+TEST_F(LiveServer, ConditionalRequestAnswers304WithoutTheEngine)
+{
+    const std::string &text =
+        TestRegistry::instance().sourceText("SB+pos");
+    const std::string body = server::checkRequestJson(text, {"base"});
+
+    server::ClientResponse first = client().post("/check", body);
+    ASSERT_EQ(first.status, 200);
+    const std::string etag = first.headers["etag"];
+    ASSERT_FALSE(etag.empty());
+    EXPECT_NE(first.headers["cache-control"].find("public"),
+              std::string::npos);
+
+    // Engine-activity watermark before the conditional request.
+    std::string before = client().get("/metrics").body;
+    double hitsBefore = metricValue(before, "rexd_cache_hits_total");
+    double missesBefore = metricValue(before, "rexd_cache_misses_total");
+    double checksBefore = metricValue(
+        before, "rexd_stage_seconds_count{stage=\"check\"}");
+
+    server::ClientResponse cond = client().post(
+        "/check", body, "application/json", {{"If-None-Match", etag}});
+    EXPECT_EQ(cond.status, 304);
+    EXPECT_TRUE(cond.body.empty());
+    EXPECT_EQ(cond.headers["etag"], etag);
+
+    // The 304 was answered on the event loop: no cache lookup, no
+    // check stage, no pool dispatch — only the counter moved.
+    std::string after = client().get("/metrics").body;
+    EXPECT_EQ(metricValue(after, "rexd_http_304_total"), 1.0);
+    EXPECT_EQ(metricValue(after, "rexd_cache_hits_total"), hitsBefore);
+    EXPECT_EQ(metricValue(after, "rexd_cache_misses_total"),
+              missesBefore);
+    EXPECT_EQ(metricValue(after,
+                          "rexd_stage_seconds_count{stage=\"check\"}"),
+              checksBefore);
+
+    // A stale validator takes the full path and re-serves the body.
+    server::ClientResponse stale = client().post(
+        "/check", body, "application/json",
+        {{"If-None-Match", "\"0123456789abcdef\""}});
+    EXPECT_EQ(stale.status, 200);
+    EXPECT_EQ(stale.headers["etag"], etag);
+    EXPECT_FALSE(stale.body.empty());
+}
+
+TEST_F(LiveServer, GetAliasServesBuiltinsOverTheWire)
+{
+    server::ClientResponse get =
+        client().get("/check/SB+pos?variants=base,SEA_RW");
+    ASSERT_EQ(get.status, 200);
+
+    server::ClientResponse post = client().post(
+        "/check",
+        server::checkRequestJson(
+            TestRegistry::instance().sourceText("SB+pos"),
+            {"base", "SEA_RW"}));
+    ASSERT_EQ(post.status, 200);
+    EXPECT_EQ(get.headers["etag"], post.headers["etag"]);
+
+    auto stableBody = [](const std::string &body) {
+        std::string out;
+        for (const std::string &line : split(body, '\n'))
+            if (!trim(line).empty())
+                out += stabilise(trim(line)) + "\n";
+        return out;
+    };
+    EXPECT_EQ(stableBody(get.body), stableBody(post.body));
+
+    // The alias is conditional-request-capable end to end.
+    server::ClientResponse cond = client().get(
+        "/check/SB+pos?variants=base,SEA_RW",
+        {{"If-None-Match", get.headers["etag"]}});
+    EXPECT_EQ(cond.status, 304);
+
+    EXPECT_EQ(client().get("/check/NoSuchTest").status, 404);
+}
+
+TEST_F(LiveServer, KeepAliveConnectionServesManyRequests)
+{
+    int fd = connectTo(_server->port());
+    const std::string probe =
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    std::string responses;
+    char chunk[4096];
+    for (int i = 0; i < 5; ++i) {
+        std::string wire = probe;
+        if (i == 4)  // last request asks the server to close
+            wire = "GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                   "Connection: close\r\n\r\n";
+        ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+                  static_cast<ssize_t>(wire.size()));
+        if (i == 0) {
+            // While the connection sits open: the gauge sees it (plus
+            // the /metrics connection doing the asking).
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            ASSERT_GT(n, 0);
+            responses.append(chunk, static_cast<std::size_t>(n));
+            std::string expo = client().get("/metrics").body;
+            EXPECT_GE(metricValue(expo, "rexd_open_connections"), 1.0);
+        } else if (i < 4) {
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            ASSERT_GT(n, 0);
+            responses.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+    responses += recvToEof(fd);
+    ::close(fd);
+
+    // Five responses on one connection, the last one marked close.
+    std::size_t count = 0;
+    for (std::size_t pos = responses.find("HTTP/1.1 200");
+         pos != std::string::npos;
+         pos = responses.find("HTTP/1.1 200", pos + 1))
+        ++count;
+    EXPECT_EQ(count, 5u);
+    EXPECT_NE(responses.find("Connection: keep-alive"),
+              std::string::npos);
+    EXPECT_NE(responses.find("Connection: close"), std::string::npos);
+
+    // The per-connection request histogram saw a 5-request close.
+    std::string expo = client().get("/metrics").body;
+    EXPECT_GE(metricValue(
+                  expo, "rexd_keepalive_requests_per_connection_sum"),
+              5.0);
+    EXPECT_GE(
+        metricValue(
+            expo,
+            "rexd_keepalive_requests_per_connection_bucket{le=\"5\"}"),
+        1.0);
+}
+
+TEST_F(LiveServer, PipelinedRequestsAnswerInArrivalOrder)
+{
+    // Three pipelined requests in one write: an engine-bound /check,
+    // then two loop-answered probes. The responses must come back in
+    // arrival order even though the probes are ready first.
+    const std::string body = server::checkRequestJson(
+        TestRegistry::instance().sourceText("SB+pos"), {"base"});
+    std::string wire =
+        "POST /check HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body +
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+        "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+
+    int fd = connectTo(_server->port());
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    std::string reply = recvToEof(fd);
+    ::close(fd);
+
+    std::size_t check = reply.find("HTTP/1.1 200");
+    ASSERT_NE(check, std::string::npos) << reply;
+    std::size_t health = reply.find("HTTP/1.1 200", check + 1);
+    ASSERT_NE(health, std::string::npos) << reply;
+    std::size_t missing = reply.find("HTTP/1.1 404");
+    ASSERT_NE(missing, std::string::npos) << reply;
+    EXPECT_LT(check, health);
+    EXPECT_LT(health, missing);
+    // The verdict body sits between the first two status lines.
+    std::size_t verdict = reply.find("\"test\":\"SB+pos\"");
+    ASSERT_NE(verdict, std::string::npos);
+    EXPECT_GT(verdict, check);
+    EXPECT_LT(verdict, health);
 }
 
 TEST_F(LiveServer, AdversarialDeadlineIsBoundedWhileOthersUnaffected)
@@ -677,6 +1195,103 @@ TEST(ServerReadTimeout, SlowLorisGets408AndIsCountedDistinctly)
     EXPECT_EQ(server.metrics().responses408.load(), 1u);
     EXPECT_EQ(server.metrics().readTimeouts.load(), 1u);
     EXPECT_EQ(server.metrics().responses400.load(), 0u);
+}
+
+TEST(ServerIdleTimeout, IdleKeepAliveConnectionsAreClosedAndCounted)
+{
+    engine::Engine engine{plainConfig(1)};
+    server::ServerConfig config;
+    config.threads = 1;
+    config.idleTimeoutSeconds = 1;
+    server::RexServer server(engine, config);
+    server.start();
+
+    // Complete one request so the connection is parked between
+    // requests, then go quiet: the idle deadline must close it —
+    // silently (no 408: an idle peer owes the server nothing).
+    int fd = connectTo(server.port());
+    const std::string probe =
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    ASSERT_EQ(::send(fd, probe.data(), probe.size(), 0),
+              static_cast<ssize_t>(probe.size()));
+    std::string reply = recvToEof(fd);  // response, then idle close
+    ::close(fd);
+    EXPECT_NE(reply.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_EQ(reply.find("HTTP/1.1 408"), std::string::npos);
+
+    server.requestDrain();
+    server.join();
+    EXPECT_EQ(server.metrics().idleTimeouts.load(), 1u);
+    EXPECT_EQ(server.metrics().responses408.load(), 0u);
+    EXPECT_EQ(server.metrics().readTimeouts.load(), 0u);
+}
+
+TEST(ServerCeiling, ConnectionsBeyondTheCeilingAreShedWith503)
+{
+    engine::Engine engine{plainConfig(1)};
+    server::ServerConfig config;
+    config.threads = 1;
+    config.maxConnections = 2;
+    server::RexServer server(engine, config);
+    server.start();
+
+    // Fill the ceiling with two live keep-alive connections...
+    const std::string probe =
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    int held[2];
+    for (int &fd : held) {
+        fd = connectTo(server.port());
+        ASSERT_EQ(::send(fd, probe.data(), probe.size(), 0),
+                  static_cast<ssize_t>(probe.size()));
+        char chunk[4096];
+        ASSERT_GT(::recv(fd, chunk, sizeof(chunk), 0), 0);
+    }
+
+    // ...and the third accept is shed before reading a single byte.
+    int extra = connectTo(server.port());
+    std::string reply = recvToEof(extra);
+    ::close(extra);
+    EXPECT_NE(reply.find("HTTP/1.1 503"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("Retry-After:"), std::string::npos) << reply;
+
+    // The held connections still work after the shed.
+    for (int fd : held) {
+        ASSERT_EQ(::send(fd, probe.data(), probe.size(), 0),
+                  static_cast<ssize_t>(probe.size()));
+        char chunk[4096];
+        ASSERT_GT(::recv(fd, chunk, sizeof(chunk), 0), 0);
+        ::close(fd);
+    }
+
+    server.requestDrain();
+    server.join();
+    EXPECT_GE(server.metrics().queueRejected.load(), 1u);
+    EXPECT_GE(server.metrics().responses503.load(), 1u);
+}
+
+TEST(ClientKeepAlive, PooledConnectionDropIsRepairedWithoutARetry)
+{
+    engine::Engine engine{plainConfig(1)};
+    server::ServerConfig config;
+    config.threads = 1;
+    config.idleTimeoutSeconds = 1;
+    server::RexServer server(engine, config);
+    server.start();
+
+    // Retries stay disabled (maxAttempts 1): the reconnect after the
+    // server drops the pooled connection must be the free one.
+    server::Client c("127.0.0.1", server.port());
+    c.setKeepAlive(true);
+    EXPECT_EQ(c.get("/healthz").status, 200);
+
+    // Let the server's idle timeout reap the pooled connection.
+    std::this_thread::sleep_for(std::chrono::milliseconds(3500));
+    EXPECT_EQ(c.get("/healthz").status, 200);
+    EXPECT_EQ(c.get("/healthz").status, 200);  // and the pool still works
+
+    server.requestDrain();
+    server.join();
+    EXPECT_GE(server.metrics().idleTimeouts.load(), 1u);
 }
 
 TEST(ClientRetry, TransportErrorsAreRetriedWithBackoff)
