@@ -78,7 +78,8 @@ main(int argc, char **argv)
 
     engine::Engine engine(config);
     const TestRegistry &registry = TestRegistry::instance();
-    for (const char *suite : {"core", "exceptions", "sea", "gic"}) {
+    for (const char *suite :
+         {"core", "exceptions", "sea", "gic", "generated"}) {
         std::printf("=== suite: %s ===\n", suite);
         std::fputs(
             harness::suiteMatrix(registry.suite(suite), engine).c_str(),

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * libFuzzer harness for the cat-language parser (cat/parser.hh).
+ *
+ * The parser consumes model files from disk, not the network, but it
+ * backs `example_check_file --cat` on user-supplied paths and the catc
+ * compiler's front end; a malformed model must fail with FatalError,
+ * never UB. Parsing only — evaluation needs a candidate execution and
+ * is covered by the differential fuzz tests (tests/test_fuzz.cc).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "base/logging.hh"
+#include "cat/parser.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string text(reinterpret_cast<const char *>(data), size);
+    try {
+        (void)rex::cat::parseCat(text);
+    } catch (const rex::FatalError &) {
+        // Malformed input: the documented rejection path.
+    }
+    return 0;
+}

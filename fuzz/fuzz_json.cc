@@ -1,0 +1,31 @@
+/**
+ * @file
+ * libFuzzer harness for rexd's request JSON parser (server/json.hh).
+ *
+ * parseJson() guards rexd's network boundary: every byte sequence a
+ * client can send passes through it, so rejection must always be a
+ * clean FatalError (depth-capped, no recursion blowups, no UB on
+ * truncated escapes or stray UTF-8). Accepted values get their object
+ * members walked to cover the lookup path the service handlers use.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "base/logging.hh"
+#include "server/json.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string text(reinterpret_cast<const char *>(data), size);
+    try {
+        rex::server::JsonValue value = rex::server::parseJson(text);
+        for (const auto &[key, member] : value.object)
+            (void)value.find(key)->isNull(), (void)member;
+    } catch (const rex::FatalError &) {
+        // Malformed input: the documented rejection path.
+    }
+    return 0;
+}

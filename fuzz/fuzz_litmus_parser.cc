@@ -1,0 +1,31 @@
+/**
+ * @file
+ * libFuzzer harness for the litmus parser (litmus/parser.hh).
+ *
+ * Rejected inputs throw FatalError — that is the parser's contract and
+ * not a finding. Anything else (ASan/UBSan trap, uncaught exception,
+ * crash, hang) is. When parsing succeeds, the parsed test is
+ * re-serialised through its program printers so the accepting path is
+ * exercised past the parse itself.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "base/logging.hh"
+#include "litmus/parser.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string text(reinterpret_cast<const char *>(data), size);
+    try {
+        rex::LitmusTest test = rex::parseLitmus(text);
+        for (const rex::LitmusThread &thread : test.threads)
+            (void)thread.program.toString();
+    } catch (const rex::FatalError &) {
+        // Malformed input: the documented rejection path.
+    }
+    return 0;
+}

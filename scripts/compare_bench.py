@@ -47,6 +47,13 @@ def main():
                              "speedup ratio falls below this value")
     parser.add_argument("--filter", default=None,
                         help="only compare benchmarks matching this regex")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="REGEX",
+                        help="fail (exit 1) unless at least one compared "
+                             "benchmark matches REGEX; repeatable. Guards "
+                             "threshold gates against silently comparing "
+                             "nothing when a benchmark is renamed or "
+                             "dropped")
     args = parser.parse_args()
 
     old = load(args.old)
@@ -66,6 +73,11 @@ def main():
     if not names:
         print("no common benchmarks to compare", file=sys.stderr)
         return 1
+    for required in args.require:
+        if not any(re.search(required, n) for n in names):
+            print(f"FAIL: no compared benchmark matches required "
+                  f"pattern '{required}'", file=sys.stderr)
+            return 1
 
     width = max(len(n) for n in names)
     print(f"{'benchmark':{width}s} {'old(ns)':>12s} {'new(ns)':>12s} "

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Counterexample minimization and promotion.
+ *
+ * When the soundness hammer finds a violating seed, the raw generated
+ * test is rarely the story: it carries noise ops, unused annotations,
+ * threads that play no part. The minimizer delta-debugs the TestSpec
+ * IR — dropping threads, ops, exception machinery, annotations, and
+ * condition atoms, and compacting unused locations — re-running the
+ * oracle after every candidate shrink and keeping only shrinks that
+ * preserve the property. The result is the smallest spec (under these
+ * passes) that still exhibits the violation.
+ *
+ * Promotion then turns a minimized spec into registry-ready litmus
+ * source: verdict lines (`allowed:`/`forbidden:` plus `variant`
+ * expectations) are computed by actually running the axiomatic checker
+ * under the paper's parameter variants, so the emitted text can be
+ * pasted into src/litmus/suite_generated.cc and will satisfy the
+ * verdict-consistency suite (tests/test_verdicts.cc) by construction.
+ */
+
+#ifndef REX_GEN_MINIMIZE_HH
+#define REX_GEN_MINIMIZE_HH
+
+#include <functional>
+#include <string>
+
+#include "gen/hammer.hh"
+#include "gen/spec.hh"
+
+namespace rex::gen {
+
+/**
+ * The minimization oracle: true when @p spec still exhibits the
+ * property being preserved (for the hammer: a soundness violation).
+ * Tests inject fakes here to pin the pass structure.
+ */
+using Oracle = std::function<bool(const TestSpec &)>;
+
+/** The production oracle: does the spec's test have an operationally-
+ *  reachable but axiomatically-forbidden outcome under @p config? */
+Oracle makeSoundnessOracle(HammerConfig config);
+
+/** Shrink accounting. */
+struct MinimizeStats {
+    unsigned attempts = 0;  //!< candidate shrinks tried
+    unsigned accepted = 0;  //!< shrinks the oracle kept
+    unsigned rounds = 0;    //!< full pass sweeps until fixpoint
+};
+
+/**
+ * Shrink @p spec to a local minimum under @p violates. Requires
+ * violates(spec) on entry (fatal() otherwise: minimizing a
+ * non-violating test means the caller lost track of its oracle); the
+ * returned spec satisfies it by construction. Deterministic: the pass
+ * order and within-pass candidate order are fixed.
+ */
+TestSpec minimize(TestSpec spec, const Oracle &violates,
+                  MinimizeStats *stats = nullptr);
+
+/**
+ * Render @p spec as registry-ready litmus source named @p name, with
+ * the base `allowed:`/`forbidden:` keyword and `variant` expectation
+ * lines computed by the axiomatic checker (ModelParams::paperVariants).
+ */
+std::string promote(const TestSpec &spec, const std::string &name);
+
+} // namespace rex::gen
+
+#endif // REX_GEN_MINIMIZE_HH

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * TestSpec rendering and feature accounting.
+ */
+
+#include "gen/spec.hh"
+
+#include "base/logging.hh"
+
+namespace rex::gen {
+
+namespace {
+
+const char *kLocationNames[] = {"x", "y", "z"};
+
+std::string
+locationName(int loc)
+{
+    rexAssert(loc >= 0 && loc < 3, "gen: location index out of range");
+    return kLocationNames[loc];
+}
+
+/** The base-address register of location @p loc (X10, X11, X12). */
+std::string
+baseReg(int loc)
+{
+    return "X1" + std::to_string(loc);
+}
+
+/** Render one op into @p out. @p label_seq numbers control-dep labels
+ *  uniquely within the thread. */
+void
+renderOp(std::string &out, const Op &op, int tid, int &label_seq)
+{
+    // Control-dependency guard: a conditional branch on the earlier
+    // load's destination, immediately resolved.
+    if (op.dep == Op::Dep::Ctrl) {
+        std::string label =
+            "LC" + std::to_string(tid) + std::to_string(label_seq++);
+        out += "    CBNZ X" + std::to_string(op.depOn) + "," + label + "\n";
+        out += label + ":\n";
+    }
+
+    // Address dependency: EOR-zero the earlier load into the base.
+    std::string base = baseReg(op.loc);
+    if (op.dep == Op::Dep::Addr) {
+        out += "    EOR X5,X" + std::to_string(op.depOn) + ",X" +
+               std::to_string(op.depOn) + "\n";
+        out += "    ADD X7," + base + ",X5\n";
+        base = "X7";
+    }
+
+    switch (op.kind) {
+      case Op::Kind::Load: {
+        const char *mnemonic =
+            op.acquire ? "LDAR" : (op.acquirePc ? "LDAPR" : "LDR");
+        out += std::string("    ") + mnemonic + " X" +
+               std::to_string(op.dst) + ",[" + base + "]\n";
+        break;
+      }
+      case Op::Kind::Store: {
+        if (op.dep == Op::Dep::Data) {
+            out += "    EOR X5,X" + std::to_string(op.depOn) + ",X" +
+                   std::to_string(op.depOn) + "\n";
+            out += "    ADD X6,X5,#" + std::to_string(op.value) + "\n";
+        } else {
+            out += "    MOV X6,#" + std::to_string(op.value) + "\n";
+        }
+        out += std::string("    ") + (op.release ? "STLR" : "STR") +
+               " X6,[" + base + "]\n";
+        break;
+      }
+      case Op::Kind::LoadPair:
+        out += "    LDP X" + std::to_string(op.dst) + ",X" +
+               std::to_string(op.dst + 1) + ",[" + base + "]\n";
+        break;
+      case Op::Kind::StorePair:
+        out += "    MOV X6,#" + std::to_string(op.value) + "\n";
+        out += "    STP X6,X6,[" + base + "]\n";
+        break;
+      case Op::Kind::Rmw:
+        // Exclusive pair with a data dependency from the load into the
+        // store, via the EOR-zero idiom: the stored value is the fixed
+        // immediate, keeping the read-value domain bounded (a read+1
+        // chain would grow it without fixpoint).
+        out += "    LDXR X" + std::to_string(op.dst) + ",[" + base + "]\n";
+        out += "    EOR X6,X" + std::to_string(op.dst) + ",X" +
+               std::to_string(op.dst) + "\n";
+        out += "    ADD X6,X6,#" + std::to_string(op.value) + "\n";
+        out += "    STXR W8,X6,[" + base + "]\n";
+        break;
+      case Op::Kind::Fence:
+        switch (op.fence) {
+          case Op::Fence::DmbSy: out += "    DMB SY\n"; break;
+          case Op::Fence::DmbLd: out += "    DMB LD\n"; break;
+          case Op::Fence::DmbSt: out += "    DMB ST\n"; break;
+          case Op::Fence::DsbSy: out += "    DSB SY\n"; break;
+          case Op::Fence::Isb: out += "    ISB\n"; break;
+        }
+        break;
+      case Op::Kind::MovImm:
+        out += "    MOV X9,#" + std::to_string(op.value) + "\n";
+        break;
+    }
+}
+
+void
+renderOps(std::string &out, const std::vector<Op> &ops, int tid,
+          int &label_seq)
+{
+    for (const Op &op : ops)
+        renderOp(out, op, tid, label_seq);
+}
+
+} // namespace
+
+std::string
+render(const TestSpec &spec)
+{
+    rexAssert(!spec.threads.empty(), "gen: spec with no threads");
+    rexAssert(spec.numLocations >= 1 && spec.numLocations <= 3,
+              "gen: spec location count out of range");
+
+    std::string out = "name: " + spec.name + "\n";
+
+    // init: locations first, then per-thread base registers.
+    out += "init:";
+    for (int loc = 0; loc < spec.numLocations; ++loc)
+        out += " *" + locationName(loc) + "=0;";
+    for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+        for (int loc = 0; loc < spec.numLocations; ++loc) {
+            out += " " + std::to_string(t) + ":" + baseReg(loc) + "=" +
+                   locationName(loc) + ";";
+        }
+    }
+    out.pop_back();  // trailing ';'
+    out += "\n";
+
+    for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+        const ThreadSpec &thread = spec.threads[t];
+        rexAssert(!(thread.svc && thread.interrupt),
+                  "gen: thread with both SVC and interrupt");
+        int label_seq = 0;
+        std::string text;
+        renderOps(text, thread.body, static_cast<int>(t), label_seq);
+        if (thread.svc)
+            text += "    SVC #0\n";
+        if (thread.interrupt)
+            text += "LI" + std::to_string(t) + ":\n";
+        renderOps(text, thread.after, static_cast<int>(t), label_seq);
+        if (text.empty())
+            text = "    NOP\n";
+        out += "thread " + std::to_string(t) + ":\n" + text;
+    }
+
+    for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+        const ThreadSpec &thread = spec.threads[t];
+        int label_seq = 100;  // disjoint from the body's label numbers
+        std::string text;
+        renderOps(text, thread.handler, static_cast<int>(t), label_seq);
+        if (thread.eret)
+            text += "    ERET\n";
+        // A thread that takes an exception needs handler code even when
+        // every handler op was shrunk away.
+        if (text.empty() && (thread.svc || thread.interrupt))
+            text = "    NOP\n";
+        if (text.empty())
+            continue;
+        out += "handler " + std::to_string(t) + ":\n" + text;
+    }
+
+    for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+        if (spec.threads[t].interrupt) {
+            out += "interrupt " + std::to_string(t) + " at LI" +
+                   std::to_string(t) + "\n";
+        }
+    }
+
+    out += "allowed: ";
+    if (spec.condition.empty()) {
+        out += "*" + locationName(0) + "=0";
+    } else {
+        for (std::size_t i = 0; i < spec.condition.size(); ++i) {
+            const SpecCond &atom = spec.condition[i];
+            if (i > 0)
+                out += " & ";
+            if (atom.memory) {
+                out += "*" + locationName(atom.loc) + "=" +
+                       std::to_string(atom.value);
+            } else {
+                out += std::to_string(atom.tid) + ":X" +
+                       std::to_string(atom.slot) + "=" +
+                       std::to_string(atom.value);
+            }
+        }
+    }
+    out += "\n";
+    return out;
+}
+
+void
+Features::merge(const Features &other)
+{
+    svc += other.svc;
+    eret += other.eret;
+    interrupt += other.interrupt;
+    handler += other.handler;
+    barrier += other.barrier;
+    acqRel += other.acqRel;
+    rmw += other.rmw;
+    dep += other.dep;
+    pair += other.pair;
+    threads3 += other.threads3;
+}
+
+std::string
+Features::toString() const
+{
+    std::string out;
+    auto item = [&](const char *name, std::uint64_t count) {
+        if (!out.empty())
+            out += " ";
+        out += std::string(name) + " " + std::to_string(count);
+    };
+    item("svc", svc);
+    item("eret", eret);
+    item("interrupt", interrupt);
+    item("handler", handler);
+    item("barrier", barrier);
+    item("acqrel", acqRel);
+    item("rmw", rmw);
+    item("dep", dep);
+    item("pair", pair);
+    item("threads3", threads3);
+    return out;
+}
+
+Features
+specFeatures(const TestSpec &spec)
+{
+    Features f;
+    auto scanOps = [&](const std::vector<Op> &ops) {
+        for (const Op &op : ops) {
+            if (op.kind == Op::Kind::Fence)
+                f.barrier = 1;
+            if (op.acquire || op.acquirePc || op.release)
+                f.acqRel = 1;
+            if (op.kind == Op::Kind::Rmw)
+                f.rmw = 1;
+            if (op.dep != Op::Dep::None)
+                f.dep = 1;
+            if (op.kind == Op::Kind::LoadPair ||
+                    op.kind == Op::Kind::StorePair) {
+                f.pair = 1;
+            }
+        }
+    };
+    for (const ThreadSpec &thread : spec.threads) {
+        if (thread.svc)
+            f.svc = 1;
+        if (thread.interrupt)
+            f.interrupt = 1;
+        if (thread.eret)
+            f.eret = 1;
+        // Exception-taking threads always have handler code: render()
+        // emits a NOP handler even when every handler op was shrunk.
+        if (!thread.handler.empty() || thread.eret || thread.svc ||
+                thread.interrupt) {
+            f.handler = 1;
+        }
+        scanOps(thread.body);
+        scanOps(thread.after);
+        scanOps(thread.handler);
+    }
+    if (spec.threads.size() >= 3)
+        f.threads3 = 1;
+    return f;
+}
+
+} // namespace rex::gen

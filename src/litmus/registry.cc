@@ -16,6 +16,7 @@ TestRegistry::instance()
         registerExceptionSuite(*r);
         registerSeaSuite(*r);
         registerGicSuite(*r);
+        registerGeneratedSuite(*r);
         return r;
     }();
     return *registry;

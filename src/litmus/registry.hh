@@ -9,7 +9,9 @@
  *  - exceptions: §3's reordering across exception boundaries;
  *  - sea:        §4's synchronous-external-abort strengthening;
  *  - gic:        §7's SGI/GIC tests (message passing via SGI, RCU,
- *                Verona asymmetric lock).
+ *                Verona asymmetric lock);
+ *  - generated:  tests synthesized by src/gen and promoted by the
+ *                soundness hammer's pipeline (suite_generated.cc).
  */
 
 #ifndef REX_LITMUS_REGISTRY_HH
@@ -74,6 +76,7 @@ void registerCoreSuite(TestRegistry &registry);
 void registerExceptionSuite(TestRegistry &registry);
 void registerSeaSuite(TestRegistry &registry);
 void registerGicSuite(TestRegistry &registry);
+void registerGeneratedSuite(TestRegistry &registry);
 
 } // namespace rex
 

@@ -342,8 +342,18 @@ Machine::canSatisfy(int tid, int op_index) const
 
     // Forwarding from an uncommitted older same-location store.
     int src = forwardingSource(thread, op_index, load.loc);
-    if (src >= 0 && !_profile.forwarding)
-        return false;
+    if (src >= 0) {
+        // A pending store-exclusive's value is speculative: whether it
+        // writes at all is decided only at commit (the monitor check),
+        // and a failed STXR writes nothing, so no load may ever read
+        // its value. The load waits for the commit and then reads
+        // memory, which is correct on both the success and the failure
+        // path.
+        if (thread.ops[static_cast<std::size_t>(src)].exclusive)
+            return false;
+        if (!_profile.forwarding)
+            return false;
+    }
     return true;
 }
 

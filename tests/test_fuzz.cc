@@ -1,12 +1,14 @@
 /**
  * @file
- * Differential fuzzing: generate random litmus tests (two threads of
- * random moves, loads, stores, barriers, dependency chains, acquire/
- * release pairs, and SVC+handler splices), then check that every
- * outcome the operational simulator can reach is allowed by the
- * axiomatic model. This is the library-wide soundness property of
- * test_operational.cc, extended beyond the hand-written suite to a
- * randomised corpus — deterministic given the seeds.
+ * Differential fuzzing over the src/gen synthesizer: generate litmus
+ * tests (threads of loads, stores, barriers, dependency chains,
+ * acquire/release pairs, exclusive RMWs, LDP/STP pairs, and
+ * SVC/interrupt handler splices), then check that the shipped cat model
+ * agrees with the native transcription on every candidate, and that
+ * every outcome the operational simulator can reach is allowed by the
+ * axiomatic model. The corpus is the same one the soundness hammer
+ * (src/gen/hammer.hh) drives at campaign scale; here a small slice runs
+ * in-tree so `ctest` exercises the whole pipeline on every build.
  *
  * The corpus fans out over the batch engine (REX_JOBS workers, default
  * hardware concurrency): each seed is one pool job returning a failure
@@ -24,191 +26,18 @@
 #include "axiomatic/model.hh"
 #include "cat/catmodel.hh"
 #include "engine/batch.hh"
+#include "gen/generator.hh"
+#include "gen/hammer.hh"
 #include "litmus/parser.hh"
 #include "operational/explorer.hh"
 
 namespace rex {
 namespace {
 
-/** Small deterministic RNG (xorshift64*). */
-class Rng
-{
-  public:
-    explicit Rng(std::uint64_t seed) : _state(seed ? seed : 1) {}
-
-    std::uint64_t
-    next()
-    {
-        _state ^= _state >> 12;
-        _state ^= _state << 25;
-        _state ^= _state >> 27;
-        return _state * 0x2545F4914F6CDD1Dull;
-    }
-
-    /** Uniform in [0, bound). */
-    std::uint64_t pick(std::uint64_t bound) { return next() % bound; }
-
-    bool chance(unsigned percent) { return pick(100) < percent; }
-
-  private:
-    std::uint64_t _state;
-};
-
-/**
- * Generate one random thread body. Registers: X0-X5 scratch, X10/X11
- * point at x/y. Returns the statements, plus a handler body when an SVC
- * was emitted.
- */
-struct GeneratedThread {
-    std::string body;
-    std::string handler;
-};
-
-GeneratedThread
-generateThread(Rng &rng, int tid)
-{
-    GeneratedThread out;
-    int instructions = 2 + static_cast<int>(rng.pick(3));
-    bool used_svc = false;
-    int loads = 0;
-    int stores = 0;
-    std::string *sink = &out.body;
-
-    for (int i = 0; i < instructions; ++i) {
-        std::uint64_t choice = rng.pick(8);
-        // Keep the candidate space tractable: at most 2 loads and 2
-        // stores per thread (the dependency-chain case counts as 2
-        // loads).
-        if ((choice == 1 && loads >= 2) || (choice == 2 && stores >= 2) ||
-                (choice == 4 && loads >= 1) ||
-                (choice == 5 && (loads >= 2 || stores >= 2))) {
-            choice = 3;
-        }
-        switch (choice) {
-          case 0:
-            *sink += "    MOV X" + std::to_string(rng.pick(4)) + ",#" +
-                std::to_string(1 + rng.pick(3)) + "\n";
-            break;
-          case 1:
-            ++loads;
-            *sink += "    LDR X" + std::to_string(rng.pick(4)) + ",[X1" +
-                std::to_string(rng.pick(2)) + "]\n";
-            break;
-          case 2:
-            ++stores;
-            *sink += "    STR X" + std::to_string(rng.pick(4)) + ",[X1" +
-                std::to_string(rng.pick(2)) + "]\n";
-            break;
-          case 3:
-            *sink += rng.chance(50) ? "    DMB SY\n"
-                                    : (rng.chance(50) ? "    DMB LD\n"
-                                                      : "    DMB ST\n");
-            break;
-          case 4: {
-            // Dependency chain: load, mangle, use as offset.
-            loads += 2;
-            int dst = static_cast<int>(rng.pick(4));
-            *sink += "    LDR X" + std::to_string(dst) + ",[X10]\n";
-            *sink += "    EOR X5,X" + std::to_string(dst) + ",X" +
-                std::to_string(dst) + "\n";
-            *sink += "    LDR X4,[X11,X5]\n";
-            break;
-          }
-          case 5:
-            if (rng.chance(50)) {
-                ++loads;
-                *sink += "    LDAR X2,[X10]\n";
-            } else {
-                ++stores;
-                *sink += "    STLR X3,[X11]\n";
-            }
-            break;
-          case 6:
-            if (rng.chance(40)) {
-                *sink += "    ISB\n";
-            } else if (rng.chance(50) && loads < 1) {
-                // Pair load over the two adjacent cells.
-                loads += 2;
-                *sink += "    LDP X0,X1,[X10]\n";
-            } else if (stores < 1) {
-                stores += 2;
-                *sink += "    STP X2,X3,[X10]\n";
-            } else {
-                // Flags-mediated control dependency.
-                *sink += "    CMP X3,#1\n";
-                *sink += "    B.EQ LF" + std::to_string(i) + "\n";
-                *sink += "LF" + std::to_string(i) + ":\n";
-                *sink += "    NOP\n";
-            }
-            break;
-          case 7:
-            if (!used_svc && sink == &out.body) {
-                used_svc = true;
-                *sink += "    SVC #0\n";
-                // Continue generating into the handler; finish with an
-                // ERET half the time (otherwise the thread ends there).
-                sink = &out.handler;
-                if (rng.chance(50)) {
-                    out.handler += "    LDR X2,[X1" +
-                        std::to_string(rng.pick(2)) + "]\n";
-                    out.handler += "    ERET\n";
-                    sink = &out.body;
-                } else {
-                    out.handler += "    STR X3,[X1" +
-                        std::to_string(rng.pick(2)) + "]\n";
-                }
-            } else {
-                *sink += "    NOP\n";
-            }
-            break;
-        }
-        (void)tid;
-    }
-    if (out.body.empty())
-        out.body = "    NOP\n";
-    return out;
-}
-
 LitmusTest
 generateTest(std::uint64_t seed)
 {
-    Rng rng(seed);
-    std::string text = "name: fuzz-" + std::to_string(seed) + "\n";
-    text += "init: *x=0; *y=0;";
-    for (int t = 0; t < 2; ++t) {
-        text += " " + std::to_string(t) + ":X10=x;";
-        text += " " + std::to_string(t) + ":X11=y;";
-        text += " " + std::to_string(t) + ":X3=1;";
-    }
-    text += "\n";
-
-    std::string handlers;
-    for (int t = 0; t < 2; ++t) {
-        GeneratedThread thread = generateThread(rng, t);
-        text += "thread " + std::to_string(t) + ":\n" + thread.body;
-        if (!thread.handler.empty()) {
-            handlers += "handler " + std::to_string(t) + ":\n" +
-                thread.handler;
-        }
-    }
-    text += handlers;
-    // The condition is irrelevant for soundness (we compare outcome
-    // projections), but the format requires one.
-    text += "allowed: *x=0\n";
-    return parseLitmus(text);
-}
-
-/** Outcome key of a candidate in the machine's format (memory plus the
- *  registers in the condition — here memory only). */
-std::string
-axiomaticKey(const LitmusTest &test, const CandidateExecution &cand)
-{
-    std::string out;
-    for (LocationId loc = 0; loc < test.locations.size(); ++loc) {
-        out += "*" + test.locations[loc] + "=" +
-            std::to_string(cand.finalMemValue(loc)) + ";";
-    }
-    return out;
+    return parseLitmus(gen::generate(seed, gen::GenConfig{}).source);
 }
 
 /** One cat-agreement job: "" on success, else a failure description. */
@@ -239,44 +68,26 @@ catAgreementJob(std::uint64_t seed)
     return failure;
 }
 
-/** One soundness job: "" on success/skip, else a failure description. */
+/** One soundness job: "" on success/skip, else a failure description.
+ *  Delegates to the hammer's per-seed check — the same code path the
+ *  campaign CLI runs. */
 std::string
 soundnessJob(std::uint64_t seed, std::size_t &skipped)
 {
-    LitmusTest test = generateTest(seed);
-
-    // Bail out on pathologically large candidate spaces (rare seeds).
-    CandidateEnumerator enumerator(test);
-    std::size_t candidates = 0;
-    enumerator.forEach([&](CandidateExecution &) {
-        return ++candidates < 150000;
-    });
-    if (candidates >= 150000) {
+    gen::HammerConfig config;
+    gen::SeedResult result =
+        gen::soundnessCheck(gen::generate(seed, config.gen), config);
+    if (result.outcome == gen::SeedOutcome::Skipped) {
         ++skipped;
         return "";
     }
-
-    std::set<std::string> allowed;
-    enumerator.forEach([&](CandidateExecution &cand) {
-        if (checkConsistent(cand, ModelParams::base()).consistent)
-            allowed.insert(axiomaticKey(test, cand));
-        return true;
-    });
-    if (allowed.empty())
-        return test.name + ": no axiomatically allowed outcome";
-
-    op::ExploreResult explored =
-        op::explore(test, op::CoreProfile::maxRelaxed(), 300000);
-    for (const std::string &outcome : explored.outcomes) {
-        if (!allowed.count(outcome)) {
-            return test.name + ": operational outcome " + outcome +
-                " not axiomatically allowed\nprogram:\n" +
-                test.threads[0].program.toString() + "---\n" +
-                test.threads[1].program.toString();
-        }
+    if (result.outcome == gen::SeedOutcome::Violation) {
+        std::string failure = "gen-" + std::to_string(seed) +
+            ": operationally reachable but axiomatically forbidden:";
+        for (const std::string &key : result.violating)
+            failure += " " + key;
+        return failure;
     }
-    if (explored.outcomes.empty())
-        return test.name + ": operational explorer found no outcome";
     return "";
 }
 

@@ -328,7 +328,8 @@ TEST(Registry, LookupAndSuites)
     EXPECT_EQ(registry.get("MP+dmb.sy+fault").name, "MP+dmb.sy+fault");
 
     std::size_t total = 0;
-    for (const char *suite : {"core", "exceptions", "sea", "gic"})
+    for (const char *suite :
+         {"core", "exceptions", "sea", "gic", "generated"})
         total += registry.suite(suite).size();
     EXPECT_EQ(total, registry.all().size());
 }
