@@ -32,6 +32,16 @@
  *   --repeat N      send the /check request N times (pairs with
  *                   --keep-alive to exercise connection reuse); the
  *                   body of every response is printed in order
+ *   --resumable     opt into rex-cont-v1 continuations: a budget-tripped
+ *                   check answers an ExhaustedBudget record carrying a
+ *                   "continuation" token that a later request can replay
+ *   --resume-budget N     when the response is budget-tripped, re-POST
+ *                         the continuation token automatically up to N
+ *                         times and stitch the final verdict stream
+ *                         (implies --resumable; requires exactly one
+ *                         variant — a token binds to a single job).
+ *                         Progress for each hop goes to stderr; stdout
+ *                         gets only the final response body
  *   --stable        normalise the JSONL output for diffing: zero the
  *                   schedule-dependent wall_us and cache_hit fields
  *   --direct        skip the network and run the request through an
@@ -50,8 +60,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -160,7 +172,8 @@ usage(const char *argv0)
                  "[--retries N]\n"
                  "          [--retry-deadline-ms N] [--retry-crashed] "
                  "[--stable] [--direct]\n"
-                 "          [--keep-alive] [--repeat N]\n"
+                 "          [--keep-alive] [--repeat N] [--resumable]\n"
+                 "          [--resume-budget N]\n"
                  "          (FILE.litmus | --builtin NAME | -)\n"
                  "       %s [--host H] [--port P] --metrics | --health\n"
                  "       %s [--host H] [--port P] --post PATH   "
@@ -187,6 +200,8 @@ main(int argc, char **argv)
     bool retryCrashed = false;
     bool keepAlive = false;
     int repeat = 1;
+    bool resumable = false;
+    long long resumeBudget = 0;
     bool stable = false;
     bool direct = false;
     bool wantMetrics = false;
@@ -224,6 +239,11 @@ main(int argc, char **argv)
             keepAlive = true;
         } else if (arg == "--repeat") {
             repeat = std::atoi(value().c_str());
+        } else if (arg == "--resumable") {
+            resumable = true;
+        } else if (arg == "--resume-budget") {
+            resumeBudget = std::atoll(value().c_str());
+            resumable = true;
         } else if (arg == "--stable") {
             stable = true;
         } else if (arg == "--direct") {
@@ -302,40 +322,103 @@ main(int argc, char **argv)
             }
         }
 
-        int status;
-        std::string body;
+        if (resumeBudget > 0 && variants.size() != 1)
+            fatal("--resume-budget requires exactly one variant "
+                  "(a continuation token binds to a single job)");
+
+        // The daemon's exact serving path, in-process: same JSON
+        // request, same service, same JSONL renderer. Built lazily so
+        // network-only invocations never spin up an engine.
+        std::unique_ptr<engine::Engine> directEngine;
+        server::Metrics directMetrics;
+        std::unique_ptr<server::CheckService> directService;
         if (direct) {
-            // The daemon's exact serving path, in-process: same JSON
-            // request, same service, same JSONL renderer.
-            engine::Engine engine;
-            server::Metrics metrics;
-            server::CheckService service(engine, metrics);
-            server::HttpRequest request;
-            request.method = "POST";
-            request.path = "/check";
-            request.body = server::checkRequestJson(
-                testText, variants, sleepMs, deadlineMs, maxCandidates);
-            server::HttpResponse response = service.handle(request);
-            status = response.status;
-            body = response.body;
-        } else {
-            server::ClientResponse r;
-            for (int shot = 0; shot < std::max(1, repeat); ++shot) {
-                r = client.check(testText, variants, sleepMs,
-                                 deadlineMs, maxCandidates);
-                if (r.status != 200)
-                    break;
-                if (shot + 1 < std::max(1, repeat)) {
-                    // Print every body but the last now; the last goes
-                    // through the shared status/stabilise path below.
-                    std::string rendered =
-                        stable ? stabiliseBody(r.body) : r.body;
-                    std::fwrite(rendered.data(), 1, rendered.size(),
-                                stdout);
-                }
+            directEngine = std::make_unique<engine::Engine>();
+            directService = std::make_unique<server::CheckService>(
+                *directEngine, directMetrics);
+        }
+
+        // One /check POST, resumed or fresh, over whichever transport
+        // was asked for; both paths serialise through checkRequestJson
+        // so the bytes on the wire cannot differ.
+        auto postCheck =
+            [&](const std::string &resume) -> std::pair<int, std::string> {
+            std::string requestBody = server::checkRequestJson(
+                testText, variants, sleepMs, deadlineMs, maxCandidates,
+                resumable, resume);
+            if (direct) {
+                server::HttpRequest request;
+                request.method = "POST";
+                request.path = "/check";
+                request.body = std::move(requestBody);
+                server::HttpResponse response =
+                    directService->handle(request);
+                return {response.status, response.body};
             }
-            status = r.status;
-            body = r.body;
+            server::ClientResponse r =
+                client.post("/check", requestBody);
+            return {r.status, r.body};
+        };
+
+        // The continuation token of @p respBody's last record, or ""
+        // when the stream ended complete (or unparseable).
+        auto continuationOf =
+            [](const std::string &respBody) -> std::string {
+            std::string last;
+            for (const std::string &line : split(respBody, '\n')) {
+                std::string t = trim(line);
+                if (!t.empty())
+                    last = std::move(t);
+            }
+            if (last.empty())
+                return {};
+            try {
+                server::JsonValue v = server::parseJson(last);
+                const server::JsonValue *verdict = v.find("verdict");
+                const server::JsonValue *cont = v.find("continuation");
+                if (verdict && verdict->isString() &&
+                    verdict->string == "ExhaustedBudget" && cont &&
+                    cont->isString() && !cont->string.empty())
+                    return cont->string;
+            } catch (const FatalError &) {
+            }
+            return {};
+        };
+
+        int status = 0;
+        std::string body;
+        for (int shot = 0; shot < std::max(1, repeat); ++shot) {
+            auto [s, b] = postCheck(std::string());
+            status = s;
+            body = std::move(b);
+            if (status != 200)
+                break;
+            if (shot + 1 < std::max(1, repeat)) {
+                // Print every body but the last now; the last goes
+                // through the shared status/stabilise path below.
+                std::string rendered =
+                    stable ? stabiliseBody(body) : body;
+                std::fwrite(rendered.data(), 1, rendered.size(),
+                            stdout);
+            }
+        }
+
+        // Stitch budget-tripped responses: while the last record is an
+        // ExhaustedBudget carrying a continuation, replay the token.
+        // The final body is the stitched stream's tail — each resumed
+        // response supersedes the partial it continued from.
+        for (long long hop = 0;
+             status == 200 && hop < resumeBudget; ++hop) {
+            std::string token = continuationOf(body);
+            if (token.empty())
+                break;
+            std::fprintf(stderr,
+                         "resume %lld/%lld: re-posting continuation "
+                         "(%zu bytes)\n",
+                         hop + 1, resumeBudget, token.size());
+            auto [s, b] = postCheck(token);
+            status = s;
+            body = std::move(b);
         }
 
         if (status != 200) {

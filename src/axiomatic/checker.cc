@@ -1,5 +1,6 @@
 #include "axiomatic/checker.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <future>
@@ -14,6 +15,7 @@
 #include "engine/crashctx.hh"
 #include "engine/governor.hh"
 #include "engine/pool.hh"
+#include "engine/remote.hh"
 
 namespace rex {
 
@@ -67,6 +69,30 @@ struct StagedAccumulator {
     std::uint64_t skeletonCombo = 0;
     std::optional<catc::FoldedProgram> folded;
     std::uint64_t foldedCombo = 0;
+
+    /** Set when the last visited candidate was admitted and counted
+     *  but its model run aborted on a tripped token — its verdict
+     *  contribution is unresolved. */
+    bool abortedPending = false;
+    std::size_t abortedCU = 0;
+    std::size_t abortedUnknown = 0;
+
+    /**
+     * Un-count the unresolved candidate. Only shard-range checks call
+     * this (their resume cursor must point at that candidate so the
+     * next piece re-visits it); whole-test paths keep the admitted
+     * count, which existing consumers expect.
+     */
+    void
+    rollbackAborted()
+    {
+        if (!abortedPending)
+            return;
+        --result.candidates;
+        result.constrainedUnpredictable -= abortedCU;
+        result.unknownSideEffects -= abortedUnknown;
+        abortedPending = false;
+    }
 
     /** Visit one candidate; false stops enumeration (witness found
      *  under stop_at_first, or the governor's budget tripped). */
@@ -130,8 +156,15 @@ struct StagedAccumulator {
                 cand, params, *skeleton, /*internal_prechecked=*/true,
                 token);
         }
-        if (model.aborted)
-            return false;  // token tripped between clauses: stop here
+        if (model.aborted) {
+            // Token tripped between clauses: stop here. The candidate
+            // is counted but unresolved; remember its flags so a range
+            // check can roll it back and resume exactly at it.
+            abortedPending = true;
+            abortedCU = cand.constrainedUnpredictable ? 1 : 0;
+            abortedUnknown = cand.unknownSideEffects ? 1 : 0;
+            return false;
+        }
         if (!model.consistent) {
             if (satisfies && result.forbiddingAxiom.empty()) {
                 result.forbiddingAxiom = model.failedAxiom;
@@ -194,9 +227,9 @@ checkSerial(CandidateEnumerator &enumerator, const LitmusTest &test,
     return std::move(acc.result);
 }
 
-/** Witness assignments per shard: large enough to amortise the
- *  per-shard skeleton rebuild, small enough to split tiny tests. */
-constexpr std::uint64_t kShardTarget = 256;
+/** Witness assignments per shard (checker.hh: shared with the range
+ *  API, whose plans must address the same shards by the same index). */
+constexpr std::uint64_t kShardTarget = kCheckShardTarget;
 
 /**
  * Parallel staged check: plan shards in global enumeration order, run
@@ -320,6 +353,194 @@ checkSharded(CandidateEnumerator &enumerator, const LitmusTest &test,
     return merged;
 }
 
+/** Outcome of running one contiguous slice of a shard plan. */
+struct RangeRun {
+    CheckResult result;
+    bool witnessed = false;
+    bool completed = false;
+    std::uint64_t nextShard = 0;   //!< valid when neither of the above
+    std::uint64_t nextOffset = 0;
+};
+
+/**
+ * Run shards [begin, end) serially, entering the first at @p offset
+ * candidates past its start. Range checks are always stop_at_first and
+ * witness-less (the verdict-serving configuration — anything else
+ * would make resumed pieces diverge from uninterrupted runs).
+ */
+RangeRun
+runRangeSerial(CandidateEnumerator &enumerator,
+               const std::vector<CandidateEnumerator::Shard> &shards,
+               std::uint64_t begin, std::uint64_t end,
+               std::uint64_t offset, const LitmusTest &test,
+               const ModelParams &params, engine::Governor *governor,
+               const catc::FoldPlan *plan)
+{
+    RangeRun run;
+    for (std::uint64_t i = begin; i < end; ++i) {
+        const std::uint64_t startOff = i == begin ? offset : 0;
+        if (governor && governor->tripped()) {
+            run.nextShard = i;
+            run.nextOffset = startOff;
+            return run;
+        }
+        CandidateEnumerator::Shard shard = shards[i];
+        rexAssert(startOff <= shard.end - shard.begin,
+                  "continuation offset outside its shard");
+        shard.begin += startOff;
+        if (shard.begin == shard.end)
+            continue;  // the cursor sat exactly on the shard boundary
+        StagedAccumulator acc{test, params, /*stopAtFirst=*/true,
+                              /*captureWitness=*/false, governor, plan,
+                              {}, std::nullopt, 0, std::nullopt, 0};
+        const bool completed = enumerator.visitShard(
+            shard,
+            [&](CandidateExecution &cand,
+                const CandidateEnumerator::StagedInfo &info) {
+                return acc.consume(cand, info);
+            },
+            governor ? governor->token() : nullptr);
+        const bool witnessed = acc.result.witnesses > 0;
+        if (!completed && !witnessed) {
+            // The budget tripped inside the shard. Un-count an
+            // admitted-but-unresolved candidate so the cursor points
+            // at the first candidate the next piece must visit.
+            acc.rollbackAborted();
+            run.nextShard = i;
+            run.nextOffset = startOff + acc.result.candidates;
+            mergeInto(run.result, std::move(acc.result));
+            return run;
+        }
+        mergeInto(run.result, std::move(acc.result));
+        if (witnessed) {
+            run.witnessed = true;
+            return run;
+        }
+    }
+    run.completed = true;
+    run.nextShard = end;
+    return run;
+}
+
+/**
+ * Pool-parallel variant of runRangeSerial: the checkSharded() merge
+ * discipline (in-order, witness fetch-min cutoff) extended with a
+ * per-shard completion flag and resume cursor, so a budget trip yields
+ * the longest fully-resolved prefix plus the exact cursor after it.
+ */
+RangeRun
+runRangePooled(CandidateEnumerator &enumerator,
+               const std::vector<CandidateEnumerator::Shard> &shards,
+               std::uint64_t begin, std::uint64_t end,
+               std::uint64_t offset, const LitmusTest &test,
+               const ModelParams &params, engine::ThreadPool &pool,
+               engine::Governor *governor, const catc::FoldPlan *plan)
+{
+    const std::size_t count = static_cast<std::size_t>(end - begin);
+    struct Slot {
+        CheckResult result;
+        bool witnessed = false;
+        bool cancelled = false;
+        bool completed = false;
+        std::uint64_t nextOffset = 0;  //!< valid when partial
+    };
+    // Lazily allocated for the same reason as checkSharded's outcome
+    // slots: a null slot after the drain means "never submitted".
+    std::vector<std::unique_ptr<Slot>> slots(count);
+    std::atomic<std::size_t> cutoff{count};
+    auto fetchMinCutoff = [&cutoff](std::size_t value) {
+        std::size_t seen = cutoff.load();
+        while (value < seen &&
+               !cutoff.compare_exchange_weak(seen, value)) {
+        }
+    };
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (governor && governor->tripped())
+            break;
+        futures.push_back(pool.submit([&, i] {
+            slots[i] = std::make_unique<Slot>();
+            Slot &slot = *slots[i];
+            if (i > cutoff.load()) {
+                slot.cancelled = true;
+                return;
+            }
+            const std::uint64_t startOff = i == 0 ? offset : 0;
+            CandidateEnumerator::Shard shard = shards[begin + i];
+            rexAssert(startOff <= shard.end - shard.begin,
+                      "continuation offset outside its shard");
+            shard.begin += startOff;
+            if (shard.begin == shard.end) {
+                slot.completed = true;
+                return;
+            }
+            StagedAccumulator acc{test, params, /*stopAtFirst=*/true,
+                                  /*captureWitness=*/false, governor,
+                                  plan,
+                                  {}, std::nullopt, 0, std::nullopt, 0};
+            const bool completed = enumerator.visitShard(
+                shard,
+                [&](CandidateExecution &cand,
+                    const CandidateEnumerator::StagedInfo &info) {
+                    if (i > cutoff.load()) {
+                        slot.cancelled = true;
+                        return false;
+                    }
+                    return acc.consume(cand, info);
+                },
+                governor ? governor->token() : nullptr);
+            slot.completed = completed;
+            slot.witnessed = acc.result.witnesses > 0;
+            if (slot.witnessed)
+                fetchMinCutoff(i);
+            if (!completed && !slot.witnessed && !slot.cancelled) {
+                acc.rollbackAborted();
+                slot.nextOffset = startOff + acc.result.candidates;
+            }
+            slot.result = std::move(acc.result);
+        }));
+    }
+    for (std::future<void> &future : futures)
+        future.get();
+
+    RangeRun run;
+    std::size_t merged = 0;
+    for (; merged < count; ++merged) {
+        if (!slots[merged])
+            break;  // unsubmitted suffix: the budget tripped first
+        Slot &slot = *slots[merged];
+        rexAssert(!slot.cancelled || merged > 0,
+                  "first range shard cancelled without a witness below");
+        if (slot.cancelled)
+            break;
+        const bool witnessed = slot.witnessed;
+        const bool completed = slot.completed;
+        const std::uint64_t nextOffset = slot.nextOffset;
+        mergeInto(run.result, std::move(slot.result));
+        if (witnessed) {
+            run.witnessed = true;
+            return run;
+        }
+        if (!completed) {
+            run.nextShard = begin + merged;
+            run.nextOffset = nextOffset;
+            return run;
+        }
+    }
+    if (merged == count) {
+        run.completed = true;
+        run.nextShard = end;
+        return run;
+    }
+    // Unsubmitted or cancelled suffix without a witness at or below
+    // it: resume at the first unmerged shard.
+    run.nextShard = begin + merged;
+    run.nextOffset = merged == 0 ? offset : 0;
+    return run;
+}
+
 bool
 envFlag(const char *name)
 {
@@ -367,6 +588,177 @@ checkTest(const LitmusTest &test, const ModelParams &params,
             engine::budgetAxisName(governor->trippedAxis());
     }
     return result;
+}
+
+ShardRangeOutcome
+checkShardRange(const LitmusTest &test, const ModelParams &params,
+                const ShardRangeSpec &spec, engine::ThreadPool *pool,
+                engine::Governor *governor,
+                engine::RangeDispatcher *remote)
+{
+    ShardRangeOutcome out;
+    const std::shared_ptr<const catc::FoldPlan> plan =
+        catc::planForCheck(params);
+    engine::crashContextSetStage("traces");
+    if (governor)
+        governor->noteStage("traces");
+    CandidateEnumerator enumerator(test,
+                                   governor ? governor->token() : nullptr);
+    if (governor && governor->tripped()) {
+        // Trace construction itself outran the budget: no plan exists,
+        // so there is no cursor to hand back (out.planned stays false
+        // and a caller holding an older cursor keeps it unchanged).
+        out.result.exhaustedAxis =
+            engine::budgetAxisName(governor->trippedAxis());
+        return out;
+    }
+    engine::crashContextSetStage("plan");
+    if (governor)
+        governor->noteStage("plan");
+    // Unlike checkSharded, the plan ignores the cancel token: the
+    // continuation format addresses shards by index into the complete
+    // deterministic plan, so a trip must never truncate it.
+    const std::vector<CandidateEnumerator::Shard> shards =
+        enumerator.planShards(spec.planTarget, nullptr);
+    out.planned = true;
+    out.planSize = shards.size();
+    const std::uint64_t end =
+        std::min<std::uint64_t>(spec.shardEnd, shards.size());
+    const std::uint64_t begin =
+        std::min<std::uint64_t>(spec.shardBegin, end);
+    if (begin >= end) {
+        out.completed = true;
+        out.nextShard = end;
+        return out;
+    }
+
+    engine::crashContextSetStage("enumerate");
+    if (governor)
+        governor->noteStage("enumerate");
+
+    auto runLocal = [&](std::uint64_t b, std::uint64_t e,
+                        std::uint64_t off) -> RangeRun {
+        if (b >= e) {
+            RangeRun empty;
+            empty.completed = true;
+            empty.nextShard = e;
+            return empty;
+        }
+        if (pool && pool->threadCount() > 1 &&
+                !engine::ThreadPool::onWorkerThread() && e - b > 1) {
+            return runRangePooled(enumerator, shards, b, e, off, test,
+                                  params, *pool, governor, plan.get());
+        }
+        return runRangeSerial(enumerator, shards, b, e, off, test,
+                              params, governor, plan.get());
+    };
+
+    RangeRun total;
+    if (remote && !test.sourceText.empty() &&
+            end - begin >= remote->minShardsToDistribute() &&
+            remote->available()) {
+        const std::string variant = params.name();
+        engine::RangeJobContext ctx;
+        ctx.testSource = &test.sourceText;
+        ctx.variantName = &variant;
+        ctx.planTarget = spec.planTarget;
+        ctx.planSize = shards.size();
+        ctx.fingerprint = spec.jobFingerprint;
+        ctx.deadlineMs = spec.peerDeadlineMs;
+        ctx.cancel = governor ? governor->token() : nullptr;
+        const std::uint64_t per =
+            std::max<std::uint64_t>(1, remote->shardsPerTask());
+        std::vector<engine::RangeTask> tasks;
+        tasks.reserve(
+            static_cast<std::size_t>((end - begin + per - 1) / per));
+        for (std::uint64_t b = begin; b < end; b += per) {
+            engine::RangeTask task;
+            task.shardBegin = b;
+            task.shardEnd = std::min(end, b + per);
+            task.inShardOffset = b == begin ? spec.inShardOffset : 0;
+            tasks.push_back(task);
+        }
+        remote->runTasks(ctx, tasks);
+        // Deterministic in-order merge with local top-up: a task no
+        // peer answered (or answered only partially under its own
+        // budget) is finished locally before merging past it, so a
+        // failed dispatch degrades to local compute and never loses a
+        // shard. Duplicate answers were already dropped per task slot
+        // by the dispatcher, so nothing can merge twice.
+        bool settled = false;
+        for (const engine::RangeTask &task : tasks) {
+            std::uint64_t cursorShard = task.shardBegin;
+            std::uint64_t cursorOffset = task.inShardOffset;
+            if (task.filled) {
+                const engine::RangePartial &part = task.result;
+                total.result.candidates += part.candidates;
+                total.result.consistent += part.consistent;
+                total.result.witnesses += part.witnesses;
+                total.result.constrainedUnpredictable +=
+                    part.constrainedUnpredictable;
+                total.result.unknownSideEffects +=
+                    part.unknownSideEffects;
+                if (total.result.forbiddingAxiom.empty() &&
+                        !part.forbiddingAxiom.empty()) {
+                    total.result.forbiddingAxiom = part.forbiddingAxiom;
+                    total.result.forbiddingCycle.assign(
+                        part.forbiddingCycle.begin(),
+                        part.forbiddingCycle.end());
+                }
+                if (part.witnessed) {
+                    total.witnessed = true;
+                    settled = true;
+                    break;
+                }
+                if (part.completed)
+                    continue;
+                cursorShard = part.nextShard;
+                cursorOffset = part.nextOffset;
+            }
+            if (governor && governor->tripped()) {
+                total.nextShard = cursorShard;
+                total.nextOffset = cursorOffset;
+                settled = true;
+                break;
+            }
+            RangeRun fill =
+                runLocal(cursorShard, task.shardEnd, cursorOffset);
+            mergeInto(total.result, std::move(fill.result));
+            if (fill.witnessed) {
+                total.witnessed = true;
+                settled = true;
+                break;
+            }
+            if (!fill.completed) {
+                total.nextShard = fill.nextShard;
+                total.nextOffset = fill.nextOffset;
+                settled = true;
+                break;
+            }
+        }
+        if (!settled) {
+            total.completed = true;
+            total.nextShard = end;
+        }
+    } else {
+        total = runLocal(begin, end, spec.inShardOffset);
+    }
+
+    engine::crashContextSetStage("merge");
+    if (governor)
+        governor->noteStage("merge");
+    out.result = std::move(total.result);
+    out.witnessed = total.witnessed;
+    out.completed = total.completed;
+    out.nextShard = total.nextShard;
+    out.nextOffset = total.nextOffset;
+    out.result.observable = out.result.witnesses > 0;
+    if (!out.witnessed && !out.completed) {
+        out.result.exhaustedAxis = governor
+            ? engine::budgetAxisName(governor->trippedAxis())
+            : engine::budgetAxisName(engine::BudgetAxis::Cancelled);
+    }
+    return out;
 }
 
 CheckResult

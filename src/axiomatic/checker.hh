@@ -24,6 +24,7 @@
 #define REX_AXIOMATIC_CHECKER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@ namespace rex {
 namespace engine {
 class ThreadPool;
 class Governor;
+class RangeDispatcher;
 } // namespace engine
 
 /** Result of checking one litmus test against the model. */
@@ -109,6 +111,96 @@ CheckResult checkTest(const LitmusTest &test, const ModelParams &params,
                       bool capture_witness = true,
                       engine::ThreadPool *pool = nullptr,
                       engine::Governor *governor = nullptr);
+
+/** Witness assignments per shard in the deterministic check plan:
+ *  large enough to amortise the per-shard skeleton rebuild, small
+ *  enough to split tiny tests. Continuation tokens and `/shard` wire
+ *  requests address shards by index into a plan built with exactly
+ *  this target, so it is part of the continuation fingerprint. */
+inline constexpr std::uint64_t kCheckShardTarget = 256;
+
+/**
+ * A shard-granular slice of a staged check — the unit behind
+ * continuation tokens and peer dispatch: run shards
+ * [shardBegin, shardEnd) of the deterministic kCheckShardTarget-style
+ * plan, entering the first shard @p inShardOffset candidates past its
+ * start. Range checks are always stop_at_first and witness-less (the
+ * verdict-serving configuration).
+ */
+struct ShardRangeSpec {
+    /** Witness assignments per shard the plan is built with. */
+    std::uint64_t planTarget = kCheckShardTarget;
+
+    /** First shard to run. */
+    std::uint64_t shardBegin = 0;
+
+    /** One past the last shard; clamped to the plan size. */
+    std::uint64_t shardEnd = ~std::uint64_t(0);
+
+    /** Candidates into the first shard already consumed elsewhere. */
+    std::uint64_t inShardOffset = 0;
+
+    /** engine::shardJobFingerprint() of this job, forwarded verbatim
+     *  to peers with dispatched shards (unused when not dispatching). */
+    std::uint64_t jobFingerprint = 0;
+
+    /** Remaining wall-budget hint (ms) forwarded to peers; 0 = none. */
+    std::uint64_t peerDeadlineMs = 0;
+};
+
+/** What a range check produced, plus the cursor to resume from. */
+struct ShardRangeOutcome {
+    /** Merged counts over the contiguous range prefix that was fully
+     *  resolved (exhaustedAxis set exactly like checkTest()). */
+    CheckResult result;
+
+    /** Traces + plan were built. False only when the budget tripped
+     *  during trace construction — then no cursor exists at all. */
+    bool planned = false;
+
+    /** Total shards in the full plan (valid when planned). */
+    std::uint64_t planSize = 0;
+
+    /** A witness settled the range: the verdict is Allowed. */
+    bool witnessed = false;
+
+    /** The whole requested range merged without a witness. */
+    bool completed = false;
+
+    /** Resume cursor when neither witnessed nor completed: the first
+     *  shard (and candidate offset within it) not yet resolved. */
+    std::uint64_t nextShard = 0;
+    std::uint64_t nextOffset = 0;
+};
+
+/**
+ * Check a contiguous range of @p test's shard plan under @p params.
+ *
+ * The plan is re-derived deterministically (never truncated by a
+ * budget trip, unlike checkTest's sharded path), so equal
+ * (test, planTarget) pairs agree on what "shard i" means across
+ * processes and machines. Resumed-in-pieces runs merge to results
+ * byte-identical to a single uninterrupted run at any split point: the
+ * returned cursor always points at the first candidate whose model
+ * evaluation did not finish (an admitted candidate aborted mid-clause
+ * is rolled back out of the counts and re-visited by the next piece).
+ *
+ * @param pool     as checkTest(): shard-level parallelism within the
+ *                 range; the merged result is identical to serial.
+ * @param governor as checkTest(); a trip yields a partial outcome with
+ *                 a cursor instead of a completed one.
+ * @param remote   when non-null and the range is large enough,
+ *                 contiguous task slices are offered to the dispatcher
+ *                 (peer rexd instances); unfilled or partially filled
+ *                 tasks are finished locally, so dispatch failures
+ *                 degrade to local compute and never lose a shard.
+ */
+ShardRangeOutcome checkShardRange(const LitmusTest &test,
+                                  const ModelParams &params,
+                                  const ShardRangeSpec &spec,
+                                  engine::ThreadPool *pool = nullptr,
+                                  engine::Governor *governor = nullptr,
+                                  engine::RangeDispatcher *remote = nullptr);
 
 /** The retained pre-staging reference path: fresh candidate copy per
  *  witness assignment, full (unstaged) model check per candidate.

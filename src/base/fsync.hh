@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Durability helpers for the atomic-rename write pattern.
+ *
+ * Writing tmp + rename makes a file replacement atomic with respect to
+ * readers, but not durable: after a host crash the directory entry for
+ * the rename — and even the tmp file's data — may be lost unless both
+ * the file and its parent directory were fsync'd. Every checkpoint /
+ * cache writer in this codebase that believes "rename returned, the
+ * entry is committed" must call fsyncParentDir() after the rename (and
+ * fsync the data first), or a crash can silently roll the entry back.
+ */
+
+#ifndef REX_BASE_FSYNC_HH
+#define REX_BASE_FSYNC_HH
+
+#include <string>
+
+namespace rex {
+
+/** fsync an open descriptor; false (with a warning, once per process
+ *  per call site category) on failure. */
+bool fsyncFd(int fd);
+
+/** Open @p path read-only, fsync it, close. For writers that only
+ *  have a path (e.g. past an ofstream's close). */
+bool fsyncPath(const std::string &path);
+
+/**
+ * fsync the directory containing @p path, making a just-renamed (or
+ * just-created) entry durable. Best-effort: failures warn and return
+ * false but never throw — durability is degraded, not correctness.
+ */
+bool fsyncParentDir(const std::string &path);
+
+} // namespace rex
+
+#endif // REX_BASE_FSYNC_HH

@@ -259,6 +259,183 @@ Engine::verdictCommon(const LitmusTest &test, const ModelParams &params,
     return verdict;
 }
 
+JobRecord
+Engine::verdictRecordResumable(const LitmusTest &test,
+                               const ModelParams &params,
+                               const Budget &budget,
+                               const ContinuationState *resume,
+                               RangeDispatcher *remote)
+{
+    auto start = std::chrono::steady_clock::now();
+    JobRecord record;
+    record.test = test.name;
+    record.variant = params.name();
+    VerdictKey key =
+        VerdictKey::make(test, params, _config.modelRevision);
+
+    auto finish = [&](const CachedVerdict &verdict) {
+        record.candidates = verdict.candidates;
+        record.consistent = verdict.consistent;
+        record.witnesses = verdict.witnesses;
+        record.forbidding = verdict.forbiddingSummary();
+        record.wallMicros = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        _sink.append(record);
+    };
+
+    // A cached verdict is a completed one: it serves fresh and resumed
+    // requests alike — the stitched outcome of any resume sequence
+    // equals the uninterrupted run, which is exactly what the cache
+    // holds.
+    if (std::optional<CachedVerdict> cached = _cache.lookup(key)) {
+        record.cacheHit = true;
+        record.verdict = cached->observable ? "Allowed" : "Forbidden";
+        finish(*cached);
+        return record;
+    }
+
+    // Programmatic tests carry no source text; their continuations
+    // fingerprint the registry name instead (still unique per test,
+    // and the HTTP path always has the source).
+    const std::string &fingerprintSource =
+        test.sourceText.empty() ? test.name : test.sourceText;
+
+    ShardRangeSpec spec;
+    spec.planTarget = kCheckShardTarget;
+    if (resume) {
+        rexAssert(resume->planTarget == kCheckShardTarget,
+                  "continuation plan target drift past its fingerprint");
+        spec.shardBegin = resume->nextShard;
+        spec.inShardOffset = resume->nextOffset;
+    }
+    spec.jobFingerprint =
+        shardJobFingerprint(fingerprintSource, record.variant,
+                            _config.modelRevision, spec.planTarget);
+    spec.peerDeadlineMs = budget.deadlineMicros / 1000;
+
+    std::optional<Governor> governor;
+    if (!budget.unlimited())
+        governor.emplace(budget, nullptr, &_liveCandidates);
+
+    // Candidate-ceiling (and heap) budgets stay local: the ceiling is
+    // an exact count shared through one atomic, which cannot span
+    // nodes; deadline-only and unlimited budgets may fan out.
+    RangeDispatcher *dispatcher =
+        budget.maxCandidates == 0 && budget.maxHeapBytes == 0
+            ? remote
+            : nullptr;
+
+    ThreadPool *pool =
+        ThreadPool::onWorkerThread() ? nullptr : _pool.get();
+    crashContextSetJob(test.name.c_str(), params.name().c_str());
+    ShardRangeOutcome out =
+        checkShardRange(test, params, spec, pool,
+                        governor ? &*governor : nullptr, dispatcher);
+    if (governor) {
+        const std::uint64_t visited = governor->candidatesVisited();
+        _liveCandidates.fetch_sub(visited, std::memory_order_relaxed);
+        _candidatesTotal.fetch_add(visited, std::memory_order_relaxed);
+    } else {
+        _candidatesTotal.fetch_add(out.result.candidates,
+                                   std::memory_order_relaxed);
+    }
+    crashContextClearJob();
+
+    if (resume) {
+        if (out.planned) {
+            rexAssert(resume->planSize == out.planSize,
+                      "continuation plan drift: fingerprint matched but "
+                      "the re-derived shard plan differs");
+        }
+        // Prepend the token's already-merged enumeration-order prefix.
+        out.result.candidates += resume->candidates;
+        out.result.consistent += resume->consistent;
+        out.result.witnesses += resume->witnesses;
+        out.result.constrainedUnpredictable +=
+            resume->constrainedUnpredictable;
+        out.result.unknownSideEffects += resume->unknownSideEffects;
+        if (!resume->forbiddingAxiom.empty()) {
+            // The prefix is earlier in enumeration order: its first
+            // satisfying rejection wins over anything this piece saw.
+            out.result.forbiddingAxiom = resume->forbiddingAxiom;
+            out.result.forbiddingCycle.assign(
+                resume->forbiddingCycle.begin(),
+                resume->forbiddingCycle.end());
+        }
+        out.result.observable = out.result.witnesses > 0;
+    }
+
+    const bool witnessed = out.result.witnesses > 0;
+    const bool complete = witnessed || out.completed;
+    CachedVerdict verdict = CachedVerdict::fromResult(out.result);
+    if (complete) {
+        // Indistinguishable from an uninterrupted check; cache it like
+        // one so every later lookup (resumed or not) hits.
+        out.result.exhaustedAxis.clear();
+        verdict = CachedVerdict::fromResult(out.result);
+        _cache.store(key, verdict);
+        record.verdict = witnessed ? "Allowed" : "Forbidden";
+        finish(verdict);
+        return record;
+    }
+
+    record.verdict = "ExhaustedBudget";
+    record.exhaustedAxis = out.result.exhaustedAxis;
+    record.stage = governor ? governor->stageReached() : "";
+    if (out.planned) {
+        ContinuationState next;
+        next.planTarget = spec.planTarget;
+        next.planSize = out.planSize;
+        next.nextShard = out.nextShard;
+        next.nextOffset = out.nextOffset;
+        next.candidates = out.result.candidates;
+        next.consistent = out.result.consistent;
+        next.witnesses = out.result.witnesses;
+        next.constrainedUnpredictable =
+            out.result.constrainedUnpredictable;
+        next.unknownSideEffects = out.result.unknownSideEffects;
+        next.forbiddingAxiom = out.result.forbiddingAxiom;
+        next.forbiddingCycle.assign(out.result.forbiddingCycle.begin(),
+                                    out.result.forbiddingCycle.end());
+        next.fingerprint =
+            continuationFingerprint(fingerprintSource, record.variant,
+                                    _config.modelRevision, next);
+        record.continuation = serializeContinuation(next);
+    } else if (resume) {
+        // Trace construction outran this piece's whole budget: no
+        // progress, no new cursor — hand the same token back, loss-free.
+        record.continuation = serializeContinuation(*resume);
+    }
+    finish(verdict);
+    return record;
+}
+
+ShardRangeOutcome
+Engine::runShardRange(const LitmusTest &test, const ModelParams &params,
+                      const ShardRangeSpec &spec, const Budget *budget)
+{
+    std::optional<Governor> governor;
+    if (budget && !budget->unlimited())
+        governor.emplace(*budget, nullptr, &_liveCandidates);
+    ThreadPool *pool =
+        ThreadPool::onWorkerThread() ? nullptr : _pool.get();
+    crashContextSetJob(test.name.c_str(), params.name().c_str());
+    ShardRangeOutcome out = checkShardRange(
+        test, params, spec, pool, governor ? &*governor : nullptr);
+    if (governor) {
+        const std::uint64_t visited = governor->candidatesVisited();
+        _liveCandidates.fetch_sub(visited, std::memory_order_relaxed);
+        _candidatesTotal.fetch_add(visited, std::memory_order_relaxed);
+    } else {
+        _candidatesTotal.fetch_add(out.result.candidates,
+                                   std::memory_order_relaxed);
+    }
+    crashContextClearJob();
+    return out;
+}
+
 Engine &
 Engine::shared()
 {

@@ -41,8 +41,10 @@
 #include "axiomatic/checker.hh"
 #include "axiomatic/params.hh"
 #include "engine/cache.hh"
+#include "engine/continuation.hh"
 #include "engine/governor.hh"
 #include "engine/pool.hh"
+#include "engine/remote.hh"
 #include "engine/results.hh"
 #include "engine/supervisor.hh"
 #include "litmus/litmus.hh"
@@ -168,6 +170,55 @@ class Engine
     /** Budgeted variant of verdict(); see the budgeted verdictRecord(). */
     CheckResult verdict(const LitmusTest &test, const ModelParams &params,
                         const Budget &budget);
+
+    /**
+     * Resumable (and optionally distributable) verdict check over the
+     * deterministic kCheckShardTarget shard plan.
+     *
+     * Like the budgeted verdictRecord(), except that a budget trip
+     * yields an ExhaustedBudget record carrying a `rex-cont-v1` token
+     * (record.continuation) whose state — cursor plus the partial
+     * counts merged so far — this method accepts back as @p resume to
+     * continue exactly where the previous piece stopped. Stitched
+     * pieces converge to a final record whose verdict, counts, and
+     * forbidding diagnostic are byte-identical to an uninterrupted
+     * (unbudgeted) run at any split point and any REX_JOBS; the
+     * intermediate pieces' partial counts are the merged
+     * enumeration-order prefix (deadline splits are therefore
+     * schedule-dependent, the final verdict never is).
+     *
+     * @p resume must have been fingerprint-validated by the caller
+     * (service.cc refuses mismatches with 409 before calling); the
+     * engine re-checks the plan shape and dies loudly on drift.
+     *
+     * @p remote when non-null, large ranges are offered to the
+     * dispatcher (peer rexd instances); unfilled tasks run locally.
+     * Distribution is only attempted for tests carrying source text
+     * and budgets without a candidate ceiling (an exact shared ceiling
+     * cannot span nodes).
+     *
+     * Runs in-thread (never supervised): the shard range path is the
+     * coordinator's own merge loop. Completed verdicts hit and fill
+     * the same cache as every other path.
+     */
+    JobRecord verdictRecordResumable(const LitmusTest &test,
+                                     const ModelParams &params,
+                                     const Budget &budget,
+                                     const ContinuationState *resume =
+                                         nullptr,
+                                     RangeDispatcher *remote = nullptr);
+
+    /**
+     * Run one shard range of @p test (the `/shard` serving primitive):
+     * checkShardRange() on the engine's pool with a governor built
+     * from @p budget (null/unlimited = no governor), with the engine's
+     * live-candidate accounting. Never dispatches further (peers do
+     * not re-fan-out) and never touches the verdict cache or sink.
+     */
+    ShardRangeOutcome runShardRange(const LitmusTest &test,
+                                    const ModelParams &params,
+                                    const ShardRangeSpec &spec,
+                                    const Budget *budget = nullptr);
 
     /** Tasks queued (not yet running) in the pool; 0 when serial. */
     std::size_t

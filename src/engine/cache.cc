@@ -14,6 +14,7 @@
 #include <sys/file.h>
 #include <unistd.h>
 
+#include "base/fsync.hh"
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "engine/faultinject.hh"
@@ -524,6 +525,9 @@ VerdictCache::writeToDisk(const VerdictKey &key,
         data += wrote;
         remaining -= static_cast<std::size_t>(wrote);
     }
+    // Durability before publication: the rename below must never point
+    // at data the disk hasn't accepted yet.
+    fsyncFd(fd);
     ::close(fd);
     // Atomic publication: concurrent writers of the same key race
     // benignly (identical content), and readers never see a torn file.
@@ -534,6 +538,10 @@ VerdictCache::writeToDisk(const VerdictKey &key,
         warn("verdict cache: cannot publish '" + path + "'");
         return;
     }
+    // And the rename itself: without syncing the parent directory a
+    // host crash right here can forget the entry this process now
+    // believes is committed (and will report as a warm cache).
+    fsyncParentDir(path);
 
     // Lock order: the cross-process flock strictly before _diskMutex
     // (matching the constructor), only when a cap can actually trim.

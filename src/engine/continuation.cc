@@ -1,0 +1,234 @@
+#include "engine/continuation.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+
+#include "base/strings.hh"
+
+namespace rex::engine {
+
+namespace {
+
+/**
+ * FNV-1a with length-prefixed field mixing (the hammer checkpoint's
+ * fingerprint idiom): structurally different inputs cannot collide by
+ * concatenating to the same byte stream.
+ */
+struct Fnv {
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+
+    void
+    bytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash ^= p[i];
+            hash *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    u64(std::uint64_t value)
+    {
+        bytes(&value, sizeof(value));
+    }
+
+    void
+    str(const std::string &value)
+    {
+        u64(value.size());
+        bytes(value.data(), value.size());
+    }
+};
+
+/** Parse one decimal std::uint64_t field, rejecting partial consumption
+ *  and empty input. */
+bool
+parseU64(const std::string &field, std::uint64_t &out)
+{
+    if (field.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(field.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    out = parsed;
+    return true;
+}
+
+/** Parse the fixed 16-digit hex fingerprint field. */
+bool
+parseHex64(const std::string &field, std::uint64_t &out)
+{
+    if (field.size() != 16)
+        return false;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(field.c_str(), &end, 16);
+    if (!end || *end != '\0')
+        return false;
+    out = parsed;
+    return true;
+}
+
+/** Hex-encode @p text (2 lower-case digits per byte): axiom names stay
+ *  one colon-free token whatever characters they contain. */
+std::string
+hexEncode(const std::string &text)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(text.size() * 2);
+    for (unsigned char c : text) {
+        out += digits[c >> 4];
+        out += digits[c & 0xf];
+    }
+    return out;
+}
+
+bool
+hexDecode(const std::string &hex, std::string &out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1;
+    };
+    out.clear();
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nibble(hex[i]);
+        int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out += static_cast<char>((hi << 4) | lo);
+    }
+    return true;
+}
+
+bool
+fail(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+    return false;
+}
+
+} // namespace
+
+std::uint64_t
+shardJobFingerprint(const std::string &source, const std::string &variant,
+                    const std::string &revision, std::uint64_t planTarget)
+{
+    Fnv fnv;
+    fnv.str(source);
+    fnv.str(variant);
+    fnv.str(revision);
+    fnv.u64(planTarget);
+    return fnv.hash;
+}
+
+std::uint64_t
+continuationFingerprint(const std::string &source,
+                        const std::string &variant,
+                        const std::string &revision,
+                        const ContinuationState &state)
+{
+    Fnv fnv;
+    fnv.u64(shardJobFingerprint(source, variant, revision,
+                                state.planTarget));
+    fnv.u64(state.planSize);
+    fnv.u64(state.nextShard);
+    fnv.u64(state.nextOffset);
+    fnv.u64(state.candidates);
+    fnv.u64(state.consistent);
+    fnv.u64(state.witnesses);
+    fnv.u64(state.constrainedUnpredictable);
+    fnv.u64(state.unknownSideEffects);
+    fnv.str(state.forbiddingAxiom);
+    fnv.u64(state.forbiddingCycle.size());
+    for (std::uint32_t id : state.forbiddingCycle)
+        fnv.u64(id);
+    return fnv.hash;
+}
+
+std::string
+serializeContinuation(const ContinuationState &state)
+{
+    std::string token = format(
+        "%s:%016" PRIx64 ":%" PRIu64 ":%" PRIu64 ":%" PRIu64 ":%" PRIu64
+        ":%" PRIu64 ":%" PRIu64 ":%" PRIu64 ":%" PRIu64 ":%" PRIu64
+        ":%s:%zu",
+        kContinuationMagic, state.fingerprint, state.planTarget,
+        state.planSize, state.nextShard, state.nextOffset,
+        state.candidates, state.consistent, state.witnesses,
+        state.constrainedUnpredictable, state.unknownSideEffects,
+        hexEncode(state.forbiddingAxiom).c_str(),
+        state.forbiddingCycle.size());
+    for (std::uint32_t id : state.forbiddingCycle)
+        token += format(":%" PRIu32, id);
+    return token;
+}
+
+bool
+parseContinuation(const std::string &token, ContinuationState &out,
+                  std::string *error)
+{
+    const std::vector<std::string> fields = split(token, ':');
+    if (fields.size() < 13)
+        return fail(error, "continuation: too few fields");
+    if (fields[0] != kContinuationMagic) {
+        return fail(error, "continuation: bad magic '" + fields[0] +
+                           "' (want " + kContinuationMagic + ")");
+    }
+    ContinuationState state;
+    if (!parseHex64(fields[1], state.fingerprint))
+        return fail(error, "continuation: malformed fingerprint");
+    struct FieldSlot {
+        std::size_t index;
+        std::uint64_t *value;
+        const char *name;
+    };
+    const FieldSlot slots[] = {
+        {2, &state.planTarget, "plan target"},
+        {3, &state.planSize, "plan size"},
+        {4, &state.nextShard, "next shard"},
+        {5, &state.nextOffset, "next offset"},
+        {6, &state.candidates, "candidates"},
+        {7, &state.consistent, "consistent"},
+        {8, &state.witnesses, "witnesses"},
+        {9, &state.constrainedUnpredictable, "cu count"},
+        {10, &state.unknownSideEffects, "unknown count"},
+    };
+    for (const FieldSlot &slot : slots) {
+        if (!parseU64(fields[slot.index], *slot.value)) {
+            return fail(error, std::string("continuation: malformed ") +
+                               slot.name);
+        }
+    }
+    if (!hexDecode(fields[11], state.forbiddingAxiom))
+        return fail(error, "continuation: malformed axiom");
+    std::uint64_t cycleLen = 0;
+    if (!parseU64(fields[12], cycleLen))
+        return fail(error, "continuation: malformed cycle length");
+    if (fields.size() != 13 + cycleLen)
+        return fail(error, "continuation: cycle length mismatch");
+    state.forbiddingCycle.reserve(static_cast<std::size_t>(cycleLen));
+    for (std::uint64_t i = 0; i < cycleLen; ++i) {
+        std::uint64_t id = 0;
+        if (!parseU64(fields[13 + static_cast<std::size_t>(i)], id) ||
+                id > 0xffffffffull) {
+            return fail(error, "continuation: malformed cycle event");
+        }
+        state.forbiddingCycle.push_back(static_cast<std::uint32_t>(id));
+    }
+    if (state.planTarget == 0)
+        return fail(error, "continuation: zero plan target");
+    out = std::move(state);
+    return true;
+}
+
+} // namespace rex::engine

@@ -26,6 +26,7 @@ const char *const kPointNames[kPointCount] = {
     "cache-read", "cache-write", "sink-write",
     "pool-spawn", "sock-accept", "sock-send",
     "worker-crash", "worker-hang",
+    "peer-connect", "peer-send", "peer-recv",
 };
 
 int

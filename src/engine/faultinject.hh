@@ -16,8 +16,8 @@
  * e.g. REX_FAULT_SPEC="cache-write:1.0:7,sock-send:0.25:42"
  *
  * Points: cache-read, cache-write, sink-write, pool-spawn,
- * sock-accept, sock-send, worker-crash, worker-hang. Probability is in
- * [0, 1]; seed is a uint64.
+ * sock-accept, sock-send, worker-crash, worker-hang, peer-connect,
+ * peer-send, peer-recv. Probability is in [0, 1]; seed is a uint64.
  *
  * Determinism: each point keeps its own call counter k, and the k-th
  * call fails iff splitmix64(seed + k) maps below probability — the
@@ -42,6 +42,18 @@
  *                 CrashedWorker verdict, daemon unharmed
  *   worker-hang   supervised worker spins without polling -> SIGKILLed
  *                 at the hard deadline (deadline + kill grace)
+ *   peer-connect  shard dispatch can't reach the peer -> the attempt
+ *                 fails before any bytes are sent; retried with
+ *                 capped backoff, then the peer is marked down and the
+ *                 task re-dispatched to a survivor or run locally —
+ *                 never a lost shard
+ *   peer-send     shard request dies mid-send -> same retry /
+ *                 re-dispatch / local-fallback ladder as peer-connect
+ *   peer-recv     peer answered but the response is dropped before
+ *                 parsing -> treated exactly like a transport failure;
+ *                 if the answer lands later anyway, the per-task
+ *                 first-fill-wins dedup drops it (counted), so a
+ *                 slow-then-returning peer can never double-merge
  *
  * The worker-* points are consulted in the supervising PARENT at
  * dispatch time (src/engine/supervisor.cc), and the decision travels to
@@ -72,6 +84,9 @@ enum class FaultPoint : std::size_t {
     SockSend,
     WorkerCrash,
     WorkerHang,
+    PeerConnect,
+    PeerSend,
+    PeerRecv,
     kCount,
 };
 

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Range-dispatch interface: how a staged check hands contiguous runs of
+ * its shard plan to another executor (in practice: peer rexd instances,
+ * server/peer.hh) while the checker keeps the deterministic in-order
+ * merge to itself.
+ *
+ * The contract is best-effort fill: runTasks() may return with any
+ * subset of the tasks unfilled (peer died, timed out, answered with an
+ * incompatible fingerprint) or filled only partially (the peer's own
+ * budget tripped mid-task and it answered with a cursor). The caller —
+ * checkShardRange() — finishes every unfilled or partial task locally
+ * before merging past it, so a failed dispatch can never lose a shard,
+ * and fills are deduplicated per task slot by the dispatcher, so a
+ * slow-then-returning peer can never double-merge one.
+ *
+ * This header is dependency-free on purpose: the axiomatic checker
+ * implements the merge side and the server library implements the
+ * dispatch side, and neither may include the other's headers.
+ */
+
+#ifndef REX_ENGINE_REMOTE_HH
+#define REX_ENGINE_REMOTE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rex::engine {
+
+class CancelToken;
+
+/** A peer's answer for one task: partial counts over the task's range
+ *  prefix, mirroring CheckResult minus the witness payload. */
+struct RangePartial {
+    std::uint64_t candidates = 0;
+    std::uint64_t consistent = 0;
+    std::uint64_t witnesses = 0;
+    std::uint64_t constrainedUnpredictable = 0;
+    std::uint64_t unknownSideEffects = 0;
+    std::string forbiddingAxiom;
+    std::vector<std::uint32_t> forbiddingCycle;
+
+    /** A witness settled the range (stop_at_first semantics). */
+    bool witnessed = false;
+
+    /** The whole task range was enumerated without a witness. */
+    bool completed = false;
+
+    /** Resume cursor when neither witnessed nor completed. */
+    std::uint64_t nextShard = 0;
+    std::uint64_t nextOffset = 0;
+};
+
+/** One dispatchable slice of the shard plan: shards
+ *  [shardBegin, shardEnd), the first entered inShardOffset candidates
+ *  past its start. */
+struct RangeTask {
+    std::uint64_t shardBegin = 0;
+    std::uint64_t shardEnd = 0;
+    std::uint64_t inShardOffset = 0;
+
+    /** Set by the dispatcher exactly once per task (first fill wins;
+     *  later duplicate answers are dropped and counted). */
+    bool filled = false;
+    RangePartial result;
+};
+
+/** Everything a peer needs to reproduce the plan and verify it is
+ *  running the same job: the wire-level identity of a shard range. */
+struct RangeJobContext {
+    const std::string *testSource = nullptr;
+    const std::string *variantName = nullptr;
+    std::uint64_t planTarget = 0;
+    std::uint64_t planSize = 0;
+
+    /** shardJobFingerprint() over (source, variant, model revision,
+     *  planTarget) — peers refuse a mismatch with 409. */
+    std::uint64_t fingerprint = 0;
+
+    /** Remaining wall-budget hint in ms (0 = none) so peers bound
+     *  their own enumeration instead of outliving the coordinator. */
+    std::uint64_t deadlineMs = 0;
+
+    /** Coordinator's cancel token; dispatchers should stop waiting on
+     *  stragglers once it trips. May be null. */
+    const CancelToken *cancel = nullptr;
+};
+
+/** Best-effort remote executor for shard-range tasks. */
+class RangeDispatcher
+{
+  public:
+    virtual ~RangeDispatcher() = default;
+
+    /** True when dispatching is worth attempting (some peer healthy).
+     *  Polled once per eligible check, so implementations may count
+     *  degradation here. */
+    virtual bool available() = 0;
+
+    /** Preferred shards per task (coordinator batches accordingly). */
+    virtual std::uint64_t shardsPerTask() const = 0;
+
+    /** Minimum shards in a range before dispatch beats local compute. */
+    virtual std::uint64_t minShardsToDistribute() const = 0;
+
+    /** Fill as many of @p tasks as possible; returns when every task is
+     *  filled, failed beyond retry, or @p ctx.cancel tripped. */
+    virtual void runTasks(const RangeJobContext &ctx,
+                          std::vector<RangeTask> &tasks) = 0;
+};
+
+} // namespace rex::engine
+
+#endif // REX_ENGINE_REMOTE_HH

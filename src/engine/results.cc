@@ -61,6 +61,12 @@ JobRecord::toJson() const
                        jsonEscape(exhaustedAxis).c_str(),
                        jsonEscape(stage).c_str());
     }
+    // Continuation token only on a resumable check's budget trip:
+    // every other record keeps its existing byte shape.
+    if (!continuation.empty()) {
+        json += format(",\"continuation\":\"%s\"",
+                       jsonEscape(continuation).c_str());
+    }
     // Supervision fields only when a worker crashed (CrashedWorker /
     // Quarantined records): unsupervised runs keep the legacy schema.
     if (!workerSignal.empty()) {

@@ -108,6 +108,14 @@ struct JobRecord {
     std::uint64_t crashes = 0;
 
     /**
+     * `rex-cont-v1` resume token (engine/continuation.hh); non-empty
+     * only on an ExhaustedBudget record from a resumable check. POSTing
+     * it back to /check (or passing it to verdictRecordResumable)
+     * continues the enumeration where this record stopped.
+     */
+    std::string continuation;
+
+    /**
      * Render as a single JSON object (no trailing newline).
      *
      * The budget fields (exhausted_axis, stage) and the supervision

@@ -14,6 +14,7 @@
 
 #include "axiomatic/enumerate.hh"
 #include "axiomatic/model.hh"
+#include "base/fsync.hh"
 #include "base/logging.hh"
 #include "engine/batch.hh"
 #include "engine/cache.hh"
@@ -378,8 +379,14 @@ saveCheckpoint(const std::string &path, std::uint64_t fingerprint,
         if (!out.good())
             fatal("hammer: write to checkpoint '" + tmp + "' failed");
     }
+    // Make the data durable before the rename can point at it, and the
+    // rename durable before run() treats this chunk as committed — a
+    // host crash after an unsynced rename silently rewinds the
+    // campaign to the previous checkpoint (or none at all).
+    fsyncPath(tmp);
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         fatal("hammer: cannot rename checkpoint into '" + path + "'");
+    fsyncParentDir(path);
 }
 
 } // namespace rex::gen

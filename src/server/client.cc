@@ -23,7 +23,8 @@ namespace rex::server {
 std::string
 checkRequestJson(const std::string &test_text,
                  const std::vector<std::string> &variants, int sleepMs,
-                 std::int64_t deadlineMs, std::int64_t maxCandidates)
+                 std::int64_t deadlineMs, std::int64_t maxCandidates,
+                 bool resumable, const std::string &resume)
 {
     std::string body =
         "{\"test\":\"" + engine::jsonEscape(test_text) + "\"";
@@ -46,6 +47,10 @@ checkRequestJson(const std::string &test_text,
         body += format(",\"max_candidates\":%lld",
                        static_cast<long long>(maxCandidates));
     }
+    if (resumable)
+        body += ",\"resumable\":true";
+    if (!resume.empty())
+        body += ",\"resume\":\"" + engine::jsonEscape(resume) + "\"";
     body += "}";
     return body;
 }

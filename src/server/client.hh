@@ -36,12 +36,16 @@ struct ClientResponse {
 };
 
 /** Serialise a /check request body. @p sleepMs <= 0 omits the hook;
- *  @p deadlineMs / @p maxCandidates <= 0 omit the budget members. */
+ *  @p deadlineMs / @p maxCandidates <= 0 omit the budget members;
+ *  @p resumable asks for rex-cont-v1 continuation tokens on budget
+ *  trips and @p resume (when non-empty) replays one. */
 std::string checkRequestJson(const std::string &test_text,
                              const std::vector<std::string> &variants,
                              int sleepMs = 0,
                              std::int64_t deadlineMs = 0,
-                             std::int64_t maxCandidates = 0);
+                             std::int64_t maxCandidates = 0,
+                             bool resumable = false,
+                             const std::string &resume = {});
 
 /**
  * Client-side retry policy for transient failures: 503 shed responses

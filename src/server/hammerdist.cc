@@ -1,0 +1,437 @@
+#include "server/hammerdist.hh"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "engine/batch.hh"
+#include "engine/results.hh"
+#include "server/json.hh"
+
+namespace rex::server {
+
+namespace {
+
+/** The wire names of gen::Mode. */
+const char *
+modeName(gen::Mode mode)
+{
+    return mode == gen::Mode::Cycle ? "cycle" : "random";
+}
+
+/** Serialize the fingerprint-covered parts of @p config (chunk,
+ *  checkpoint path, and cancel token are coordinator-local). The
+ *  campaign seed range rides along because Hammer::fingerprint()
+ *  covers it — the chunk a peer actually runs is a subrange sent
+ *  separately. */
+std::string
+configJson(const gen::HammerConfig &config)
+{
+    std::string out = format(
+        "{\"mode\":\"%s\",\"params\":\"%s\",\"seed_begin\":%" PRIu64
+        ",\"seed_end\":%" PRIu64,
+        modeName(config.mode),
+        engine::jsonEscape(config.params.name()).c_str(),
+        config.seedBegin, config.seedEnd);
+    out += format(
+        ",\"gen\":{\"three_thread_percent\":%u,\"max_ops\":%u,"
+        "\"max_loads\":%u,\"max_stores\":%u,\"exception_percent\":%u,"
+        "\"svc\":%s,\"interrupts\":%s,\"eret\":%s,\"rmw\":%s,"
+        "\"pairs\":%s,\"acq_rel\":%s,\"deps\":%s}",
+        config.gen.threeThreadPercent, config.gen.maxOpsPerThread,
+        config.gen.maxLoadsPerThread, config.gen.maxStoresPerThread,
+        config.gen.exceptionPercent, config.gen.svc ? "true" : "false",
+        config.gen.interrupts ? "true" : "false",
+        config.gen.eret ? "true" : "false",
+        config.gen.rmw ? "true" : "false",
+        config.gen.pairs ? "true" : "false",
+        config.gen.acqRel ? "true" : "false",
+        config.gen.deps ? "true" : "false");
+    out += format(
+        ",\"cycle\":{\"max_edges\":%u,\"max_threads\":%u,"
+        "\"max_locations\":%u}",
+        config.cycle.maxEdges, config.cycle.maxThreads,
+        config.cycle.maxLocations);
+    out += format(
+        ",\"budget\":{\"deadline_micros\":%" PRIu64
+        ",\"max_candidates\":%" PRIu64 ",\"max_heap_bytes\":%" PRIu64
+        "},\"max_states\":%zu}",
+        config.budget.deadlineMicros, config.budget.maxCandidates,
+        config.budget.maxHeapBytes, config.maxStates);
+    return out;
+}
+
+/** Unsigned integer member with fallback. */
+std::uint64_t
+jsonU64(const JsonValue &root, const char *key, std::uint64_t fallback)
+{
+    const JsonValue *value = root.find(key);
+    if (!value || !value->isInt() || value->integer < 0)
+        return fallback;
+    return static_cast<std::uint64_t>(value->integer);
+}
+
+bool
+jsonBool(const JsonValue &root, const char *key, bool fallback)
+{
+    const JsonValue *value = root.find(key);
+    if (!value || !value->isBool())
+        return fallback;
+    return value->boolean;
+}
+
+/**
+ * Reconstruct a HammerConfig from the wire form. Missing or malformed
+ * members fall back to defaults — any semantic difference that could
+ * change a seed's result is caught by the fingerprint comparison, so
+ * lenient parsing here cannot corrupt a campaign.
+ */
+bool
+configFromJson(const JsonValue &root, gen::HammerConfig &out,
+               std::string &error)
+{
+    if (const JsonValue *mode = root.find("mode")) {
+        if (!mode->isString() ||
+                (mode->string != "random" && mode->string != "cycle")) {
+            error = "\"mode\" must be \"random\" or \"cycle\"";
+            return false;
+        }
+        out.mode = mode->string == "cycle" ? gen::Mode::Cycle
+                                           : gen::Mode::Random;
+    }
+    if (const JsonValue *params = root.find("params")) {
+        if (!params->isString()) {
+            error = "\"params\" must be a variant name";
+            return false;
+        }
+        try {
+            out.params = ModelParams::byName(params->string);
+        } catch (const FatalError &err) {
+            error = err.what();
+            return false;
+        }
+    }
+    if (const JsonValue *gen = root.find("gen")) {
+        if (!gen->isObject()) {
+            error = "\"gen\" must be an object";
+            return false;
+        }
+        gen::GenConfig &g = out.gen;
+        g.threeThreadPercent = static_cast<unsigned>(
+            jsonU64(*gen, "three_thread_percent", g.threeThreadPercent));
+        g.maxOpsPerThread = static_cast<unsigned>(
+            jsonU64(*gen, "max_ops", g.maxOpsPerThread));
+        g.maxLoadsPerThread = static_cast<unsigned>(
+            jsonU64(*gen, "max_loads", g.maxLoadsPerThread));
+        g.maxStoresPerThread = static_cast<unsigned>(
+            jsonU64(*gen, "max_stores", g.maxStoresPerThread));
+        g.exceptionPercent = static_cast<unsigned>(
+            jsonU64(*gen, "exception_percent", g.exceptionPercent));
+        g.svc = jsonBool(*gen, "svc", g.svc);
+        g.interrupts = jsonBool(*gen, "interrupts", g.interrupts);
+        g.eret = jsonBool(*gen, "eret", g.eret);
+        g.rmw = jsonBool(*gen, "rmw", g.rmw);
+        g.pairs = jsonBool(*gen, "pairs", g.pairs);
+        g.acqRel = jsonBool(*gen, "acq_rel", g.acqRel);
+        g.deps = jsonBool(*gen, "deps", g.deps);
+    }
+    if (const JsonValue *cycle = root.find("cycle")) {
+        if (!cycle->isObject()) {
+            error = "\"cycle\" must be an object";
+            return false;
+        }
+        out.cycle.maxEdges = static_cast<unsigned>(
+            jsonU64(*cycle, "max_edges", out.cycle.maxEdges));
+        out.cycle.maxThreads = static_cast<unsigned>(
+            jsonU64(*cycle, "max_threads", out.cycle.maxThreads));
+        out.cycle.maxLocations = static_cast<unsigned>(
+            jsonU64(*cycle, "max_locations", out.cycle.maxLocations));
+    }
+    if (const JsonValue *budget = root.find("budget")) {
+        if (!budget->isObject()) {
+            error = "\"budget\" must be an object";
+            return false;
+        }
+        out.budget.deadlineMicros =
+            jsonU64(*budget, "deadline_micros", 0);
+        out.budget.maxCandidates =
+            jsonU64(*budget, "max_candidates", 0);
+        out.budget.maxHeapBytes = jsonU64(*budget, "max_heap_bytes", 0);
+    }
+    out.maxStates = static_cast<std::size_t>(
+        jsonU64(root, "max_states", out.maxStates));
+    out.seedBegin = jsonU64(root, "seed_begin", out.seedBegin);
+    out.seedEnd = jsonU64(root, "seed_end", out.seedEnd);
+    return true;
+}
+
+/** Parse a 16-hex-digit fingerprint member; 0 on malformed. */
+std::uint64_t
+jsonFingerprint(const JsonValue &root)
+{
+    const JsonValue *value = root.find("fingerprint");
+    if (!value || !value->isString() || value->string.size() != 16)
+        return 0;
+    std::uint64_t print = 0;
+    for (char c : value->string) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return 0;
+        print = (print << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return print;
+}
+
+/** One chunk's aggregated result as it crosses the wire. */
+struct ChunkResult {
+    std::uint64_t tested = 0;
+    std::uint64_t sound = 0;
+    std::uint64_t skipped = 0;
+    std::vector<std::uint64_t> violationSeeds;
+    gen::Features features;
+};
+
+std::string
+chunkResultJson(const ChunkResult &chunk)
+{
+    std::string out = format(
+        "{\"tested\":%" PRIu64 ",\"sound\":%" PRIu64
+        ",\"skipped\":%" PRIu64 ",\"violations\":[",
+        chunk.tested, chunk.sound, chunk.skipped);
+    for (std::size_t i = 0; i < chunk.violationSeeds.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += format("%" PRIu64, chunk.violationSeeds[i]);
+    }
+    const gen::Features &f = chunk.features;
+    out += format(
+        "],\"features\":{\"svc\":%" PRIu64 ",\"eret\":%" PRIu64
+        ",\"interrupt\":%" PRIu64 ",\"handler\":%" PRIu64
+        ",\"barrier\":%" PRIu64 ",\"acq_rel\":%" PRIu64
+        ",\"rmw\":%" PRIu64 ",\"dep\":%" PRIu64 ",\"pair\":%" PRIu64
+        ",\"threads3\":%" PRIu64 "}}",
+        f.svc, f.eret, f.interrupt, f.handler, f.barrier, f.acqRel,
+        f.rmw, f.dep, f.pair, f.threads3);
+    return out;
+}
+
+bool
+chunkResultFromJson(const std::string &body, ChunkResult &out)
+{
+    JsonValue root;
+    try {
+        root = parseJson(body);
+    } catch (const FatalError &) {
+        return false;
+    }
+    if (!root.isObject())
+        return false;
+    out.tested = jsonU64(root, "tested", 0);
+    out.sound = jsonU64(root, "sound", 0);
+    out.skipped = jsonU64(root, "skipped", 0);
+    if (const JsonValue *violations = root.find("violations")) {
+        if (!violations->isArray())
+            return false;
+        for (const JsonValue &entry : violations->array) {
+            if (!entry.isInt() || entry.integer < 0)
+                return false;
+            out.violationSeeds.push_back(
+                static_cast<std::uint64_t>(entry.integer));
+        }
+    }
+    if (const JsonValue *features = root.find("features")) {
+        if (!features->isObject())
+            return false;
+        gen::Features &f = out.features;
+        f.svc = jsonU64(*features, "svc", 0);
+        f.eret = jsonU64(*features, "eret", 0);
+        f.interrupt = jsonU64(*features, "interrupt", 0);
+        f.handler = jsonU64(*features, "handler", 0);
+        f.barrier = jsonU64(*features, "barrier", 0);
+        f.acqRel = jsonU64(*features, "acq_rel", 0);
+        f.rmw = jsonU64(*features, "rmw", 0);
+        f.dep = jsonU64(*features, "dep", 0);
+        f.pair = jsonU64(*features, "pair", 0);
+        f.threads3 = jsonU64(*features, "threads3", 0);
+    }
+    return true;
+}
+
+/** Run seeds [begin, end) of @p hammer on @p engine (deterministic
+ *  ordered map — the same primitive Hammer::run() fans chunks over). */
+ChunkResult
+runChunkLocal(const gen::Hammer &hammer, engine::Engine &engine,
+              std::uint64_t begin, std::uint64_t end)
+{
+    std::vector<gen::SeedResult> results = engine.map(
+        static_cast<std::size_t>(end - begin), [&](std::size_t i) {
+            return hammer.checkSeed(begin +
+                                    static_cast<std::uint64_t>(i));
+        });
+    ChunkResult chunk;
+    for (const gen::SeedResult &result : results) {
+        ++chunk.tested;
+        chunk.features.merge(result.features);
+        switch (result.outcome) {
+          case gen::SeedOutcome::Sound: ++chunk.sound; break;
+          case gen::SeedOutcome::Skipped: ++chunk.skipped; break;
+          case gen::SeedOutcome::Violation:
+            chunk.violationSeeds.push_back(result.seed);
+            break;
+        }
+    }
+    return chunk;
+}
+
+/** Fold one chunk (in seed order) into the campaign summary —
+ *  mirrors Hammer::run()'s merge exactly. */
+void
+mergeChunk(gen::CampaignSummary &summary, const ChunkResult &chunk,
+           std::uint64_t chunkEnd)
+{
+    summary.tested += chunk.tested;
+    summary.sound += chunk.sound;
+    summary.skipped += chunk.skipped;
+    summary.features.merge(chunk.features);
+    summary.violationSeeds.insert(summary.violationSeeds.end(),
+                                  chunk.violationSeeds.begin(),
+                                  chunk.violationSeeds.end());
+    summary.nextSeed = chunkEnd;
+}
+
+} // namespace
+
+std::string
+hammerShardBody(const gen::Hammer &hammer, std::uint64_t seedBegin,
+                std::uint64_t seedEnd)
+{
+    std::string body = format(
+        "{\"kind\":\"hammer\",\"fingerprint\":\"%016" PRIx64
+        "\",\"seed_begin\":%" PRIu64 ",\"seed_end\":%" PRIu64
+        ",\"config\":",
+        hammer.fingerprint(), seedBegin, seedEnd);
+    body += configJson(hammer.config());
+    body += "}";
+    return body;
+}
+
+HttpResponse
+handleHammerShard(engine::Engine &engine, const JsonValue &root,
+                  Metrics &metrics)
+{
+    const JsonValue *config = root.find("config");
+    if (!config || !config->isObject())
+        return HttpResponse::error(400, "missing \"config\" object");
+
+    gen::HammerConfig parsed;
+    std::string error;
+    if (!configFromJson(*config, parsed, error))
+        return HttpResponse::error(400, error);
+
+    const std::uint64_t seedBegin = jsonU64(root, "seed_begin", 0);
+    const std::uint64_t seedEnd = jsonU64(root, "seed_end", 0);
+    if (seedEnd <= seedBegin)
+        return HttpResponse::error(400, "empty seed range");
+    if (seedEnd - seedBegin > 1u << 20)
+        return HttpResponse::error(400, "seed chunk too large");
+
+    // Reconstruct the Hammer and compare fingerprints: a peer built
+    // from a different generator or model revision would synthesize
+    // different tests for the same seeds, so a mismatch is refused —
+    // never silently computed.
+    gen::Hammer hammer(std::move(parsed));
+    const std::uint64_t wirePrint = jsonFingerprint(root);
+    if (wirePrint == 0 || wirePrint != hammer.fingerprint()) {
+        ++metrics.shardRefused;
+        return HttpResponse::error(
+            409, "hammer fingerprint mismatch: peer generator/model "
+                 "revision differs from the coordinator's");
+    }
+
+    ChunkResult chunk = runChunkLocal(hammer, engine, seedBegin, seedEnd);
+    HttpResponse response;
+    response.body = chunkResultJson(chunk);
+    response.body += '\n';
+    response.contentType = "application/json";
+    return response;
+}
+
+gen::CampaignSummary
+runDistributedHammer(const gen::Hammer &hammer, engine::Engine &engine,
+                     PeerPool &peers)
+{
+    const gen::HammerConfig &config = hammer.config();
+    const std::uint64_t print = hammer.fingerprint();
+
+    gen::CampaignSummary summary;
+    summary.seedBegin = config.seedBegin;
+    summary.seedEnd = config.seedEnd;
+    summary.nextSeed = config.seedBegin;
+
+    if (!config.checkpointPath.empty()) {
+        gen::CampaignSummary resumed;
+        if (gen::loadCheckpoint(config.checkpointPath, print, resumed))
+            summary = resumed;
+    }
+
+    const std::uint64_t chunk =
+        std::max<std::uint64_t>(1, config.chunk);
+    while (summary.nextSeed < summary.seedEnd) {
+        if (config.cancel && config.cancel->cancelled())
+            break;
+
+        // One wave: enough chunks to keep every healthy peer busy
+        // (plus the coordinator's own local fallback), dispatched
+        // together, merged strictly in seed order.
+        const std::size_t width =
+            std::max<std::size_t>(1, peers.healthy()) * 4;
+        struct Wave {
+            std::uint64_t begin = 0;
+            std::uint64_t end = 0;
+        };
+        std::vector<Wave> waves;
+        std::vector<PeerPool::WireTask> wire;
+        std::uint64_t cursor = summary.nextSeed;
+        while (waves.size() < width && cursor < summary.seedEnd) {
+            Wave wave;
+            wave.begin = cursor;
+            wave.end = std::min<std::uint64_t>(cursor + chunk,
+                                               summary.seedEnd);
+            cursor = wave.end;
+            PeerPool::WireTask task;
+            task.body = hammerShardBody(hammer, wave.begin, wave.end);
+            waves.push_back(wave);
+            wire.push_back(std::move(task));
+        }
+
+        peers.runWireTasks("/shard", wire, config.cancel);
+
+        for (std::size_t i = 0; i < waves.size(); ++i) {
+            if (config.cancel && config.cancel->cancelled())
+                break;
+            ChunkResult result;
+            const bool remote =
+                wire[i].filled &&
+                chunkResultFromJson(wire[i].response, result);
+            if (!remote) {
+                // Peer failure (or garbled answer): this chunk runs
+                // locally — a lost dispatch is never a lost chunk.
+                peers.noteLocalFallback(1);
+                result = runChunkLocal(hammer, engine, waves[i].begin,
+                                       waves[i].end);
+            }
+            mergeChunk(summary, result, waves[i].end);
+        }
+
+        if (!config.checkpointPath.empty())
+            gen::saveCheckpoint(config.checkpointPath, print, summary);
+    }
+    return summary;
+}
+
+} // namespace rex::server

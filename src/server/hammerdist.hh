@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Distributed soundness-hammer campaigns over the /shard wire format.
+ *
+ * The hammer's unit of distribution is the seed chunk — the same unit
+ * Hammer::run() already checkpoints on — so the distributed campaign
+ * is the local one with engine.map() swapped for peer dispatch: seed
+ * chunks go out in waves through PeerPool::runWireTasks() as
+ * `{"kind": "hammer"}` /shard requests, every chunk no peer answered
+ * is run locally (fault tolerance by local fallback, exactly like
+ * check dispatch), and the per-chunk results merge in seed order, so
+ * the final CampaignSummary is byte-identical to a single-node run of
+ * the same config — peers or no peers, failures or none.
+ *
+ * Job identity rides on Hammer::fingerprint(), which covers the full
+ * config plus the generator and model revisions: a peer reconstructs
+ * the Hammer from the wire config and refuses with 409 unless its own
+ * fingerprint matches, so two builds that would generate different
+ * tests for the same seed can never silently mix results.
+ */
+
+#ifndef REX_SERVER_HAMMERDIST_HH
+#define REX_SERVER_HAMMERDIST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "gen/hammer.hh"
+#include "server/http.hh"
+#include "server/metrics.hh"
+#include "server/peer.hh"
+
+namespace rex::engine { class Engine; }
+
+namespace rex::server {
+
+class JsonValue;
+
+/** One /shard hammer request body for seeds [@p seedBegin, @p seedEnd)
+ *  of @p hammer's campaign. */
+std::string hammerShardBody(const gen::Hammer &hammer,
+                            std::uint64_t seedBegin,
+                            std::uint64_t seedEnd);
+
+/**
+ * Serve one parsed `{"kind": "hammer"}` /shard request on @p engine:
+ * reconstruct the Hammer from the wire config, verify the fingerprint
+ * (409 on mismatch), run the seed chunk through engine.map(), answer
+ * aggregated counts + violation seeds as one JSON line. @p metrics
+ * counts the refusals.
+ */
+HttpResponse handleHammerShard(engine::Engine &engine,
+                               const JsonValue &root, Metrics &metrics);
+
+/**
+ * Run @p hammer's campaign with seed chunks fanned over @p peers
+ * (local fallback for everything unfilled), checkpointing and
+ * resuming exactly like Hammer::run(). The summary is byte-identical
+ * to a local run of the same config.
+ */
+gen::CampaignSummary runDistributedHammer(const gen::Hammer &hammer,
+                                          engine::Engine &engine,
+                                          PeerPool &peers);
+
+} // namespace rex::server
+
+#endif // REX_SERVER_HAMMERDIST_HH

@@ -77,6 +77,7 @@ statusReason(int status)
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
       case 408: return "Request Timeout";
+      case 409: return "Conflict";
       case 411: return "Length Required";
       case 413: return "Payload Too Large";
       case 431: return "Request Header Fields Too Large";

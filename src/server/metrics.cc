@@ -93,6 +93,7 @@ Metrics::countResponse(int status)
       case 404: ++responses404; break;
       case 405: ++responses405; break;
       case 408: ++responses408; break;
+      case 409: ++responses409; break;
       case 413: ++responses413; break;
       case 431: ++responses431; break;
       case 503: ++responses503; break;
@@ -146,6 +147,7 @@ Metrics::render(engine::Engine &engine) const
     labelled("rexd_responses_total", "code=\"404\"", responses404.load());
     labelled("rexd_responses_total", "code=\"405\"", responses405.load());
     labelled("rexd_responses_total", "code=\"408\"", responses408.load());
+    labelled("rexd_responses_total", "code=\"409\"", responses409.load());
     labelled("rexd_responses_total", "code=\"413\"", responses413.load());
     labelled("rexd_responses_total", "code=\"431\"", responses431.load());
     labelled("rexd_responses_total", "code=\"500\"", responses500.load());
@@ -202,6 +204,50 @@ Metrics::render(engine::Engine &engine) const
     counter("rexd_idle_timeouts_total",
             "Keep-alive connections closed by the idle deadline.",
             idleTimeouts.load());
+    counter("rexd_peer_dispatch_total",
+            "Shard tasks dispatched to peer rexd instances.",
+            peerDispatchTotal.load());
+    counter("rexd_peer_failures_total",
+            "Peer dispatch attempts exhausted (peer marked down).",
+            peerFailuresTotal.load());
+    counter("rexd_peer_retries_total",
+            "Per-attempt retries of peer shard requests.",
+            peerRetriesTotal.load());
+    counter("rexd_peer_redispatch_total",
+            "Shard tasks re-queued to surviving peers after a peer "
+            "failure.",
+            peerRedispatchTotal.load());
+    counter("rexd_peer_hedges_total",
+            "Hedged duplicate dispatches of straggling shard tasks.",
+            peerHedgesTotal.load());
+    counter("rexd_peer_dedup_dropped_total",
+            "Duplicate peer answers dropped by first-fill-wins "
+            "deduplication.",
+            peerDedupDroppedTotal.load());
+    counter("rexd_peer_local_fallback_total",
+            "Dispatched shard tasks finished locally after peer "
+            "failure.",
+            peerLocalFallbackTotal.load());
+    counter("rexd_peer_unavailable_total",
+            "Eligible checks degraded to local-only: no healthy peer.",
+            peerUnavailableTotal.load());
+    counter("rexd_shard_requests_total",
+            "POST /shard requests served.",
+            shardRequests.load());
+    counter("rexd_shard_refused_total",
+            "POST /shard requests refused with 409 (fingerprint or "
+            "plan mismatch).",
+            shardRefused.load());
+    counter("rexd_continuations_issued_total",
+            "rex-cont-v1 continuation tokens issued on budget trips.",
+            continuationsIssued.load());
+    counter("rexd_resume_accepted_total",
+            "Continuation tokens accepted and resumed.",
+            resumeAccepted.load());
+    counter("rexd_continuation_refused_total",
+            "Continuation tokens refused: malformed, stale, or "
+            "tampered.",
+            continuationRefused.load());
     counter("rexd_enumerated_candidates_total",
             "Candidate executions enumerated by the engine, including "
             "in-flight checks.",
@@ -282,6 +328,12 @@ Metrics::render(engine::Engine &engine) const
           supervisor
               ? static_cast<std::int64_t>(supervisor->liveWorkers())
               : 0);
+    gauge("rexd_peers_configured",
+          "Peer rexd endpoints configured for shard dispatch.",
+          peersConfigured.load());
+    gauge("rexd_peers_healthy",
+          "Peer endpoints currently believed healthy.",
+          peersHealthy.load());
     gauge("rexd_quarantined_keys",
           "(test, variant) keys currently at the quarantine "
           "threshold.",

@@ -96,6 +96,7 @@ struct Metrics {
     std::atomic<std::uint64_t> responses404{0};
     std::atomic<std::uint64_t> responses405{0};
     std::atomic<std::uint64_t> responses408{0};
+    std::atomic<std::uint64_t> responses409{0};
     std::atomic<std::uint64_t> responses413{0};
     std::atomic<std::uint64_t> responses431{0};
     std::atomic<std::uint64_t> responses500{0};
@@ -131,6 +132,43 @@ struct Metrics {
     /** Keep-alive connections closed by the idle deadline (distinct
      *  from readTimeouts: an idle peer owes us nothing, so no 408). */
     std::atomic<std::uint64_t> idleTimeouts{0};
+
+    /**
+     * Peer shard-dispatch series (multi-node fan-out, server/peer.hh).
+     * The failure ladder is visible end to end: a failed attempt bumps
+     * retries, an exhausted peer bumps failures and puts its task back
+     * (redispatch), and whatever no surviving peer filled is finished
+     * locally (local fallback) — so `redispatch + local_fallback > 0`
+     * with `verdicts unchanged` is the signature of a tolerated fault.
+     */
+    std::atomic<std::uint64_t> peerDispatchTotal{0};
+    std::atomic<std::uint64_t> peerFailuresTotal{0};
+    std::atomic<std::uint64_t> peerRetriesTotal{0};
+    std::atomic<std::uint64_t> peerRedispatchTotal{0};
+    std::atomic<std::uint64_t> peerHedgesTotal{0};
+    std::atomic<std::uint64_t> peerDedupDroppedTotal{0};
+    std::atomic<std::uint64_t> peerLocalFallbackTotal{0};
+
+    /** Eligible checks that found no healthy peer and degraded to
+     *  local-only enumeration. */
+    std::atomic<std::uint64_t> peerUnavailableTotal{0};
+
+    /** Peer endpoints configured / currently believed healthy
+     *  (gauges, maintained by the PeerPool). */
+    std::atomic<std::int64_t> peersConfigured{0};
+    std::atomic<std::int64_t> peersHealthy{0};
+
+    /** POST /shard requests served, and those refused with 409 (job
+     *  fingerprint or shard-plan mismatch). */
+    std::atomic<std::uint64_t> shardRequests{0};
+    std::atomic<std::uint64_t> shardRefused{0};
+
+    /** Continuation lifecycle: rex-cont-v1 tokens issued on budget
+     *  trips, resume tokens accepted, and tokens refused (malformed,
+     *  stale, or tampered — the 400/409 paths). */
+    std::atomic<std::uint64_t> continuationsIssued{0};
+    std::atomic<std::uint64_t> resumeAccepted{0};
+    std::atomic<std::uint64_t> continuationRefused{0};
 
     /** Current accept-queue depth (gauge, maintained by the server). */
     std::atomic<std::int64_t> queueDepth{0};

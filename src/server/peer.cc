@@ -1,0 +1,479 @@
+#include "server/peer.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <condition_variable>
+#include <thread>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "engine/faultinject.hh"
+#include "engine/governor.hh"
+#include "engine/results.hh"
+#include "server/client.hh"
+#include "server/json.hh"
+
+namespace rex::server {
+
+bool
+parsePeerEndpoint(const std::string &endpoint, std::string &host,
+                  std::uint16_t &port)
+{
+    const std::size_t colon = endpoint.find_last_of(':');
+    if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == endpoint.size())
+        return false;
+    std::int64_t parsed = 0;
+    if (!parseInteger(endpoint.substr(colon + 1), parsed) || parsed <= 0 ||
+            parsed > 65535)
+        return false;
+    host = endpoint.substr(0, colon);
+    port = static_cast<std::uint16_t>(parsed);
+    return true;
+}
+
+PeerPool::PeerPool(PeerConfig config, Metrics *metrics)
+    : _config(std::move(config)), _metrics(metrics)
+{
+    for (const std::string &endpoint : _config.endpoints) {
+        Peer peer;
+        if (!parsePeerEndpoint(endpoint, peer.host, peer.port)) {
+            warn("ignoring malformed peer endpoint '" + endpoint +
+                 "' (want host:port)");
+            continue;
+        }
+        _peers.push_back(std::move(peer));
+    }
+    if (_metrics) {
+        _metrics->peersConfigured.store(
+            static_cast<std::int64_t>(_peers.size()));
+        _metrics->peersHealthy.store(
+            static_cast<std::int64_t>(_peers.size()));
+    }
+}
+
+bool
+PeerPool::peerEligible(const Peer &peer,
+                       std::chrono::steady_clock::time_point now) const
+{
+    // Half-open probing: a down peer past the retry deadline is
+    // eligible again, and the next dispatch to it is the health probe.
+    return !peer.down ||
+           now - peer.downSince >=
+               std::chrono::seconds(_config.healthRetrySeconds);
+}
+
+void
+PeerPool::markDown(std::size_t peerIndex)
+{
+    std::lock_guard<std::mutex> lock(_healthMutex);
+    _peers[peerIndex].down = true;
+    _peers[peerIndex].downSince = std::chrono::steady_clock::now();
+}
+
+void
+PeerPool::markUp(std::size_t peerIndex)
+{
+    std::lock_guard<std::mutex> lock(_healthMutex);
+    _peers[peerIndex].down = false;
+}
+
+void
+PeerPool::noteLocalFallback(std::uint64_t count)
+{
+    if (_metrics && count > 0) {
+        _metrics->peerLocalFallbackTotal.fetch_add(
+            count, std::memory_order_relaxed);
+    }
+}
+
+std::size_t
+PeerPool::healthy()
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t count = 0;
+    {
+        std::lock_guard<std::mutex> lock(_healthMutex);
+        for (const Peer &peer : _peers) {
+            if (peerEligible(peer, now))
+                ++count;
+        }
+    }
+    if (_metrics)
+        _metrics->peersHealthy.store(static_cast<std::int64_t>(count));
+    return count;
+}
+
+bool
+PeerPool::available()
+{
+    if (healthy() > 0)
+        return true;
+    if (_metrics)
+        ++_metrics->peerUnavailableTotal;
+    return false;
+}
+
+std::uint64_t
+PeerPool::shardsPerTask() const
+{
+    return std::max<std::uint64_t>(1, _config.shardsPerTask);
+}
+
+std::uint64_t
+PeerPool::minShardsToDistribute() const
+{
+    return std::max<std::uint64_t>(1, _config.minShards);
+}
+
+namespace {
+
+/** Shared state of one runWireTasks() pump. */
+struct Pump {
+    enum class Status : std::uint8_t { Pending, InFlight, Done };
+
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::vector<Pump::Status> status;
+    std::vector<std::chrono::steady_clock::time_point> startedAt;
+    std::vector<bool> hedged;   //!< at most one hedge per task
+    std::size_t done = 0;
+    std::size_t liveWorkers = 0;
+};
+
+/** Capped exponential backoff before attempt @p attempt (1-based). */
+int
+backoffMs(const PeerConfig &config, int attempt)
+{
+    std::int64_t delay = config.backoffInitialMs;
+    for (int i = 1; i < attempt && delay < config.backoffMaxMs; ++i)
+        delay *= 2;
+    return static_cast<int>(
+        std::min<std::int64_t>(delay, config.backoffMaxMs));
+}
+
+bool
+cancelled(const engine::CancelToken *cancel)
+{
+    return cancel && cancel->cancelled();
+}
+
+} // namespace
+
+void
+PeerPool::runWireTasks(const std::string &path,
+                       std::vector<WireTask> &tasks,
+                       const engine::CancelToken *cancel)
+{
+    if (tasks.empty() || _peers.empty())
+        return;
+
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::size_t> eligible;
+    {
+        std::lock_guard<std::mutex> lock(_healthMutex);
+        for (std::size_t i = 0; i < _peers.size(); ++i) {
+            if (peerEligible(_peers[i], now))
+                eligible.push_back(i);
+        }
+    }
+    if (eligible.empty())
+        return;
+
+    Pump pump;
+    pump.status.assign(tasks.size(), Pump::Status::Pending);
+    pump.startedAt.resize(tasks.size());
+    pump.hedged.assign(tasks.size(), false);
+    pump.liveWorkers = eligible.size();
+
+    // One worker per eligible peer: claim lowest-index pending tasks,
+    // hedge the oldest straggler when idle, exit when the peer dies or
+    // nothing is left to do.
+    auto worker = [&](std::size_t peerIndex) {
+        Client client(_peers[peerIndex].host, _peers[peerIndex].port,
+                      _config.timeoutSeconds);
+        client.setKeepAlive(true);
+
+        bool peerDead = false;
+        while (!peerDead) {
+            std::size_t task = tasks.size();
+            bool hedge = false;
+            {
+                std::unique_lock<std::mutex> lock(pump.mutex);
+                while (true) {
+                    if (pump.done == tasks.size() || cancelled(cancel))
+                        return;
+                    for (std::size_t i = 0; i < tasks.size(); ++i) {
+                        if (pump.status[i] == Pump::Status::Pending) {
+                            task = i;
+                            break;
+                        }
+                    }
+                    if (task != tasks.size()) {
+                        pump.status[task] = Pump::Status::InFlight;
+                        pump.startedAt[task] =
+                            std::chrono::steady_clock::now();
+                        break;
+                    }
+                    // Nothing pending: hedge the oldest in-flight task
+                    // that has straggled past the hedge deadline (one
+                    // hedge per task — enough to cover a dying peer
+                    // without stampeding).
+                    if (_config.hedgeAfterMs > 0) {
+                        const auto hedge_now =
+                            std::chrono::steady_clock::now();
+                        std::size_t oldest = tasks.size();
+                        for (std::size_t i = 0; i < tasks.size(); ++i) {
+                            if (pump.status[i] != Pump::Status::InFlight ||
+                                    pump.hedged[i])
+                                continue;
+                            if (hedge_now - pump.startedAt[i] <
+                                    std::chrono::milliseconds(
+                                        _config.hedgeAfterMs))
+                                continue;
+                            if (oldest == tasks.size() ||
+                                    pump.startedAt[i] <
+                                        pump.startedAt[oldest])
+                                oldest = i;
+                        }
+                        if (oldest != tasks.size()) {
+                            pump.hedged[oldest] = true;
+                            task = oldest;
+                            hedge = true;
+                            break;
+                        }
+                    }
+                    pump.ready.wait_for(lock,
+                                        std::chrono::milliseconds(50));
+                }
+            }
+            if (hedge && _metrics)
+                ++_metrics->peerHedgesTotal;
+            if (!hedge && _metrics)
+                ++_metrics->peerDispatchTotal;
+
+            // The attempt ladder: transport failures retry with capped
+            // backoff; a 409 (incompatible job identity) or non-200
+            // answer is peer-fatal immediately — retrying cannot
+            // change a deliberate refusal.
+            bool filled = false;
+            for (int attempt = 1;
+                 attempt <= std::max(1, _config.maxAttemptsPerPeer);
+                 ++attempt) {
+                if (cancelled(cancel))
+                    break;
+                if (attempt > 1) {
+                    if (_metrics)
+                        ++_metrics->peerRetriesTotal;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            backoffMs(_config, attempt - 1)));
+                }
+                ClientResponse response;
+                bool transportOk = false;
+                try {
+                    if (engine::faultInjector().shouldFail(
+                            engine::FaultPoint::PeerConnect) ||
+                        engine::faultInjector().shouldFail(
+                            engine::FaultPoint::PeerSend)) {
+                        // Injected connect/send failure: the request
+                        // never reaches the peer.
+                    } else {
+                        response = client.post(path, tasks[task].body);
+                        transportOk = true;
+                    }
+                } catch (const FatalError &) {
+                    // Connect refused / reset / timeout.
+                }
+                if (transportOk &&
+                        engine::faultInjector().shouldFail(
+                            engine::FaultPoint::PeerRecv)) {
+                    // Injected receive failure: the peer answered but
+                    // the response is lost pre-parse. From here on it
+                    // is indistinguishable from a transport failure —
+                    // if the task is re-dispatched and both answers
+                    // eventually land, first-fill-wins dedup keeps
+                    // exactly one.
+                    transportOk = false;
+                }
+                if (!transportOk)
+                    continue;
+                if (response.status != 200) {
+                    peerDead = true;  // deliberate refusal (409, ...)
+                    break;
+                }
+                {
+                    std::lock_guard<std::mutex> lock(pump.mutex);
+                    if (pump.status[task] != Pump::Status::Done) {
+                        tasks[task].response = std::move(response.body);
+                        tasks[task].filled = true;
+                        pump.status[task] = Pump::Status::Done;
+                        ++pump.done;
+                    } else if (_metrics) {
+                        ++_metrics->peerDedupDroppedTotal;
+                    }
+                }
+                pump.ready.notify_all();
+                filled = true;
+                break;
+            }
+
+            if (!filled) {
+                if (!hedge) {
+                    // Put the task back for a surviving peer; the
+                    // checker's local top-up covers the case where
+                    // none remains.
+                    std::lock_guard<std::mutex> lock(pump.mutex);
+                    if (pump.status[task] == Pump::Status::InFlight) {
+                        pump.status[task] = Pump::Status::Pending;
+                        if (_metrics)
+                            ++_metrics->peerRedispatchTotal;
+                    }
+                }
+                pump.ready.notify_all();
+                if (!cancelled(cancel)) {
+                    peerDead = true;
+                    if (_metrics)
+                        ++_metrics->peerFailuresTotal;
+                    markDown(peerIndex);
+                }
+                if (cancelled(cancel))
+                    return;
+            } else if (!hedge) {
+                markUp(peerIndex);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(eligible.size());
+    for (std::size_t peerIndex : eligible)
+        threads.emplace_back(worker, peerIndex);
+    for (std::thread &thread : threads)
+        thread.join();
+    healthy();  // refresh the gauge after the dust settles
+}
+
+namespace {
+
+/** Render one /shard "check" request body for @p task under @p ctx. */
+std::string
+shardCheckBody(const engine::RangeJobContext &ctx,
+               const engine::RangeTask &task)
+{
+    std::string body = "{\"kind\":\"check\",\"test\":\"";
+    body += engine::jsonEscape(*ctx.testSource);
+    body += "\",\"variant\":\"";
+    body += engine::jsonEscape(*ctx.variantName);
+    body += format("\",\"plan_target\":%" PRIu64
+                   ",\"plan_size\":%" PRIu64
+                   ",\"shard_begin\":%" PRIu64
+                   ",\"shard_end\":%" PRIu64
+                   ",\"offset\":%" PRIu64
+                   ",\"fingerprint\":\"%016" PRIx64 "\"",
+                   ctx.planTarget, ctx.planSize, task.shardBegin,
+                   task.shardEnd, task.inShardOffset, ctx.fingerprint);
+    if (ctx.deadlineMs > 0)
+        body += format(",\"deadline_ms\":%" PRIu64, ctx.deadlineMs);
+    body += "}";
+    return body;
+}
+
+/** Non-negative integer member of @p root, with @p fallback. */
+std::uint64_t
+jsonU64(const JsonValue &root, const char *key, std::uint64_t fallback)
+{
+    const JsonValue *value = root.find(key);
+    if (!value || !value->isInt() || value->integer < 0)
+        return fallback;
+    return static_cast<std::uint64_t>(value->integer);
+}
+
+/**
+ * Parse a /shard "check" 200 body into @p out. False (task treated as
+ * unfilled, finished locally) on malformed JSON, a peer that could not
+ * plan, or a plan-size disagreement with @p ctx.
+ */
+bool
+parseShardCheckResponse(const std::string &body,
+                        const engine::RangeJobContext &ctx,
+                        engine::RangePartial &out)
+{
+    JsonValue root;
+    try {
+        root = parseJson(body);
+    } catch (const FatalError &) {
+        return false;
+    }
+    if (!root.isObject())
+        return false;
+    const JsonValue *planned = root.find("planned");
+    if (!planned || !planned->isBool() || !planned->boolean)
+        return false;
+    if (jsonU64(root, "plan_size", 0) != ctx.planSize)
+        return false;
+
+    const JsonValue *witnessed = root.find("witnessed");
+    const JsonValue *completed = root.find("completed");
+    out.witnessed = witnessed && witnessed->isBool() &&
+                    witnessed->boolean;
+    out.completed = completed && completed->isBool() &&
+                    completed->boolean;
+    out.nextShard = jsonU64(root, "next_shard", 0);
+    out.nextOffset = jsonU64(root, "next_offset", 0);
+    out.candidates = jsonU64(root, "candidates", 0);
+    out.consistent = jsonU64(root, "consistent", 0);
+    out.witnesses = jsonU64(root, "witnesses", 0);
+    out.constrainedUnpredictable = jsonU64(root, "cu", 0);
+    out.unknownSideEffects = jsonU64(root, "unknown", 0);
+    if (const JsonValue *axiom = root.find("axiom")) {
+        if (axiom->isString())
+            out.forbiddingAxiom = axiom->string;
+    }
+    if (const JsonValue *cycle = root.find("cycle")) {
+        if (cycle->isArray()) {
+            for (const JsonValue &entry : cycle->array) {
+                if (!entry.isInt() || entry.integer < 0 ||
+                        entry.integer > 0xffffffffll)
+                    return false;
+                out.forbiddingCycle.push_back(
+                    static_cast<std::uint32_t>(entry.integer));
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+void
+PeerPool::runTasks(const engine::RangeJobContext &ctx,
+                   std::vector<engine::RangeTask> &tasks)
+{
+    if (!ctx.testSource || !ctx.variantName)
+        return;
+
+    std::vector<WireTask> wire(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        wire[i].body = shardCheckBody(ctx, tasks[i]);
+
+    runWireTasks("/shard", wire, ctx.cancel);
+
+    std::size_t unfilled = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (!wire[i].filled) {
+            ++unfilled;
+            continue;
+        }
+        engine::RangePartial partial;
+        if (!parseShardCheckResponse(wire[i].response, ctx, partial)) {
+            ++unfilled;
+            continue;
+        }
+        tasks[i].result = std::move(partial);
+        tasks[i].filled = true;
+    }
+    noteLocalFallback(unfilled);
+}
+
+} // namespace rex::server

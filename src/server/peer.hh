@@ -1,0 +1,158 @@
+/**
+ * @file
+ * PeerPool: the server-side half of engine/remote.hh — a rexd
+ * coordinator's fan-out of shard-range tasks to peer rexd instances
+ * over `POST /shard`, fault-tolerant by construction.
+ *
+ * Failure model (docs/DISTRIBUTED.md): every task is dispatched with a
+ * per-attempt timeout and capped exponential backoff; a peer that
+ * exhausts its attempts is marked down and its in-flight task goes
+ * back to the pending queue, where a surviving peer picks it up
+ * (re-dispatch). Idle peers hedge the oldest straggling in-flight task
+ * rather than sit out the tail. Answers are deduplicated per task slot
+ * under one mutex — first fill wins — so a slow-then-returning peer
+ * (or a hedge racing the original) can never double-merge a shard.
+ * Whatever no peer filled is reported back unfilled, and the checker's
+ * merge loop (axiomatic/checker.cc) finishes it locally: a failed
+ * dispatch degrades throughput, never correctness, and with every peer
+ * down the coordinator degrades to plain local enumeration.
+ *
+ * Down peers become eligible again after healthRetrySeconds
+ * (half-open: the next dispatch is the probe), so a restarted peer
+ * rejoins without coordinator intervention.
+ *
+ * The injectable fault points peer-connect / peer-send / peer-recv
+ * (engine/faultinject.hh) wire into the attempt path so the whole
+ * ladder — retry, mark-down, re-dispatch, hedge, dedup, local
+ * fallback — is exercisable deterministically in tests and CI chaos
+ * runs.
+ */
+
+#ifndef REX_SERVER_PEER_HH
+#define REX_SERVER_PEER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/remote.hh"
+#include "server/metrics.hh"
+
+namespace rex::engine { class CancelToken; }
+
+namespace rex::server {
+
+/** Peer fan-out knobs (rexd --peers and friends). */
+struct PeerConfig {
+    /** Peer endpoints, "host:port" each. */
+    std::vector<std::string> endpoints;
+
+    /** Per-request socket timeout on peer connections. */
+    int timeoutSeconds = 30;
+
+    /** Tries of one task on one peer before it counts as failed. */
+    int maxAttemptsPerPeer = 2;
+
+    /** Backoff before attempt k (1-based) is initial * 2^(k-1), capped
+     *  at max. */
+    int backoffInitialMs = 50;
+    int backoffMaxMs = 1000;
+
+    /** An idle peer duplicates ("hedges") the oldest in-flight task
+     *  once it has been out this long; 0 disables hedging. */
+    int hedgeAfterMs = 2000;
+
+    /** Shards batched into one /shard request. */
+    std::uint64_t shardsPerTask = 64;
+
+    /** Minimum shards in a range before dispatch beats local
+     *  compute. */
+    std::uint64_t minShards = 128;
+
+    /** A down peer becomes eligible again (half-open) this long after
+     *  it was marked down. */
+    int healthRetrySeconds = 5;
+};
+
+/** Parse "host:port" into @p host / @p port; false on bad input. */
+bool parsePeerEndpoint(const std::string &endpoint, std::string &host,
+                       std::uint16_t &port);
+
+/** The /shard fan-out dispatcher behind rexd --peers. */
+class PeerPool final : public engine::RangeDispatcher
+{
+  public:
+    /** @param metrics optional rexd_peer_* sink (null = uncounted). */
+    explicit PeerPool(PeerConfig config, Metrics *metrics = nullptr);
+
+    // engine::RangeDispatcher
+    bool available() override;
+    std::uint64_t shardsPerTask() const override;
+    std::uint64_t minShardsToDistribute() const override;
+    void runTasks(const engine::RangeJobContext &ctx,
+                  std::vector<engine::RangeTask> &tasks) override;
+
+    /**
+     * One generic unit of peer work: a request body for @p path and,
+     * once some peer answered 200, its response body. Used both by
+     * runTasks() (kind "check") and the distributed hammer
+     * (server/hammerdist.hh, kind "hammer").
+     */
+    struct WireTask {
+        std::string body;
+        std::string response;
+        bool filled = false;
+    };
+
+    /**
+     * Pump @p tasks through the healthy peers: one worker thread per
+     * eligible peer, lowest-index-first claiming, the full
+     * retry/re-dispatch/hedge/dedup ladder from the file header.
+     * Returns when every task is filled, every peer is down, or
+     * @p cancel tripped. Unfilled tasks are the caller's to finish.
+     */
+    void runWireTasks(const std::string &path,
+                      std::vector<WireTask> &tasks,
+                      const engine::CancelToken *cancel = nullptr);
+
+    /** Configured peer count. */
+    std::size_t configured() const { return _peers.size(); }
+
+    /** Record @p count dispatched units the caller finished locally
+     *  after peer failure (runTasks() counts its own; runWireTasks()
+     *  callers report theirs here). */
+    void noteLocalFallback(std::uint64_t count);
+
+    /** Peers currently eligible for dispatch (down peers past the
+     *  half-open deadline count); updates the health gauges. */
+    std::size_t healthy();
+
+  private:
+    struct Peer {
+        std::string host;
+        std::uint16_t port = 0;
+
+        /** Marked on attempt exhaustion or 409; half-open after
+         *  healthRetrySeconds. Guarded by _healthMutex. */
+        bool down = false;
+        std::chrono::steady_clock::time_point downSince{};
+    };
+
+    bool peerEligible(const Peer &peer,
+                      std::chrono::steady_clock::time_point now) const;
+    void markDown(std::size_t peerIndex);
+    void markUp(std::size_t peerIndex);
+
+    PeerConfig _config;
+    Metrics *_metrics = nullptr;
+    std::vector<Peer> _peers;
+    mutable std::mutex _healthMutex;
+};
+
+} // namespace rex::server
+
+#endif // REX_SERVER_PEER_HH

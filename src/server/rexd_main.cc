@@ -16,6 +16,8 @@
  *        [--max-deadline-ms N] [--max-candidates N]
  *        [--workers N] [--crash-quarantine N] [--kill-grace-ms N]
  *        [--max-conns N] [--idle-timeout SECONDS] [--max-age SECONDS]
+ *        [--peers H:P,H:P,...] [--peer-timeout SECONDS]
+ *        [--peer-shards N] [--peer-min-shards N] [--peer-hedge-ms N]
  *
  * Defaults: 127.0.0.1:8643, 4 handler threads, queue bound 64, engine
  * jobs from REX_JOBS (else hardware concurrency), cache settings from
@@ -40,6 +42,14 @@
  * are answered 503 + Retry-After and closed); --idle-timeout closes
  * keep-alive connections idle that long; --max-age sets the
  * Cache-Control max-age advertised on deterministic /check 200s.
+ *
+ * --peers turns this node into a shard coordinator: large
+ * budget-eligible checks fan their shard plan over the listed peer
+ * rexd instances via POST /shard (docs/DISTRIBUTED.md), tolerating
+ * peer failure by retry, re-dispatch, and local fallback. The knobs:
+ * --peer-timeout per-request socket timeout, --peer-shards shards per
+ * dispatched task, --peer-min-shards the minimum plan size worth
+ * distributing, --peer-hedge-ms the straggler-hedging threshold.
  */
 
 #include <cerrno>
@@ -51,6 +61,7 @@
 #include <unistd.h>
 
 #include "base/logging.hh"
+#include "base/strings.hh"
 #include "engine/batch.hh"
 #include "server/server.hh"
 
@@ -77,7 +88,9 @@ usage(const char *argv0)
         "            [--max-candidates N] [--workers N]\n"
         "            [--crash-quarantine N] [--kill-grace-ms N]\n"
         "            [--max-conns N] [--idle-timeout SECONDS]\n"
-        "            [--max-age SECONDS]\n",
+        "            [--max-age SECONDS] [--peers H:P,...]\n"
+        "            [--peer-timeout SECONDS] [--peer-shards N]\n"
+        "            [--peer-min-shards N] [--peer-hedge-ms N]\n",
         argv0);
     std::exit(2);
 }
@@ -160,6 +173,26 @@ main(int argc, char **argv)
                 numberArg(argc, argv, arg, argv[0]));
         } else if (std::strcmp(argv[arg], "--max-age") == 0) {
             config.cacheMaxAgeSeconds = static_cast<int>(
+                numberArg(argc, argv, arg, argv[0]));
+        } else if (std::strcmp(argv[arg], "--peers") == 0) {
+            if (arg + 1 >= argc)
+                usage(argv[0]);
+            for (const std::string &endpoint :
+                     split(argv[++arg], ',')) {
+                if (!endpoint.empty())
+                    config.peers.endpoints.push_back(endpoint);
+            }
+        } else if (std::strcmp(argv[arg], "--peer-timeout") == 0) {
+            config.peers.timeoutSeconds = static_cast<int>(
+                numberArg(argc, argv, arg, argv[0]));
+        } else if (std::strcmp(argv[arg], "--peer-shards") == 0) {
+            config.peers.shardsPerTask =
+                numberArg(argc, argv, arg, argv[0]);
+        } else if (std::strcmp(argv[arg], "--peer-min-shards") == 0) {
+            config.peers.minShards =
+                numberArg(argc, argv, arg, argv[0]);
+        } else if (std::strcmp(argv[arg], "--peer-hedge-ms") == 0) {
+            config.peers.hedgeAfterMs = static_cast<int>(
                 numberArg(argc, argv, arg, argv[0]));
         } else {
             usage(argv[0]);

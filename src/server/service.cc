@@ -4,14 +4,17 @@
 #include <cinttypes>
 #include <thread>
 
+#include "axiomatic/checker.hh"
 #include "axiomatic/params.hh"
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "catc/cache.hh"
 #include "engine/batch.hh"
 #include "engine/cache.hh"
+#include "engine/continuation.hh"
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
+#include "server/hammerdist.hh"
 #include "server/json.hh"
 
 namespace rex::server {
@@ -97,9 +100,26 @@ CheckRequest::fromJson(const std::string &body)
         request.maxCandidates = ceiling->integer;
     }
 
+    if (const JsonValue *resumable = root.find("resumable")) {
+        if (!resumable->isBool())
+            fatal("\"resumable\" must be a boolean");
+        request.resumable = resumable->boolean;
+    }
+    if (const JsonValue *resume = root.find("resume")) {
+        if (!resume->isString() || resume->string.empty())
+            fatal("\"resume\" must be a non-empty string token");
+        request.resume = resume->string;
+        request.resumable = true;
+        if (request.variants.size() != 1) {
+            fatal("\"resume\" requires exactly one variant (a "
+                  "continuation token names one (test, variant) job)");
+        }
+    }
+
     for (const auto &[key, value] : root.object) {
         if (key != "test" && key != "variants" && key != "sleep_ms" &&
-                key != "deadline_ms" && key != "max_candidates") {
+                key != "deadline_ms" && key != "max_candidates" &&
+                key != "resumable" && key != "resume") {
             fatal("unknown request member \"" + key + "\"");
         }
     }
@@ -120,6 +140,15 @@ CheckRequest::canonicalKey() const
     }
     key += format(":deadline_ms:%" PRId64 ":max_candidates:%" PRId64,
                   deadlineMs, maxCandidates);
+    // Resumable requests answer with an extra member (the continuation
+    // token) and resumed ones start from a different cursor: both must
+    // key — and therefore ETag — differently from the plain form.
+    if (resumable)
+        key += ":resumable:1";
+    if (!resume.empty()) {
+        key += format(":resume:%zu:", resume.size());
+        key += resume;
+    }
     return key;
 }
 
@@ -176,9 +205,42 @@ CheckService::runCheckStreaming(
             std::chrono::milliseconds(request.sleepMs));
     }
 
+    // A malformed resume token is the client's fault (400) and is
+    // rejected before any engine work.
+    engine::ContinuationState resumeState;
+    const bool haveResume = !request.resume.empty();
+    if (haveResume) {
+        std::string parseError;
+        if (!engine::parseContinuation(request.resume, resumeState,
+                                       &parseError)) {
+            ++_metrics.continuationRefused;
+            fatal("malformed continuation token: " + parseError);
+        }
+    }
+
     auto parse_start = std::chrono::steady_clock::now();
     LitmusTest test = parseLitmus(request.testText);
     _metrics.stageParse.observe(microsSince(parse_start));
+
+    // A well-formed token from a different job — edited test source,
+    // other variant, bumped model revision, or altered payload — fails
+    // the fingerprint and is refused with 409: resuming it against
+    // this job would silently merge counts from two different plans.
+    if (haveResume) {
+        const std::string &fingerprintSource =
+            test.sourceText.empty() ? test.name : test.sourceText;
+        const std::uint64_t expected = engine::continuationFingerprint(
+            fingerprintSource, request.variants[0],
+            engine::kModelRevision, resumeState);
+        if (expected != resumeState.fingerprint) {
+            ++_metrics.continuationRefused;
+            throw ResumeRefusedError(
+                "continuation fingerprint mismatch: the token was "
+                "issued for a different test source, variant, or "
+                "model revision");
+        }
+        ++_metrics.resumeAccepted;
+    }
 
     engine::Budget budget;
     budget.deadlineMicros =
@@ -197,11 +259,29 @@ CheckService::runCheckStreaming(
             _metrics.stageCompile.observe(microsSince(compile_start));
         }
         auto check_start = std::chrono::steady_clock::now();
-        engine::JobRecord record =
-            budget.unlimited()
-                ? _engine.verdictRecord(test, ModelParams::byName(variant))
-                : _engine.verdictRecord(test, ModelParams::byName(variant),
-                                        budget);
+        // Resumable/resumed checks and peer dispatch share one path:
+        // the shard-range merge loop behind continuation tokens.
+        // Everything else keeps the legacy verdict path byte-for-byte.
+        engine::JobRecord record;
+        if (request.resumable || _dispatcher) {
+            record = _engine.verdictRecordResumable(
+                test, ModelParams::byName(variant), budget,
+                haveResume ? &resumeState : nullptr, _dispatcher);
+            if (!request.resumable) {
+                // Dispatcher-only (the request did not opt in):
+                // distribute, but keep the legacy record shape.
+                record.continuation.clear();
+            } else if (!record.continuation.empty()) {
+                ++_metrics.continuationsIssued;
+            }
+        } else {
+            record =
+                budget.unlimited()
+                    ? _engine.verdictRecord(test,
+                                            ModelParams::byName(variant))
+                    : _engine.verdictRecord(
+                          test, ModelParams::byName(variant), budget);
+        }
         _metrics.stageCheck.observe(microsSince(check_start));
         if (!record.cacheHit)
             _metrics.stageEnumerate.observe(record.wallMicros);
@@ -248,6 +328,186 @@ CheckService::isCheckRoute(const HttpRequest &request)
 {
     return request.path == "/check" ||
            startsWith(request.path, "/check/");
+}
+
+bool
+CheckService::isShardRoute(const HttpRequest &request)
+{
+    return request.path == "/shard";
+}
+
+namespace {
+
+/** Unsigned integer member of a /shard body, with fallback. */
+std::uint64_t
+shardU64(const JsonValue &root, const char *key, std::uint64_t fallback)
+{
+    const JsonValue *value = root.find(key);
+    if (!value || !value->isInt() || value->integer < 0)
+        return fallback;
+    return static_cast<std::uint64_t>(value->integer);
+}
+
+/** Parse a 16-hex-digit "fingerprint" member; 0 on malformed. */
+std::uint64_t
+shardFingerprint(const JsonValue &root)
+{
+    const JsonValue *value = root.find("fingerprint");
+    if (!value || !value->isString() || value->string.size() != 16)
+        return 0;
+    std::uint64_t print = 0;
+    for (char c : value->string) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return 0;
+        print = (print << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return print;
+}
+
+} // namespace
+
+HttpResponse
+CheckService::handleShard(const HttpRequest &request)
+{
+    ++_metrics.shardRequests;
+    JsonValue root;
+    try {
+        root = parseJson(request.body);
+    } catch (const FatalError &err) {
+        return HttpResponse::error(400, err.what());
+    }
+    if (!root.isObject()) {
+        return HttpResponse::error(400,
+                                   "request body must be a JSON object");
+    }
+
+    const JsonValue *kind = root.find("kind");
+    const std::string kindName =
+        kind && kind->isString() ? kind->string : "check";
+    if (kindName == "hammer") {
+        try {
+            return handleHammerShard(_engine, root, _metrics);
+        } catch (const FatalError &err) {
+            return HttpResponse::error(400, err.what());
+        } catch (const std::exception &err) {
+            return HttpResponse::error(500, err.what());
+        }
+    }
+    if (kindName != "check") {
+        return HttpResponse::error(
+            400, "unknown shard kind \"" + kindName + "\"");
+    }
+
+    const JsonValue *test = root.find("test");
+    if (!test || !test->isString() || test->string.empty()) {
+        return HttpResponse::error(
+            400, "shard request needs a non-empty \"test\"");
+    }
+    const JsonValue *variant = root.find("variant");
+    if (!variant || !variant->isString()) {
+        return HttpResponse::error(
+            400, "shard request needs a \"variant\" name");
+    }
+
+    const std::uint64_t planTarget =
+        shardU64(root, "plan_target", kCheckShardTarget);
+    const std::uint64_t planSize = shardU64(root, "plan_size", 0);
+    const std::uint64_t shardBegin = shardU64(root, "shard_begin", 0);
+    const std::uint64_t shardEnd =
+        shardU64(root, "shard_end", ~std::uint64_t(0));
+    const std::uint64_t offset = shardU64(root, "offset", 0);
+    const std::uint64_t deadlineMs = shardU64(root, "deadline_ms", 0);
+    if (shardEnd <= shardBegin)
+        return HttpResponse::error(400, "empty shard range");
+
+    // Verify the job identity against *this* node's model revision:
+    // "shard i" only means the same candidates on both ends when the
+    // source, variant, revision, and plan target all agree. A mismatch
+    // is refused — never silently computed against a different model.
+    const std::uint64_t wirePrint = shardFingerprint(root);
+    const std::uint64_t expected = engine::shardJobFingerprint(
+        test->string, variant->string, engine::kModelRevision,
+        planTarget);
+    if (wirePrint == 0 || wirePrint != expected) {
+        ++_metrics.shardRefused;
+        return HttpResponse::error(
+            409, "shard fingerprint mismatch: peer model revision or "
+                 "job identity differs from the coordinator's");
+    }
+
+    try {
+        (void)ModelParams::byName(variant->string);
+        LitmusTest parsed = parseLitmus(test->string);
+
+        ShardRangeSpec spec;
+        spec.planTarget = planTarget;
+        spec.shardBegin = shardBegin;
+        spec.shardEnd = shardEnd;
+        spec.inShardOffset = offset;
+        spec.jobFingerprint = wirePrint;
+
+        engine::Budget budget;
+        budget.deadlineMicros =
+            clampLimit(static_cast<std::int64_t>(deadlineMs),
+                       _maxDeadlineMs) *
+            1000;
+
+        ShardRangeOutcome outcome = _engine.runShardRange(
+            parsed, ModelParams::byName(variant->string), spec,
+            budget.unlimited() ? nullptr : &budget);
+
+        // The coordinator's plan size travels with every request; a
+        // disagreement after re-planning means the two nodes would
+        // mean different candidates by the same shard index.
+        if (outcome.planned && planSize != 0 &&
+                planSize != outcome.planSize) {
+            ++_metrics.shardRefused;
+            return HttpResponse::error(
+                409, format("shard plan mismatch: coordinator plans %"
+                            PRIu64 " shards, this node %" PRIu64,
+                            planSize, outcome.planSize));
+        }
+
+        const CheckResult &result = outcome.result;
+        std::string body = format(
+            "{\"planned\":%s,\"completed\":%s,\"witnessed\":%s"
+            ",\"next_shard\":%" PRIu64 ",\"next_offset\":%" PRIu64
+            ",\"candidates\":%zu,\"consistent\":%zu,\"witnesses\":%zu"
+            ",\"cu\":%zu,\"unknown\":%zu,\"plan_size\":%" PRIu64,
+            outcome.planned ? "true" : "false",
+            outcome.completed ? "true" : "false",
+            outcome.witnessed ? "true" : "false", outcome.nextShard,
+            outcome.nextOffset, result.candidates, result.consistent,
+            result.witnesses, result.constrainedUnpredictable,
+            result.unknownSideEffects, outcome.planSize);
+        if (!result.forbiddingAxiom.empty()) {
+            body += format(
+                ",\"axiom\":\"%s\",\"cycle\":[",
+                engine::jsonEscape(result.forbiddingAxiom).c_str());
+            for (std::size_t i = 0; i < result.forbiddingCycle.size();
+                 ++i) {
+                if (i > 0)
+                    body += ",";
+                body += format("%u", result.forbiddingCycle[i]);
+            }
+            body += "]";
+        }
+        body += "}\n";
+
+        HttpResponse response;
+        response.body = std::move(body);
+        response.contentType = "application/json";
+        return response;
+    } catch (const FatalError &err) {
+        return HttpResponse::error(400, err.what());
+    } catch (const std::exception &err) {
+        return HttpResponse::error(500, err.what());
+    }
 }
 
 bool
@@ -394,6 +654,10 @@ CheckService::handleCheck(
         response.extraHeaders["ETag"] = etag;
         response.extraHeaders["Cache-Control"] =
             outcome.deterministic ? cacheable : "no-store";
+    } catch (const ResumeRefusedError &err) {
+        // A stale or tampered continuation token: well-formed request,
+        // conflicting state.
+        return HttpResponse::error(409, err.what());
     } catch (const FatalError &err) {
         // Litmus parse/validation errors: the client's fault.
         return HttpResponse::error(400, err.what());
@@ -411,6 +675,18 @@ CheckService::handleCheckRoute(
     const std::function<void(const std::string &)> &onChunk)
 {
     HttpResponse response;
+    if (isShardRoute(request)) {
+        if (request.method != "POST") {
+            ++_metrics.requestsOther;
+            response = HttpResponse::error(405, "POST /shard");
+            response.extraHeaders["Allow"] = "POST";
+        } else {
+            ++_metrics.requestsCheck;
+            response = handleShard(request);
+        }
+        _metrics.countResponse(response.status);
+        return response;
+    }
     const bool alias = request.path != "/check";
     const char *wanted = alias ? "GET" : "POST";
     if (request.method != wanted) {
@@ -429,7 +705,7 @@ CheckService::handleCheckRoute(
 HttpResponse
 CheckService::handle(const HttpRequest &request)
 {
-    if (isCheckRoute(request))
+    if (isCheckRoute(request) || isShardRoute(request))
         return handleCheckRoute(request);
 
     HttpResponse response;

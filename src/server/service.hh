@@ -11,6 +11,16 @@
  *   POST /check          JSON {"test": <litmus text>, "variants": [...]}
  *                        → one JSONL verdict record per variant (the
  *                        docs/FORMAT.md schema), in request order.
+ *                        {"resumable": true} asks for a rex-cont-v1
+ *                        continuation token on budget-tripped records;
+ *                        {"resume": "<token>"} resumes one (exactly one
+ *                        variant; 400 malformed / 409 stale or
+ *                        tampered — docs/DISTRIBUTED.md).
+ *   POST /shard          peer-to-peer shard-range primitive: run shards
+ *                        [shard_begin, shard_end) of a check (or a seed
+ *                        chunk of a hammer campaign) and answer partial
+ *                        counts + cursor as one JSON line; 409 on job
+ *                        fingerprint / plan-size mismatch.
  *   GET  /check/<name>   cache/CDN-friendly alias: run the builtin
  *                        registry test <name> (query: variants=a,b or
  *                        "paper", deadline_ms=, max_candidates=).
@@ -36,13 +46,17 @@
 #define REX_SERVER_SERVICE_HH
 
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "server/http.hh"
 #include "server/metrics.hh"
 
-namespace rex::engine { class Engine; }
+namespace rex::engine {
+class Engine;
+class RangeDispatcher;
+} // namespace rex::engine
 
 namespace rex::server {
 
@@ -69,6 +83,16 @@ struct CheckRequest {
      *  server's --max-candidates cap. */
     std::int64_t maxCandidates = 0;
 
+    /** Ask for a resumable check: a budget-tripped verdict record
+     *  carries a rex-cont-v1 "continuation" member the client can POST
+     *  back as "resume" to pick up where the budget tripped. */
+    bool resumable = false;
+
+    /** A continuation token from a prior ExhaustedBudget record.
+     *  Requires exactly one variant (a token names one (test, variant)
+     *  job); implies resumable. */
+    std::string resume;
+
     /**
      * Parse and validate a JSON request body.
      * @throws FatalError with a client-facing diagnostic on malformed
@@ -94,6 +118,16 @@ struct CheckRequest {
  */
 std::string verdictETag(const std::string &canonicalKey,
                         const std::string &revision);
+
+/**
+ * Thrown by runCheckStreaming() when a resume token's fingerprint does
+ * not match the job it is being replayed against (test source edited,
+ * model revision bumped, or the token tampered with). Surfaces as
+ * 409 Conflict — the request is well-formed, the state disagrees.
+ */
+struct ResumeRefusedError : public std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
 
 /** A /check run's body plus its cacheability. */
 struct CheckOutcome {
@@ -173,6 +207,31 @@ class CheckService
      *  method — 405s are the check route's too). */
     static bool isCheckRoute(const HttpRequest &request);
 
+    /** True when @p request targets the /shard peer primitive. */
+    static bool isShardRoute(const HttpRequest &request);
+
+    /**
+     * Serve one POST /shard request (docs/DISTRIBUTED.md): validate
+     * the job fingerprint against this node's model revision (409 on
+     * mismatch — never silently compute against a different model),
+     * run the requested shard range or hammer seed chunk on the shared
+     * engine, and answer partial counts + resume cursor as one JSON
+     * line. Never re-dispatches: peers do not fan out further.
+     */
+    HttpResponse handleShard(const HttpRequest &request);
+
+    /**
+     * Route budget-eligible checks through peer dispatch: when set,
+     * distributable checks (source-carrying, no candidate ceiling) go
+     * through engine::Engine::verdictRecordResumable with @p dispatcher
+     * offered the shard plan. Not owned.
+     */
+    void setDispatcher(engine::RangeDispatcher *dispatcher)
+    {
+        _dispatcher = dispatcher;
+    }
+    engine::RangeDispatcher *dispatcher() const { return _dispatcher; }
+
     Metrics &metrics() { return _metrics; }
     engine::Engine &engine() { return _engine; }
 
@@ -195,6 +254,7 @@ class CheckService
     std::uint64_t _maxDeadlineMs = 0;
     std::uint64_t _maxCandidates = 0;
     int _cacheMaxAgeSeconds = 86400;
+    engine::RangeDispatcher *_dispatcher = nullptr;
 };
 
 } // namespace rex::server

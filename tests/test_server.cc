@@ -30,11 +30,15 @@
 #include "base/strings.hh"
 #include "engine/batch.hh"
 #include "engine/cache.hh"
+#include "engine/continuation.hh"
 #include "engine/faultinject.hh"
+#include "gen/hammer.hh"
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
 #include "server/client.hh"
+#include "server/hammerdist.hh"
 #include "server/json.hh"
+#include "server/peer.hh"
 #include "server/server.hh"
 #include "server/service.hh"
 
@@ -1725,6 +1729,215 @@ TEST(SupervisedServer, RetryCrashedPolicyRidesTheRespawnToAVerdict)
     EXPECT_GE(engine::faultInjector().checked(
                   engine::FaultPoint::WorkerCrash),
               2u);
+}
+
+// ---------------------------------------------------------------------
+// POST /shard and peer fan-out
+// ---------------------------------------------------------------------
+
+/** POST @p body to /shard through @p service. */
+server::HttpResponse
+postShard(server::CheckService &service, const std::string &body)
+{
+    server::HttpRequest request;
+    request.method = "POST";
+    request.path = "/shard";
+    request.body = body;
+    return service.handle(request);
+}
+
+/** A /shard check-kind request for shards [begin, end) of @p source. */
+std::string
+shardCheckRequest(const std::string &source, const std::string &variant,
+                  std::uint64_t begin, std::uint64_t end)
+{
+    return format(
+        "{\"kind\":\"check\",\"test\":\"%s\",\"variant\":\"%s\","
+        "\"shard_begin\":%llu,\"shard_end\":%llu,"
+        "\"fingerprint\":\"%016llx\"}",
+        engine::jsonEscape(source).c_str(), variant.c_str(),
+        static_cast<unsigned long long>(begin),
+        static_cast<unsigned long long>(end),
+        static_cast<unsigned long long>(engine::shardJobFingerprint(
+            source, variant, engine::kModelRevision,
+            kCheckShardTarget)));
+}
+
+TEST(ShardRoute, ServesRangesAndRefusesDrift)
+{
+    engine::Engine engine(plainConfig());
+    server::Metrics metrics;
+    server::CheckService service(engine, metrics);
+    const std::string source =
+        TestRegistry::instance().sourceText("IRIW+addrs");
+
+    // The whole range in one request...
+    server::HttpResponse whole = postShard(
+        service, shardCheckRequest(source, "base", 0, ~0ull));
+    ASSERT_EQ(whole.status, 200) << whole.body;
+    server::JsonValue wholeBody = server::parseJson(trim(whole.body));
+    ASSERT_TRUE(wholeBody.find("planned")->boolean);
+    ASSERT_TRUE(wholeBody.find("completed")->boolean);
+    const std::int64_t planSize =
+        wholeBody.find("plan_size")->integer;
+    const std::int64_t candidates =
+        wholeBody.find("candidates")->integer;
+    ASSERT_GT(planSize, 1);
+
+    // ...must equal the sum of two disjoint pieces.
+    const std::uint64_t cut = static_cast<std::uint64_t>(planSize) / 2;
+    server::HttpResponse lo =
+        postShard(service, shardCheckRequest(source, "base", 0, cut));
+    server::HttpResponse hi = postShard(
+        service, shardCheckRequest(source, "base", cut, ~0ull));
+    ASSERT_EQ(lo.status, 200);
+    ASSERT_EQ(hi.status, 200);
+    EXPECT_EQ(server::parseJson(trim(lo.body))
+                      .find("candidates")
+                      ->integer +
+                  server::parseJson(trim(hi.body))
+                      .find("candidates")
+                      ->integer,
+              candidates);
+    EXPECT_EQ(metrics.shardRequests.load(), 3u);
+
+    // A fingerprint from some other job identity is refused with 409 —
+    // computing shards against the wrong plan would corrupt the merge.
+    std::string drifted = shardCheckRequest(source, "base", 0, ~0ull);
+    const std::size_t at = drifted.find("\"fingerprint\":\"") + 15;
+    drifted[at] = drifted[at] == '0' ? '1' : '0';
+    server::HttpResponse refused = postShard(service, drifted);
+    EXPECT_EQ(refused.status, 409);
+    EXPECT_EQ(metrics.shardRefused.load(), 1u);
+
+    // Malformed bodies and unknown kinds are 400s; GET is a 405.
+    EXPECT_EQ(postShard(service, "{not json").status, 400);
+    EXPECT_EQ(postShard(service, "{\"kind\":\"mystery\"}").status, 400);
+    server::HttpRequest get;
+    get.method = "GET";
+    get.path = "/shard";
+    EXPECT_EQ(service.handle(get).status, 405);
+}
+
+/** A live peer rexd plus a coordinator rexd whose --peers points at
+ *  it; both on ephemeral localhost ports, engines uncached. */
+class PeerCluster : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _peerEngine = std::make_unique<engine::Engine>(plainConfig());
+        server::ServerConfig peerConfig;
+        peerConfig.threads = 2;
+        _peer = std::make_unique<server::RexServer>(*_peerEngine,
+                                                    peerConfig);
+        _peer->start();
+
+        _coordEngine = std::make_unique<engine::Engine>(plainConfig());
+        server::ServerConfig coordConfig;
+        coordConfig.threads = 2;
+        coordConfig.peers.endpoints = {
+            format("127.0.0.1:%u", _peer->port())};
+        coordConfig.peers.minShards = 1;
+        coordConfig.peers.shardsPerTask = 4;
+        coordConfig.peers.maxAttemptsPerPeer = 2;
+        coordConfig.peers.backoffInitialMs = 5;
+        _coord = std::make_unique<server::RexServer>(*_coordEngine,
+                                                     coordConfig);
+        _coord->start();
+    }
+
+    void
+    TearDown() override
+    {
+        _coord->requestDrain();
+        _coord->join();
+        _peer->requestDrain();
+        _peer->join();
+    }
+
+    std::unique_ptr<engine::Engine> _peerEngine;
+    std::unique_ptr<engine::Engine> _coordEngine;
+    std::unique_ptr<server::RexServer> _peer;
+    std::unique_ptr<server::RexServer> _coord;
+};
+
+TEST_F(PeerCluster, DispatchedVerdictsMatchSingleNodeByteForByte)
+{
+    const std::string source =
+        TestRegistry::instance().sourceText("IRIW+addrs");
+
+    server::Client direct("127.0.0.1", _peer->port());
+    server::Client viaCoord("127.0.0.1", _coord->port());
+    server::ClientResponse a = direct.check(source, {"base"});
+    server::ClientResponse b = viaCoord.check(source, {"base"});
+    ASSERT_EQ(a.status, 200);
+    ASSERT_EQ(b.status, 200);
+    EXPECT_EQ(stabilise(trim(a.body)), stabilise(trim(b.body)));
+
+    EXPECT_GT(metricValue(viaCoord.get("/metrics").body,
+                          "rexd_peer_dispatch_total"),
+              0.0);
+    EXPECT_GT(metricValue(direct.get("/metrics").body,
+                          "rexd_shard_requests_total"),
+              0.0);
+}
+
+TEST_F(PeerCluster, InjectedPeerFaultsDegradeToLocalFallback)
+{
+    FaultGuard disarm;
+    engine::faultInjector().configure("peer-send:1.0:11");
+
+    const std::string source =
+        TestRegistry::instance().sourceText("IRIW+addrs");
+    server::Client viaCoord("127.0.0.1", _coord->port());
+    server::ClientResponse r = viaCoord.check(source, {"base"});
+    ASSERT_EQ(r.status, 200);
+
+    // Every dispatch died before reaching the peer, so the verdict came
+    // from local fallback — and is still the single-node answer.
+    engine::Engine reference(plainConfig());
+    engine::JobRecord expected = reference.verdictRecord(
+        parseLitmus(source), ModelParams::byName("base"));
+    server::JsonValue got = server::parseJson(trim(r.body));
+    EXPECT_EQ(got.find("verdict")->string, expected.verdict);
+    EXPECT_EQ(got.find("candidates")->integer,
+              static_cast<std::int64_t>(expected.candidates));
+
+    const std::string exposition = viaCoord.get("/metrics").body;
+    EXPECT_GT(metricValue(exposition, "rexd_peer_failures_total"), 0.0);
+    EXPECT_GT(metricValue(exposition,
+                          "rexd_peer_local_fallback_total"),
+              0.0);
+    EXPECT_GT(engine::faultInjector().injected(
+                  engine::FaultPoint::PeerSend),
+              0u);
+}
+
+TEST_F(PeerCluster, DistributedHammerMatchesTheLocalCampaign)
+{
+    gen::HammerConfig config;
+    config.seedBegin = 0;
+    config.seedEnd = 96;
+    config.chunk = 16;
+    config.budget.maxCandidates = 2000;
+
+    gen::Hammer hammer(config);
+    engine::Engine local(plainConfig());
+    gen::CampaignSummary expected = hammer.run(local);
+
+    server::Metrics poolMetrics;
+    server::PeerConfig peerConfig;
+    peerConfig.endpoints = {format("127.0.0.1:%u", _peer->port())};
+    server::PeerPool pool(peerConfig, &poolMetrics);
+    engine::Engine coordinator(plainConfig());
+    gen::CampaignSummary distributed =
+        server::runDistributedHammer(hammer, coordinator, pool);
+
+    EXPECT_EQ(distributed.render(), expected.render());
+    EXPECT_GT(poolMetrics.peerDispatchTotal.load(), 0u);
+    EXPECT_EQ(poolMetrics.peerLocalFallbackTotal.load(), 0u);
 }
 
 } // namespace
