@@ -1,0 +1,182 @@
+/**
+ * @file
+ * In-process cluster fan-out benchmarks: a coordinator rexd fanning
+ * /check shard plans over N peer rexd instances on ephemeral localhost
+ * ports, all inside one process (so numbers measure dispatch, envelope
+ * verification, and audit machinery — not network or extra silicon;
+ * peers share this machine's cores, so fan-out "speedup" here is the
+ * honest single-box lower bound).
+ *
+ *   BM_SingleNodeCheck      POST /check against one uncached daemon —
+ *                           the no-cluster baseline round trip.
+ *   BM_ClusterCheck/A       the same check through a coordinator with
+ *                           three peers at --audit-rate A% (0, 5, 20):
+ *                           the audit column IS the integrity overhead
+ *                           (docs/DISTRIBUTED.md, "Integrity & trust
+ *                           model").
+ *   BM_DistributedHammer/N  a fixed hammer campaign run locally (N=0)
+ *                           vs fanned over N=3 peers through the
+ *                           rex-shard-v1 envelope path.
+ *
+ * Committed snapshots: BENCH_PR10.json (scripts/compare_bench.py).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/strings.hh"
+#include "engine/batch.hh"
+#include "gen/hammer.hh"
+#include "litmus/registry.hh"
+#include "server/client.hh"
+#include "server/hammerdist.hh"
+#include "server/peer.hh"
+#include "server/server.hh"
+
+namespace {
+
+using namespace rex;
+
+/** Uncached, small-pool engine: every request exercises the wire. */
+engine::EngineConfig
+benchEngineConfig()
+{
+    engine::EngineConfig config;
+    config.jobs = 2;
+    config.cacheEnabled = false;
+    return config;
+}
+
+/** N peer daemons plus a coordinator whose --peers lists them all. */
+struct Cluster {
+    Cluster(unsigned peerCount, double auditRate)
+    {
+        for (unsigned i = 0; i < peerCount; ++i) {
+            peerEngines.push_back(std::make_unique<engine::Engine>(
+                benchEngineConfig()));
+            server::ServerConfig config;
+            config.threads = 2;
+            peers.push_back(std::make_unique<server::RexServer>(
+                *peerEngines.back(), config));
+            peers.back()->start();
+        }
+        coordEngine =
+            std::make_unique<engine::Engine>(benchEngineConfig());
+        server::ServerConfig config;
+        config.threads = 2;
+        for (auto &peer : peers)
+            config.peers.endpoints.push_back(
+                format("127.0.0.1:%u", peer->port()));
+        config.peers.minShards = 1;
+        config.peers.shardsPerTask = 4;
+        config.peers.auditRate = auditRate;
+        coord = std::make_unique<server::RexServer>(*coordEngine,
+                                                    config);
+        coord->start();
+    }
+
+    ~Cluster()
+    {
+        coord->requestDrain();
+        coord->join();
+        for (auto &peer : peers) {
+            peer->requestDrain();
+            peer->join();
+        }
+    }
+
+    std::vector<std::unique_ptr<engine::Engine>> peerEngines;
+    std::vector<std::unique_ptr<server::RexServer>> peers;
+    std::unique_ptr<engine::Engine> coordEngine;
+    std::unique_ptr<server::RexServer> coord;
+};
+
+void
+BM_SingleNodeCheck(benchmark::State &state)
+{
+    Cluster cluster(0, 0.0);
+    server::Client client("127.0.0.1", cluster.coord->port());
+    const std::string &text =
+        TestRegistry::instance().sourceText("IRIW+addrs");
+    for (auto _ : state) {
+        server::ClientResponse r = client.check(text, {"base"});
+        if (r.status != 200) {
+            state.SkipWithError("single-node check did not answer 200");
+            return;
+        }
+        benchmark::DoNotOptimize(r.body.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SingleNodeCheck)->Unit(benchmark::kMillisecond);
+
+/** Arg = audit rate in percent (0, 5, 20). */
+void
+BM_ClusterCheck(benchmark::State &state)
+{
+    Cluster cluster(3, static_cast<double>(state.range(0)) / 100.0);
+    server::Client client("127.0.0.1", cluster.coord->port());
+    const std::string &text =
+        TestRegistry::instance().sourceText("IRIW+addrs");
+    for (auto _ : state) {
+        server::ClientResponse r = client.check(text, {"base"});
+        if (r.status != 200) {
+            state.SkipWithError("cluster check did not answer 200");
+            return;
+        }
+        benchmark::DoNotOptimize(r.body.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClusterCheck)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+/** Arg = peer count; 0 runs the campaign in-process (the baseline). */
+void
+BM_DistributedHammer(benchmark::State &state)
+{
+    const unsigned peerCount = static_cast<unsigned>(state.range(0));
+    gen::HammerConfig config;
+    config.seedBegin = 0;
+    config.seedEnd = 64;
+    config.chunk = 8;
+    config.budget.maxCandidates = 2000;
+    gen::Hammer hammer(config);
+
+    if (peerCount == 0) {
+        engine::Engine local(benchEngineConfig());
+        for (auto _ : state) {
+            gen::CampaignSummary summary = hammer.run(local);
+            benchmark::DoNotOptimize(&summary);
+        }
+    } else {
+        Cluster cluster(peerCount, 0.0);
+        server::Metrics metrics;
+        server::PeerConfig peerConfig;
+        for (auto &peer : cluster.peers)
+            peerConfig.endpoints.push_back(
+                format("127.0.0.1:%u", peer->port()));
+        server::PeerPool pool(peerConfig, &metrics);
+        engine::Engine coordinator(benchEngineConfig());
+        for (auto _ : state) {
+            gen::CampaignSummary summary =
+                server::runDistributedHammer(hammer, coordinator, pool);
+            benchmark::DoNotOptimize(&summary);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistributedHammer)
+    ->Arg(0)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -10,7 +10,14 @@
 #     survivors (nonzero rexd_peer_redispatch_total) with every verdict
 #     still byte-identical;
 #   - the coordinator's drained JSONL matches a single-node rerun of
-#     the same campaign record for record.
+#     the same campaign record for record;
+#   - a Byzantine round (docs/DISTRIBUTED.md, "Integrity & trust
+#     model"): one peer lies on 10% of its /shard answers and another
+#     corrupts frames (--byzantine-spec); under --audit-rate 1.0 the
+#     coordinator's merged stream stays byte-identical, corrupted
+#     frames are rejected at the envelope (never merged), the liar is
+#     caught by audit and quarantined, and the drained JSONL again
+#     matches a single-node rerun.
 #
 # Usage: scripts/cluster_smoke.sh [BUILD_DIR]
 set -euo pipefail
@@ -201,6 +208,100 @@ assert cluster == single, (
               if cluster.get(k) != single.get(k)))
 print(f"drain: {len(cluster)} verdict records byte-identical to "
       "a single-node rerun")
+EOF
+
+# Phase 6: Byzantine peers. One peer actively lies (perturbs its
+# counters before sealing, so the envelope passes), another corrupts
+# sealed frames (the envelope rejects them). The coordinator audits
+# every filled task (--audit-rate 1.0) with local recompute as ground
+# truth, so the merged stream must stay byte-identical, no
+# digest-mismatched frame may ever be merged, and the liar must end
+# the round quarantined.
+"$REXD" --port $((PORT + 10)) --no-cache \
+    --byzantine-spec "peer-corrupt-frame:0.2:6" \
+    > "$WORK/corruptor.log" 2>&1 &
+"$REXD" --port $((PORT + 12)) --no-cache \
+    --byzantine-spec "peer-lie:0.1:5" \
+    > "$WORK/liar.log" 2>&1 &
+"$REXD" --port $((PORT + 11)) --no-cache \
+    --results "$WORK/byz.jsonl" \
+    --peers "127.0.0.1:$((PORT + 1)),127.0.0.1:$((PORT + 10)),127.0.0.1:$((PORT + 12))" \
+    --peer-shards 4 --peer-min-shards 1 \
+    --audit-rate 1.0 --peer-lie-quarantine 600 \
+    > "$WORK/byz.log" 2>&1 &
+BYZ_PID=$!
+for p in 10 11 12; do wait_healthy $((PORT + p)); done
+LIES=0; MISMATCH=0
+for _ in $(seq 1 30); do
+    for t in $TESTS; do
+        timeout 120 "$CLIENT" --port $((PORT + 11)) --builtin "$t" \
+            --variants paper --stable > "$WORK/byz.$t.out"
+        "$CLIENT" --builtin "$t" --variants paper --stable --direct \
+            > "$WORK/direct.out"
+        diff "$WORK/byz.$t.out" "$WORK/direct.out" \
+            || { echo "verdict mismatch under Byzantine peers: $t"; exit 1; }
+    done
+    "$CLIENT" --port $((PORT + 11)) --metrics > "$WORK/metrics3.txt"
+    LIES=$(metric "$WORK/metrics3.txt" rexd_peer_lies_total)
+    MISMATCH=$(metric "$WORK/metrics3.txt" \
+        rexd_shard_digest_mismatches_total)
+    [ "${LIES%.*}" -gt 0 ] && [ "${MISMATCH%.*}" -gt 0 ] && break
+done
+[ "${LIES%.*}" -gt 0 ] \
+    || { echo "lying peer never served a confirmed lie"; exit 1; }
+[ "${MISMATCH%.*}" -gt 0 ] \
+    || { echo "corrupt frames never hit the digest check"; exit 1; }
+QUAR=$(metric "$WORK/metrics3.txt" rexd_peers_quarantined)
+[ "${QUAR%.*}" -ge 1 ] \
+    || { echo "lying peer was never quarantined"; exit 1; }
+echo "byzantine: $LIES lies caught, $MISMATCH frames rejected," \
+     "$QUAR peer(s) quarantined, verdicts byte-identical"
+
+# ...and the Byzantine coordinator's drained JSONL must still be what
+# a single honest node would have produced.
+kill -TERM "$BYZ_PID"
+wait "$BYZ_PID" || true
+grep -q "rexd drained:" "$WORK/byz.log"
+"$REXD" --port $((PORT + 13)) --no-cache \
+    --results "$WORK/byz_single.jsonl" > "$WORK/byz_single.log" 2>&1 &
+BSINGLE_PID=$!
+wait_healthy $((PORT + 13))
+python3 - "$WORK/byz.jsonl" > "$WORK/byz_replay.txt" <<'EOF'
+import json, sys
+for line in open(sys.argv[1]):
+    if line.strip():
+        r = json.loads(line)
+        print(r["test"], r["variant"])
+EOF
+sort -u "$WORK/byz_replay.txt" | while read -r t v; do
+    timeout 120 "$CLIENT" --port $((PORT + 13)) --builtin "$t" \
+        --variants "$v" > /dev/null
+done
+kill -TERM "$BSINGLE_PID"
+wait "$BSINGLE_PID" || true
+python3 - "$WORK/byz.jsonl" "$WORK/byz_single.jsonl" <<'EOF'
+import json, sys
+
+def stable(path):
+    out = {}
+    for line in open(path):
+        if not line.strip():
+            continue
+        r = json.loads(line)
+        for key in ("wall_us", "cache_hit", "continuation"):
+            r.pop(key, None)
+        out[(r["test"], r["variant"])] = json.dumps(r, sort_keys=True)
+    return out
+
+byz, single = stable(sys.argv[1]), stable(sys.argv[2])
+assert byz, "byzantine results file is empty"
+assert byz == single, (
+    "byzantine vs single-node JSONL mismatch:\n" +
+    "\n".join(f"{k}: {byz.get(k)} != {single.get(k)}"
+              for k in sorted(set(byz) | set(single))
+              if byz.get(k) != single.get(k)))
+print(f"byzantine drain: {len(byz)} verdict records byte-identical "
+      "to a single-node rerun")
 EOF
 
 echo "cluster smoke: OK"

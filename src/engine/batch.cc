@@ -72,6 +72,10 @@ EngineConfig::fromEnv()
         envUnsigned("REX_CRASH_QUARANTINE", config.crashQuarantine));
     config.killGraceMs = envUnsigned("REX_KILL_GRACE_MS",
                                      config.killGraceMs);
+    config.crashLedgerMax = envUnsigned("REX_CRASH_LEDGER_MAX",
+                                        config.crashLedgerMax);
+    config.cacheMemMaxEntries = static_cast<std::size_t>(
+        envUnsigned("REX_CACHE_MEM_MAX", config.cacheMemMaxEntries));
     // jobs stays 0: resolved (REX_JOBS, then hardware concurrency) at
     // engine construction, so explicit EngineConfig{.jobs = n} wins.
     return config;
@@ -81,7 +85,7 @@ Engine::Engine(EngineConfig config)
     : _config(std::move(config)),
       _jobs(resolveJobs(_config.jobs)),
       _cache(_config.cacheEnabled, _config.cacheDir,
-             _config.cacheMaxBytes)
+             _config.cacheMaxBytes, _config.cacheMemMaxEntries)
 {
     // Workers fork before the pool spawns threads: the initial worker
     // processes are forked from a single-threaded engine.
@@ -90,6 +94,7 @@ Engine::Engine(EngineConfig config)
         supervision.workers = _config.workers;
         supervision.crashQuarantine = _config.crashQuarantine;
         supervision.killGraceMs = _config.killGraceMs;
+        supervision.ledgerMaxEntries = _config.crashLedgerMax;
         _supervisor = std::make_unique<Supervisor>(supervision);
     }
     if (_jobs > 1)

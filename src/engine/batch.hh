@@ -65,6 +65,9 @@ struct EngineConfig {
     /** On-disk cache byte cap (oldest-mtime eviction); 0 = unlimited. */
     std::uint64_t cacheMaxBytes = 0;
 
+    /** In-memory cache entry cap (LRU eviction); 0 = unbounded. */
+    std::size_t cacheMemMaxEntries = 65536;
+
     /** JSONL results path; empty = no results file. */
     std::string resultsPath;
 
@@ -88,8 +91,13 @@ struct EngineConfig {
     /** Grace past the cooperative deadline before SIGKILL (workers). */
     std::uint64_t killGraceMs = 2000;
 
+    /** Crash-ledger entry cap (LRU eviction, rexd --crash-ledger-max);
+     *  0 = unbounded. */
+    std::uint64_t crashLedgerMax = 4096;
+
     /** Defaults from REX_JOBS / REX_CACHE / REX_CACHE_DIR / REX_RESULTS
-     *  / REX_WORKERS / REX_CRASH_QUARANTINE / REX_KILL_GRACE_MS. */
+     *  / REX_WORKERS / REX_CRASH_QUARANTINE / REX_KILL_GRACE_MS /
+     *  REX_CRASH_LEDGER_MAX / REX_CACHE_MEM_MAX. */
     static EngineConfig fromEnv();
 };
 

@@ -209,8 +209,10 @@ CachedVerdict::forbiddingSummary() const
 }
 
 VerdictCache::VerdictCache(bool enabled, std::string dir,
-                           std::uint64_t maxBytes)
-    : _enabled(enabled), _dir(std::move(dir)), _maxBytes(maxBytes)
+                           std::uint64_t maxBytes,
+                           std::size_t memMaxEntries)
+    : _enabled(enabled), _dir(std::move(dir)), _maxBytes(maxBytes),
+      _memMaxEntries(memMaxEntries)
 {
     if (_enabled && !_dir.empty()) {
         std::error_code ec;
@@ -308,15 +310,18 @@ VerdictCache::lookup(const VerdictKey &key)
         std::lock_guard<std::mutex> lock(_mutex);
         auto it = _entries.find(key.text);
         if (it != _entries.end()) {
+            it->second.touch = ++_touchSeq;
             ++_hits;
-            return it->second;
+            return it->second.verdict;
         }
     }
     if (!_dir.empty()) {
         std::optional<CachedVerdict> fromDisk = loadFromDisk(key);
         if (fromDisk) {
             std::lock_guard<std::mutex> lock(_mutex);
-            _entries.emplace(key.text, *fromDisk);
+            _entries.insert_or_assign(key.text,
+                                      MemEntry{*fromDisk, ++_touchSeq});
+            trimMemLocked();
             ++_hits;
             return fromDisk;
         }
@@ -326,13 +331,32 @@ VerdictCache::lookup(const VerdictKey &key)
 }
 
 void
+VerdictCache::trimMemLocked()
+{
+    // Linear min-scan eviction: runs once per overflowing insert, and
+    // the cap is large enough that an O(n) pass beats maintaining an
+    // ordered index on the hot hit path.
+    while (_memMaxEntries != 0 && _entries.size() > _memMaxEntries) {
+        auto victim = _entries.begin();
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (it->second.touch < victim->second.touch)
+                victim = it;
+        }
+        _entries.erase(victim);
+        _memEvictions.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
 VerdictCache::store(const VerdictKey &key, const CachedVerdict &value)
 {
     if (!_enabled)
         return;
     {
         std::lock_guard<std::mutex> lock(_mutex);
-        _entries.insert_or_assign(key.text, value);
+        _entries.insert_or_assign(key.text,
+                                  MemEntry{value, ++_touchSeq});
+        trimMemLocked();
     }
     if (!_dir.empty())
         writeToDisk(key, value);

@@ -120,9 +120,14 @@ class VerdictCache
      * @param maxBytes  on-disk byte cap; 0 = unlimited. Enforced by
      *                  deleting oldest-mtime entries at construction
      *                  and on overflow after each store.
+     * @param memMaxEntries  in-memory entry cap; 0 = unlimited. The
+     *                  least-recently-touched entry is evicted on
+     *                  overflow (the on-disk copy, if any, survives,
+     *                  so eviction costs a disk read, never a recheck).
      */
     explicit VerdictCache(bool enabled = true, std::string dir = "",
-                          std::uint64_t maxBytes = 0);
+                          std::uint64_t maxBytes = 0,
+                          std::size_t memMaxEntries = 65536);
 
     bool enabled() const { return _enabled; }
     const std::string &dir() const { return _dir; }
@@ -142,6 +147,9 @@ class VerdictCache
 
     /** Corrupt/torn on-disk entries detected and deleted so far. */
     std::uint64_t corruptEvictions() const { return _corrupt.load(); }
+
+    /** In-memory entries evicted by the memMaxEntries cap so far. */
+    std::uint64_t memEvictions() const { return _memEvictions.load(); }
 
     /** In-memory entries currently held. */
     std::size_t entryCount();
@@ -163,11 +171,23 @@ class VerdictCache
     /** Delete oldest-mtime entries until the cap holds. Needs _diskMutex. */
     void trimToCapLocked();
 
+    /** One memoized verdict plus its LRU recency stamp. */
+    struct MemEntry {
+        CachedVerdict verdict;
+        std::uint64_t touch = 0;
+    };
+
+    /** Evict the least-recently-touched entry past the cap. Needs
+     *  _mutex. */
+    void trimMemLocked();
+
     bool _enabled;
     std::string _dir;
     std::uint64_t _maxBytes;
+    std::size_t _memMaxEntries;
     std::mutex _mutex;
-    std::unordered_map<std::string, CachedVerdict> _entries;
+    std::unordered_map<std::string, MemEntry> _entries;
+    std::uint64_t _touchSeq = 0;  //!< guarded by _mutex
 
     /** One persisted entry, as tracked by the eviction index. */
     struct DiskEntry {
@@ -185,6 +205,7 @@ class VerdictCache
     std::atomic<std::uint64_t> _misses{0};
     std::atomic<std::uint64_t> _evictions{0};
     std::atomic<std::uint64_t> _corrupt{0};
+    std::atomic<std::uint64_t> _memEvictions{0};
 };
 
 } // namespace rex::engine

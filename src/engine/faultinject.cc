@@ -27,6 +27,7 @@ const char *const kPointNames[kPointCount] = {
     "pool-spawn", "sock-accept", "sock-send",
     "worker-crash", "worker-hang",
     "peer-connect", "peer-send", "peer-recv",
+    "peer-lie", "peer-corrupt-frame", "peer-stale-revision",
 };
 
 int

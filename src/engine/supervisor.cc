@@ -657,6 +657,26 @@ Supervisor::chargeLedger(const std::string &ledgerKey,
     LedgerEntry &entry = _ledger[ledgerKey];
     ++entry.crashes;
     entry.lastSignal = signal;
+    entry.lastTouch = ++_ledgerSeq;
+
+    // LRU bound: a stream of distinct crashing keys must not grow the
+    // ledger without limit. Linear scan is fine — eviction only runs
+    // at the cap, and crashes are not a hot path.
+    if (_config.ledgerMaxEntries != 0 &&
+            _ledger.size() > _config.ledgerMaxEntries) {
+        auto oldest = _ledger.end();
+        for (auto it = _ledger.begin(); it != _ledger.end(); ++it) {
+            if (it->first == ledgerKey)
+                continue;
+            if (oldest == _ledger.end() ||
+                    it->second.lastTouch < oldest->second.lastTouch)
+                oldest = it;
+        }
+        if (oldest != _ledger.end()) {
+            _ledger.erase(oldest);
+            _ledgerEvictions.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
     return entry.crashes;
 }
 
@@ -674,6 +694,8 @@ Supervisor::run(const std::string &sourceText, const std::string &testName,
         auto it = _ledger.find(ledgerKey);
         if (it != _ledger.end() &&
                 it->second.crashes >= _config.crashQuarantine) {
+            // A hot quarantined key stays resident under LRU pressure.
+            it->second.lastTouch = ++_ledgerSeq;
             _quarantinedServed.fetch_add(1, std::memory_order_relaxed);
             outcome.kind = SupervisedOutcome::Kind::Quarantined;
             outcome.signal = it->second.lastSignal;
@@ -864,6 +886,13 @@ Supervisor::crashesBySignal() const
 {
     std::lock_guard<std::mutex> lock(_crashMutex);
     return {_crashesBySignal.begin(), _crashesBySignal.end()};
+}
+
+std::uint64_t
+Supervisor::ledgerEntries() const
+{
+    std::lock_guard<std::mutex> lock(_ledgerMutex);
+    return _ledger.size();
 }
 
 std::uint64_t

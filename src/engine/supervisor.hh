@@ -90,6 +90,12 @@ struct SupervisorConfig {
      *  consecutive crash of the same slot, capped. */
     std::uint64_t respawnBackoffMs = 50;
     std::uint64_t respawnBackoffMaxMs = 2000;
+
+    /** Crash-ledger entry cap (LRU-evicted beyond it), so a stream of
+     *  distinct crashing keys cannot grow the ledger without bound.
+     *  An evicted quarantined key starts its strikes over — bounded
+     *  memory is worth the occasional repeat sentence. 0 = unbounded. */
+    std::uint64_t ledgerMaxEntries = 4096;
 };
 
 /** What the supervisor learned about one dispatched job. */
@@ -174,6 +180,15 @@ class Supervisor
     /** Ledger keys at/over the quarantine threshold right now. */
     std::uint64_t quarantinedKeys() const;
 
+    /** Keys currently tracked in the crash ledger (gauge). */
+    std::uint64_t ledgerEntries() const;
+
+    /** Ledger entries LRU-evicted by ledgerMaxEntries so far. */
+    std::uint64_t ledgerEvictions() const
+    {
+        return _ledgerEvictions.load(std::memory_order_relaxed);
+    }
+
     /** Candidate counters of busy workers, summed (progress gauge). */
     std::uint64_t liveCandidates() const;
 
@@ -191,6 +206,10 @@ class Supervisor
     struct LedgerEntry {
         std::uint64_t crashes = 0;
         std::string lastSignal;
+
+        /** Recency stamp (_ledgerSeq at last charge or quarantine
+         *  lookup) driving LRU eviction. */
+        std::uint64_t lastTouch = 0;
     };
 
     /** Fork slot @p index (monitor thread or ctor; _mutex held). */
@@ -223,6 +242,8 @@ class Supervisor
 
     mutable std::mutex _ledgerMutex;
     std::map<std::string, LedgerEntry> _ledger;
+    std::uint64_t _ledgerSeq = 0;  //!< guarded by _ledgerMutex
+    std::atomic<std::uint64_t> _ledgerEvictions{0};
 
     mutable std::mutex _crashMutex;
     std::map<std::string, std::uint64_t> _crashesBySignal;

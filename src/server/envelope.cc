@@ -1,0 +1,173 @@
+#include "server/envelope.hh"
+
+#include <cinttypes>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "engine/cache.hh"
+#include "engine/faultinject.hh"
+#include "engine/results.hh"
+#include "server/json.hh"
+
+namespace rex::server {
+
+namespace {
+
+/** FNV-1a over @p text, seeded by @p hash (the cache/ETag function). */
+std::uint64_t
+fnv1a(std::uint64_t hash, const std::string &text)
+{
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** Mix a 0xff field separator so "ab"+"c" and "a"+"bc" differ. */
+std::uint64_t
+fnv1aSep(std::uint64_t hash)
+{
+    hash ^= 0xff;
+    hash *= 0x100000001b3ull;
+    return hash;
+}
+
+} // namespace
+
+std::uint64_t
+shardEnvelopeDigest(const std::string &payload,
+                    const std::string &revision,
+                    const std::string &program)
+{
+    std::uint64_t hash = fnv1a(0xcbf29ce484222325ull, payload);
+    hash = fnv1a(fnv1aSep(hash), revision);
+    hash = fnv1a(fnv1aSep(hash), program);
+    return hash;
+}
+
+std::string
+sealShardEnvelope(const std::string &payload, const std::string &program,
+                  const std::string &revision)
+{
+    std::string out = format(
+        "{\"envelope\":\"%s\",\"revision\":\"%s\",\"program\":\"%s\","
+        "\"digest\":\"%016" PRIx64 "\",\"payload\":",
+        kShardEnvelopeMagic, engine::jsonEscape(revision).c_str(),
+        engine::jsonEscape(program).c_str(),
+        shardEnvelopeDigest(payload, revision, program));
+    out += payload;
+    out += "}\n";
+    return out;
+}
+
+std::string
+sealShardResponse(const std::string &payload, const std::string &program,
+                  bool trusted)
+{
+    std::string revision = engine::kModelRevision;
+    if (!trusted && engine::faultInjector().shouldFail(
+                        engine::FaultPoint::PeerStaleRevision))
+        revision += "-stale";
+    std::string sealed = sealShardEnvelope(payload, program, revision);
+    if (!trusted && engine::faultInjector().shouldFail(
+                        engine::FaultPoint::PeerCorruptFrame)) {
+        // One flipped bit mid-frame: whether it lands in the payload,
+        // the digest, or the framing, the coordinator must reject it.
+        sealed[sealed.size() / 2] ^= 0x01;
+    }
+    return sealed;
+}
+
+bool
+openShardEnvelope(const std::string &body,
+                  const std::string &expectProgram,
+                  const std::string &expectRevision, std::string &payload,
+                  std::string &error)
+{
+    const std::string framed = trim(body);
+    JsonValue root;
+    try {
+        root = parseJson(framed);
+    } catch (const FatalError &err) {
+        error = std::string("unparseable envelope: ") + err.what();
+        return false;
+    }
+    if (!root.isObject()) {
+        error = "envelope is not a JSON object";
+        return false;
+    }
+    const JsonValue *magic = root.find("envelope");
+    if (!magic || !magic->isString() ||
+            magic->string != kShardEnvelopeMagic) {
+        error = "missing or foreign envelope magic (want rex-shard-v1)";
+        return false;
+    }
+    const JsonValue *revision = root.find("revision");
+    const JsonValue *program = root.find("program");
+    const JsonValue *digest = root.find("digest");
+    if (!revision || !revision->isString() || !program ||
+            !program->isString() || !digest || !digest->isString() ||
+            digest->string.size() != 16) {
+        error = "envelope missing revision/program/digest";
+        return false;
+    }
+
+    // The payload is digested as raw serialized bytes, located by the
+    // wire discipline that it is the envelope's final member: from the
+    // first byte after `"payload":` to the closing brace of the
+    // envelope itself. No canonical re-serialization involved.
+    static const std::string marker = "\"payload\":";
+    const std::size_t at = framed.find(marker);
+    if (at == std::string::npos || framed.empty() ||
+            framed.back() != '}') {
+        error = "envelope has no trailing payload member";
+        return false;
+    }
+    const std::size_t begin = at + marker.size();
+    payload = framed.substr(begin, framed.size() - 1 - begin);
+
+    std::uint64_t wireDigest = 0;
+    for (char c : digest->string) {
+        int nibble;
+        if (c >= '0' && c <= '9')
+            nibble = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nibble = c - 'a' + 10;
+        else {
+            error = "envelope digest is not 16 lowercase hex digits";
+            payload.clear();
+            return false;
+        }
+        wireDigest =
+            (wireDigest << 4) | static_cast<std::uint64_t>(nibble);
+    }
+    const std::uint64_t computed = shardEnvelopeDigest(
+        payload, revision->string, program->string);
+    if (computed != wireDigest) {
+        error = format("digest mismatch: envelope says %s, payload "
+                       "hashes to %016" PRIx64,
+                       digest->string.c_str(), computed);
+        payload.clear();
+        return false;
+    }
+    // Digest verified over the *claimed* revision/program, so a stale
+    // node signs its staleness consistently — and is rejected here.
+    if (revision->string != expectRevision) {
+        error = "revision mismatch: peer runs model revision '" +
+                revision->string + "', coordinator expects '" +
+                expectRevision + "'";
+        payload.clear();
+        return false;
+    }
+    if (!expectProgram.empty() && program->string != expectProgram) {
+        error = "program mismatch: peer answered for '" +
+                program->string + "', coordinator dispatched '" +
+                expectProgram + "'";
+        payload.clear();
+        return false;
+    }
+    return true;
+}
+
+} // namespace rex::server

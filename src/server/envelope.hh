@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The rex-shard-v1 integrity envelope around /shard responses.
+ *
+ * PR 9's fan-out trusts a peer's *answer* completely: a version-skewed
+ * binary, a bit flipped in transit, or a corrupted node silently
+ * poisons the coordinator's deterministic merge. The envelope closes
+ * the accidental half of that hole — every /shard 200 body is wrapped
+ * as
+ *
+ *   {"envelope":"rex-shard-v1","revision":"<kModelRevision>",
+ *    "program":"<program id>","digest":"<16 hex>","payload":{...}}
+ *
+ * where the digest is FNV-1a over the exact payload bytes plus the
+ * responder's model revision and program id (docs/FORMAT.md). The
+ * coordinator verifies before merging: a digest mismatch, an alien
+ * revision, or a program id that names a different job is counted
+ * (rexd_shard_digest_mismatches_total), never merged, and the task is
+ * re-dispatched.
+ *
+ * What the envelope is NOT: a defence against a *deliberately* lying
+ * peer, which computes a wrong payload and signs it consistently. That
+ * Byzantine half is covered by the audit path and the peer reputation
+ * ledger in server/peer.hh (docs/DISTRIBUTED.md, "Integrity & trust
+ * model").
+ *
+ * Wire discipline: "payload" is always the envelope's last member and
+ * its raw bytes are digested as serialized, so verification never
+ * depends on JSON re-serialization being canonical.
+ */
+
+#ifndef REX_SERVER_ENVELOPE_HH
+#define REX_SERVER_ENVELOPE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rex::server {
+
+/** The envelope magic, bumped when the envelope schema changes. */
+inline constexpr const char *kShardEnvelopeMagic = "rex-shard-v1";
+
+/** FNV-1a over @p payload bytes + 0xff + @p revision + 0xff +
+ *  @p program — the envelope's "digest" field. */
+std::uint64_t shardEnvelopeDigest(const std::string &payload,
+                                  const std::string &revision,
+                                  const std::string &program);
+
+/**
+ * Wrap @p payload (one JSON object, no trailing newline) in a sealed
+ * rex-shard-v1 envelope under @p program and @p revision. The result
+ * is one newline-terminated JSON line, payload last.
+ */
+std::string sealShardEnvelope(const std::string &payload,
+                              const std::string &program,
+                              const std::string &revision);
+
+/**
+ * Peer-side sealing for /shard handlers: sealShardEnvelope under this
+ * node's engine::kModelRevision, with the wire-only Byzantine fault
+ * points consulted when @p trusted is false — peer-stale-revision
+ * seals under a bogus revision (self-consistently, the way a genuinely
+ * stale binary would), peer-corrupt-frame flips a byte of the sealed
+ * frame afterwards. The peer-lie point is the *caller's* to consult:
+ * only the handler can perturb its counters before sealing.
+ */
+std::string sealShardResponse(const std::string &payload,
+                              const std::string &program, bool trusted);
+
+/**
+ * Verify @p body as a sealed envelope and extract the raw payload
+ * bytes into @p payload. False — with a diagnostic in @p error — on a
+ * missing/foreign envelope, a digest that does not match the payload
+ * bytes, a revision differing from @p expectRevision, or (when
+ * @p expectProgram is non-empty) a program id naming a different job.
+ */
+bool openShardEnvelope(const std::string &body,
+                       const std::string &expectProgram,
+                       const std::string &expectRevision,
+                       std::string &payload, std::string &error);
+
+} // namespace rex::server
+
+#endif // REX_SERVER_ENVELOPE_HH

@@ -6,7 +6,9 @@
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "engine/batch.hh"
+#include "engine/faultinject.hh"
 #include "engine/results.hh"
+#include "server/envelope.hh"
 #include "server/json.hh"
 
 namespace rex::server {
@@ -322,7 +324,7 @@ hammerShardBody(const gen::Hammer &hammer, std::uint64_t seedBegin,
 
 HttpResponse
 handleHammerShard(engine::Engine &engine, const JsonValue &root,
-                  Metrics &metrics)
+                  Metrics &metrics, bool trusted)
 {
     const JsonValue *config = root.find("config");
     if (!config || !config->isObject())
@@ -354,9 +356,21 @@ handleHammerShard(engine::Engine &engine, const JsonValue &root,
     }
 
     ChunkResult chunk = runChunkLocal(hammer, engine, seedBegin, seedEnd);
+
+    // peer-lie (Byzantine injection): bias the counters *before*
+    // sealing, so the wrong chunk summary is self-consistently signed
+    // and only the coordinator's audit path can catch it.
+    if (!trusted && engine::faultInjector().shouldFail(
+                        engine::FaultPoint::PeerLie)) {
+        ++chunk.tested;
+        ++chunk.sound;
+    }
+
     HttpResponse response;
-    response.body = chunkResultJson(chunk);
-    response.body += '\n';
+    response.body = sealShardResponse(
+        chunkResultJson(chunk),
+        format("shard-hammer:%016" PRIx64, hammer.fingerprint()),
+        trusted);
     response.contentType = "application/json";
     return response;
 }
@@ -367,6 +381,35 @@ runDistributedHammer(const gen::Hammer &hammer, engine::Engine &engine,
 {
     const gen::HammerConfig &config = hammer.config();
     const std::uint64_t print = hammer.fingerprint();
+    const std::string program = format("shard-hammer:%016" PRIx64, print);
+
+    // Audit ground truth: when the pool has no local compute yet (the
+    // standalone hammer path — rexd installs a service-backed one at
+    // startup), recompute chunks on this node's engine. Scoped to this
+    // campaign: the lambda captures locals by reference.
+    const bool installedLocal = !peers.hasLocalCompute();
+    if (installedLocal) {
+        peers.setLocalCompute([&hammer,
+                               &engine](const std::string &body)
+                                  -> std::string {
+            JsonValue root;
+            try {
+                root = parseJson(body);
+            } catch (const FatalError &) {
+                return "";
+            }
+            if (!root.isObject())
+                return "";
+            const std::uint64_t begin = jsonU64(root, "seed_begin", 0);
+            const std::uint64_t end = jsonU64(root, "seed_end", 0);
+            if (end <= begin)
+                return "";
+            // No fingerprint re-check: these bodies are this
+            // campaign's own dispatches.
+            return chunkResultJson(
+                runChunkLocal(hammer, engine, begin, end));
+        });
+    }
 
     gen::CampaignSummary summary;
     summary.seedBegin = config.seedBegin;
@@ -405,6 +448,7 @@ runDistributedHammer(const gen::Hammer &hammer, engine::Engine &engine,
             cursor = wave.end;
             PeerPool::WireTask task;
             task.body = hammerShardBody(hammer, wave.begin, wave.end);
+            task.expectProgram = program;
             waves.push_back(wave);
             wire.push_back(std::move(task));
         }
@@ -431,6 +475,8 @@ runDistributedHammer(const gen::Hammer &hammer, engine::Engine &engine,
         if (!config.checkpointPath.empty())
             gen::saveCheckpoint(config.checkpointPath, print, summary);
     }
+    if (installedLocal)
+        peers.setLocalCompute(nullptr);
     return summary;
 }
 

@@ -46,11 +46,15 @@ std::string hammerShardBody(const gen::Hammer &hammer,
  * Serve one parsed `{"kind": "hammer"}` /shard request on @p engine:
  * reconstruct the Hammer from the wire config, verify the fingerprint
  * (409 on mismatch), run the seed chunk through engine.map(), answer
- * aggregated counts + violation seeds as one JSON line. @p metrics
- * counts the refusals.
+ * aggregated counts + violation seeds as one JSON line sealed in a
+ * rex-shard-v1 envelope under program `shard-hammer:<fingerprint>`.
+ * @p metrics counts the refusals. @p trusted marks the coordinator's
+ * own audit recomputation: Byzantine fault points stay dormant
+ * (see CheckService::handleShard).
  */
 HttpResponse handleHammerShard(engine::Engine &engine,
-                               const JsonValue &root, Metrics &metrics);
+                               const JsonValue &root, Metrics &metrics,
+                               bool trusted = false);
 
 /**
  * Run @p hammer's campaign with seed chunks fanned over @p peers

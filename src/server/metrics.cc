@@ -84,6 +84,18 @@ CountHistogram::render(const std::string &name) const
 }
 
 void
+Metrics::recordPeerRtt(std::size_t index, const std::string &endpoint,
+                       double millis)
+{
+    std::lock_guard<std::mutex> lock(_peerRttMutex);
+    if (_peerRtt.size() <= index)
+        _peerRtt.resize(index + 1);
+    _peerRtt[index].endpoint = endpoint;
+    _peerRtt[index].millis = millis;
+    _peerRtt[index].valid = true;
+}
+
+void
 Metrics::countResponse(int status)
 {
     switch (status) {
@@ -191,6 +203,10 @@ Metrics::render(engine::Engine &engine) const
             "Corrupt on-disk verdict-cache entries detected and "
             "evicted.",
             engine.cache().corruptEvictions());
+    counter("rexd_cache_mem_evictions_total",
+            "In-memory verdict-cache entries evicted by the entry "
+            "cap (the on-disk copy, if any, survives).",
+            engine.cache().memEvictions());
     counter("rexd_queue_rejected_total",
             "Connections rejected with 503 by backpressure.",
             queueRejected.load());
@@ -238,6 +254,22 @@ Metrics::render(engine::Engine &engine) const
             "POST /shard requests refused with 409 (fingerprint or "
             "plan mismatch).",
             shardRefused.load());
+    counter("rexd_shard_digest_mismatches_total",
+            "Peer /shard answers whose rex-shard-v1 envelope failed "
+            "verification — counted, never merged.",
+            shardDigestMismatches.load());
+    out += "# HELP rexd_audits_total Sampled shard-result audits, by "
+           "outcome.\n"
+           "# TYPE rexd_audits_total counter\n";
+    labelled("rexd_audits_total", "result=\"match\"",
+             auditsMatch.load());
+    labelled("rexd_audits_total", "result=\"divergence\"",
+             auditsDivergence.load());
+    labelled("rexd_audits_total", "result=\"failed\"",
+             auditsFailed.load());
+    counter("rexd_peer_lies_total",
+            "Audit-confirmed wrong answers charged to peers.",
+            peerLiesTotal.load());
     counter("rexd_continuations_issued_total",
             "rex-cont-v1 continuation tokens issued on budget trips.",
             continuationsIssued.load());
@@ -294,6 +326,9 @@ Metrics::render(engine::Engine &engine) const
             "Quarantined verdicts served without dispatching a "
             "worker.",
             supervisor ? supervisor->quarantinedServed() : 0);
+    counter("rexd_crash_ledger_evictions_total",
+            "Crash-ledger entries evicted by the entry cap (LRU).",
+            supervisor ? supervisor->ledgerEvictions() : 0);
 
     auto gauge = [&](const char *name, const char *help,
                      std::int64_t value) {
@@ -334,12 +369,33 @@ Metrics::render(engine::Engine &engine) const
     gauge("rexd_peers_healthy",
           "Peer endpoints currently believed healthy.",
           peersHealthy.load());
+    gauge("rexd_peers_quarantined",
+          "Peer endpoints under lie-grade quarantine.",
+          peersQuarantined.load());
     gauge("rexd_quarantined_keys",
           "(test, variant) keys currently at the quarantine "
           "threshold.",
           supervisor
               ? static_cast<std::int64_t>(supervisor->quarantinedKeys())
               : 0);
+    gauge("rexd_crash_ledger_entries",
+          "(test, variant) keys tracked in the crash ledger.",
+          supervisor
+              ? static_cast<std::int64_t>(supervisor->ledgerEntries())
+              : 0);
+
+    out += "# HELP rexd_peer_rtt_ms EWMA round-trip of successful "
+           "/shard dispatches, per peer.\n"
+           "# TYPE rexd_peer_rtt_ms gauge\n";
+    {
+        std::lock_guard<std::mutex> lock(_peerRttMutex);
+        for (const PeerRtt &rtt : _peerRtt) {
+            if (!rtt.valid)
+                continue;
+            out += format("rexd_peer_rtt_ms{peer=\"%s\"} %g\n",
+                          rtt.endpoint.c_str(), rtt.millis);
+        }
+    }
 
     out += "# HELP rexd_keepalive_requests_per_connection Requests "
            "served per keep-alive connection, recorded at close.\n"

@@ -22,7 +22,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace rex::engine { class Engine; }
 
@@ -163,6 +165,38 @@ struct Metrics {
     std::atomic<std::uint64_t> shardRequests{0};
     std::atomic<std::uint64_t> shardRefused{0};
 
+    /**
+     * Integrity series (docs/DISTRIBUTED.md, "Integrity & trust
+     * model"). A digest mismatch is a peer answer whose rex-shard-v1
+     * envelope failed verification — counted, never merged. Audits are
+     * sampled recomputations of filled tasks: "match" confirms the
+     * fill, "divergence" caught differing answers (resolved against
+     * local ground truth), "failed" could not complete (no auditor
+     * reachable). A lie is an audit-divergent answer confirmed wrong
+     * against ground truth; the lying peer is quarantined
+     * (rexd_peers_quarantined).
+     */
+    std::atomic<std::uint64_t> shardDigestMismatches{0};
+    std::atomic<std::uint64_t> auditsMatch{0};
+    std::atomic<std::uint64_t> auditsDivergence{0};
+    std::atomic<std::uint64_t> auditsFailed{0};
+    std::atomic<std::uint64_t> peerLiesTotal{0};
+
+    /** Peers currently under lie-grade quarantine (gauge, maintained
+     *  by the PeerPool). */
+    std::atomic<std::int64_t> peersQuarantined{0};
+
+    /** Per-peer RTT EWMA snapshot behind rexd_peer_rtt_ms, keyed by
+     *  peer index. Mutex-guarded: updated on successful dispatches,
+     *  read whole by render(). */
+    struct PeerRtt {
+        std::string endpoint;
+        double millis = 0.0;
+        bool valid = false;
+    };
+    void recordPeerRtt(std::size_t index, const std::string &endpoint,
+                       double millis);
+
     /** Continuation lifecycle: rex-cont-v1 tokens issued on budget
      *  trips, resume tokens accepted, and tokens refused (malformed,
      *  stale, or tampered — the 400/409 paths). */
@@ -204,6 +238,10 @@ struct Metrics {
      * counts and the engine worker count are read from @p engine.
      */
     std::string render(engine::Engine &engine) const;
+
+  private:
+    mutable std::mutex _peerRttMutex;
+    std::vector<PeerRtt> _peerRtt;
 };
 
 } // namespace rex::server

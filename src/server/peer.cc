@@ -2,18 +2,37 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <condition_variable>
 #include <thread>
 
 #include "base/logging.hh"
 #include "base/strings.hh"
+#include "engine/cache.hh"
 #include "engine/faultinject.hh"
 #include "engine/governor.hh"
 #include "engine/results.hh"
 #include "server/client.hh"
+#include "server/envelope.hh"
 #include "server/json.hh"
 
 namespace rex::server {
+
+namespace {
+
+/** splitmix64 (the fault injector's draw function): the audit sampler
+ *  uses the same deterministic sequence discipline — the k-th filled
+ *  task is audited iff the k-th draw maps below auditRate. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
 
 bool
 parsePeerEndpoint(const std::string &endpoint, std::string &host,
@@ -56,11 +75,31 @@ bool
 PeerPool::peerEligible(const Peer &peer,
                        std::chrono::steady_clock::time_point now) const
 {
+    // Lie-grade quarantine is a hard bench: no half-open probing, the
+    // peer sits out the whole sentence (then re-enters on probation).
+    if (peer.quarantinedNow && now < peer.quarantineUntil)
+        return false;
     // Half-open probing: a down peer past the retry deadline is
     // eligible again, and the next dispatch to it is the health probe.
     return !peer.down ||
            now - peer.downSince >=
                std::chrono::seconds(_config.healthRetrySeconds);
+}
+
+void
+PeerPool::sweepQuarantine(std::chrono::steady_clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(_healthMutex);
+    for (Peer &peer : _peers) {
+        if (!peer.quarantinedNow || now < peer.quarantineUntil)
+            continue;
+        peer.quarantinedNow = false;
+        peer.probationLeft = std::max(1, _config.reinstateProbes);
+        inform(format("peer %s:%u quarantine expired; on probation for "
+                    "%d clean audits",
+                    peer.host.c_str(), peer.port, peer.probationLeft));
+    }
+    refreshQuarantineGauge();
 }
 
 void
@@ -78,6 +117,184 @@ PeerPool::markUp(std::size_t peerIndex)
     _peers[peerIndex].down = false;
 }
 
+namespace {
+
+/** Decay @p peer's reputation scores to now (lazy exponential decay,
+ *  half-life @p halfLifeSeconds). Caller holds the health mutex. */
+void
+decayScores(double &lieScore, double &mismatchScore,
+            std::chrono::steady_clock::time_point &touched,
+            std::chrono::steady_clock::time_point now,
+            int halfLifeSeconds)
+{
+    if (touched == std::chrono::steady_clock::time_point{}) {
+        touched = now;
+        return;
+    }
+    const double dt =
+        std::chrono::duration<double>(now - touched).count();
+    if (dt <= 0.0)
+        return;
+    const double factor =
+        std::pow(0.5, dt / std::max(1, halfLifeSeconds));
+    lieScore *= factor;
+    mismatchScore *= factor;
+    touched = now;
+}
+
+} // namespace
+
+void
+PeerPool::quarantinePeer(Peer &peer,
+                         std::chrono::steady_clock::time_point now)
+{
+    peer.quarantineEpisodes = std::min(peer.quarantineEpisodes + 1, 64);
+    const int shift = std::min(peer.quarantineEpisodes - 1, 6);
+    const std::int64_t seconds =
+        static_cast<std::int64_t>(
+            std::max(1, _config.lieQuarantineSeconds))
+        << shift;
+    peer.quarantinedNow = true;
+    peer.quarantineUntil = now + std::chrono::seconds(seconds);
+    peer.probationLeft = 0;
+    warn(format("peer %s:%u quarantined for %" PRId64
+                "s (episode %d)",
+                peer.host.c_str(), peer.port, seconds,
+                peer.quarantineEpisodes));
+}
+
+void
+PeerPool::refreshQuarantineGauge()
+{
+    if (!_metrics)
+        return;
+    std::int64_t count = 0;
+    for (const Peer &peer : _peers) {
+        if (peer.quarantinedNow)
+            ++count;
+    }
+    _metrics->peersQuarantined.store(count);
+}
+
+void
+PeerPool::chargeDigestMismatch(std::size_t peerIndex,
+                               const std::string &why)
+{
+    if (_metrics)
+        ++_metrics->shardDigestMismatches;
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(_healthMutex);
+    Peer &peer = _peers[peerIndex];
+    warn(format("peer %s:%u answer rejected: %s", peer.host.c_str(),
+                peer.port, why.c_str()));
+    decayScores(peer.lieScore, peer.mismatchScore, peer.scoreTouched,
+                now, _config.reputationHalfLifeSeconds);
+    peer.mismatchScore += 1.0;
+    // Three strikes inside a half-life: persistent envelope failures
+    // (a stale binary, a flaky NIC, a corrupted node) are handled like
+    // a liar, not like a crasher.
+    if (peer.mismatchScore >= 3.0) {
+        peer.mismatchScore = 0.0;
+        quarantinePeer(peer, now);
+    }
+    refreshQuarantineGauge();
+}
+
+void
+PeerPool::chargeLie(std::size_t peerIndex)
+{
+    if (_metrics)
+        ++_metrics->peerLiesTotal;
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(_healthMutex);
+    Peer &peer = _peers[peerIndex];
+    warn(format("peer %s:%u served an audit-confirmed wrong answer",
+                peer.host.c_str(), peer.port));
+    decayScores(peer.lieScore, peer.mismatchScore, peer.scoreTouched,
+                now, _config.reputationHalfLifeSeconds);
+    peer.lieScore += 1.0;
+    quarantinePeer(peer, now);
+    refreshQuarantineGauge();
+}
+
+void
+PeerPool::creditCleanAudit(std::size_t peerIndex)
+{
+    std::lock_guard<std::mutex> lock(_healthMutex);
+    Peer &peer = _peers[peerIndex];
+    if (peer.probationLeft <= 0)
+        return;
+    if (--peer.probationLeft == 0) {
+        inform(format("peer %s:%u reinstated after probation",
+                    peer.host.c_str(), peer.port));
+    }
+}
+
+bool
+PeerPool::peerOnProbation(std::size_t peerIndex) const
+{
+    std::lock_guard<std::mutex> lock(_healthMutex);
+    return _peers[peerIndex].probationLeft > 0;
+}
+
+void
+PeerPool::recordRtt(std::size_t peerIndex, double millis)
+{
+    double ewma = 0.0;
+    std::string endpoint;
+    {
+        std::lock_guard<std::mutex> lock(_healthMutex);
+        Peer &peer = _peers[peerIndex];
+        peer.rttEwmaMs = peer.rttValid
+                             ? 0.8 * peer.rttEwmaMs + 0.2 * millis
+                             : millis;
+        peer.rttValid = true;
+        ewma = peer.rttEwmaMs;
+        endpoint = format("%s:%u", peer.host.c_str(), peer.port);
+    }
+    if (_metrics)
+        _metrics->recordPeerRtt(peerIndex, endpoint, ewma);
+}
+
+int
+PeerPool::effectiveHedgeMs() const
+{
+    if (_config.hedgeAfterMs >= 0)
+        return _config.hedgeAfterMs;
+    // Auto: hedge at 3x the mean observed RTT — late enough not to
+    // stampede a healthy pool, early enough to cover a dying peer.
+    double sum = 0.0;
+    int samples = 0;
+    {
+        std::lock_guard<std::mutex> lock(_healthMutex);
+        for (const Peer &peer : _peers) {
+            if (peer.rttValid) {
+                sum += peer.rttEwmaMs;
+                ++samples;
+            }
+        }
+    }
+    if (samples == 0)
+        return 2000;
+    return std::clamp(static_cast<int>(3.0 * sum / samples), 250,
+                      10000);
+}
+
+void
+PeerPool::setLocalCompute(
+    std::function<std::string(const std::string &)> compute)
+{
+    std::lock_guard<std::mutex> lock(_computeMutex);
+    _localCompute = std::move(compute);
+}
+
+bool
+PeerPool::hasLocalCompute() const
+{
+    std::lock_guard<std::mutex> lock(_computeMutex);
+    return static_cast<bool>(_localCompute);
+}
+
 void
 PeerPool::noteLocalFallback(std::uint64_t count)
 {
@@ -91,6 +308,7 @@ std::size_t
 PeerPool::healthy()
 {
     const auto now = std::chrono::steady_clock::now();
+    sweepQuarantine(now);
     std::size_t count = 0;
     {
         std::lock_guard<std::mutex> lock(_healthMutex);
@@ -101,6 +319,18 @@ PeerPool::healthy()
     }
     if (_metrics)
         _metrics->peersHealthy.store(static_cast<std::int64_t>(count));
+    return count;
+}
+
+std::size_t
+PeerPool::quarantined()
+{
+    std::lock_guard<std::mutex> lock(_healthMutex);
+    std::size_t count = 0;
+    for (const Peer &peer : _peers) {
+        if (peer.quarantinedNow)
+            ++count;
+    }
     return count;
 }
 
@@ -117,7 +347,13 @@ PeerPool::available()
 std::uint64_t
 PeerPool::shardsPerTask() const
 {
-    return std::max<std::uint64_t>(1, _config.shardsPerTask);
+    if (_config.shardsPerTask != 0)
+        return std::max<std::uint64_t>(1, _config.shardsPerTask);
+    // Auto: finer batches as the pool widens, so a wide pool is not
+    // starved by coarse tasks; one peer gets the classic 64.
+    const std::uint64_t peers =
+        std::max<std::size_t>(1, _peers.size());
+    return std::max<std::uint64_t>(8, 256 / (4 * peers));
 }
 
 std::uint64_t
@@ -169,6 +405,7 @@ PeerPool::runWireTasks(const std::string &path,
         return;
 
     const auto now = std::chrono::steady_clock::now();
+    sweepQuarantine(now);
     std::vector<std::size_t> eligible;
     {
         std::lock_guard<std::mutex> lock(_healthMutex);
@@ -179,6 +416,8 @@ PeerPool::runWireTasks(const std::string &path,
     }
     if (eligible.empty())
         return;
+
+    const int hedgeMs = effectiveHedgeMs();
 
     Pump pump;
     pump.status.assign(tasks.size(), Pump::Status::Pending);
@@ -219,7 +458,7 @@ PeerPool::runWireTasks(const std::string &path,
                     // that has straggled past the hedge deadline (one
                     // hedge per task — enough to cover a dying peer
                     // without stampeding).
-                    if (_config.hedgeAfterMs > 0) {
+                    if (hedgeMs > 0) {
                         const auto hedge_now =
                             std::chrono::steady_clock::now();
                         std::size_t oldest = tasks.size();
@@ -228,8 +467,7 @@ PeerPool::runWireTasks(const std::string &path,
                                     pump.hedged[i])
                                 continue;
                             if (hedge_now - pump.startedAt[i] <
-                                    std::chrono::milliseconds(
-                                        _config.hedgeAfterMs))
+                                    std::chrono::milliseconds(hedgeMs))
                                 continue;
                             if (oldest == tasks.size() ||
                                     pump.startedAt[i] <
@@ -271,6 +509,8 @@ PeerPool::runWireTasks(const std::string &path,
                 }
                 ClientResponse response;
                 bool transportOk = false;
+                const auto attemptStart =
+                    std::chrono::steady_clock::now();
                 try {
                     if (engine::faultInjector().shouldFail(
                             engine::FaultPoint::PeerConnect) ||
@@ -302,11 +542,36 @@ PeerPool::runWireTasks(const std::string &path,
                     peerDead = true;  // deliberate refusal (409, ...)
                     break;
                 }
+
+                // Verify the integrity envelope before anything can
+                // merge: a digest mismatch, alien revision, or wrong
+                // program id is counted and charged, never merged —
+                // the attempt ladder treats it like a failed try
+                // (transient corruption retries; a persistently
+                // broken peer exhausts the ladder and is re-
+                // dispatched around).
+                std::string payload;
+                std::string envError;
+                if (!openShardEnvelope(response.body,
+                                       tasks[task].expectProgram,
+                                       engine::kModelRevision, payload,
+                                       envError)) {
+                    chargeDigestMismatch(peerIndex, envError);
+                    continue;
+                }
+                recordRtt(peerIndex,
+                          std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() -
+                              attemptStart)
+                              .count());
+
                 {
                     std::lock_guard<std::mutex> lock(pump.mutex);
                     if (pump.status[task] != Pump::Status::Done) {
-                        tasks[task].response = std::move(response.body);
+                        tasks[task].response = std::move(payload);
                         tasks[task].filled = true;
+                        tasks[task].filledBy =
+                            static_cast<int>(peerIndex);
                         pump.status[task] = Pump::Status::Done;
                         ++pump.done;
                     } else if (_metrics) {
@@ -351,7 +616,180 @@ PeerPool::runWireTasks(const std::string &path,
         threads.emplace_back(worker, peerIndex);
     for (std::thread &thread : threads)
         thread.join();
-    healthy();  // refresh the gauge after the dust settles
+
+    auditTasks(path, tasks, cancel);
+    healthy();  // refresh the gauges after the dust settles
+}
+
+void
+PeerPool::auditTasks(const std::string &path,
+                     std::vector<WireTask> &tasks,
+                     const engine::CancelToken *cancel)
+{
+    if (cancelled(cancel))
+        return;
+    const double rate =
+        std::clamp(_config.auditRate, 0.0, 1.0);
+    std::function<std::string(const std::string &)> local;
+    {
+        std::lock_guard<std::mutex> lock(_computeMutex);
+        local = _localCompute;
+    }
+
+    // Sample sequentially in task order so the audit sequence is a
+    // pure function of (auditSeed, fill count), like the fault
+    // injector's draws. A probation peer's fills are always audited.
+    std::vector<std::size_t> picked;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (!tasks[i].filled || tasks[i].filledBy < 0)
+            continue;
+        bool audit = peerOnProbation(
+            static_cast<std::size_t>(tasks[i].filledBy));
+        if (!audit && rate > 0.0) {
+            const std::uint64_t k =
+                _auditCounter.fetch_add(1, std::memory_order_relaxed);
+            const double draw =
+                static_cast<double>(
+                    splitmix64(_config.auditSeed + k) >> 11) *
+                0x1.0p-53;
+            audit = draw < rate;
+        }
+        if (audit)
+            picked.push_back(i);
+    }
+    if (picked.empty())
+        return;
+
+    // Auditor choice: the lowest-index eligible peer that is neither
+    // the filler nor itself under suspicion; the coordinator's own
+    // compute hook otherwise.
+    auto pickAuditor = [&](std::size_t filler) -> int {
+        const auto now = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lock(_healthMutex);
+        for (std::size_t i = 0; i < _peers.size(); ++i) {
+            if (i == filler)
+                continue;
+            const Peer &peer = _peers[i];
+            if (peer.probationLeft > 0)
+                continue;
+            if (!peerEligible(peer, now))
+                continue;
+            return static_cast<int>(i);
+        }
+        return -1;
+    };
+
+    std::atomic<std::size_t> next{0};
+    auto auditWorker = [&]() {
+        while (true) {
+            const std::size_t slot =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (slot >= picked.size() || cancelled(cancel))
+                return;
+            WireTask &task = tasks[picked[slot]];
+            const std::size_t filler =
+                static_cast<std::size_t>(task.filledBy);
+
+            std::string auditPayload;
+            int auditor = pickAuditor(filler);
+            if (auditor >= 0) {
+                const std::size_t who =
+                    static_cast<std::size_t>(auditor);
+                try {
+                    Client client(_peers[who].host, _peers[who].port,
+                                  _config.timeoutSeconds);
+                    ClientResponse response =
+                        client.post(path, task.body);
+                    if (response.status == 200) {
+                        std::string envError;
+                        if (!openShardEnvelope(
+                                response.body, task.expectProgram,
+                                engine::kModelRevision, auditPayload,
+                                envError))
+                            chargeDigestMismatch(who, envError);
+                    }
+                } catch (const FatalError &) {
+                    // Auditor unreachable; fall through to local.
+                }
+            }
+            bool localTruth = false;
+            if (auditPayload.empty() && local) {
+                auditPayload = local(task.body);
+                localTruth = true;
+                auditor = -1;
+            }
+            if (auditPayload.empty()) {
+                if (_metrics)
+                    ++_metrics->auditsFailed;
+                continue;
+            }
+
+            if (auditPayload == task.response) {
+                if (_metrics)
+                    ++_metrics->auditsMatch;
+                creditCleanAudit(filler);
+                if (auditor >= 0)
+                    creditCleanAudit(
+                        static_cast<std::size_t>(auditor));
+                continue;
+            }
+
+            // Divergence: someone is wrong. Local recompute is ground
+            // truth — the coordinator's own engine cannot lie to it.
+            if (_metrics)
+                ++_metrics->auditsDivergence;
+            std::string truth;
+            if (localTruth)
+                truth = auditPayload;
+            else if (local)
+                truth = local(task.body);
+
+            if (truth.empty()) {
+                // No local ground truth available: both answers are
+                // suspect. Unfill the task — the caller's local
+                // fallback recomputes it, which IS the ground truth —
+                // and charge both parties a mismatch-grade strike.
+                chargeDigestMismatch(
+                    filler, "unresolved audit divergence");
+                if (auditor >= 0) {
+                    chargeDigestMismatch(
+                        static_cast<std::size_t>(auditor),
+                        "unresolved audit divergence");
+                }
+                task.filled = false;
+                task.filledBy = -1;
+                task.response.clear();
+                continue;
+            }
+
+            if (task.response != truth) {
+                chargeLie(filler);
+                // The merge stream gets the truth: a lying peer costs
+                // itself reputation, never the caller correctness.
+                task.response = truth;
+                task.filledBy = -1;
+            } else {
+                creditCleanAudit(filler);
+            }
+            if (auditor >= 0) {
+                const std::size_t who =
+                    static_cast<std::size_t>(auditor);
+                if (auditPayload != truth)
+                    chargeLie(who);
+                else
+                    creditCleanAudit(who);
+            }
+        }
+    };
+
+    const std::size_t auditThreads =
+        std::min<std::size_t>(4, picked.size());
+    std::vector<std::thread> auditors;
+    auditors.reserve(auditThreads);
+    for (std::size_t i = 0; i < auditThreads; ++i)
+        auditors.emplace_back(auditWorker);
+    for (std::thread &thread : auditors)
+        thread.join();
 }
 
 namespace {
@@ -454,8 +892,10 @@ PeerPool::runTasks(const engine::RangeJobContext &ctx,
         return;
 
     std::vector<WireTask> wire(tasks.size());
-    for (std::size_t i = 0; i < tasks.size(); ++i)
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
         wire[i].body = shardCheckBody(ctx, tasks[i]);
+        wire[i].expectProgram = "shard-check:" + *ctx.variantName;
+    }
 
     runWireTasks("/shard", wire, ctx.cancel);
 

@@ -17,15 +17,40 @@
  * dispatch degrades throughput, never correctness, and with every peer
  * down the coordinator degrades to plain local enumeration.
  *
+ * Trust model (this PR): crashing peers are only half the threat. A
+ * 200 answer is merged only after its rex-shard-v1 integrity envelope
+ * (server/envelope.hh) verifies — digest over the exact payload bytes,
+ * model revision, program id — which catches corruption and version
+ * skew but not a peer that computes a wrong answer and signs it
+ * consistently. For that Byzantine half, a configurable fraction of
+ * filled tasks (auditRate) is audited after the pump: the task is
+ * recomputed by a second peer or by the coordinator's own local
+ * compute hook, and the payloads are byte-compared. Divergence is
+ * resolved against local ground truth; every peer whose answer differs
+ * from it is charged a confirmed lie.
+ *
+ * Reputation: each peer carries decaying lie and digest-mismatch
+ * scores (half-life reputationHalfLifeSeconds). A confirmed lie — or
+ * three digest mismatches within a half-life — quarantines the peer
+ * for lieQuarantineSeconds, doubling per repeat episode (capped at
+ * 2^6). Crash-grade failures keep the gentler half-open retry
+ * (healthRetrySeconds): a liar is benched harder and faster than a
+ * crasher, because a crash costs throughput while a lie costs
+ * correctness. A quarantine-expired peer re-enters on probation: it is
+ * force-audited until reinstateProbes consecutive clean audits clear
+ * it.
+ *
  * Down peers become eligible again after healthRetrySeconds
  * (half-open: the next dispatch is the probe), so a restarted peer
  * rejoins without coordinator intervention.
  *
  * The injectable fault points peer-connect / peer-send / peer-recv
- * (engine/faultinject.hh) wire into the attempt path so the whole
- * ladder — retry, mark-down, re-dispatch, hedge, dedup, local
- * fallback — is exercisable deterministically in tests and CI chaos
- * runs.
+ * (engine/faultinject.hh) wire into the attempt path, and the
+ * Byzantine points peer-lie / peer-corrupt-frame / peer-stale-revision
+ * into the responding peer's handlers (rexd --byzantine-spec), so the
+ * whole ladder — retry, mark-down, re-dispatch, hedge, dedup, local
+ * fallback, envelope rejection, audit, quarantine, reinstatement — is
+ * exercisable deterministically in tests and CI chaos runs.
  */
 
 #ifndef REX_SERVER_PEER_HH
@@ -34,6 +59,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -63,11 +89,15 @@ struct PeerConfig {
     int backoffMaxMs = 1000;
 
     /** An idle peer duplicates ("hedges") the oldest in-flight task
-     *  once it has been out this long; 0 disables hedging. */
-    int hedgeAfterMs = 2000;
+     *  once it has been out this long; 0 disables hedging, -1 (the
+     *  default) derives the deadline from observed peer RTT:
+     *  clamp(3 × EWMA, 250 ms, 10 s), 2000 ms before any sample. */
+    int hedgeAfterMs = -1;
 
-    /** Shards batched into one /shard request. */
-    std::uint64_t shardsPerTask = 64;
+    /** Shards batched into one /shard request; 0 (the default) derives
+     *  the batch from the peer count — max(8, 256 / (4 × peers)) — so
+     *  wider pools get finer-grained work without retuning. */
+    std::uint64_t shardsPerTask = 0;
 
     /** Minimum shards in a range before dispatch beats local
      *  compute. */
@@ -76,6 +106,28 @@ struct PeerConfig {
     /** A down peer becomes eligible again (half-open) this long after
      *  it was marked down. */
     int healthRetrySeconds = 5;
+
+    /** Fraction of filled tasks audited (recomputed elsewhere and
+     *  byte-compared) after each pump, in [0, 1]. 1.0 audits every
+     *  fill — the only rate that *guarantees* byte-identity under an
+     *  actively lying peer; lower rates bound the detection delay
+     *  instead (docs/DISTRIBUTED.md, "Integrity & trust model"). */
+    double auditRate = 0.05;
+
+    /** Seed of the deterministic audit sampling sequence. */
+    std::uint64_t auditSeed = 0;
+
+    /** Base quarantine after a confirmed lie (or three digest
+     *  mismatches inside a reputation half-life); doubles per repeat
+     *  episode, capped at base × 2^6. */
+    int lieQuarantineSeconds = 60;
+
+    /** Consecutive clean audits a quarantine-expired peer must pass on
+     *  probation before it is fully reinstated. */
+    int reinstateProbes = 3;
+
+    /** Half-life of the decaying per-peer lie/mismatch scores. */
+    int reputationHalfLifeSeconds = 300;
 };
 
 /** Parse "host:port" into @p host / @p port; false on bad input. */
@@ -98,26 +150,52 @@ class PeerPool final : public engine::RangeDispatcher
 
     /**
      * One generic unit of peer work: a request body for @p path and,
-     * once some peer answered 200, its response body. Used both by
+     * once some peer's answer passed envelope verification, the
+     * extracted *payload* (not the sealed frame). Used both by
      * runTasks() (kind "check") and the distributed hammer
      * (server/hammerdist.hh, kind "hammer").
      */
     struct WireTask {
         std::string body;
+
+        /** Envelope program id this task's answer must carry
+         *  ("shard-check:<variant>" / "shard-hammer:<fp>"); "" skips
+         *  the program check (never the digest/revision checks). */
+        std::string expectProgram;
+
+        /** The verified envelope payload, once filled. */
         std::string response;
         bool filled = false;
+
+        /** Index of the peer whose answer filled this task; -1 when
+         *  unfilled (or filled by audit-resolved local truth). */
+        int filledBy = -1;
     };
 
     /**
      * Pump @p tasks through the healthy peers: one worker thread per
      * eligible peer, lowest-index-first claiming, the full
-     * retry/re-dispatch/hedge/dedup ladder from the file header.
-     * Returns when every task is filled, every peer is down, or
-     * @p cancel tripped. Unfilled tasks are the caller's to finish.
+     * retry/re-dispatch/hedge/dedup ladder from the file header, then
+     * the audit pass over the filled results. Returns when every task
+     * is filled, every peer is down, or @p cancel tripped. Unfilled
+     * tasks are the caller's to finish.
      */
     void runWireTasks(const std::string &path,
                       std::vector<WireTask> &tasks,
                       const engine::CancelToken *cancel = nullptr);
+
+    /**
+     * Install the audit ground-truth hook: given a /shard request
+     * body, compute the answer on *this* node and return the payload
+     * ("" on failure). rexd wires CheckService::shardLocalCompute;
+     * the standalone hammer installs a campaign-scoped equivalent.
+     * Without it, audits need a second eligible peer, and unresolved
+     * divergences unfill the task (the caller's local fallback is the
+     * ground truth of last resort).
+     */
+    void setLocalCompute(
+        std::function<std::string(const std::string &)> compute);
+    bool hasLocalCompute() const;
 
     /** Configured peer count. */
     std::size_t configured() const { return _peers.size(); }
@@ -128,29 +206,99 @@ class PeerPool final : public engine::RangeDispatcher
     void noteLocalFallback(std::uint64_t count);
 
     /** Peers currently eligible for dispatch (down peers past the
-     *  half-open deadline count); updates the health gauges. */
+     *  half-open deadline count; quarantined peers do not); updates
+     *  the health gauges. */
     std::size_t healthy();
+
+    /** Peers currently under lie-grade quarantine. */
+    std::size_t quarantined();
 
   private:
     struct Peer {
         std::string host;
         std::uint16_t port = 0;
 
-        /** Marked on attempt exhaustion or 409; half-open after
-         *  healthRetrySeconds. Guarded by _healthMutex. */
+        /** Marked on attempt exhaustion or 409 (crash-grade);
+         *  half-open after healthRetrySeconds. Guarded by
+         *  _healthMutex, like every field below. */
         bool down = false;
         std::chrono::steady_clock::time_point downSince{};
+
+        /** Decaying reputation scores (half-life
+         *  reputationHalfLifeSeconds). */
+        double lieScore = 0.0;
+        double mismatchScore = 0.0;
+        std::chrono::steady_clock::time_point scoreTouched{};
+
+        /** Lie-grade quarantine: ineligible until the deadline, then
+         *  on probation until probationLeft clean audits pass. */
+        bool quarantinedNow = false;
+        std::chrono::steady_clock::time_point quarantineUntil{};
+        int quarantineEpisodes = 0;
+        int probationLeft = 0;
+
+        /** EWMA (alpha 0.2) of successful /shard round-trips. */
+        double rttEwmaMs = 0.0;
+        bool rttValid = false;
     };
 
     bool peerEligible(const Peer &peer,
                       std::chrono::steady_clock::time_point now) const;
+
+    /** Transition expired quarantines to probation; refresh gauges.
+     *  Takes _healthMutex. */
+    void sweepQuarantine(std::chrono::steady_clock::time_point now);
+
     void markDown(std::size_t peerIndex);
     void markUp(std::size_t peerIndex);
+
+    /** Charge an envelope-verification failure against @p peerIndex;
+     *  three inside a half-life escalate to lie-grade quarantine. */
+    void chargeDigestMismatch(std::size_t peerIndex,
+                              const std::string &why);
+
+    /** Charge an audit-confirmed lie: immediate quarantine. */
+    void chargeLie(std::size_t peerIndex);
+
+    /** A clean audit of @p peerIndex's answer: advance (and possibly
+     *  complete) probation. */
+    void creditCleanAudit(std::size_t peerIndex);
+
+    bool peerOnProbation(std::size_t peerIndex) const;
+
+    /** Fold a successful round-trip into the peer's RTT EWMA and the
+     *  rexd_peer_rtt_ms gauge. */
+    void recordRtt(std::size_t peerIndex, double millis);
+
+    /** The hedge deadline actually in force: the configured value, or
+     *  the RTT-derived one when hedgeAfterMs is -1. */
+    int effectiveHedgeMs() const;
+
+    /** Quarantine @p peer (lie-grade), doubling per episode. Caller
+     *  holds _healthMutex. */
+    void quarantinePeer(Peer &peer,
+                        std::chrono::steady_clock::time_point now);
+
+    /** Refresh the rexd_peers_quarantined gauge. Caller holds
+     *  _healthMutex. */
+    void refreshQuarantineGauge();
+
+    /** Audit the filled tasks sampled by auditRate (probation peers'
+     *  fills always): recompute elsewhere, byte-compare, resolve
+     *  divergence against local ground truth, charge liars. */
+    void auditTasks(const std::string &path,
+                    std::vector<WireTask> &tasks,
+                    const engine::CancelToken *cancel);
 
     PeerConfig _config;
     Metrics *_metrics = nullptr;
     std::vector<Peer> _peers;
     mutable std::mutex _healthMutex;
+
+    mutable std::mutex _computeMutex;
+    std::function<std::string(const std::string &)> _localCompute;
+
+    std::atomic<std::uint64_t> _auditCounter{0};
 };
 
 } // namespace rex::server

@@ -244,6 +244,11 @@ RexServer::RexServer(engine::Engine &engine, ServerConfig config)
     if (!_config.peers.endpoints.empty()) {
         _peers = std::make_unique<PeerPool>(_config.peers, &_metrics);
         _service.setDispatcher(_peers.get());
+        // Audit ground truth: recompute sampled shards on this node's
+        // own engine (trusted — Byzantine fault points stay dormant).
+        _peers->setLocalCompute([this](const std::string &body) {
+            return _service.shardLocalCompute(body);
+        });
     }
 }
 

@@ -12,8 +12,10 @@
 #include "engine/batch.hh"
 #include "engine/cache.hh"
 #include "engine/continuation.hh"
+#include "engine/faultinject.hh"
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
+#include "server/envelope.hh"
 #include "server/hammerdist.hh"
 #include "server/json.hh"
 
@@ -372,9 +374,10 @@ shardFingerprint(const JsonValue &root)
 } // namespace
 
 HttpResponse
-CheckService::handleShard(const HttpRequest &request)
+CheckService::handleShard(const HttpRequest &request, bool trusted)
 {
-    ++_metrics.shardRequests;
+    if (!trusted)
+        ++_metrics.shardRequests;
     JsonValue root;
     try {
         root = parseJson(request.body);
@@ -391,7 +394,7 @@ CheckService::handleShard(const HttpRequest &request)
         kind && kind->isString() ? kind->string : "check";
     if (kindName == "hammer") {
         try {
-            return handleHammerShard(_engine, root, _metrics);
+            return handleHammerShard(_engine, root, _metrics, trusted);
         } catch (const FatalError &err) {
             return HttpResponse::error(400, err.what());
         } catch (const std::exception &err) {
@@ -474,6 +477,15 @@ CheckService::handleShard(const HttpRequest &request)
         }
 
         const CheckResult &result = outcome.result;
+
+        // peer-lie (Byzantine injection, --byzantine-spec): perturb the
+        // counters *before* sealing, so the envelope digests the wrong
+        // answer self-consistently — only an audit can catch it.
+        std::size_t lieBias = 0;
+        if (!trusted && engine::faultInjector().shouldFail(
+                            engine::FaultPoint::PeerLie))
+            lieBias = 1;
+
         std::string body = format(
             "{\"planned\":%s,\"completed\":%s,\"witnessed\":%s"
             ",\"next_shard\":%" PRIu64 ",\"next_offset\":%" PRIu64
@@ -482,8 +494,9 @@ CheckService::handleShard(const HttpRequest &request)
             outcome.planned ? "true" : "false",
             outcome.completed ? "true" : "false",
             outcome.witnessed ? "true" : "false", outcome.nextShard,
-            outcome.nextOffset, result.candidates, result.consistent,
-            result.witnesses, result.constrainedUnpredictable,
+            outcome.nextOffset, result.candidates + lieBias,
+            result.consistent, result.witnesses + lieBias,
+            result.constrainedUnpredictable,
             result.unknownSideEffects, outcome.planSize);
         if (!result.forbiddingAxiom.empty()) {
             body += format(
@@ -497,10 +510,11 @@ CheckService::handleShard(const HttpRequest &request)
             }
             body += "]";
         }
-        body += "}\n";
+        body += "}";
 
         HttpResponse response;
-        response.body = std::move(body);
+        response.body = sealShardResponse(
+            body, "shard-check:" + variant->string, trusted);
         response.contentType = "application/json";
         return response;
     } catch (const FatalError &err) {
@@ -508,6 +522,27 @@ CheckService::handleShard(const HttpRequest &request)
     } catch (const std::exception &err) {
         return HttpResponse::error(500, err.what());
     }
+}
+
+std::string
+CheckService::shardLocalCompute(const std::string &shardBody)
+{
+    HttpRequest request;
+    request.method = "POST";
+    request.path = "/shard";
+    request.body = shardBody;
+    HttpResponse response = handleShard(request, /*trusted=*/true);
+    if (response.status != 200)
+        return "";
+    std::string payload;
+    std::string error;
+    if (!openShardEnvelope(response.body, "", engine::kModelRevision,
+                           payload, error)) {
+        warn("local shard recompute sealed an unopenable envelope: " +
+             error);
+        return "";
+    }
+    return payload;
 }
 
 bool

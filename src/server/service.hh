@@ -216,9 +216,27 @@ class CheckService
      * mismatch — never silently compute against a different model),
      * run the requested shard range or hammer seed chunk on the shared
      * engine, and answer partial counts + resume cursor as one JSON
-     * line. Never re-dispatches: peers do not fan out further.
+     * line sealed in a rex-shard-v1 integrity envelope
+     * (server/envelope.hh). Never re-dispatches: peers do not fan out
+     * further.
+     *
+     * @param trusted true for the coordinator's own audit/ground-truth
+     *        recomputations (PeerPool local compute): the Byzantine
+     *        fault points (peer-lie / peer-corrupt-frame /
+     *        peer-stale-revision) are consulted only on the untrusted
+     *        wire path, and trusted calls skip the shard request
+     *        counters — a node auditing itself is not peer traffic.
      */
-    HttpResponse handleShard(const HttpRequest &request);
+    HttpResponse handleShard(const HttpRequest &request,
+                             bool trusted = false);
+
+    /**
+     * PeerPool::setLocalCompute() adapter: run @p shardBody against
+     * this node's own engine as audit ground truth and return the
+     * *payload* (envelope opened and verified); "" when the shard
+     * request itself fails. Never lies, never counts as peer traffic.
+     */
+    std::string shardLocalCompute(const std::string &shardBody);
 
     /**
      * Route budget-eligible checks through peer dispatch: when set,

@@ -36,6 +36,7 @@
 #include "litmus/parser.hh"
 #include "litmus/registry.hh"
 #include "server/client.hh"
+#include "server/envelope.hh"
 #include "server/hammerdist.hh"
 #include "server/json.hh"
 #include "server/peer.hh"
@@ -1746,6 +1747,21 @@ postShard(server::CheckService &service, const std::string &body)
     return service.handle(request);
 }
 
+/** Open a sealed /shard 200 body and return its raw payload bytes;
+ *  fails the test on a bad envelope. */
+std::string
+openedShardPayload(const server::HttpResponse &response,
+                   const std::string &expectProgram = "")
+{
+    std::string payload;
+    std::string error;
+    EXPECT_TRUE(server::openShardEnvelope(response.body, expectProgram,
+                                          engine::kModelRevision,
+                                          payload, error))
+        << error << "\nbody: " << response.body;
+    return payload;
+}
+
 /** A /shard check-kind request for shards [begin, end) of @p source. */
 std::string
 shardCheckRequest(const std::string &source, const std::string &variant,
@@ -1775,7 +1791,8 @@ TEST(ShardRoute, ServesRangesAndRefusesDrift)
     server::HttpResponse whole = postShard(
         service, shardCheckRequest(source, "base", 0, ~0ull));
     ASSERT_EQ(whole.status, 200) << whole.body;
-    server::JsonValue wholeBody = server::parseJson(trim(whole.body));
+    server::JsonValue wholeBody = server::parseJson(
+        openedShardPayload(whole, "shard-check:base"));
     ASSERT_TRUE(wholeBody.find("planned")->boolean);
     ASSERT_TRUE(wholeBody.find("completed")->boolean);
     const std::int64_t planSize =
@@ -1792,10 +1809,10 @@ TEST(ShardRoute, ServesRangesAndRefusesDrift)
         service, shardCheckRequest(source, "base", cut, ~0ull));
     ASSERT_EQ(lo.status, 200);
     ASSERT_EQ(hi.status, 200);
-    EXPECT_EQ(server::parseJson(trim(lo.body))
+    EXPECT_EQ(server::parseJson(openedShardPayload(lo))
                       .find("candidates")
                       ->integer +
-                  server::parseJson(trim(hi.body))
+                  server::parseJson(openedShardPayload(hi))
                       .find("candidates")
                       ->integer,
               candidates);
@@ -1819,6 +1836,90 @@ TEST(ShardRoute, ServesRangesAndRefusesDrift)
     EXPECT_EQ(service.handle(get).status, 405);
 }
 
+// ---------------------------------------------------------------------
+// The rex-shard-v1 integrity envelope
+// ---------------------------------------------------------------------
+
+TEST(ShardEnvelope, SealsAndOpensRoundTrip)
+{
+    const std::string payload =
+        "{\"tested\":4,\"sound\":4,\"candidates\":99}";
+    const std::string sealed = server::sealShardEnvelope(
+        payload, "shard-check:base", engine::kModelRevision);
+    ASSERT_FALSE(sealed.empty());
+    EXPECT_EQ(sealed.back(), '\n');
+
+    std::string opened;
+    std::string error;
+    ASSERT_TRUE(server::openShardEnvelope(sealed, "shard-check:base",
+                                          engine::kModelRevision,
+                                          opened, error))
+        << error;
+    EXPECT_EQ(opened, payload);
+
+    // A pre-envelope (PR 9) bare payload is refused as foreign.
+    EXPECT_FALSE(server::openShardEnvelope(payload + "\n", "",
+                                           engine::kModelRevision,
+                                           opened, error));
+    EXPECT_NE(error.find("envelope"), std::string::npos);
+}
+
+TEST(ShardEnvelope, RejectsTamperedPayloadBytes)
+{
+    const std::string payload = "{\"candidates\":123}";
+    std::string sealed = server::sealShardEnvelope(
+        payload, "shard-check:base", engine::kModelRevision);
+    const std::size_t at = sealed.find(":123}");
+    ASSERT_NE(at, std::string::npos);
+    sealed[at + 1] = '9';
+
+    std::string opened;
+    std::string error;
+    EXPECT_FALSE(server::openShardEnvelope(sealed, "shard-check:base",
+                                           engine::kModelRevision,
+                                           opened, error));
+    EXPECT_NE(error.find("digest mismatch"), std::string::npos);
+    EXPECT_TRUE(opened.empty());
+}
+
+TEST(ShardEnvelope, RejectsForeignRevisionEvenWhenSelfConsistent)
+{
+    // A stale binary signs its stale revision consistently — the digest
+    // verifies, the revision check still refuses it.
+    const std::string payload = "{\"candidates\":7}";
+    const std::string sealed = server::sealShardEnvelope(
+        payload, "shard-check:base",
+        std::string(engine::kModelRevision) + "-stale");
+
+    std::string opened;
+    std::string error;
+    EXPECT_FALSE(server::openShardEnvelope(sealed, "shard-check:base",
+                                           engine::kModelRevision,
+                                           opened, error));
+    EXPECT_NE(error.find("revision mismatch"), std::string::npos);
+}
+
+TEST(ShardEnvelope, RejectsAnswersForADifferentProgram)
+{
+    const std::string payload = "{\"candidates\":7}";
+    const std::string sealed = server::sealShardEnvelope(
+        payload, "shard-check:sc", engine::kModelRevision);
+
+    std::string opened;
+    std::string error;
+    EXPECT_FALSE(server::openShardEnvelope(sealed, "shard-check:base",
+                                           engine::kModelRevision,
+                                           opened, error));
+    EXPECT_NE(error.find("program mismatch"), std::string::npos);
+
+    // An empty expectProgram (the trusted local path) skips the check.
+    EXPECT_TRUE(server::openShardEnvelope(sealed, "",
+                                          engine::kModelRevision,
+                                          opened, error))
+        << error;
+    EXPECT_EQ(opened, payload);
+}
+
 /** A live peer rexd plus a coordinator rexd whose --peers points at
  *  it; both on ephemeral localhost ports, engines uncached. */
 class PeerCluster : public ::testing::Test
@@ -1835,16 +1936,39 @@ class PeerCluster : public ::testing::Test
         _peer->start();
 
         _coordEngine = std::make_unique<engine::Engine>(plainConfig());
-        server::ServerConfig coordConfig;
-        coordConfig.threads = 2;
-        coordConfig.peers.endpoints = {
-            format("127.0.0.1:%u", _peer->port())};
-        coordConfig.peers.minShards = 1;
-        coordConfig.peers.shardsPerTask = 4;
-        coordConfig.peers.maxAttemptsPerPeer = 2;
-        coordConfig.peers.backoffInitialMs = 5;
         _coord = std::make_unique<server::RexServer>(*_coordEngine,
-                                                     coordConfig);
+                                                     coordConfig());
+        _coord->start();
+    }
+
+    /** The default coordinator config, pointing at the live peer. */
+    server::ServerConfig
+    coordConfig() const
+    {
+        server::ServerConfig config;
+        config.threads = 2;
+        config.peers.endpoints = {
+            format("127.0.0.1:%u", _peer->port())};
+        config.peers.minShards = 1;
+        config.peers.shardsPerTask = 4;
+        config.peers.maxAttemptsPerPeer = 2;
+        config.peers.backoffInitialMs = 5;
+        return config;
+    }
+
+    /** Tear the coordinator down and rebuild it with @p tweak applied
+     *  to the default config (for tests needing audit knobs). */
+    template <typename Tweak>
+    void
+    restartCoordinator(Tweak tweak)
+    {
+        _coord->requestDrain();
+        _coord->join();
+        server::ServerConfig config = coordConfig();
+        tweak(config);
+        _coordEngine = std::make_unique<engine::Engine>(plainConfig());
+        _coord = std::make_unique<server::RexServer>(*_coordEngine,
+                                                     config);
         _coord->start();
     }
 
@@ -1938,6 +2062,110 @@ TEST_F(PeerCluster, DistributedHammerMatchesTheLocalCampaign)
     EXPECT_EQ(distributed.render(), expected.render());
     EXPECT_GT(poolMetrics.peerDispatchTotal.load(), 0u);
     EXPECT_EQ(poolMetrics.peerLocalFallbackTotal.load(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Byzantine peers: corrupt frames, lies, quarantine, reinstatement
+// ---------------------------------------------------------------------
+
+TEST_F(PeerCluster, CorruptedFramesAreNeverMergedAndFallBackLocally)
+{
+    FaultGuard disarm;
+    engine::faultInjector().configure("peer-corrupt-frame:1.0:21");
+
+    const std::string source =
+        TestRegistry::instance().sourceText("IRIW+addrs");
+    server::Client viaCoord("127.0.0.1", _coord->port());
+    server::ClientResponse r = viaCoord.check(source, {"base"});
+    ASSERT_EQ(r.status, 200);
+
+    // Every frame failed the digest check, so nothing corrupted was
+    // merged — the verdict is the local fallback's, i.e. the truth.
+    engine::Engine reference(plainConfig());
+    engine::JobRecord expected = reference.verdictRecord(
+        parseLitmus(source), ModelParams::byName("base"));
+    server::JsonValue got = server::parseJson(trim(r.body));
+    EXPECT_EQ(got.find("verdict")->string, expected.verdict);
+    EXPECT_EQ(got.find("candidates")->integer,
+              static_cast<std::int64_t>(expected.candidates));
+
+    const std::string exposition = viaCoord.get("/metrics").body;
+    EXPECT_GT(metricValue(exposition,
+                          "rexd_shard_digest_mismatches_total"),
+              0.0);
+    EXPECT_GT(engine::faultInjector().injected(
+                  engine::FaultPoint::PeerCorruptFrame),
+              0u);
+}
+
+TEST_F(PeerCluster, LyingPeerIsAuditedQuarantinedAndTheMergeStaysTrue)
+{
+    restartCoordinator([](server::ServerConfig &config) {
+        config.peers.auditRate = 1.0;
+        config.peers.auditSeed = 9;
+        config.peers.lieQuarantineSeconds = 300;
+    });
+
+    FaultGuard disarm;
+    engine::faultInjector().configure("peer-lie:1.0:33");
+
+    const std::string source =
+        TestRegistry::instance().sourceText("IRIW+addrs");
+    server::Client viaCoord("127.0.0.1", _coord->port());
+    server::ClientResponse r = viaCoord.check(source, {"base"});
+    ASSERT_EQ(r.status, 200);
+
+    // Lies pass the envelope check (self-consistently signed) but every
+    // audit recomputes locally — and the coordinator cannot lie to
+    // itself — so the merged verdict is still the single-node answer.
+    engine::Engine reference(plainConfig());
+    engine::JobRecord expected = reference.verdictRecord(
+        parseLitmus(source), ModelParams::byName("base"));
+    server::JsonValue got = server::parseJson(trim(r.body));
+    EXPECT_EQ(got.find("verdict")->string, expected.verdict);
+    EXPECT_EQ(got.find("candidates")->integer,
+              static_cast<std::int64_t>(expected.candidates));
+
+    const std::string exposition = viaCoord.get("/metrics").body;
+    EXPECT_GT(metricValue(exposition, "rexd_peer_lies_total"), 0.0);
+    EXPECT_GE(metricValue(exposition, "rexd_peers_quarantined"), 1.0);
+    EXPECT_GT(engine::faultInjector().injected(
+                  engine::FaultPoint::PeerLie),
+              0u);
+}
+
+TEST_F(PeerCluster, QuarantinedLiarIsReinstatedAfterCleanProbes)
+{
+    restartCoordinator([](server::ServerConfig &config) {
+        config.peers.auditRate = 1.0;
+        config.peers.auditSeed = 9;
+        config.peers.lieQuarantineSeconds = 1;
+        config.peers.reinstateProbes = 1;
+        // One task for the whole plan: exactly one lie, so quarantine
+        // does not escalate past the 1-second first episode.
+        config.peers.shardsPerTask = 1 << 20;
+    });
+
+    FaultGuard disarm;
+    engine::faultInjector().configure("peer-lie:1.0:33");
+
+    const std::string source =
+        TestRegistry::instance().sourceText("IRIW+addrs");
+    server::Client viaCoord("127.0.0.1", _coord->port());
+    ASSERT_EQ(viaCoord.check(source, {"base"}).status, 200);
+    EXPECT_GE(metricValue(viaCoord.get("/metrics").body,
+                          "rexd_peers_quarantined"),
+              1.0);
+
+    // The lies stop, the quarantine lapses into probation, and one
+    // clean audited probe reinstates the peer.
+    engine::faultInjector().configure("");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    ASSERT_EQ(viaCoord.check(source, {"ExS"}).status, 200);
+
+    const std::string exposition = viaCoord.get("/metrics").body;
+    EXPECT_EQ(metricValue(exposition, "rexd_peers_quarantined"), 0.0);
+    EXPECT_GT(metricValue(exposition, "rexd_peer_lies_total"), 0.0);
 }
 
 } // namespace
